@@ -1,0 +1,91 @@
+"""Figure 6 — Ablation of the KGLiDS discovery configuration (TUS-style lake).
+
+Four configurations are compared, as in the paper:
+
+* **KGLiDS** — label similarity + fine-grained CoLR content similarity;
+* **Fine-Grained (No Subsampling)** — content similarity only, embedding the
+  full columns instead of the 10% sample;
+* **Fine-Grained** — content similarity only, with subsampling;
+* **Coarse-Grained** — content similarity only with the three coarse-grained
+  embedding models (numeric / string / other).
+
+Expected shape: the full configuration is the most accurate; fine-grained
+content-only remains competitive; coarse-grained is clearly worse; and
+subsampling does not change accuracy materially while reducing profiling time.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from _helpers import KGLiDSDiscovery, rankings_for_benchmark
+from repro.embeddings import CoarseGrainedModelSet
+from repro.eval import average_precision_recall_at_k, format_report_table
+from repro.kg.dataset_graph import DataGlobalSchemaBuilder
+from repro.profiler import DataProfiler
+
+K_VALUES = [1, 2, 3, 5]
+
+
+def _evaluate(profiles, workload, use_label):
+    discovery = KGLiDSDiscovery(DataGlobalSchemaBuilder(use_label_similarity=use_label))
+    discovery.preprocess(profiles)
+    rankings = rankings_for_benchmark(discovery, workload)
+    ground_truth = {q: workload.ground_truth[q] for q in workload.query_tables}
+    return average_precision_recall_at_k(rankings, ground_truth, K_VALUES)
+
+
+def test_fig6_ablation(discovery_workloads, profiled_workloads, benchmark):
+    workload = discovery_workloads["tus_small"]
+    configurations = {}
+
+    fine_profiles = profiled_workloads["tus_small"]
+    configurations["KGLiDS (CoLR + label)"] = _evaluate(fine_profiles, workload, use_label=True)
+    configurations["Fine-Grained"] = _evaluate(fine_profiles, workload, use_label=False)
+
+    started = time.perf_counter()
+    no_subsample_profiles = DataProfiler(sample_fraction=1.0, min_sample_size=10**6).profile_data_lake(
+        workload.lake
+    )
+    no_subsample_time = time.perf_counter() - started
+    configurations["Fine-Grained (No Subsampling)"] = _evaluate(
+        no_subsample_profiles, workload, use_label=False
+    )
+
+    started = time.perf_counter()
+    subsample_profiles = DataProfiler(sample_fraction=0.1, min_sample_size=20).profile_data_lake(
+        workload.lake
+    )
+    subsample_time = time.perf_counter() - started
+    coarse_profiles = DataProfiler(colr_models=CoarseGrainedModelSet()).profile_data_lake(workload.lake)
+    configurations["Coarse-Grained"] = _evaluate(coarse_profiles, workload, use_label=False)
+
+    rows = []
+    mean_precision = {}
+    for name, metrics in configurations.items():
+        for k, (precision, recall) in metrics.items():
+            rows.append([name, k, round(precision, 3), round(recall, 3)])
+        mean_precision[name] = np.mean([p for p, _ in metrics.values()])
+    rows.append(["profiling time: 10% subsample (s)", "-", round(subsample_time, 2), "-"])
+    rows.append(["profiling time: full columns (s)", "-", round(no_subsample_time, 2), "-"])
+    print()
+    print(
+        format_report_table(
+            ["configuration", "k", "precision@k", "recall@k"],
+            rows,
+            title="Figure 6: ablation on the TUS-style benchmark",
+        )
+    )
+
+    # Shape assertions mirroring the paper's findings.
+    assert mean_precision["KGLiDS (CoLR + label)"] >= mean_precision["Fine-Grained"] - 1e-9
+    assert mean_precision["Fine-Grained"] >= mean_precision["Coarse-Grained"] - 0.05
+    no_subsampling_gap = abs(
+        mean_precision["Fine-Grained"] - mean_precision["Fine-Grained (No Subsampling)"]
+    )
+    assert no_subsampling_gap <= 0.25
+
+    benchmark.pedantic(
+        lambda: _evaluate(fine_profiles, workload, use_label=True), rounds=1, iterations=1
+    )

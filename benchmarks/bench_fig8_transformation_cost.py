@@ -1,0 +1,70 @@
+"""Figure 8 — Data transformation execution time and memory vs dataset size.
+
+Measures, per transformation dataset (sorted by size), the wall-clock time
+and peak Python memory of AutoLearn and of KGLiDS' recommendation +
+application.  Expected shape: AutoLearn's cost grows quickly with the number
+of rows and features (it is quadratic in features and builds pairwise
+distance matrices), while KGLiDS stays nearly flat.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import AutoLearn
+from repro.eval import format_report_table, measure_call
+
+
+def test_fig8_transformation_time_and_memory(bootstrapped_platform, transformation_datasets, benchmark):
+    datasets = sorted(transformation_datasets, key=lambda d: d.size_cells)
+    rows = []
+    kglids_time, autolearn_time = [], []
+    kglids_memory, autolearn_memory = [], []
+    for dataset in datasets:
+        autolearn_run = measure_call(
+            lambda table=dataset.table, target=dataset.target: AutoLearn().transform(table, target)
+        )
+        kglids_run = measure_call(
+            lambda table=dataset.table, target=dataset.target: bootstrapped_platform.apply_transformations(
+                bootstrapped_platform.recommend_transformations(table, target=target), table, target=target
+            )
+        )
+        if not autolearn_run.failed:
+            autolearn_time.append(autolearn_run.elapsed_seconds)
+            autolearn_memory.append(autolearn_run.peak_memory_mb)
+        kglids_time.append(kglids_run.elapsed_seconds)
+        kglids_memory.append(kglids_run.peak_memory_mb)
+        rows.append(
+            [
+                dataset.dataset_id,
+                dataset.size_cells,
+                round(autolearn_run.elapsed_seconds, 2),
+                round(autolearn_run.peak_memory_mb, 2),
+                round(kglids_run.elapsed_seconds, 2),
+                round(kglids_run.peak_memory_mb, 2),
+            ]
+        )
+    print()
+    print(
+        format_report_table(
+            ["dataset", "cells", "AutoLearn time (s)", "AutoLearn mem (MB)", "KGLiDS time (s)", "KGLiDS mem (MB)"],
+            rows,
+            title="Figure 8: transformation time and memory vs dataset size",
+        )
+    )
+
+    # Shape assertions: AutoLearn's memory grows markedly with dataset size
+    # (its pairwise distance matrices), while KGLiDS' footprint grows more
+    # slowly and stays small in absolute terms.
+    if len(autolearn_memory) >= 3:
+        autolearn_growth = autolearn_memory[-1] / max(autolearn_memory[0], 0.05)
+        kglids_growth = kglids_memory[-1] / max(kglids_memory[0], 0.05)
+        assert autolearn_growth >= kglids_growth
+        assert autolearn_time[-1] >= autolearn_time[0]
+    assert max(kglids_memory) < 32.0
+
+    smallest = datasets[0]
+    benchmark.pedantic(
+        lambda: bootstrapped_platform.recommend_transformations(smallest.table, target=smallest.target),
+        rounds=1,
+        iterations=1,
+    )

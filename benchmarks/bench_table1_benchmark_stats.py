@@ -1,0 +1,48 @@
+"""Table 1 — Data discovery benchmark statistics.
+
+Regenerates the benchmark-statistics table: number of tables, query tables,
+average unionable tables per query, average rows per table, total columns and
+the fine-grained type breakdown produced by the KGLiDS profiler.
+"""
+
+import pytest
+
+from repro.eval import format_report_table
+from repro.profiler import DataProfiler
+from repro.types import FINE_GRAINED_TYPES
+
+
+def test_table1_benchmark_statistics(discovery_workloads, profiled_workloads, benchmark):
+    rows = []
+    for style, workload in discovery_workloads.items():
+        profiles = profiled_workloads[style]
+        stats = DataProfiler.lake_statistics(profiles)
+        row = [
+            style,
+            workload.num_tables,
+            len(workload.query_tables),
+            round(workload.average_unionable_per_query(), 1),
+            round(stats["avg_rows_per_table"], 1),
+            stats["total_columns"],
+        ] + [stats[f"{type_name}_cols"] for type_name in FINE_GRAINED_TYPES]
+        rows.append(row)
+    headers = [
+        "benchmark",
+        "tables",
+        "query tables",
+        "avg unionable",
+        "avg rows",
+        "columns",
+    ] + list(FINE_GRAINED_TYPES)
+    print()
+    print(format_report_table(headers, rows, title="Table 1: discovery benchmark statistics"))
+
+    # Sanity: every column is assigned exactly one fine-grained type.
+    for style, profiles in profiled_workloads.items():
+        stats = DataProfiler.lake_statistics(profiles)
+        assert sum(stats[f"{t}_cols"] for t in FINE_GRAINED_TYPES) == stats["total_columns"]
+
+    # The benchmarked operation: profiling the smallest lake.
+    profiler = DataProfiler()
+    smallest = discovery_workloads["santos_small"].lake
+    benchmark.pedantic(lambda: profiler.profile_data_lake(smallest), rounds=1, iterations=1)

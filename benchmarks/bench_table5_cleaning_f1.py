@@ -1,0 +1,79 @@
+"""Table 5 — Data cleaning F1: drop-nulls baseline vs HoloClean vs KGLiDS.
+
+Each dataset is cleaned by the three approaches and a random-forest classifier
+is trained on the result with cross-validation; the F1 score is the quality
+measure of the cleaning (Section 6.3.1).  HoloClean runs under a memory
+budget so that, as in the paper, it fails with OOM on the largest datasets
+while KGLiDS' fixed-size-embedding approach still completes.
+"""
+
+import pytest
+
+from _helpers import downstream_f1
+from repro.baselines import HoloCleanAimnet
+from repro.eval import format_report_table, measure_call
+
+#: Simulated memory budget (MB of Python-allocated memory) for HoloClean,
+#: standing in for the paper's 189 GB VM limit.  The three largest datasets
+#: exceed it, reproducing the OOM failures of Table 5.
+HOLOCLEAN_MEMORY_BUDGET_MB = 0.9
+
+
+def test_table5_cleaning_f1(bootstrapped_platform, cleaning_datasets, benchmark):
+    rows = []
+    kglids_scores, holoclean_scores, oom_count = [], [], 0
+    for dataset in cleaning_datasets:
+        baseline_f1 = downstream_f1(dataset.table.drop_rows_with_missing(), dataset.target)
+
+        holoclean_run = measure_call(
+            lambda table=dataset.table: HoloCleanAimnet().clean(table),
+            memory_budget_mb=HOLOCLEAN_MEMORY_BUDGET_MB,
+        )
+        if holoclean_run.failed:
+            holoclean_f1 = None
+            oom_count += 1
+        else:
+            holoclean_f1 = downstream_f1(holoclean_run.result, dataset.target)
+            holoclean_scores.append(holoclean_f1)
+
+        recommendations = bootstrapped_platform.recommend_cleaning_operations(dataset.table)
+        cleaned = bootstrapped_platform.apply_cleaning_operations(recommendations, dataset.table)
+        kglids_f1 = downstream_f1(cleaned, dataset.target)
+        kglids_scores.append(kglids_f1)
+
+        rows.append(
+            [
+                f"{dataset.dataset_id} - {dataset.name}",
+                dataset.table.num_rows,
+                round(baseline_f1, 3),
+                "OOM" if holoclean_f1 is None else round(holoclean_f1, 3),
+                round(kglids_f1, 3),
+                recommendations[0][0],
+            ]
+        )
+    print()
+    print(
+        format_report_table(
+            ["dataset", "rows", "baseline (drop nulls)", "HoloClean", "KGLiDS", "KGLiDS operation"],
+            rows,
+            title="Table 5: F1 scores for data cleaning",
+        )
+    )
+
+    # Shape assertions: KGLiDS completes every dataset with competitive F1,
+    # HoloClean hits the memory budget on the largest datasets.
+    assert len(kglids_scores) == len(cleaning_datasets)
+    assert oom_count >= 1
+    if holoclean_scores:
+        mean_holoclean = sum(holoclean_scores) / len(holoclean_scores)
+        mean_kglids_on_same = sum(kglids_scores[: len(holoclean_scores)]) / len(holoclean_scores)
+        assert mean_kglids_on_same >= mean_holoclean - 0.1
+
+    smallest = cleaning_datasets[0]
+    benchmark.pedantic(
+        lambda: bootstrapped_platform.apply_cleaning_operations(
+            bootstrapped_platform.recommend_cleaning_operations(smallest.table), smallest.table
+        ),
+        rounds=1,
+        iterations=1,
+    )

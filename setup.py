@@ -1,0 +1,6 @@
+"""Setuptools shim so ``pip install -e .`` works on environments without the
+PEP 660 build chain (no ``wheel`` available offline)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,15 @@
+"""Reproduction of KGLiDS (ICDE 2024): semantic abstraction, linking, and
+automation of data science.
+
+The top-level package re-exports the most commonly used entry points:
+
+* :class:`repro.tabular.Table` -- the tabular data container used throughout.
+* :class:`repro.interfaces.KGLiDS` -- the user-facing API over the LiDS graph.
+* :class:`repro.kg.KGGovernor` -- builds the LiDS graph from datasets and
+  pipeline scripts.
+"""
+
+from repro.tabular import Column, Table
+from repro.version import __version__
+
+__all__ = ["Column", "Table", "__version__"]

@@ -1,0 +1,40 @@
+"""On-demand data-science automation (Section 4 of the paper).
+
+Data cleaning and data transformation are formalized as GNN node
+classification over (sub)graphs of the LiDS graph whose node features are
+CoLR table / column embeddings:
+
+* :mod:`repro.automation.operations` — the cleaning and transformation
+  operation registries and their table-level application logic.
+* :mod:`repro.automation.training_data` — extraction of (embedding, operation)
+  training examples from the LiDS graph.
+* :mod:`repro.automation.cleaning` — the data-cleaning recommender
+  (5 operations: Fillna, Interpolate, SimpleImputer, KNNImputer,
+  IterativeImputer).
+* :mod:`repro.automation.transformation` — the scaling recommender
+  (Standard / MinMax / Robust scaler) and the unary column-transformation
+  recommender (log / sqrt).
+"""
+
+from repro.automation.cleaning import CleaningRecommender
+from repro.automation.operations import (
+    CLEANING_OPERATIONS,
+    SCALING_OPERATIONS,
+    UNARY_OPERATIONS,
+    apply_cleaning_operation,
+    apply_scaling_operation,
+    apply_unary_transformation,
+)
+from repro.automation.transformation import TransformationRecommendation, TransformationRecommender
+
+__all__ = [
+    "CLEANING_OPERATIONS",
+    "SCALING_OPERATIONS",
+    "UNARY_OPERATIONS",
+    "apply_cleaning_operation",
+    "apply_scaling_operation",
+    "apply_unary_transformation",
+    "CleaningRecommender",
+    "TransformationRecommender",
+    "TransformationRecommendation",
+]

@@ -1,0 +1,128 @@
+"""Extracting GNN training data from the LiDS graph.
+
+Section 4.1: "KGLiDS could be queried to fetch the cleaning or transformation
+operations and dataset nodes of type columns or tables used as input."  This
+module issues those queries: it finds pipelines that call a given family of
+operations, follows their verified ``reads`` edges to tables, and pairs the
+table's CoLR embedding with the operation label.  The result is a
+:class:`repro.gnn.FeatureGraph` ready for GraphSAINT training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.gnn import FeatureGraph
+from repro.kg.ontology import LiDSOntology, library_uri
+from repro.kg.storage import KGLiDSStorage
+from repro.rdf import RDF
+
+#: Map from fully-qualified library calls to cleaning operation labels.
+CLEANING_CALL_TO_OPERATION: Dict[str, str] = {
+    "pandas.DataFrame.fillna": "Fillna",
+    "pandas.DataFrame.interpolate": "Interpolate",
+    "sklearn.impute.SimpleImputer": "SimpleImputer",
+    "sklearn.impute.KNNImputer": "KNNImputer",
+    "sklearn.impute.IterativeImputer": "IterativeImputer",
+}
+
+#: Map from fully-qualified library calls to scaling operation labels.
+SCALING_CALL_TO_OPERATION: Dict[str, str] = {
+    "sklearn.preprocessing.StandardScaler": "StandardScaler",
+    "sklearn.preprocessing.MinMaxScaler": "MinMaxScaler",
+    "sklearn.preprocessing.RobustScaler": "RobustScaler",
+}
+
+#: Map from fully-qualified library calls to unary transformation labels.
+UNARY_CALL_TO_OPERATION: Dict[str, str] = {
+    "numpy.log": "log",
+    "numpy.log1p": "log",
+    "numpy.sqrt": "sqrt",
+}
+
+
+@dataclass
+class TrainingExample:
+    """One supervised example: a node id, its embedding and operation label."""
+
+    node_id: str
+    embedding: np.ndarray
+    operation: str
+
+
+def extract_operation_examples(
+    storage: KGLiDSStorage,
+    call_to_operation: Dict[str, str],
+    embedding_namespace: str = "table",
+) -> List[TrainingExample]:
+    """Pair tables read by pipelines with the operations those pipelines call.
+
+    For every pipeline named graph, the query finds statements calling one of
+    the mapped functions and the tables the pipeline reads; each (table,
+    operation) pair becomes a training example whose features are the table's
+    stored CoLR embedding.
+    """
+    ontology = LiDSOntology
+    examples: List[TrainingExample] = []
+    store = storage.graph
+    for call_name, operation in call_to_operation.items():
+        call_node = library_uri(call_name)
+        for triple, graph in store.match(None, ontology.callsFunction, call_node):
+            statement_node = triple.subject
+            pipeline_nodes = store.objects(statement_node, ontology.isPartOf, graph=graph)
+            for pipeline_node in pipeline_nodes:
+                for table_node in store.objects(pipeline_node, ontology.reads, graph=graph):
+                    if not store.contains(table_node, RDF.type, ontology.Table):
+                        # ``reads`` may point at a dataset node; skip those here.
+                        embedding = storage.embeddings.get(embedding_namespace, str(table_node))
+                    else:
+                        embedding = storage.embeddings.get(embedding_namespace, str(table_node))
+                    if embedding is None:
+                        continue
+                    examples.append(
+                        TrainingExample(
+                            node_id=str(table_node), embedding=embedding, operation=operation
+                        )
+                    )
+    return examples
+
+
+def build_training_graph(
+    examples: Sequence[TrainingExample],
+    operations: Sequence[str],
+    feature_dimensions: Optional[int] = None,
+) -> FeatureGraph:
+    """Build the node-classification graph from training examples.
+
+    Table nodes carry their embedding and are labeled with the operation
+    class; one node per operation is added (featured with the mean embedding
+    of its member tables) and connected to its tables — that single
+    table-operation edge per example is why the paper's cleaning GNN needs
+    only one layer.
+    """
+    examples = list(examples)
+    if not examples:
+        raise ValueError("cannot build a training graph from zero examples")
+    if feature_dimensions is None:
+        feature_dimensions = int(examples[0].embedding.shape[0])
+    graph = FeatureGraph(feature_dimensions)
+    operation_index = {operation: i for i, operation in enumerate(operations)}
+    members: Dict[str, List[np.ndarray]] = {operation: [] for operation in operations}
+    for i, example in enumerate(examples):
+        if example.operation not in operation_index:
+            continue
+        node_id = f"{example.node_id}#{i}"
+        graph.add_node(node_id, example.embedding, label=operation_index[example.operation])
+        members[example.operation].append(example.embedding)
+    for operation, vectors in members.items():
+        if not vectors:
+            continue
+        graph.add_node(f"operation:{operation}", np.mean(vectors, axis=0))
+    for i, example in enumerate(examples):
+        if example.operation not in operation_index:
+            continue
+        graph.add_edge(f"{example.node_id}#{i}", f"operation:{example.operation}")
+    return graph

@@ -1,0 +1,171 @@
+"""The on-demand data-transformation recommender (Section 4.3).
+
+Transformation recommendation is split into two models, as in the paper:
+
+* a **table transformation** model choosing a scaling operation
+  (StandardScaler / MinMaxScaler / RobustScaler) from the 1800-dimensional
+  concatenated table embedding, and
+* a **column transformation** model choosing a unary transformation
+  (log / sqrt / none) per column from its 300-dimensional CoLR embedding.
+
+Scaling is applied before unary transformations to neutralize magnitude
+differences between features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.automation.operations import (
+    SCALING_OPERATIONS,
+    UNARY_OPERATIONS,
+    apply_scaling_operation,
+    apply_unary_transformation,
+)
+from repro.automation.training_data import (
+    SCALING_CALL_TO_OPERATION,
+    UNARY_CALL_TO_OPERATION,
+    TrainingExample,
+    build_training_graph,
+    extract_operation_examples,
+)
+from repro.embeddings.colr import ColRModelSet
+from repro.gnn import GNNNodeClassifier
+from repro.kg.storage import KGLiDSStorage
+from repro.profiler.profile import DataProfiler
+from repro.tabular import Table
+from repro.types import COLR_TYPES, TYPE_FLOAT, TYPE_INT
+
+
+@dataclass
+class TransformationRecommendation:
+    """The recommendation returned for a table."""
+
+    scaler: str
+    scaler_confidence: float
+    column_transforms: Dict[str, str] = field(default_factory=dict)
+
+    def as_list(self) -> List[Tuple[str, str]]:
+        """Flat view: ``[("table", scaler), (column, op), ...]``."""
+        entries = [("table", self.scaler)]
+        entries.extend(
+            (column, operation)
+            for column, operation in self.column_transforms.items()
+            if operation != "none"
+        )
+        return entries
+
+
+class TransformationRecommender:
+    """Recommends and applies scaling plus unary feature transformations."""
+
+    SCALER_MODEL_NAME = "transformation_scaler_gnn"
+    UNARY_MODEL_NAME = "transformation_unary_gnn"
+
+    def __init__(
+        self,
+        profiler: Optional[DataProfiler] = None,
+        colr_models: Optional[ColRModelSet] = None,
+        epochs: int = 80,
+        random_state: int = 0,
+    ):
+        self.colr_models = colr_models or ColRModelSet.pretrained()
+        self.profiler = profiler or DataProfiler(colr_models=self.colr_models)
+        self.epochs = epochs
+        self.random_state = random_state
+        self.table_feature_dimensions = self.colr_models.dimensions * len(COLR_TYPES)
+        self.column_feature_dimensions = self.colr_models.dimensions
+        self.scaler_model: Optional[GNNNodeClassifier] = None
+        self.unary_model: Optional[GNNNodeClassifier] = None
+
+    # -------------------------------------------------------------- training
+    def train_from_kg(self, storage: KGLiDSStorage) -> Tuple[int, int]:
+        """Train both models from the LiDS graph; returns the example counts."""
+        scaling_examples = extract_operation_examples(storage, SCALING_CALL_TO_OPERATION, "table")
+        unary_examples = extract_operation_examples(storage, UNARY_CALL_TO_OPERATION, "column")
+        if scaling_examples:
+            self.train_scaler_from_examples(scaling_examples)
+            storage.register_model(self.SCALER_MODEL_NAME, self.scaler_model)
+        if unary_examples:
+            self.train_unary_from_examples(unary_examples)
+            storage.register_model(self.UNARY_MODEL_NAME, self.unary_model)
+        return len(scaling_examples), len(unary_examples)
+
+    def train_scaler_from_examples(
+        self, examples: Sequence[TrainingExample]
+    ) -> "TransformationRecommender":
+        graph = build_training_graph(examples, SCALING_OPERATIONS, self.table_feature_dimensions)
+        self.scaler_model = GNNNodeClassifier(
+            feature_dimensions=self.table_feature_dimensions,
+            num_classes=len(SCALING_OPERATIONS),
+            epochs=self.epochs,
+            random_state=self.random_state,
+        )
+        self.scaler_model.fit(graph)
+        return self
+
+    def train_unary_from_examples(
+        self, examples: Sequence[TrainingExample]
+    ) -> "TransformationRecommender":
+        graph = build_training_graph(examples, UNARY_OPERATIONS, self.column_feature_dimensions)
+        self.unary_model = GNNNodeClassifier(
+            feature_dimensions=self.column_feature_dimensions,
+            num_classes=len(UNARY_OPERATIONS),
+            epochs=self.epochs,
+            random_state=self.random_state,
+        )
+        self.unary_model.fit(graph)
+        return self
+
+    # ------------------------------------------------------------- inference
+    def recommend_transformations(
+        self, table: Table, target: Optional[str] = None
+    ) -> TransformationRecommendation:
+        """Recommend a scaler for the table and a unary transform per numeric column."""
+        if self.scaler_model is None:
+            raise RuntimeError("the transformation recommender has not been trained")
+        table_profile = self.profiler.profile_table(table)
+        feature_profiles = [
+            profile
+            for profile in table_profile.column_profiles
+            if target is None or profile.column_name != target
+        ]
+        table_embedding = self.colr_models.table_embedding(
+            [profile.embedding for profile in feature_profiles],
+            [profile.fine_grained_type for profile in feature_profiles],
+        )
+        scaler_probabilities = self.scaler_model.predict_proba_features(table_embedding)
+        scaler_index = int(np.argmax(scaler_probabilities))
+        recommendation = TransformationRecommendation(
+            scaler=SCALING_OPERATIONS[scaler_index],
+            scaler_confidence=float(scaler_probabilities[scaler_index]),
+        )
+        for profile in feature_profiles:
+            if profile.fine_grained_type not in (TYPE_INT, TYPE_FLOAT):
+                continue
+            if self.unary_model is None:
+                recommendation.column_transforms[profile.column_name] = "none"
+                continue
+            unary_probabilities = self.unary_model.predict_proba_features(profile.embedding)
+            unary_index = int(np.argmax(unary_probabilities))
+            recommendation.column_transforms[profile.column_name] = UNARY_OPERATIONS[unary_index]
+        return recommendation
+
+    @staticmethod
+    def apply_transformations(
+        recommendation: TransformationRecommendation,
+        table: Table,
+        target: Optional[str] = None,
+    ) -> Table:
+        """Apply a recommendation: scaling first, then per-column unary transforms."""
+        exclude = [target] if target else []
+        transformed = apply_scaling_operation(table, recommendation.scaler, exclude=exclude)
+        for column_name, operation in recommendation.column_transforms.items():
+            if operation == "none" or column_name == target:
+                continue
+            if transformed.has_column(column_name):
+                transformed = apply_unary_transformation(transformed, column_name, operation)
+        return transformed

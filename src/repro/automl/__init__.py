@@ -1,0 +1,26 @@
+"""AutoML support: the revised KGpip pipeline (Sections 4.4 and 6.3.3).
+
+KGpip recommends an ML estimator for an unseen dataset by graph similarity
+against datasets seen in the knowledge graph, then runs a budgeted
+hyperparameter search.  KGLiDS improves it in two ways that this package
+reproduces: the LiDS graph is already restricted to data-science semantics
+(no graph filtration needed), and it records the hyperparameter name/value
+pairs used by real pipelines, which seed and prune the search space.
+"""
+
+from repro.automl.kgpip import AutoMLResult, KGpipAutoML
+from repro.automl.search_space import (
+    ESTIMATOR_REGISTRY,
+    HYPERPARAMETER_SPACES,
+    instantiate_estimator,
+    sample_configuration,
+)
+
+__all__ = [
+    "KGpipAutoML",
+    "AutoMLResult",
+    "ESTIMATOR_REGISTRY",
+    "HYPERPARAMETER_SPACES",
+    "instantiate_estimator",
+    "sample_configuration",
+]

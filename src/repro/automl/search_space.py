@@ -1,0 +1,119 @@
+"""Estimator registry and hyperparameter search spaces for AutoML.
+
+Estimators are named by the scikit-learn / XGBoost callables that abstracted
+pipelines invoke, so the names recorded in the LiDS graph line up with the
+search space keys.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    GaussianNB,
+    GradientBoostingClassifier,
+    KNeighborsClassifier,
+    LogisticRegression,
+    RandomForestClassifier,
+)
+from repro.ml.base import BaseEstimator
+
+#: Map from the fully-qualified callable name (as recorded in the LiDS graph)
+#: to the local estimator class reproducing it.
+ESTIMATOR_REGISTRY: Dict[str, type] = {
+    "sklearn.ensemble.RandomForestClassifier": RandomForestClassifier,
+    "sklearn.ensemble.GradientBoostingClassifier": GradientBoostingClassifier,
+    "xgboost.XGBClassifier": GradientBoostingClassifier,
+    "sklearn.linear_model.LogisticRegression": LogisticRegression,
+    "sklearn.tree.DecisionTreeClassifier": DecisionTreeClassifier,
+    "sklearn.neighbors.KNeighborsClassifier": KNeighborsClassifier,
+    "sklearn.naive_bayes.GaussianNB": GaussianNB,
+}
+
+#: Candidate values per hyperparameter per estimator.  These are the spaces
+#: the budgeted search samples from; the LiDS-informed variant restricts them
+#: to values observed in the knowledge graph.
+HYPERPARAMETER_SPACES: Dict[str, Dict[str, List[Any]]] = {
+    "sklearn.ensemble.RandomForestClassifier": {
+        "n_estimators": [5, 10, 20, 40, 80],
+        "max_depth": [3, 5, 8, 12, 16],
+        "min_samples_split": [2, 4, 8],
+    },
+    "sklearn.ensemble.GradientBoostingClassifier": {
+        "n_estimators": [10, 20, 40],
+        "learning_rate": [0.01, 0.05, 0.1, 0.3],
+        "max_depth": [2, 3, 4],
+    },
+    "xgboost.XGBClassifier": {
+        "n_estimators": [10, 20, 40],
+        "learning_rate": [0.01, 0.05, 0.1, 0.3],
+        "max_depth": [2, 3, 4, 6],
+    },
+    "sklearn.linear_model.LogisticRegression": {
+        "C": [0.01, 0.1, 1.0, 10.0, 100.0],
+        "max_iter": [100, 200, 400],
+    },
+    "sklearn.tree.DecisionTreeClassifier": {
+        "max_depth": [3, 5, 8, 12, 16],
+        "min_samples_split": [2, 4, 8, 16],
+    },
+    "sklearn.neighbors.KNeighborsClassifier": {
+        "n_neighbors": [1, 3, 5, 9, 15],
+    },
+    "sklearn.naive_bayes.GaussianNB": {
+        "var_smoothing": [1e-9, 1e-7, 1e-5],
+    },
+}
+
+
+def default_estimator_names() -> List[str]:
+    """The estimator names considered when the KG offers no recommendation."""
+    return [
+        "sklearn.ensemble.RandomForestClassifier",
+        "sklearn.linear_model.LogisticRegression",
+        "sklearn.ensemble.GradientBoostingClassifier",
+        "sklearn.neighbors.KNeighborsClassifier",
+    ]
+
+
+def instantiate_estimator(name: str, configuration: Optional[Dict[str, Any]] = None) -> BaseEstimator:
+    """Build an estimator instance from its recorded name and configuration.
+
+    Unknown hyperparameters (recorded from real pipelines but not supported by
+    the local implementation) are ignored rather than failing the search.
+    """
+    if name not in ESTIMATOR_REGISTRY:
+        raise ValueError(f"unknown estimator {name!r}; known: {sorted(ESTIMATOR_REGISTRY)}")
+    estimator_class = ESTIMATOR_REGISTRY[name]
+    estimator = estimator_class()
+    if configuration:
+        valid = set(estimator._param_names())
+        filtered = {key: value for key, value in configuration.items() if key in valid}
+        estimator.set_params(**filtered)
+    return estimator
+
+
+def sample_configuration(
+    name: str,
+    rng: np.random.RandomState,
+    priors: Optional[Dict[str, Any]] = None,
+    prior_probability: float = 0.6,
+) -> Dict[str, Any]:
+    """Sample one hyperparameter configuration for an estimator.
+
+    When ``priors`` (hyperparameter values recommended from the LiDS graph)
+    are given, each parameter takes the prior value with probability
+    ``prior_probability`` and a random in-space value otherwise — that is the
+    pruning/seeding effect of the revised KGpip pipeline.
+    """
+    space = HYPERPARAMETER_SPACES.get(name, {})
+    configuration: Dict[str, Any] = {}
+    for parameter, candidates in space.items():
+        if priors and parameter in priors and rng.rand() < prior_probability:
+            configuration[parameter] = priors[parameter]
+        else:
+            configuration[parameter] = candidates[rng.randint(len(candidates))]
+    return configuration

@@ -1,0 +1,33 @@
+"""Re-implementations of the comparison systems used in the evaluation.
+
+Each baseline follows the published matching / cleaning / transformation
+strategy of the original system closely enough that the *relative* behaviour
+the paper reports (who is faster, who uses more memory, where accuracy
+diverges) emerges from the algorithms themselves rather than from hard-coded
+constants:
+
+* :mod:`repro.baselines.santos` — SANTOS-style union search via knowledge-base
+  matching of column values and column-pair relationship signatures.
+* :mod:`repro.baselines.starmie` — Starmie-style union search via per-lake
+  contextual column embeddings with an HNSW index.
+* :mod:`repro.baselines.graphgen4code` — GraphGen4Code-style general-purpose
+  code knowledge graphs (verbose, not data-science specific).
+* :mod:`repro.baselines.holoclean` — HoloClean/Aimnet-style statistical
+  missing-value repair over the raw dataset.
+* :mod:`repro.baselines.autolearn` — AutoLearn-style distance-correlation
+  feature generation.
+"""
+
+from repro.baselines.autolearn import AutoLearn
+from repro.baselines.graphgen4code import GraphGen4Code
+from repro.baselines.holoclean import HoloCleanAimnet
+from repro.baselines.santos import SantosUnionSearch
+from repro.baselines.starmie import StarmieUnionSearch
+
+__all__ = [
+    "SantosUnionSearch",
+    "StarmieUnionSearch",
+    "GraphGen4Code",
+    "HoloCleanAimnet",
+    "AutoLearn",
+]

@@ -1,0 +1,143 @@
+"""Starmie-style table union search.
+
+Starmie fine-tunes a pre-trained language model per data lake with contrastive
+learning over augmented column views, embeds every column into a
+768-dimensional vector, indexes the vectors with HNSW, and answers union
+queries by aggregating per-column nearest-neighbour matches.  The baseline
+reproduces those cost characteristics: a per-lake "training" loop over
+augmented column views (the dominant preprocessing cost), 768-dimensional
+contextual bag-of-token embeddings, HNSW retrieval, and per-column query
+aggregation.  Its accuracy profile also mirrors the paper's observation that
+language-model embeddings serve textual columns better than numerical ones —
+numeric columns are embedded from their digit tokens, which carries much less
+signal than CoLR's distribution features.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.embeddings.index import HNSWIndex
+from repro.tabular import Column, DataLake, Table
+from repro.tabular.values import is_missing
+
+EMBEDDING_DIMENSIONS = 768
+
+
+_HASH_CACHE: Dict[str, np.ndarray] = {}
+
+
+def _hash_vector(token: str, seed: int = 7) -> np.ndarray:
+    cached = _HASH_CACHE.get(token)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256(f"{seed}:{token}".encode("utf-8")).digest()
+    state = np.frombuffer(digest, dtype=np.uint8).astype(np.uint32)
+    rng = np.random.RandomState(state)
+    vector = rng.normal(size=EMBEDDING_DIMENSIONS)
+    if len(_HASH_CACHE) < 200_000:
+        _HASH_CACHE[token] = vector
+    return vector
+
+
+@dataclass
+class _ColumnRecord:
+    key: str  # "dataset/table/column"
+    table_key: Tuple[str, str]
+    embedding: np.ndarray
+
+
+class StarmieUnionSearch:
+    """Union search via per-lake contextualized column embeddings + HNSW."""
+
+    def __init__(self, training_epochs: int = 10, sample_values: int = 60, seed: int = 0):
+        #: Number of contrastive "training" epochs over the data lake columns
+        #: (the authors recommend ten; this drives the preprocessing cost).
+        self.training_epochs = training_epochs
+        self.sample_values = sample_values
+        self.seed = seed
+        self._columns: Dict[str, _ColumnRecord] = {}
+        self._index: Optional[HNSWIndex] = None
+        self._projection: Optional[np.ndarray] = None
+
+    # ---------------------------------------------------------- preprocessing
+    def preprocess(self, lake: DataLake) -> int:
+        """Train the per-lake embedding model and index every column."""
+        rng = np.random.RandomState(self.seed)
+        raw_embeddings: Dict[str, np.ndarray] = {}
+        records: List[_ColumnRecord] = []
+        for table in lake.tables():
+            for column in table.columns:
+                key = f"{table.dataset}/{table.name}/{column.name}"
+                raw_embeddings[key] = self._bag_of_tokens_embedding(column, rng)
+        # Contrastive fine-tuning pass: every epoch re-embeds augmented views
+        # (shuffled value samples) of each column and pulls the stored vector
+        # toward the view average.  This is the per-lake training loop that
+        # dominates Starmie's preprocessing time.
+        self._projection = rng.normal(
+            scale=1.0 / np.sqrt(EMBEDDING_DIMENSIONS),
+            size=(EMBEDDING_DIMENSIONS, EMBEDDING_DIMENSIONS),
+        )
+        for _ in range(self.training_epochs):
+            for table in lake.tables():
+                for column in table.columns:
+                    key = f"{table.dataset}/{table.name}/{column.name}"
+                    augmented = self._bag_of_tokens_embedding(column, rng, augment=True)
+                    raw_embeddings[key] = 0.8 * raw_embeddings[key] + 0.2 * augmented
+        self._index = HNSWIndex(EMBEDDING_DIMENSIONS, m=8, ef_search=48)
+        self._columns.clear()
+        for table in lake.tables():
+            for column in table.columns:
+                key = f"{table.dataset}/{table.name}/{column.name}"
+                embedding = np.tanh(raw_embeddings[key] @ self._projection)
+                record = _ColumnRecord(
+                    key=key, table_key=(table.dataset, table.name), embedding=embedding
+                )
+                self._columns[key] = record
+                self._index.add(key, embedding)
+                records.append(record)
+        return len(records)
+
+    def _bag_of_tokens_embedding(
+        self, column: Column, rng: np.random.RandomState, augment: bool = False
+    ) -> np.ndarray:
+        """Contextual bag-of-token embedding of a column (name + value tokens)."""
+        values = [v for v in column.values if not is_missing(v)]
+        if augment and values:
+            take = max(1, int(0.6 * len(values)))
+            indices = rng.choice(len(values), size=take, replace=False)
+            values = [values[i] for i in indices]
+        values = values[: self.sample_values]
+        vector = 2.0 * _hash_vector(f"header:{column.name.lower()}")
+        for value in values:
+            text = str(value).lower()
+            for token in text.replace("_", " ").split():
+                vector += _hash_vector(token)
+        norm = np.linalg.norm(vector)
+        return vector / norm if norm > 0 else vector
+
+    # ----------------------------------------------------------------- query
+    def query(self, table: Table, k: int = 10) -> List[Tuple[Tuple[str, str], float]]:
+        """Rank data-lake tables by aggregating per-column nearest neighbours."""
+        if self._index is None or self._projection is None:
+            raise RuntimeError("StarmieUnionSearch.preprocess must be called first")
+        rng = np.random.RandomState(self.seed + 1)
+        table_scores: Dict[Tuple[str, str], float] = defaultdict(float)
+        for column in table.columns:
+            embedding = np.tanh(self._bag_of_tokens_embedding(column, rng) @ self._projection)
+            for key, similarity in self._index.search(embedding, k=max(10, k)):
+                record = self._columns[key]
+                if record.table_key == (table.dataset, table.name):
+                    continue
+                table_scores[record.table_key] += max(0.0, similarity)
+        normalizer = max(1, table.num_columns)
+        ranked = sorted(
+            ((table_key, score / normalizer) for table_key, score in table_scores.items()),
+            key=lambda item: -item[1],
+        )
+        return ranked[:k]

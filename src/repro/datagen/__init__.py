@@ -1,0 +1,34 @@
+"""Synthetic workload generators for the evaluation.
+
+The paper evaluates on Kaggle datasets/pipelines and on public discovery
+benchmarks (D3L Small, TUS Small, SANTOS Small/Large), none of which can be
+downloaded offline.  This package generates laptop-scale stand-ins with the
+same construction recipe: domain base tables are partitioned horizontally and
+vertically (with column renaming and unit conversion for the harder,
+D3L-style variant) to yield data lakes with exact unionability ground truth;
+pipeline scripts are generated from realistic templates over those datasets;
+classification datasets with injected missing values, skew and scale spread
+support the cleaning / transformation / AutoML experiments.
+"""
+
+from repro.datagen.base_tables import DOMAINS, generate_base_table
+from repro.datagen.data_lake import DiscoveryBenchmark, generate_discovery_benchmark
+from repro.datagen.pipelines_corpus import generate_pipeline_corpus
+from repro.datagen.tasks import (
+    generate_automl_datasets,
+    generate_classification_dataset,
+    generate_cleaning_datasets,
+    generate_transformation_datasets,
+)
+
+__all__ = [
+    "DOMAINS",
+    "generate_base_table",
+    "DiscoveryBenchmark",
+    "generate_discovery_benchmark",
+    "generate_pipeline_corpus",
+    "generate_classification_dataset",
+    "generate_cleaning_datasets",
+    "generate_transformation_datasets",
+    "generate_automl_datasets",
+]

@@ -1,0 +1,198 @@
+"""Domain base tables: the raw material of the synthetic data lakes.
+
+Each domain defines a set of columns with a semantic generator (ages, fares,
+person names, cities, review text, ...) and a list of rename synonyms so that
+partitioned copies can carry different but semantically related column names
+— exactly the situation label similarity has to handle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.tabular import Column, Table
+
+_FIRST_NAMES = [
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+    "Linda", "David", "Elizabeth", "William", "Barbara", "Richard", "Susan",
+    "Ahmed", "Fatima", "Omar", "Layla", "Wei", "Sofia", "Mateo", "Valentina",
+]
+_LAST_NAMES = [
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Martinez", "Lopez", "Wilson", "Anderson", "Taylor", "Thomas",
+    "Lee", "Walker", "Young", "King", "Khan", "Singh", "Patel", "Chen",
+]
+_COUNTRIES = [
+    "Canada", "Austria", "Egypt", "Germany", "France", "Spain", "Portugal",
+    "Italy", "Japan", "China", "India", "Brazil", "Mexico", "Kenya", "Ghana",
+]
+_CITIES = [
+    "Montreal", "Toronto", "Vienna", "Cairo", "Berlin", "Paris", "Madrid",
+    "Lisbon", "Rome", "Tokyo", "Beijing", "Mumbai", "Boston", "Chicago",
+]
+_POSITIVE_PHRASES = [
+    "the product is excellent and I would recommend it to other people",
+    "great quality for the price and the service was amazing",
+    "I love this one because it works well and looks good",
+    "very good experience overall and I will come back for more",
+]
+_NEGATIVE_PHRASES = [
+    "terrible quality and the service was poor so I do not recommend it",
+    "this was a bad experience and the product did not work at all",
+    "I hate how it broke after one week of use and support was useless",
+    "not worth the price because the quality is much worse than expected",
+]
+_GENRES = ["action", "puzzle", "strategy", "arcade", "sports", "racing"]
+
+
+def _person_names(rng: np.random.RandomState, n: int) -> List[str]:
+    return [f"{rng.choice(_FIRST_NAMES)} {rng.choice(_LAST_NAMES)}" for _ in range(n)]
+
+
+def _dates(rng: np.random.RandomState, n: int, start_year: int = 2010) -> List[str]:
+    return [
+        f"{start_year + int(rng.randint(0, 10))}-{int(rng.randint(1, 13)):02d}-{int(rng.randint(1, 29)):02d}"
+        for _ in range(n)
+    ]
+
+
+def _reviews(rng: np.random.RandomState, n: int) -> List[str]:
+    phrases = _POSITIVE_PHRASES + _NEGATIVE_PHRASES
+    return [str(rng.choice(phrases)) for _ in range(n)]
+
+
+def _codes(rng: np.random.RandomState, n: int, prefix: str = "ID") -> List[str]:
+    return [f"{prefix}{int(rng.randint(10000, 99999))}" for _ in range(n)]
+
+
+@dataclass
+class ColumnSpec:
+    """One column of a domain: name, generator and rename synonyms."""
+
+    name: str
+    generator: Callable[[np.random.RandomState, int], Sequence]
+    synonyms: Tuple[str, ...] = ()
+    #: Multiplicative factors simulating unit conversion in renamed copies.
+    unit_factors: Tuple[float, ...] = (1.0,)
+
+
+def _numeric(loc: float, scale: float, integer: bool = False, positive: bool = True):
+    def generate(rng: np.random.RandomState, n: int):
+        values = rng.normal(loc=loc, scale=scale, size=n)
+        if positive:
+            values = np.abs(values)
+        if integer:
+            return [int(v) for v in np.round(values)]
+        return [float(round(v, 3)) for v in values]
+
+    return generate
+
+
+def _skewed(scale: float):
+    def generate(rng: np.random.RandomState, n: int):
+        return [float(round(v, 3)) for v in rng.exponential(scale=scale, size=n)]
+
+    return generate
+
+
+def _binary(p: float = 0.5):
+    def generate(rng: np.random.RandomState, n: int):
+        return [int(v) for v in (rng.rand(n) < p).astype(int)]
+
+    return generate
+
+
+def _categorical(options: Sequence[str]):
+    def generate(rng: np.random.RandomState, n: int):
+        return [str(rng.choice(list(options))) for _ in range(n)]
+
+    return generate
+
+
+#: The domain catalogue (datasets of "health, economics, games, and product
+#: reviews", matching the domains the paper's Kaggle corpus covers).
+DOMAINS: Dict[str, List[ColumnSpec]] = {
+    "health": [
+        ColumnSpec("patient_name", _person_names, ("full_name", "name")),
+        ColumnSpec("age", _numeric(54, 12, integer=True), ("patient_age", "age_years")),
+        ColumnSpec("sex", _categorical(["male", "female"]), ("gender",)),
+        ColumnSpec("blood_pressure", _numeric(130, 18), ("resting_bp", "bp")),
+        ColumnSpec("cholesterol", _numeric(240, 45), ("chol", "serum_cholesterol")),
+        ColumnSpec("max_heart_rate", _numeric(150, 22, integer=True), ("thalach", "heart_rate")),
+        ColumnSpec("admission_date", _dates, ("visit_date", "date")),
+        ColumnSpec("hospital_city", _categorical(_CITIES), ("city", "location")),
+        ColumnSpec("smoker", _binary(0.3), ("is_smoker",)),
+        ColumnSpec("target", _binary(0.45), ("disease", "outcome")),
+    ],
+    "economics": [
+        ColumnSpec("country", _categorical(_COUNTRIES), ("nation", "country_name")),
+        ColumnSpec("year", _numeric(2012, 5, integer=True), ("fiscal_year",)),
+        ColumnSpec("gdp_billion_usd", _skewed(800.0), ("gdp", "gross_domestic_product"), (1.0, 0.92)),
+        ColumnSpec("population_million", _skewed(60.0), ("population", "pop_millions")),
+        ColumnSpec("unemployment_rate", _numeric(7.5, 2.5), ("jobless_rate",)),
+        ColumnSpec("inflation_rate", _numeric(3.1, 1.4), ("cpi_change",)),
+        ColumnSpec("median_income", _numeric(42000, 9000), ("income", "household_income"), (1.0, 1.35)),
+        ColumnSpec("report_date", _dates, ("published_date",)),
+        ColumnSpec("is_oecd_member", _binary(0.5), ("oecd",)),
+    ],
+    "games": [
+        ColumnSpec("player_name", _person_names, ("gamer", "username")),
+        ColumnSpec("game_genre", _categorical(_GENRES), ("genre", "category")),
+        ColumnSpec("score", _skewed(5000.0), ("points", "high_score")),
+        ColumnSpec("play_time_hours", _skewed(40.0), ("hours_played", "playtime"), (1.0, 60.0)),
+        ColumnSpec("level", _numeric(30, 12, integer=True), ("stage", "rank_level")),
+        ColumnSpec("release_date", _dates, ("launch_date",)),
+        ColumnSpec("multiplayer", _binary(0.6), ("is_multiplayer",)),
+        ColumnSpec("win", _binary(0.5), ("victory", "won")),
+    ],
+    "reviews": [
+        ColumnSpec("reviewer_name", _person_names, ("customer", "author_name")),
+        ColumnSpec("product_id", _codes, ("item_id", "sku")),
+        ColumnSpec("review_text", _reviews, ("comment", "feedback")),
+        ColumnSpec("rating", _numeric(3.4, 1.1), ("stars", "score_rating")),
+        ColumnSpec("price_usd", _skewed(80.0), ("price", "cost_dollars"), (1.0, 0.79)),
+        ColumnSpec("review_date", _dates, ("posted_on",)),
+        ColumnSpec("verified_purchase", _binary(0.7), ("verified",)),
+        ColumnSpec("recommended", _binary(0.55), ("would_recommend", "target")),
+    ],
+    "transport": [
+        ColumnSpec("driver_name", _person_names, ("operator", "name")),
+        ColumnSpec("origin_city", _categorical(_CITIES), ("from_city", "departure_city")),
+        ColumnSpec("destination_city", _categorical(_CITIES), ("to_city", "arrival_city")),
+        ColumnSpec("distance_km", _skewed(300.0), ("distance", "trip_length_miles"), (1.0, 0.62)),
+        ColumnSpec("duration_minutes", _skewed(180.0), ("trip_time", "duration")),
+        ColumnSpec("fare", _skewed(45.0), ("price", "cost")),
+        ColumnSpec("trip_date", _dates, ("date",)),
+        ColumnSpec("on_time", _binary(0.8), ("arrived_on_time",)),
+    ],
+}
+
+
+def generate_base_table(
+    domain: str,
+    name: str,
+    n_rows: int = 120,
+    seed: int = 0,
+    dataset: str = "",
+    column_subset: Optional[Sequence[str]] = None,
+) -> Table:
+    """Generate one base table for a domain."""
+    if domain not in DOMAINS:
+        raise ValueError(f"unknown domain {domain!r}; available: {sorted(DOMAINS)}")
+    rng = np.random.RandomState(seed)
+    table = Table(name, dataset=dataset)
+    for spec in DOMAINS[domain]:
+        if column_subset is not None and spec.name not in column_subset:
+            continue
+        table.add_column(Column(spec.name, spec.generator(rng, n_rows)))
+    return table
+
+
+def domain_column_specs(domain: str) -> List[ColumnSpec]:
+    """The column specifications of a domain (used by the lake generator)."""
+    if domain not in DOMAINS:
+        raise ValueError(f"unknown domain {domain!r}; available: {sorted(DOMAINS)}")
+    return list(DOMAINS[domain])

@@ -1,0 +1,148 @@
+"""Discovery-benchmark data lakes with exact unionability ground truth.
+
+The TUS and SANTOS benchmarks were built by randomly partitioning real tables
+horizontally and vertically; the D3L benchmark contains real tables manually
+annotated with their related tables.  The generator follows the same recipe
+at laptop scale: every benchmark table is a partition of some domain base
+table, two tables are unionable iff they descend from the same base table,
+and the harder styles rename columns to synonyms and convert units so that
+label and content similarity are both exercised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.datagen.base_tables import DOMAINS, ColumnSpec, domain_column_specs
+from repro.tabular import Column, DataLake, Table
+
+#: Benchmark styles mirroring the paper's four discovery benchmarks (scaled
+#: down): name -> (number of base tables, partitions per base table, rows per
+#: base table, hardness).
+BENCHMARK_STYLES: Dict[str, Dict[str, object]] = {
+    "d3l_small": {"base_tables": 6, "partitions": 4, "rows": 160, "hard": True},
+    "tus_small": {"base_tables": 8, "partitions": 4, "rows": 120, "hard": False},
+    "santos_small": {"base_tables": 5, "partitions": 3, "rows": 100, "hard": False},
+    "santos_large": {"base_tables": 12, "partitions": 6, "rows": 140, "hard": False},
+}
+
+
+@dataclass
+class DiscoveryBenchmark:
+    """A generated benchmark: the lake, its query tables and the ground truth."""
+
+    name: str
+    lake: DataLake
+    query_tables: List[Tuple[str, str]] = field(default_factory=list)
+    #: ``(dataset, table) -> set of (dataset, table)`` unionable with it.
+    ground_truth: Dict[Tuple[str, str], Set[Tuple[str, str]]] = field(default_factory=dict)
+
+    @property
+    def num_tables(self) -> int:
+        return self.lake.num_tables
+
+    def average_unionable_per_query(self) -> float:
+        if not self.query_tables:
+            return 0.0
+        return float(
+            np.mean([len(self.ground_truth.get(query, set())) for query in self.query_tables])
+        )
+
+
+def generate_discovery_benchmark(
+    style: str = "tus_small",
+    seed: int = 0,
+    base_tables: Optional[int] = None,
+    partitions: Optional[int] = None,
+    rows: Optional[int] = None,
+) -> DiscoveryBenchmark:
+    """Generate one discovery benchmark in the requested style.
+
+    ``base_tables`` / ``partitions`` / ``rows`` override the style defaults so
+    tests can shrink the workload further.
+    """
+    if style not in BENCHMARK_STYLES:
+        raise ValueError(f"unknown benchmark style {style!r}; available: {sorted(BENCHMARK_STYLES)}")
+    config = BENCHMARK_STYLES[style]
+    n_base = base_tables if base_tables is not None else int(config["base_tables"])
+    n_partitions = partitions if partitions is not None else int(config["partitions"])
+    n_rows = rows if rows is not None else int(config["rows"])
+    hard = bool(config["hard"])
+    rng = np.random.RandomState(seed)
+    lake = DataLake(name=style)
+    domains = sorted(DOMAINS)
+    members: Dict[int, List[Tuple[str, str]]] = {}
+    for base_index in range(n_base):
+        domain = domains[base_index % len(domains)]
+        specs = domain_column_specs(domain)
+        base_seed = seed * 1000 + base_index
+        base_values = _generate_base_values(specs, n_rows, base_seed)
+        dataset_name = f"{domain}_{base_index}"
+        members[base_index] = []
+        for partition_index in range(n_partitions):
+            table = _make_partition(
+                specs,
+                base_values,
+                base_index,
+                partition_index,
+                dataset_name,
+                hard=hard,
+                rng=rng,
+            )
+            lake.add_table(dataset_name, table)
+            members[base_index].append((dataset_name, table.name))
+    ground_truth: Dict[Tuple[str, str], Set[Tuple[str, str]]] = {}
+    for group in members.values():
+        for table_key in group:
+            ground_truth[table_key] = {other for other in group if other != table_key}
+    query_tables = [group[0] for group in members.values()]
+    return DiscoveryBenchmark(
+        name=style, lake=lake, query_tables=query_tables, ground_truth=ground_truth
+    )
+
+
+def _generate_base_values(specs: Sequence[ColumnSpec], n_rows: int, seed: int) -> Dict[str, List]:
+    rng = np.random.RandomState(seed)
+    return {spec.name: list(spec.generator(rng, n_rows)) for spec in specs}
+
+
+def _make_partition(
+    specs: Sequence[ColumnSpec],
+    base_values: Dict[str, List],
+    base_index: int,
+    partition_index: int,
+    dataset_name: str,
+    hard: bool,
+    rng: np.random.RandomState,
+) -> Table:
+    """One horizontal + vertical partition of a base table.
+
+    The first partition keeps the original schema (it acts as the query
+    table); later partitions drop a random subset of columns, and in the hard
+    (D3L-style) setting also rename kept columns to synonyms and rescale
+    numeric columns by a unit factor.
+    """
+    n_rows = len(next(iter(base_values.values())))
+    row_fraction = 1.0 if partition_index == 0 else float(rng.uniform(0.45, 0.85))
+    keep_rows = max(10, int(row_fraction * n_rows))
+    row_indices = rng.choice(n_rows, size=keep_rows, replace=False)
+    table = Table(f"table_{base_index}_{partition_index}", dataset=dataset_name)
+    for position, spec in enumerate(specs):
+        drop_probability = 0.0 if partition_index == 0 else 0.25
+        if position > 0 and rng.rand() < drop_probability:
+            continue
+        values = [base_values[spec.name][i] for i in row_indices]
+        column_name = spec.name
+        if hard and partition_index > 0 and spec.synonyms and rng.rand() < 0.6:
+            column_name = str(rng.choice(list(spec.synonyms)))
+        if hard and partition_index > 0 and len(spec.unit_factors) > 1 and rng.rand() < 0.5:
+            factor = spec.unit_factors[1]
+            values = [
+                float(round(v * factor, 3)) if isinstance(v, (int, float)) and not isinstance(v, bool) else v
+                for v in values
+            ]
+        table.add_column(Column(column_name, values))
+    return table

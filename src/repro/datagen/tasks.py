@@ -1,0 +1,176 @@
+"""Classification datasets for the cleaning / transformation / AutoML experiments.
+
+Each generated dataset is a :class:`~repro.tabular.Table` with a ``target``
+column and controllable difficulty knobs: missing-value rate (cleaning),
+feature skew and scale spread (transformation), number of classes and size
+(AutoML).  The informative features are linear/threshold functions of the
+target plus noise, so a random-forest downstream model has signal to find and
+the relative effect of cleaning / transformation choices is measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.tabular import Column, Table
+
+
+@dataclass
+class TaskDataset:
+    """A benchmark dataset: the table, its target column and its metadata."""
+
+    dataset_id: int
+    name: str
+    table: Table
+    target: str
+    task: str  # "binary" or "multiclass"
+
+    @property
+    def size_cells(self) -> int:
+        return self.table.num_rows * self.table.num_columns
+
+
+def generate_classification_dataset(
+    name: str,
+    n_rows: int = 200,
+    n_features: int = 6,
+    n_classes: int = 2,
+    missing_rate: float = 0.0,
+    skewed_features: int = 0,
+    scale_spread: float = 1.0,
+    categorical_features: int = 1,
+    seed: int = 0,
+) -> Tuple[Table, str]:
+    """Generate one classification dataset; returns ``(table, target name)``.
+
+    * ``missing_rate`` — fraction of numeric cells set to missing.
+    * ``skewed_features`` — number of features passed through ``exp`` so a
+      log/sqrt transform helps.
+    * ``scale_spread`` — multiplicative spread of feature scales (1.0 means
+      all features share a scale; larger values make scaling matter).
+    * ``categorical_features`` — number of extra categorical (string) columns.
+    """
+    rng = np.random.RandomState(seed)
+    y = rng.randint(0, n_classes, size=n_rows)
+    table = Table(name)
+    for j in range(n_features):
+        signal = (y == (j % n_classes)).astype(float)
+        base = signal * rng.uniform(0.8, 2.0) + rng.normal(scale=1.0, size=n_rows)
+        if j < skewed_features:
+            base = np.exp(np.abs(base))
+        scale = scale_spread ** (j % 4)
+        values = base * scale
+        if missing_rate > 0.0:
+            mask = rng.rand(n_rows) < missing_rate
+            column_values = [None if mask[i] else float(round(values[i], 4)) for i in range(n_rows)]
+        else:
+            column_values = [float(round(v, 4)) for v in values]
+        table.add_column(Column(f"feature_{j}", column_values))
+    categories = ["alpha", "beta", "gamma", "delta"]
+    for j in range(categorical_features):
+        assignments = [
+            categories[(label + rng.randint(0, 2)) % len(categories)] for label in y
+        ]
+        table.add_column(Column(f"category_{j}", assignments))
+    table.add_column(Column("target", [int(label) for label in y]))
+    return table, "target"
+
+
+def generate_cleaning_datasets(
+    count: int = 13, seed: int = 0, base_rows: int = 150
+) -> List[TaskDataset]:
+    """The data-cleaning benchmark datasets (Table 5): increasing sizes, nulls.
+
+    The last three datasets are substantially larger — they play the role of
+    ``higgs`` / ``APSFailure`` / ``albert``, the datasets on which HoloClean
+    runs out of memory in the paper.
+    """
+    datasets: List[TaskDataset] = []
+    for i in range(count):
+        if i >= count - 3:
+            n_rows = base_rows * (6 + 4 * (i - (count - 3)))
+            n_features = 10
+        else:
+            n_rows = base_rows + 40 * i
+            n_features = 5 + (i % 4)
+        table, target = generate_classification_dataset(
+            name=f"cleaning_{i + 1}",
+            n_rows=n_rows,
+            n_features=n_features,
+            n_classes=2 if i % 3 else 3,
+            missing_rate=0.12 + 0.02 * (i % 4),
+            categorical_features=1,
+            seed=seed + i,
+        )
+        datasets.append(
+            TaskDataset(
+                dataset_id=i + 1,
+                name=table.name,
+                table=table,
+                target=target,
+                task="binary" if i % 3 else "multiclass",
+            )
+        )
+    return datasets
+
+
+def generate_transformation_datasets(
+    count: int = 17, seed: int = 100, base_rows: int = 150
+) -> List[TaskDataset]:
+    """The data-transformation benchmark datasets (Table 6): skew + scale spread."""
+    datasets: List[TaskDataset] = []
+    for i in range(count):
+        n_rows = base_rows + 35 * i
+        n_features = 5 + (i % 5)
+        table, target = generate_classification_dataset(
+            name=f"transform_{i + 1}",
+            n_rows=n_rows,
+            n_features=n_features,
+            n_classes=2 if i % 2 else 3,
+            skewed_features=1 + (i % 3),
+            scale_spread=10.0 if i % 2 else 100.0,
+            categorical_features=1,
+            seed=seed + i,
+        )
+        datasets.append(
+            TaskDataset(
+                dataset_id=i + 1,
+                name=table.name,
+                table=table,
+                target=target,
+                task="binary" if i % 2 else "multiclass",
+            )
+        )
+    return datasets
+
+
+def generate_automl_datasets(
+    count: int = 24, seed: int = 200, base_rows: int = 140
+) -> List[TaskDataset]:
+    """The AutoML benchmark datasets (Figure 9): a binary/multiclass mix."""
+    datasets: List[TaskDataset] = []
+    for i in range(count):
+        multiclass = i % 2 == 1
+        table, target = generate_classification_dataset(
+            name=f"automl_{i + 1}",
+            n_rows=base_rows + 20 * (i % 6),
+            n_features=5 + (i % 6),
+            n_classes=3 if multiclass else 2,
+            skewed_features=i % 2,
+            scale_spread=5.0,
+            categorical_features=1 + (i % 2),
+            seed=seed + i,
+        )
+        datasets.append(
+            TaskDataset(
+                dataset_id=i + 1,
+                name=table.name,
+                table=table,
+                target=target,
+                task="multiclass" if multiclass else "binary",
+            )
+        )
+    return datasets

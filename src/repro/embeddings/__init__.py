@@ -1,0 +1,46 @@
+"""Embedding models and vector indexes.
+
+This package holds the learned-representation machinery of KGLiDS:
+
+* :mod:`repro.embeddings.words` — word embeddings for column-name (label)
+  similarity, substituting GloVe + WordNet with deterministic character-n-gram
+  hashing embeddings.
+* :mod:`repro.embeddings.colr` — the CoLR column-content embedding models
+  (one per fine-grained data type), producing 300-dimensional column
+  embeddings and the concatenated per-type table embeddings of Eq. (1).
+* :mod:`repro.embeddings.training` — the column-pair training procedure
+  (binary cross-entropy on similar/dissimilar pairs) used to pre-train CoLR.
+* :mod:`repro.embeddings.index` — flat and HNSW-style approximate
+  nearest-neighbour indexes (the Faiss substitute).
+* :mod:`repro.embeddings.store` — the embedding store attached to the
+  KGLiDS storage layer.
+"""
+
+from repro.embeddings.colr import (
+    COLR_DIMENSIONS,
+    CoarseGrainedModelSet,
+    ColRModel,
+    ColRModelSet,
+    cosine_similarity,
+)
+from repro.embeddings.index import FlatIndex, HNSWIndex
+from repro.embeddings.store import EmbeddingStore
+from repro.embeddings.training import ColumnPair, generate_training_pairs, train_colr_model
+from repro.embeddings.words import WordEmbeddingModel, label_similarity, tokenize_label
+
+__all__ = [
+    "COLR_DIMENSIONS",
+    "ColRModel",
+    "ColRModelSet",
+    "CoarseGrainedModelSet",
+    "cosine_similarity",
+    "FlatIndex",
+    "HNSWIndex",
+    "EmbeddingStore",
+    "WordEmbeddingModel",
+    "label_similarity",
+    "tokenize_label",
+    "ColumnPair",
+    "generate_training_pairs",
+    "train_colr_model",
+]

@@ -1,0 +1,142 @@
+"""Vector indexes for similarity search (the Faiss / HNSW substitutes).
+
+Two indexes are provided: a brute-force :class:`FlatIndex` with exact cosine
+top-k (Faiss ``IndexFlat`` analogue, used by the KGLiDS embedding store) and
+an :class:`HNSWIndex` approximating Hierarchical Navigable Small World graphs
+with a navigable k-NN graph plus greedy beam search (used by the Starmie
+baseline, which the paper notes relies on an HNSW index).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def _normalize(vector: np.ndarray) -> np.ndarray:
+    vector = np.asarray(vector, dtype=float).ravel()
+    norm = np.linalg.norm(vector)
+    return vector / norm if norm > 0 else vector
+
+
+class FlatIndex:
+    """Exact cosine-similarity search over stored vectors."""
+
+    def __init__(self, dimensions: int):
+        self.dimensions = dimensions
+        self._keys: List[str] = []
+        self._vectors: List[np.ndarray] = []
+        self._matrix: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def add(self, key: str, vector: np.ndarray) -> None:
+        """Add a vector under ``key`` (vectors are L2-normalized on insert)."""
+        vector = _normalize(vector)
+        if vector.shape[0] != self.dimensions:
+            raise ValueError(
+                f"expected {self.dimensions}-dimensional vector, got {vector.shape[0]}"
+            )
+        self._keys.append(key)
+        self._vectors.append(vector)
+        self._matrix = None
+
+    def _ensure_matrix(self) -> np.ndarray:
+        if self._matrix is None:
+            self._matrix = (
+                np.vstack(self._vectors) if self._vectors else np.zeros((0, self.dimensions))
+            )
+        return self._matrix
+
+    def search(self, query: np.ndarray, k: int = 10) -> List[Tuple[str, float]]:
+        """Top-k ``(key, cosine similarity)`` pairs for the query vector."""
+        if not self._keys:
+            return []
+        matrix = self._ensure_matrix()
+        query = _normalize(query)
+        scores = matrix @ query
+        k = min(k, len(self._keys))
+        top = np.argpartition(-scores, k - 1)[:k]
+        top = top[np.argsort(-scores[top])]
+        return [(self._keys[i], float(scores[i])) for i in top]
+
+    def keys(self) -> List[str]:
+        return list(self._keys)
+
+
+class HNSWIndex:
+    """Approximate nearest-neighbour search over a navigable small-world graph.
+
+    Construction links each inserted vector to its ``m`` nearest existing
+    neighbours (bidirectionally); search runs a greedy best-first beam of
+    width ``ef_search`` from a fixed entry point.  This reproduces the
+    behaviour that matters for the evaluation: sub-linear query probing with
+    approximate results.
+    """
+
+    def __init__(self, dimensions: int, m: int = 8, ef_search: int = 32):
+        self.dimensions = dimensions
+        self.m = m
+        self.ef_search = ef_search
+        self._keys: List[str] = []
+        self._vectors: List[np.ndarray] = []
+        self._neighbors: List[List[int]] = []
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def add(self, key: str, vector: np.ndarray) -> None:
+        """Insert a vector, wiring it into the neighbour graph."""
+        vector = _normalize(vector)
+        if vector.shape[0] != self.dimensions:
+            raise ValueError(
+                f"expected {self.dimensions}-dimensional vector, got {vector.shape[0]}"
+            )
+        index = len(self._keys)
+        self._keys.append(key)
+        self._vectors.append(vector)
+        self._neighbors.append([])
+        if index == 0:
+            return
+        matrix = np.vstack(self._vectors[:index])
+        scores = matrix @ vector
+        nearest = np.argsort(-scores)[: self.m]
+        for neighbor in nearest:
+            neighbor = int(neighbor)
+            self._neighbors[index].append(neighbor)
+            if len(self._neighbors[neighbor]) < self.m * 2:
+                self._neighbors[neighbor].append(index)
+
+    def search(self, query: np.ndarray, k: int = 10) -> List[Tuple[str, float]]:
+        """Approximate top-k ``(key, cosine similarity)`` via greedy beam search."""
+        if not self._keys:
+            return []
+        query = _normalize(query)
+        entry = 0
+        visited = {entry}
+        entry_score = float(np.dot(self._vectors[entry], query))
+        # Max-heap via negative scores.
+        candidates: List[Tuple[float, int]] = [(-entry_score, entry)]
+        best: List[Tuple[float, int]] = [(entry_score, entry)]
+        while candidates:
+            negative_score, node = heapq.heappop(candidates)
+            if -negative_score < min(score for score, _ in best) and len(best) >= self.ef_search:
+                break
+            for neighbor in self._neighbors[node]:
+                if neighbor in visited:
+                    continue
+                visited.add(neighbor)
+                score = float(np.dot(self._vectors[neighbor], query))
+                heapq.heappush(candidates, (-score, neighbor))
+                best.append((score, neighbor))
+                best.sort(reverse=True)
+                if len(best) > self.ef_search:
+                    best.pop()
+        best.sort(reverse=True)
+        return [(self._keys[i], score) for score, i in best[:k]]
+
+    def keys(self) -> List[str]:
+        return list(self._keys)

@@ -1,0 +1,73 @@
+"""The embedding store: maps LiDS-graph node URIs to vectors with ANN search."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.embeddings.index import FlatIndex
+
+
+class EmbeddingStore:
+    """Stores embeddings of columns, tables and datasets keyed by node URI.
+
+    This is the Faiss-backed component of KGLiDS Storage: the profiler writes
+    CoLR embeddings into it and the interfaces query it for nearest-neighbour
+    lookups (e.g. finding the LiDS table most similar to a user DataFrame).
+    Separate namespaces keep column, table and dataset vectors (of different
+    dimensionality) apart.
+    """
+
+    def __init__(self):
+        self._vectors: Dict[str, Dict[str, np.ndarray]] = {}
+        self._indexes: Dict[str, FlatIndex] = {}
+
+    # ------------------------------------------------------------------- API
+    def put(self, namespace: str, key: str, vector: np.ndarray) -> None:
+        """Store a vector for ``key`` in ``namespace`` (e.g. ``"column"``)."""
+        vector = np.asarray(vector, dtype=float).ravel()
+        bucket = self._vectors.setdefault(namespace, {})
+        is_new = key not in bucket
+        bucket[key] = vector
+        if namespace not in self._indexes:
+            self._indexes[namespace] = FlatIndex(vector.shape[0])
+        if is_new:
+            self._indexes[namespace].add(key, vector)
+        else:
+            # Rebuild the index lazily on overwrite to keep search correct.
+            index = FlatIndex(vector.shape[0])
+            for existing_key, existing_vector in bucket.items():
+                index.add(existing_key, existing_vector)
+            self._indexes[namespace] = index
+
+    def get(self, namespace: str, key: str) -> Optional[np.ndarray]:
+        """Fetch a stored vector (``None`` if absent)."""
+        return self._vectors.get(namespace, {}).get(key)
+
+    def keys(self, namespace: str) -> List[str]:
+        """All keys stored in a namespace."""
+        return list(self._vectors.get(namespace, {}).keys())
+
+    def search(
+        self, namespace: str, query: np.ndarray, k: int = 10
+    ) -> List[Tuple[str, float]]:
+        """Top-k most similar stored vectors to the query (cosine)."""
+        index = self._indexes.get(namespace)
+        if index is None:
+            return []
+        return index.search(query, k=k)
+
+    def count(self, namespace: Optional[str] = None) -> int:
+        """Number of stored vectors, optionally per namespace."""
+        if namespace is not None:
+            return len(self._vectors.get(namespace, {}))
+        return sum(len(bucket) for bucket in self._vectors.values())
+
+    def estimated_size_bytes(self) -> int:
+        """Rough memory footprint of all stored vectors."""
+        return sum(
+            vector.size * 8
+            for bucket in self._vectors.values()
+            for vector in bucket.values()
+        )

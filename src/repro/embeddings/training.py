@@ -1,0 +1,154 @@
+"""Training CoLR models on column pairs with binary cross-entropy.
+
+The paper pre-trains CoLR on ~5,500 Kaggle/OpenML tables by sampling column
+pairs and predicting a binary similarity target.  Offline we generate the
+column pairs synthetically: positives are distribution-preserving variants of
+the same column (sub-samples, unit conversions, renamed copies), negatives
+are columns drawn from unrelated generators.  Training nudges the MLP weights
+with a cosine-based contrastive loss whose gradient is approximated by SPSA
+(simultaneous perturbation), which keeps the trainer dependency-free while
+demonstrably reducing the loss (verified by tests and used in the Figure 6
+ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.embeddings.colr import ColRModel, featurize_value
+from repro.types import TYPE_FLOAT, TYPE_INT, TYPE_NAMED_ENTITY, TYPE_STRING
+
+
+@dataclass
+class ColumnPair:
+    """A training example: two columns of values plus a similarity target."""
+
+    values_a: List
+    values_b: List
+    label: int  # 1 similar, 0 dissimilar
+    fine_grained_type: str = TYPE_FLOAT
+
+
+_FIRST_NAMES = [
+    "james", "mary", "robert", "patricia", "john", "jennifer", "michael",
+    "linda", "david", "elizabeth", "william", "barbara", "richard", "susan",
+]
+_CITIES = [
+    "montreal", "toronto", "vienna", "cairo", "boston", "madrid", "lisbon",
+    "oslo", "tokyo", "seoul", "lima", "quito", "accra", "nairobi",
+]
+_CODES = ["A1", "B2", "C3", "D4", "E5", "F6", "G7", "H8", "J9", "K0"]
+
+
+def generate_training_pairs(
+    n_pairs: int = 60, seed: int = 7, fine_grained_type: str = TYPE_FLOAT
+) -> List[ColumnPair]:
+    """Generate a balanced synthetic set of similar / dissimilar column pairs."""
+    rng = np.random.RandomState(seed)
+    pairs: List[ColumnPair] = []
+    for i in range(n_pairs):
+        positive = i % 2 == 0
+        if fine_grained_type in (TYPE_INT, TYPE_FLOAT):
+            base_scale = float(rng.choice([1.0, 10.0, 100.0, 1000.0]))
+            base = rng.normal(loc=base_scale, scale=base_scale / 4.0, size=60)
+            if fine_grained_type == TYPE_INT:
+                base = np.round(base)
+            if positive:
+                factor = float(rng.choice([1.0, 0.3048, 2.2, 1.6]))
+                other = rng.permutation(base)[:40] * factor
+            else:
+                other_scale = base_scale * float(rng.choice([1e-3, 1e3, 1e4]))
+                other = rng.exponential(scale=other_scale + 1.0, size=50)
+            pairs.append(
+                ColumnPair(base.tolist(), other.tolist(), int(positive), fine_grained_type)
+            )
+        elif fine_grained_type == TYPE_NAMED_ENTITY:
+            base = [str(rng.choice(_FIRST_NAMES)).title() for _ in range(40)]
+            if positive:
+                other = [value.upper() for value in rng.permutation(base)[:30]]
+            else:
+                other = [str(rng.choice(_CITIES)).title() for _ in range(30)]
+            pairs.append(ColumnPair(base, other, int(positive), fine_grained_type))
+        else:
+            base = [f"{rng.choice(_CODES)}{rng.randint(100, 999)}" for _ in range(40)]
+            if positive:
+                other = list(rng.permutation(base)[:30])
+            else:
+                other = [" ".join(rng.choice(_CITIES, size=3)) for _ in range(30)]
+            pairs.append(ColumnPair(base, other, int(positive), fine_grained_type))
+    return pairs
+
+
+def _pair_features(pair: ColumnPair) -> Tuple[np.ndarray, np.ndarray]:
+    features_a = np.vstack(
+        [featurize_value(v, pair.fine_grained_type) for v in pair.values_a]
+    )
+    features_b = np.vstack(
+        [featurize_value(v, pair.fine_grained_type) for v in pair.values_b]
+    )
+    return features_a, features_b
+
+
+def binary_cross_entropy_loss(model: ColRModel, pairs: Sequence[ColumnPair]) -> float:
+    """Mean binary cross-entropy of the model's pair-similarity predictions."""
+    if not pairs:
+        return 0.0
+    total = 0.0
+    for pair in pairs:
+        features_a, features_b = _pair_features(pair)
+        probability = model.pair_probability(features_a, features_b)
+        probability = min(max(probability, 1e-6), 1.0 - 1e-6)
+        if pair.label:
+            total += -np.log(probability)
+        else:
+            total += -np.log(1.0 - probability)
+    return float(total / len(pairs))
+
+
+def train_colr_model(
+    model: ColRModel,
+    pairs: Sequence[ColumnPair],
+    epochs: int = 5,
+    learning_rate: float = 0.05,
+    perturbation: float = 0.01,
+    seed: int = 0,
+) -> List[float]:
+    """Train ``model`` in place on the column pairs; returns per-epoch losses.
+
+    Each epoch performs one SPSA step: the loss is evaluated at two randomly
+    perturbed weight settings and the weights move along the estimated
+    descent direction.  This is intentionally lightweight — the goal is to
+    reproduce the training *procedure* (pair sampling + BCE objective), not
+    to match the authors' GPU training runs.
+    """
+    rng = np.random.RandomState(seed)
+    losses = [binary_cross_entropy_loss(model, pairs)]
+    parameters = ["W1", "b1", "W2", "b2"]
+    for _ in range(epochs):
+        directions = {name: rng.choice([-1.0, 1.0], size=getattr(model, name).shape) for name in parameters}
+        for sign in (+1.0, -1.0):
+            for name in parameters:
+                getattr(model, name).__iadd__(sign * perturbation * directions[name])
+            if sign > 0:
+                loss_plus = binary_cross_entropy_loss(model, pairs)
+                for name in parameters:
+                    getattr(model, name).__isub__(perturbation * directions[name])
+            else:
+                loss_minus = binary_cross_entropy_loss(model, pairs)
+                for name in parameters:
+                    getattr(model, name).__iadd__(perturbation * directions[name])
+        gradient_estimate = (loss_plus - loss_minus) / (2.0 * perturbation)
+        for name in parameters:
+            update = learning_rate * gradient_estimate * directions[name]
+            getattr(model, name).__isub__(update)
+        current = binary_cross_entropy_loss(model, pairs)
+        if current > losses[-1]:
+            # Reject steps that increase the loss (keeps training monotone).
+            for name in parameters:
+                getattr(model, name).__iadd__(learning_rate * gradient_estimate * directions[name])
+            current = losses[-1]
+        losses.append(current)
+    return losses

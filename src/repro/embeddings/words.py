@@ -1,0 +1,169 @@
+"""Word embeddings for column-label similarity.
+
+The paper computes label similarity between column names with GloVe word
+embeddings combined with a semantic similarity technique.  Pre-trained GloVe
+vectors are not available offline, so this module builds deterministic
+embeddings from character n-grams: words sharing sub-word structure
+("age" / "Age" / "patient_age", "area_sq_ft" / "area_sq_m") land close
+together, which is exactly the property label similarity relies on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+_CAMEL_RE = re.compile(r"(?<=[a-z0-9])(?=[A-Z])")
+_NON_ALNUM_RE = re.compile(r"[^A-Za-z0-9]+")
+
+#: Common abbreviation expansions seen in column names; improves matches like
+#: ``qty`` vs ``quantity`` or ``num`` vs ``number``.
+_ABBREVIATIONS: Dict[str, str] = {
+    "qty": "quantity",
+    "num": "number",
+    "no": "number",
+    "amt": "amount",
+    "avg": "average",
+    "max": "maximum",
+    "min": "minimum",
+    "pct": "percent",
+    "id": "identifier",
+    "dob": "birthdate",
+    "addr": "address",
+    "tel": "telephone",
+    "lat": "latitude",
+    "lon": "longitude",
+    "lng": "longitude",
+}
+
+
+def tokenize_label(label: str) -> List[str]:
+    """Split a column label into lower-cased word tokens.
+
+    Handles snake_case, kebab-case, camelCase and digits, and expands a few
+    common abbreviations.
+    """
+    if not label:
+        return []
+    text = _CAMEL_RE.sub(" ", str(label))
+    text = _NON_ALNUM_RE.sub(" ", text)
+    tokens = [token.lower() for token in text.split() if token]
+    return [_ABBREVIATIONS.get(token, token) for token in tokens]
+
+
+class WordEmbeddingModel:
+    """Deterministic character-n-gram hashing word embeddings.
+
+    Each word is embedded as the normalized sum of hashed character n-gram
+    vectors (n = 3..5 plus the whole word).  The embedding of a multi-token
+    label is the mean of its token embeddings.  Vectors are cached.
+    """
+
+    def __init__(self, dimensions: int = 50, seed: int = 13):
+        self.dimensions = dimensions
+        self.seed = seed
+        self._cache: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------- internals
+    def _hash_vector(self, text: str) -> np.ndarray:
+        digest = hashlib.sha256(f"{self.seed}:{text}".encode("utf-8")).digest()
+        state = np.frombuffer(digest, dtype=np.uint8).astype(np.uint32)
+        rng = np.random.RandomState(state)
+        return rng.normal(size=self.dimensions)
+
+    def _ngrams(self, word: str) -> List[str]:
+        padded = f"<{word}>"
+        grams = [padded]
+        for n in (3, 4, 5):
+            grams.extend(padded[i : i + n] for i in range(max(0, len(padded) - n + 1)))
+        return grams
+
+    # ------------------------------------------------------------------- API
+    def word_vector(self, word: str) -> np.ndarray:
+        """Embedding of a single word."""
+        word = word.lower()
+        if word in self._cache:
+            return self._cache[word]
+        grams = self._ngrams(word)
+        vector = np.zeros(self.dimensions)
+        for gram in grams:
+            vector += self._hash_vector(gram)
+        norm = np.linalg.norm(vector)
+        if norm > 0:
+            vector /= norm
+        self._cache[word] = vector
+        return vector
+
+    def label_vector(self, label: str) -> np.ndarray:
+        """Embedding of a (possibly multi-token) column label."""
+        tokens = tokenize_label(label)
+        if not tokens:
+            return np.zeros(self.dimensions)
+        vectors = [self.word_vector(token) for token in tokens]
+        vector = np.mean(vectors, axis=0)
+        norm = np.linalg.norm(vector)
+        return vector / norm if norm > 0 else vector
+
+    def similarity(self, label_a: str, label_b: str) -> float:
+        """Cosine + token-overlap similarity between two labels in ``[0, 1]``.
+
+        The blend of embedding cosine and Jaccard token overlap mirrors the
+        paper's combination of word embeddings with a semantic similarity
+        technique over label tokens.
+        """
+        tokens_a, tokens_b = set(tokenize_label(label_a)), set(tokenize_label(label_b))
+        if not tokens_a or not tokens_b:
+            return 0.0
+        if tokens_a == tokens_b:
+            return 1.0
+        cosine = float(np.dot(self.label_vector(label_a), self.label_vector(label_b)))
+        cosine = max(0.0, min(1.0, (cosine + 1.0) / 2.0))
+        jaccard = len(tokens_a & tokens_b) / len(tokens_a | tokens_b)
+        return max(0.0, min(1.0, 0.5 * cosine + 0.5 * jaccard))
+
+    def has_word(self, word: str) -> bool:
+        """Whether ``word`` looks like a natural-language token.
+
+        The profiler uses this to decide whether free text is natural language
+        (paper: "natural language texts are predicted based on the existence
+        of corresponding word embeddings for the tokens").  Offline we
+        approximate vocabulary membership with a small built-in English
+        lexicon plus purely-alphabetic token shape.
+        """
+        word = word.lower()
+        if word in _COMMON_ENGLISH_WORDS:
+            return True
+        return word.isalpha() and 2 < len(word) <= 20
+
+
+_COMMON_ENGLISH_WORDS = frozenset(
+    """
+    the be to of and a in that have i it for not on with he as you do at this
+    but his by from they we say her she or an will my one all would there
+    their what so up out if about who get which go me when make can like time
+    no just him know take people into year your good some could them see other
+    than then now look only come its over think also back after use two how
+    our work first well way even new want because any these give day most us
+    great small old big high different following where under while last might
+    product review comment description text note message title name summary
+    excellent poor quality service price recommend love hate terrible amazing
+    """.split()
+)
+
+_DEFAULT_MODEL: Optional[WordEmbeddingModel] = None
+
+
+def default_word_model() -> WordEmbeddingModel:
+    """A process-wide shared word-embedding model (cached vectors)."""
+    global _DEFAULT_MODEL
+    if _DEFAULT_MODEL is None:
+        _DEFAULT_MODEL = WordEmbeddingModel()
+    return _DEFAULT_MODEL
+
+
+def label_similarity(label_a: str, label_b: str) -> float:
+    """Module-level helper using the shared word model."""
+    return default_word_model().similarity(label_a, label_b)

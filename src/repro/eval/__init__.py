@@ -1,0 +1,13 @@
+"""Evaluation helpers: discovery metrics, timing and memory accounting."""
+
+from repro.eval.discovery import average_precision_recall_at_k, precision_at_k, recall_at_k
+from repro.eval.measure import MeasuredRun, format_report_table, measure_call
+
+__all__ = [
+    "precision_at_k",
+    "recall_at_k",
+    "average_precision_recall_at_k",
+    "MeasuredRun",
+    "measure_call",
+    "format_report_table",
+]

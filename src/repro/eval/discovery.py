@@ -1,0 +1,53 @@
+"""Precision@k / Recall@k for table-union search (the Figure 5/6 metrics)."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Set, Tuple
+
+import numpy as np
+
+
+def precision_at_k(ranked: Sequence[Hashable], relevant: Set[Hashable], k: int) -> float:
+    """Fraction of the top-k results that are relevant."""
+    if k <= 0:
+        return 0.0
+    top = list(ranked)[:k]
+    if not top:
+        return 0.0
+    hits = sum(1 for item in top if item in relevant)
+    return hits / len(top)
+
+
+def recall_at_k(ranked: Sequence[Hashable], relevant: Set[Hashable], k: int) -> float:
+    """Fraction of the relevant items found in the top-k results."""
+    if not relevant:
+        return 0.0
+    top = list(ranked)[:k]
+    hits = sum(1 for item in top if item in relevant)
+    return hits / len(relevant)
+
+
+def average_precision_recall_at_k(
+    rankings: Dict[Hashable, Sequence[Hashable]],
+    ground_truth: Dict[Hashable, Set[Hashable]],
+    k_values: Sequence[int],
+) -> Dict[int, Tuple[float, float]]:
+    """Average precision@k and recall@k over query tables.
+
+    ``rankings`` maps each query to its ranked candidate list; ``ground_truth``
+    maps each query to its set of relevant items.  Queries missing from
+    ``rankings`` contribute zeros (a system that fails a query is penalized,
+    not skipped).
+    """
+    results: Dict[int, Tuple[float, float]] = {}
+    queries = list(ground_truth.keys())
+    for k in k_values:
+        precisions: List[float] = []
+        recalls: List[float] = []
+        for query in queries:
+            ranked = rankings.get(query, [])
+            relevant = ground_truth[query]
+            precisions.append(precision_at_k(ranked, relevant, k))
+            recalls.append(recall_at_k(ranked, relevant, k))
+        results[k] = (float(np.mean(precisions)), float(np.mean(recalls)))
+    return results

@@ -1,0 +1,82 @@
+"""Timing and peak-memory measurement plus simple report-table formatting."""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+
+@dataclass
+class MeasuredRun:
+    """Outcome of one measured call."""
+
+    result: Any
+    elapsed_seconds: float
+    peak_memory_mb: float
+    failed: bool = False
+    error: str = ""
+
+
+def measure_call(fn: Callable[[], Any], memory_budget_mb: float = 0.0) -> MeasuredRun:
+    """Run ``fn`` measuring wall-clock time and Python peak memory.
+
+    ``memory_budget_mb`` (when positive) simulates an out-of-memory failure:
+    if the measured peak exceeds the budget the run is reported as failed,
+    which is how the harness reproduces HoloClean's OOM behaviour on large
+    datasets without actually exhausting the machine.
+    """
+    tracemalloc.start()
+    started = time.perf_counter()
+    failed = False
+    error = ""
+    result: Any = None
+    try:
+        result = fn()
+    except MemoryError as exc:  # pragma: no cover - depends on machine limits
+        failed = True
+        error = f"MemoryError: {exc}"
+    except Exception as exc:
+        failed = True
+        error = f"{type(exc).__name__}: {exc}"
+    elapsed = time.perf_counter() - started
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    peak_mb = peak / (1024.0 * 1024.0)
+    if memory_budget_mb > 0.0 and peak_mb > memory_budget_mb:
+        failed = True
+        error = error or f"simulated OOM: peak {peak_mb:.1f} MB exceeds budget {memory_budget_mb:.1f} MB"
+    return MeasuredRun(
+        result=None if failed else result,
+        elapsed_seconds=elapsed,
+        peak_memory_mb=peak_mb,
+        failed=failed,
+        error=error,
+    )
+
+
+def format_report_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = ""
+) -> str:
+    """Format rows as a fixed-width text table (what the benchmarks print)."""
+    columns = [str(h) for h in headers]
+    rendered_rows = [[_render(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in columns]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(header.ljust(widths[i]) for i, header in enumerate(columns)))
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _render(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

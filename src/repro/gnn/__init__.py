@@ -1,0 +1,15 @@
+"""A small numpy graph-neural-network library.
+
+KGLiDS formalizes data cleaning and transformation recommendation as GNN node
+classification over subgraphs of the LiDS graph, trained with GraphSAINT
+sampling.  This package provides the pieces that reproduction needs: a
+feature graph container, GraphSAGE-style message passing with explicit
+backpropagation, a GraphSAINT-style node sampler, and a node-classifier
+training loop.
+"""
+
+from repro.gnn.graph import FeatureGraph
+from repro.gnn.model import GNNNodeClassifier
+from repro.gnn.sampling import GraphSAINTNodeSampler
+
+__all__ = ["FeatureGraph", "GNNNodeClassifier", "GraphSAINTNodeSampler"]

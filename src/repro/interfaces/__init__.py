@@ -1,0 +1,13 @@
+"""The KGLiDS Interfaces: the user-facing Python API (Section 5).
+
+:class:`KGLiDS` exposes the pre-defined operations of the paper — keyword
+search, unionable-column discovery, join-path discovery, library and pipeline
+discovery, transformation / cleaning / classifier / hyperparameter
+recommendation — plus ad-hoc SPARQL queries.  Results are returned as
+:class:`repro.tabular.Table` objects, the stand-in for the Pandas DataFrames
+the original system returns.
+"""
+
+from repro.interfaces.api import KGLiDS
+
+__all__ = ["KGLiDS"]

@@ -1,0 +1,390 @@
+"""The :class:`KGLiDS` facade: pre-defined operations over the LiDS graph."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import networkx as nx
+import numpy as np
+
+from repro.automation.cleaning import CleaningRecommender
+from repro.automation.transformation import TransformationRecommendation, TransformationRecommender
+from repro.automl.kgpip import EstimatorRecommendation, KGpipAutoML
+from repro.kg.governor import KGGovernor
+from repro.kg.ontology import DATASET_GRAPH, LiDSOntology, library_uri, table_uri
+from repro.kg.storage import KGLiDSStorage
+from repro.pipelines.abstraction import PipelineScript
+from repro.rdf import RDF, URIRef
+from repro.sparql import SelectResult
+from repro.tabular import Column, DataLake, Table
+
+#: Keyword search conditions: a flat string is one disjunctive term, a nested
+#: list is a conjunctive group of terms (paper example:
+#: ``[['heart', 'disease'], 'patients']``).
+KeywordConditions = Sequence[Union[str, Sequence[str]]]
+
+
+class KGLiDS:
+    """User-facing API over a bootstrapped LiDS graph."""
+
+    def __init__(self, governor: KGGovernor):
+        self.governor = governor
+        self.storage: KGLiDSStorage = governor.storage
+        self.cleaning_recommender = CleaningRecommender(
+            profiler=governor.profiler, colr_models=governor.colr_models
+        )
+        self.transformation_recommender = TransformationRecommender(
+            profiler=governor.profiler, colr_models=governor.colr_models
+        )
+        self.automl = KGpipAutoML(
+            storage=self.storage,
+            profiler=governor.profiler,
+            colr_models=governor.colr_models,
+        )
+
+    # ------------------------------------------------------------ bootstrap
+    @classmethod
+    def bootstrap(
+        cls,
+        lake: Optional[DataLake] = None,
+        scripts: Optional[Sequence[PipelineScript]] = None,
+        train_models: bool = True,
+        governor: Optional[KGGovernor] = None,
+    ) -> "KGLiDS":
+        """Build the LiDS graph from a data lake and pipeline scripts.
+
+        With ``train_models`` the cleaning and transformation GNNs are trained
+        from the operations observed in the abstracted pipelines (when any are
+        found) and registered with the Model Manager.
+        """
+        governor = governor or KGGovernor()
+        governor.bootstrap(lake=lake, scripts=scripts)
+        platform = cls(governor)
+        if train_models:
+            platform.cleaning_recommender.train_from_kg(platform.storage)
+            platform.transformation_recommender.train_from_kg(platform.storage)
+        return platform
+
+    # ----------------------------------------------------------- ad-hoc query
+    def query(self, sparql: str) -> Table:
+        """Run an ad-hoc SPARQL SELECT query; results come back as a Table."""
+        return self.storage.query(sparql).to_table()
+
+    # -------------------------------------------------------- keyword search
+    def search_keywords(self, conditions: KeywordConditions) -> Table:
+        """Search tables whose names, dataset names or column names match.
+
+        Nested lists are conjunctive (all terms must appear), top-level
+        entries are combined disjunctively.
+        """
+        result = self.storage.query(
+            """
+            SELECT DISTINCT ?table ?table_name ?dataset_name WHERE {
+              GRAPH <http://kglids.org/resource/data/graph/datasets> {
+                ?table a kglids:Table .
+                ?table kglids:hasName ?table_name .
+                ?table kglids:isPartOf ?dataset .
+                ?dataset kglids:hasName ?dataset_name .
+              }
+            }
+            """
+        )
+        rows = []
+        for row in result.rows:
+            searchable = self._searchable_text(row["table"], row["table_name"], row["dataset_name"])
+            if self._matches_conditions(searchable, conditions):
+                rows.append(
+                    {
+                        "dataset": row["dataset_name"],
+                        "table": row["table_name"],
+                        "table_uri": str(row["table"]),
+                        "columns": ", ".join(self._column_names(row["table"])),
+                    }
+                )
+        return self._rows_to_table("search_results", rows, ["dataset", "table", "table_uri", "columns"])
+
+    def _searchable_text(self, table_node: Any, table_name: Any, dataset_name: Any) -> str:
+        parts = [str(table_name), str(dataset_name)] + self._column_names(table_node)
+        return " ".join(parts).lower()
+
+    def _column_names(self, table_node: Any) -> List[str]:
+        ontology = LiDSOntology
+        names = []
+        for triple in self.storage.graph.triples(None, ontology.isPartOf, table_node, graph=DATASET_GRAPH):
+            if self.storage.graph.contains(triple.subject, RDF.type, ontology.Column, graph=DATASET_GRAPH):
+                name = self.storage.graph.value(triple.subject, ontology.hasName, graph=DATASET_GRAPH)
+                if name is not None:
+                    names.append(str(name))
+        return names
+
+    @staticmethod
+    def _matches_conditions(searchable: str, conditions: KeywordConditions) -> bool:
+        if not conditions:
+            return True
+        for condition in conditions:
+            if isinstance(condition, str):
+                if condition.lower() in searchable:
+                    return True
+            else:
+                if all(term.lower() in searchable for term in condition):
+                    return True
+        return False
+
+    # ----------------------------------------------------------- discovery
+    def get_unionable_tables(self, dataset: str, table: str, k: int = 10) -> Table:
+        """Tables unionable with the given table, ranked by score."""
+        return self._related_tables(dataset, table, "unionableWith", k)
+
+    def get_joinable_tables(self, dataset: str, table: str, k: int = 10) -> Table:
+        """Tables joinable with the given table, ranked by score."""
+        return self._related_tables(dataset, table, "joinableWith", k)
+
+    def _related_tables(self, dataset: str, table: str, relation: str, k: int) -> Table:
+        subject = table_uri(dataset, table)
+        result = self.storage.query(
+            f"""
+            SELECT ?other ?other_name ?other_dataset ?score WHERE {{
+              GRAPH <http://kglids.org/resource/data/graph/datasets> {{
+                << <{subject}> kglids:{relation} ?other >> kglids:withCertainty ?score .
+                ?other kglids:hasName ?other_name .
+                ?other kglids:isPartOf ?d .
+                ?d kglids:hasName ?other_dataset .
+              }}
+            }}
+            ORDER BY DESC(?score)
+            LIMIT {int(k)}
+            """
+        )
+        rows = [
+            {
+                "dataset": row["other_dataset"],
+                "table": row["other_name"],
+                "table_uri": str(row["other"]),
+                "score": float(row["score"]),
+            }
+            for row in result.rows
+        ]
+        return self._rows_to_table("related_tables", rows, ["dataset", "table", "table_uri", "score"])
+
+    def find_unionable_columns(
+        self, dataset_a: str, table_a: str, dataset_b: str, table_b: str
+    ) -> Table:
+        """Matched (unionable) column pairs between two tables with their scores."""
+        ontology = LiDSOntology
+        store = self.storage.graph
+        node_a = table_uri(dataset_a, table_a)
+        node_b = table_uri(dataset_b, table_b)
+        columns_a = [t.subject for t in store.triples(None, ontology.isPartOf, node_a, graph=DATASET_GRAPH)]
+        rows = []
+        for column_node in columns_a:
+            if not store.contains(column_node, RDF.type, ontology.Column, graph=DATASET_GRAPH):
+                continue
+            for predicate in (ontology.hasLabelSimilarity, ontology.hasContentSimilarity):
+                for triple in store.triples(column_node, predicate, None, graph=DATASET_GRAPH):
+                    other = triple.object
+                    if not store.contains(other, ontology.isPartOf, node_b, graph=DATASET_GRAPH):
+                        continue
+                    score = store.annotation(
+                        column_node, predicate, other, ontology.withCertainty, graph=DATASET_GRAPH, default=0.0
+                    )
+                    rows.append(
+                        {
+                            "column_a": str(store.value(column_node, ontology.hasName, graph=DATASET_GRAPH)),
+                            "column_b": str(store.value(other, ontology.hasName, graph=DATASET_GRAPH)),
+                            "similarity": predicate.local_name(),
+                            "score": float(score),
+                        }
+                    )
+        deduplicated: Dict[Tuple[str, str], Dict[str, Any]] = {}
+        for row in rows:
+            key = (row["column_a"], row["column_b"])
+            if key not in deduplicated or row["score"] > deduplicated[key]["score"]:
+                deduplicated[key] = row
+        ordered = sorted(deduplicated.values(), key=lambda row: -row["score"])
+        return self._rows_to_table(
+            "unionable_columns", ordered, ["column_a", "column_b", "similarity", "score"]
+        )
+
+    # ------------------------------------------------------------ join paths
+    def _join_graph(self) -> nx.Graph:
+        ontology = LiDSOntology
+        graph = nx.Graph()
+        for triple in self.storage.graph.triples(None, ontology.joinableWith, None, graph=DATASET_GRAPH):
+            if isinstance(triple.subject, URIRef) and isinstance(triple.object, URIRef):
+                score = self.storage.graph.annotation(
+                    triple.subject,
+                    ontology.joinableWith,
+                    triple.object,
+                    ontology.withCertainty,
+                    graph=DATASET_GRAPH,
+                    default=0.0,
+                )
+                graph.add_edge(str(triple.subject), str(triple.object), score=float(score))
+        return graph
+
+    def get_path_to_table(self, dataset: str, table: str, hops: int = 2) -> Table:
+        """Join paths (up to ``hops`` edges) from the given table to other tables."""
+        start = str(table_uri(dataset, table))
+        join_graph = self._join_graph()
+        rows = []
+        if start in join_graph:
+            lengths, paths = nx.single_source_dijkstra(join_graph, start, cutoff=None, weight=None)
+            for target, path in paths.items():
+                if target == start or len(path) - 1 > hops:
+                    continue
+                rows.append(
+                    {
+                        "target_table": self._table_label(target),
+                        "hops": len(path) - 1,
+                        "path": " -> ".join(self._table_label(node) for node in path),
+                    }
+                )
+        rows.sort(key=lambda row: (row["hops"], row["target_table"]))
+        return self._rows_to_table("join_paths", rows, ["target_table", "hops", "path"])
+
+    def get_shortest_path_between_tables(
+        self, dataset_a: str, table_a: str, dataset_b: str, table_b: str
+    ) -> Optional[List[str]]:
+        """Shortest join path between two tables (labels), or ``None``."""
+        join_graph = self._join_graph()
+        source = str(table_uri(dataset_a, table_a))
+        target = str(table_uri(dataset_b, table_b))
+        if source not in join_graph or target not in join_graph:
+            return None
+        try:
+            path = nx.shortest_path(join_graph, source, target)
+        except nx.NetworkXNoPath:
+            return None
+        return [self._table_label(node) for node in path]
+
+    def _table_label(self, table_uri_str: str) -> str:
+        name = self.storage.graph.value(
+            URIRef(table_uri_str), LiDSOntology.hasName, graph=DATASET_GRAPH
+        )
+        return str(name) if name is not None else table_uri_str
+
+    # ----------------------------------------------------- library discovery
+    def get_top_k_library_used(self, k: int = 10) -> Table:
+        """The top-k libraries by number of distinct pipelines calling them (Fig. 4)."""
+        result = self.storage.query(
+            f"""
+            SELECT ?library_name (COUNT(DISTINCT ?pipeline) AS ?num_pipelines) WHERE {{
+              GRAPH ?g {{
+                ?statement kglids:callsLibrary ?library .
+                ?statement kglids:isPartOf ?pipeline .
+              }}
+              ?library kglids:hasName ?library_name .
+            }}
+            GROUP BY ?library_name
+            ORDER BY DESC(?num_pipelines)
+            LIMIT {int(k)}
+            """
+        )
+        return result.to_table("top_libraries")
+
+    def get_top_used_libraries(self, k: int = 10, task: Optional[str] = None) -> Table:
+        """Top-k libraries restricted to pipelines of a given task."""
+        if task is None:
+            return self.get_top_k_library_used(k)
+        result = self.storage.query(
+            f"""
+            SELECT ?library_name (COUNT(DISTINCT ?pipeline) AS ?num_pipelines) WHERE {{
+              GRAPH ?g {{
+                ?statement kglids:callsLibrary ?library .
+                ?statement kglids:isPartOf ?pipeline .
+                ?pipeline kglids:hasTaskType "{task}" .
+              }}
+              ?library kglids:hasName ?library_name .
+            }}
+            GROUP BY ?library_name
+            ORDER BY DESC(?num_pipelines)
+            LIMIT {int(k)}
+            """
+        )
+        return result.to_table("top_libraries")
+
+    def get_pipelines_calling_libraries(self, *qualified_calls: str) -> Table:
+        """Pipelines whose statements call every one of the given functions."""
+        patterns = []
+        for i, call in enumerate(qualified_calls):
+            call_node = library_uri(call)
+            patterns.append(f"?s{i} kglids:callsFunction <{call_node}> . ?s{i} kglids:isPartOf ?pipeline .")
+        body = "\n".join(patterns)
+        result = self.storage.query(
+            f"""
+            SELECT DISTINCT ?pipeline ?name ?votes ?author WHERE {{
+              GRAPH ?g {{
+                {body}
+                ?pipeline kglids:hasName ?name .
+                ?pipeline kglids:hasVotes ?votes .
+                ?pipeline kglids:hasAuthor ?author .
+              }}
+            }}
+            ORDER BY DESC(?votes)
+            """
+        )
+        return result.to_table("pipelines")
+
+    # ------------------------------------------------------------ automation
+    def recommend_cleaning_operations(self, table: Table) -> List[Tuple[str, float]]:
+        """Ranked cleaning operations for an unseen table."""
+        return self.cleaning_recommender.recommend_cleaning_operations(table)
+
+    def apply_cleaning_operations(
+        self, operations: Sequence[Tuple[str, float]], table: Table
+    ) -> Table:
+        """Apply the top recommended cleaning operation."""
+        return self.cleaning_recommender.apply_cleaning_operations(operations, table)
+
+    def recommend_transformations(
+        self, table: Table, target: Optional[str] = None
+    ) -> TransformationRecommendation:
+        """Recommended scaling + unary transformations for an unseen table."""
+        return self.transformation_recommender.recommend_transformations(table, target=target)
+
+    def apply_transformations(
+        self,
+        recommendation: TransformationRecommendation,
+        table: Table,
+        target: Optional[str] = None,
+    ) -> Table:
+        """Apply a transformation recommendation."""
+        return self.transformation_recommender.apply_transformations(
+            recommendation, table, target=target
+        )
+
+    # ----------------------------------------------------------------- AutoML
+    def recommend_ml_models(
+        self, table: Table, task: str = "classification", k: int = 5
+    ) -> Table:
+        """Classifiers used on the most similar dataset, ranked by votes."""
+        recommendations = self.automl.recommend_ml_models(table, task=task, k=k)
+        rows = [
+            {
+                "estimator": recommendation.estimator_name,
+                "votes": recommendation.votes,
+                "similarity": round(recommendation.similarity, 4),
+                "hyperparameter_priors": str(recommendation.hyperparameter_priors),
+            }
+            for recommendation in recommendations
+        ]
+        return self._rows_to_table(
+            "model_recommendations", rows, ["estimator", "votes", "similarity", "hyperparameter_priors"]
+        )
+
+    def recommend_hyperparameters(self, estimator_name: str) -> Dict[str, Any]:
+        """Most common hyperparameter values recorded for the estimator."""
+        return self.automl.recommend_hyperparameters(estimator_name)
+
+    # ------------------------------------------------------------- statistics
+    def statistics(self) -> Dict[str, int]:
+        """Statistics Manager view of the platform state."""
+        return self.storage.statistics()
+
+    # -------------------------------------------------------------- helpers
+    @staticmethod
+    def _rows_to_table(name: str, rows: List[Dict[str, Any]], columns: List[str]) -> Table:
+        table = Table(name)
+        for column_name in columns:
+            table.add_column(Column(column_name, [row.get(column_name) for row in rows]))
+        return table

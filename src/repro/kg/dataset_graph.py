@@ -1,0 +1,331 @@
+"""The Data Global Schema Builder (Algorithm 3).
+
+Given column profiles produced by the profiler, the builder writes two kinds
+of content into the dataset named graph:
+
+* **metadata subgraphs** — dataset / table / column nodes with their
+  statistics as data properties;
+* **similarity edges** — for every pair of columns of the same fine-grained
+  type in different tables, label similarity (word embeddings over column
+  names, threshold ``alpha``), and content similarity (CoLR embedding cosine,
+  threshold ``theta``, or true-ratio difference for booleans, threshold
+  ``beta``), each annotated with its score via RDF-star.
+
+From the column similarity edges the builder derives table-level
+``unionableWith`` / ``joinableWith`` edges whose score combines the number of
+matching columns and their similarity scores.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.embeddings.colr import cosine_similarity
+from repro.embeddings.words import WordEmbeddingModel, default_word_model
+from repro.kg.ontology import (
+    DATASET_GRAPH,
+    LiDSOntology,
+    column_uri,
+    dataset_uri,
+    source_uri,
+    table_uri,
+)
+from repro.parallel import JobExecutor
+from repro.profiler.profile import ColumnProfile, TableProfile
+from repro.rdf import Literal, QuadStore, RDF, RDFS, URIRef
+from repro.types import TYPE_BOOLEAN
+
+
+@dataclass
+class SimilarityThresholds:
+    """The user-defined thresholds of Algorithm 3.
+
+    ``alpha`` gates label similarity, ``beta`` gates boolean true-ratio
+    similarity and ``theta`` gates CoLR content similarity.  Higher values
+    produce fewer but more precise edges.
+    """
+
+    alpha: float = 0.80
+    beta: float = 0.90
+    theta: float = 0.985
+
+
+@dataclass
+class ColumnSimilarityEdge:
+    """A materialized column similarity relationship."""
+
+    column_a: str  # column id "dataset/table/column"
+    column_b: str
+    kind: str  # "label" or "content"
+    score: float
+
+
+class DataGlobalSchemaBuilder:
+    """Builds the dataset graph from table profiles (Algorithm 3)."""
+
+    def __init__(
+        self,
+        thresholds: Optional[SimilarityThresholds] = None,
+        word_model: Optional[WordEmbeddingModel] = None,
+        use_label_similarity: bool = True,
+        use_content_similarity: bool = True,
+        executor: Optional[JobExecutor] = None,
+        source_name: str = "data_lake",
+    ):
+        self.thresholds = thresholds or SimilarityThresholds()
+        self.word_model = word_model or default_word_model()
+        self.use_label_similarity = use_label_similarity
+        self.use_content_similarity = use_content_similarity
+        self.executor = executor or JobExecutor()
+        self.source_name = source_name
+
+    # ------------------------------------------------------------------- API
+    def build(
+        self, table_profiles: Sequence[TableProfile], store: QuadStore
+    ) -> List[ColumnSimilarityEdge]:
+        """Write the dataset graph into ``store`` and return the similarity edges."""
+        self._write_metadata_subgraphs(table_profiles, store)
+        edges = self.compute_column_similarities(table_profiles)
+        self._write_similarity_edges(edges, store)
+        table_scores = self.derive_table_relationships(table_profiles, edges)
+        self._write_table_relationships(table_scores, store)
+        return edges
+
+    # ---------------------------------------------------- metadata subgraphs
+    def _write_metadata_subgraphs(
+        self, table_profiles: Sequence[TableProfile], store: QuadStore
+    ) -> None:
+        ontology = LiDSOntology
+        source = source_uri(self.source_name)
+        store.add(source, RDF.type, ontology.Source, graph=DATASET_GRAPH)
+        store.add(source, ontology.hasName, Literal(self.source_name), graph=DATASET_GRAPH)
+        for table_profile in table_profiles:
+            dataset_node = dataset_uri(table_profile.dataset_name)
+            table_node = table_uri(table_profile.dataset_name, table_profile.table_name)
+            store.add(dataset_node, RDF.type, ontology.Dataset, graph=DATASET_GRAPH)
+            store.add(dataset_node, ontology.hasName, Literal(table_profile.dataset_name), graph=DATASET_GRAPH)
+            store.add(dataset_node, ontology.hasSource, source, graph=DATASET_GRAPH)
+            store.add(table_node, RDF.type, ontology.Table, graph=DATASET_GRAPH)
+            store.add(table_node, ontology.hasName, Literal(table_profile.table_name), graph=DATASET_GRAPH)
+            store.add(table_node, RDFS.label, Literal(table_profile.table_name), graph=DATASET_GRAPH)
+            store.add(table_node, ontology.isPartOf, dataset_node, graph=DATASET_GRAPH)
+            num_rows = (
+                table_profile.column_profiles[0].statistics.count
+                if table_profile.column_profiles
+                else 0
+            )
+            store.add(table_node, ontology.hasTotalRows, Literal(num_rows), graph=DATASET_GRAPH)
+            store.add(
+                table_node,
+                ontology.hasTotalColumns,
+                Literal(len(table_profile.column_profiles)),
+                graph=DATASET_GRAPH,
+            )
+            for profile in table_profile.column_profiles:
+                self._write_column_metadata(profile, table_node, store)
+
+    @staticmethod
+    def _write_column_metadata(
+        profile: ColumnProfile, table_node: URIRef, store: QuadStore
+    ) -> None:
+        ontology = LiDSOntology
+        column_node = column_uri(
+            profile.dataset_name, profile.table_name, profile.column_name
+        )
+        statistics = profile.statistics
+        store.add(column_node, RDF.type, ontology.Column, graph=DATASET_GRAPH)
+        store.add(column_node, ontology.hasName, Literal(profile.column_name), graph=DATASET_GRAPH)
+        store.add(column_node, RDFS.label, Literal(profile.column_name), graph=DATASET_GRAPH)
+        store.add(column_node, ontology.isPartOf, table_node, graph=DATASET_GRAPH)
+        store.add(
+            column_node,
+            ontology.hasFineGrainedType,
+            Literal(profile.fine_grained_type),
+            graph=DATASET_GRAPH,
+        )
+        store.add(column_node, ontology.hasTotalRows, Literal(statistics.count), graph=DATASET_GRAPH)
+        store.add(
+            column_node, ontology.hasMissingCount, Literal(statistics.missing_count), graph=DATASET_GRAPH
+        )
+        store.add(
+            column_node, ontology.hasDistinctCount, Literal(statistics.distinct_count), graph=DATASET_GRAPH
+        )
+        optional_values = (
+            (ontology.hasMinValue, statistics.minimum),
+            (ontology.hasMaxValue, statistics.maximum),
+            (ontology.hasMeanValue, statistics.mean),
+            (ontology.hasStdValue, statistics.std),
+            (ontology.hasTrueRatio, statistics.true_ratio),
+            (ontology.hasAverageLength, statistics.average_length),
+        )
+        for predicate, value in optional_values:
+            if value is not None:
+                store.add(column_node, predicate, Literal(float(value)), graph=DATASET_GRAPH)
+
+    # ------------------------------------------------------------ similarity
+    def compute_column_similarities(
+        self, table_profiles: Sequence[TableProfile]
+    ) -> List[ColumnSimilarityEdge]:
+        """Pairwise comparison of columns sharing a fine-grained type.
+
+        Pairs are generated only across different tables (line 7 of
+        Algorithm 3 requires ``i != j``; comparing columns of the same table
+        adds no discovery value) and each pair job is independent, mirroring
+        the MapReduce distribution of the paper.
+        """
+        by_type: Dict[str, List[ColumnProfile]] = defaultdict(list)
+        for table_profile in table_profiles:
+            for profile in table_profile.column_profiles:
+                by_type[profile.fine_grained_type].append(profile)
+        pairs: List[Tuple[ColumnProfile, ColumnProfile]] = []
+        for profiles in by_type.values():
+            for i in range(len(profiles)):
+                for j in range(i + 1, len(profiles)):
+                    left, right = profiles[i], profiles[j]
+                    if (left.dataset_name, left.table_name) == (right.dataset_name, right.table_name):
+                        continue
+                    pairs.append((left, right))
+        edge_lists = self.executor.map(lambda pair: self._compare_pair(*pair), pairs)
+        return [edge for edges in edge_lists for edge in edges]
+
+    def _compare_pair(
+        self, left: ColumnProfile, right: ColumnProfile
+    ) -> List[ColumnSimilarityEdge]:
+        """The column-similarity worker (lines 9-19 of Algorithm 3)."""
+        edges: List[ColumnSimilarityEdge] = []
+        if self.use_label_similarity:
+            label_score = self.word_model.similarity(left.column_name, right.column_name)
+            if label_score >= self.thresholds.alpha:
+                edges.append(
+                    ColumnSimilarityEdge(left.column_id, right.column_id, "label", label_score)
+                )
+        if not self.use_content_similarity:
+            return edges
+        if left.fine_grained_type == TYPE_BOOLEAN:
+            ratio_a = left.statistics.true_ratio or 0.0
+            ratio_b = right.statistics.true_ratio or 0.0
+            score = 1.0 - abs(ratio_a - ratio_b)
+            if score >= self.thresholds.beta:
+                edges.append(
+                    ColumnSimilarityEdge(left.column_id, right.column_id, "content", score)
+                )
+        else:
+            score = cosine_similarity(left.embedding, right.embedding)
+            if score >= self.thresholds.theta:
+                edges.append(
+                    ColumnSimilarityEdge(left.column_id, right.column_id, "content", score)
+                )
+        return edges
+
+    def _write_similarity_edges(
+        self, edges: Iterable[ColumnSimilarityEdge], store: QuadStore
+    ) -> None:
+        ontology = LiDSOntology
+        for edge in edges:
+            subject = self._column_id_to_uri(edge.column_a)
+            obj = self._column_id_to_uri(edge.column_b)
+            predicate = (
+                ontology.hasLabelSimilarity if edge.kind == "label" else ontology.hasContentSimilarity
+            )
+            store.annotate(
+                subject,
+                predicate,
+                obj,
+                ontology.withCertainty,
+                Literal(round(edge.score, 4)),
+                graph=DATASET_GRAPH,
+            )
+            store.annotate(
+                obj,
+                predicate,
+                subject,
+                ontology.withCertainty,
+                Literal(round(edge.score, 4)),
+                graph=DATASET_GRAPH,
+            )
+
+    @staticmethod
+    def _column_id_to_uri(column_id: str) -> URIRef:
+        dataset_name, table_name, column_name = column_id.split("/", 2)
+        return column_uri(dataset_name, table_name, column_name)
+
+    # --------------------------------------------------- table relationships
+    def derive_table_relationships(
+        self,
+        table_profiles: Sequence[TableProfile],
+        edges: Sequence[ColumnSimilarityEdge],
+    ) -> Dict[Tuple[str, str, str], float]:
+        """Aggregate column similarities into table-level relationship scores.
+
+        Returns ``{(table_id_a, table_id_b, kind): score}`` where ``kind`` is
+        ``"unionable"`` (driven by label or content column matches) or
+        ``"joinable"`` (driven by content matches).  The unionability score
+        greedily matches columns one-to-one by similarity (so a single popular
+        column cannot inflate the score through many-to-many matches) and
+        normalizes the summed match scores by the smaller table's column
+        count — it therefore reflects both how many columns match and how
+        strongly they match, as described in Section 3.3.
+        """
+        column_counts = {
+            profile.table_id: max(1, len(profile.column_profiles)) for profile in table_profiles
+        }
+        per_pair: Dict[Tuple[str, str], Dict[str, Dict[Tuple[str, str], float]]] = defaultdict(
+            lambda: {"label": {}, "content": {}}
+        )
+        for edge in edges:
+            table_a = "/".join(edge.column_a.split("/")[:2])
+            table_b = "/".join(edge.column_b.split("/")[:2])
+            if table_a == table_b:
+                continue
+            key = tuple(sorted((table_a, table_b)))
+            column_key = tuple(sorted((edge.column_a, edge.column_b)))
+            bucket = per_pair[key][edge.kind]
+            bucket[column_key] = max(bucket.get(column_key, 0.0), edge.score)
+        scores: Dict[Tuple[str, str, str], float] = {}
+        for (table_a, table_b), buckets in per_pair.items():
+            denominator = min(column_counts.get(table_a, 1), column_counts.get(table_b, 1))
+            union_matches: Dict[Tuple[str, str], float] = {}
+            for bucket in buckets.values():
+                for column_key, score in bucket.items():
+                    union_matches[column_key] = max(union_matches.get(column_key, 0.0), score)
+            matched_total = self._greedy_one_to_one(union_matches)
+            if matched_total > 0.0:
+                scores[(table_a, table_b, "unionable")] = min(1.0, matched_total / denominator)
+            if buckets["content"]:
+                scores[(table_a, table_b, "joinable")] = min(
+                    1.0, max(buckets["content"].values())
+                )
+        return scores
+
+    @staticmethod
+    def _greedy_one_to_one(pair_scores: Dict[Tuple[str, str], float]) -> float:
+        """Sum of scores of a greedy one-to-one column matching."""
+        used_left: set = set()
+        used_right: set = set()
+        total = 0.0
+        for (column_a, column_b), score in sorted(pair_scores.items(), key=lambda item: -item[1]):
+            if column_a in used_left or column_b in used_right:
+                continue
+            used_left.add(column_a)
+            used_right.add(column_b)
+            total += score
+        return total
+
+    def _write_table_relationships(
+        self, table_scores: Dict[Tuple[str, str, str], float], store: QuadStore
+    ) -> None:
+        ontology = LiDSOntology
+        for (table_a, table_b, kind), score in table_scores.items():
+            predicate = ontology.unionableWith if kind == "unionable" else ontology.joinableWith
+            subject = table_uri(*table_a.split("/", 1))
+            obj = table_uri(*table_b.split("/", 1))
+            store.annotate(
+                subject, predicate, obj, ontology.withCertainty, Literal(round(score, 4)), graph=DATASET_GRAPH
+            )
+            store.annotate(
+                obj, predicate, subject, ontology.withCertainty, Literal(round(score, 4)), graph=DATASET_GRAPH
+            )

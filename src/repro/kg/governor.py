@@ -1,0 +1,158 @@
+"""The KG Governor: bootstrapping and incrementally maintaining the LiDS graph.
+
+The governor wires together the three components of Figure 1: data profiling
+(Algorithm 2), pipeline abstraction (Algorithm 1) and KG construction
+(Algorithm 3 + pipeline graphs + the Global Graph Linker).  It owns the
+storage bundle and keeps the profiles around so that datasets and pipelines
+can be added incrementally after bootstrapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.embeddings.colr import ColRModelSet
+from repro.kg.dataset_graph import DataGlobalSchemaBuilder, SimilarityThresholds
+from repro.kg.linker import GlobalGraphLinker, LinkReport
+from repro.kg.ontology import (
+    ONTOLOGY_GRAPH,
+    LiDSOntology,
+    column_uri,
+    dataset_uri,
+    table_uri,
+)
+from repro.kg.pipeline_graph import PipelineGraphBuilder
+from repro.kg.storage import KGLiDSStorage
+from repro.parallel import JobExecutor
+from repro.pipelines.abstraction import AbstractedPipeline, PipelineAbstractor, PipelineScript
+from repro.profiler.profile import DataProfiler, TableProfile
+from repro.tabular import DataLake, Table
+
+
+@dataclass
+class GovernorReport:
+    """Summary of one governor run (bootstrapping or incremental update)."""
+
+    num_tables_profiled: int = 0
+    num_columns_profiled: int = 0
+    num_pipelines_abstracted: int = 0
+    num_similarity_edges: int = 0
+    link_reports: List[LinkReport] = field(default_factory=list)
+
+
+class KGGovernor:
+    """Creates, maintains and synchronizes the LiDS graph."""
+
+    def __init__(
+        self,
+        storage: Optional[KGLiDSStorage] = None,
+        profiler: Optional[DataProfiler] = None,
+        abstractor: Optional[PipelineAbstractor] = None,
+        thresholds: Optional[SimilarityThresholds] = None,
+        colr_models: Optional[ColRModelSet] = None,
+        executor: Optional[JobExecutor] = None,
+        include_default_parameters: bool = True,
+    ):
+        self.storage = storage or KGLiDSStorage()
+        self.colr_models = colr_models or ColRModelSet.pretrained()
+        self.executor = executor or JobExecutor()
+        self.profiler = profiler or DataProfiler(
+            colr_models=self.colr_models, executor=self.executor
+        )
+        self.abstractor = abstractor or PipelineAbstractor(executor=self.executor)
+        self.schema_builder = DataGlobalSchemaBuilder(
+            thresholds=thresholds, executor=self.executor
+        )
+        self.pipeline_builder = PipelineGraphBuilder(
+            include_default_parameters=include_default_parameters
+        )
+        self.linker = GlobalGraphLinker()
+        self.table_profiles: List[TableProfile] = []
+        self.abstractions: List[AbstractedPipeline] = []
+        self._write_ontology()
+
+    def _write_ontology(self) -> None:
+        self.storage.graph.add_triples(LiDSOntology.ontology_triples(), graph=ONTOLOGY_GRAPH)
+
+    # ----------------------------------------------------------- bootstrapping
+    def bootstrap(
+        self,
+        lake: Optional[DataLake] = None,
+        scripts: Optional[Sequence[PipelineScript]] = None,
+    ) -> GovernorReport:
+        """Profile a data lake, abstract pipeline scripts and build the LiDS graph."""
+        report = GovernorReport()
+        if lake is not None:
+            report = self._merge(report, self.add_data_lake(lake))
+        if scripts:
+            report = self._merge(report, self.add_pipelines(scripts))
+        return report
+
+    # ------------------------------------------------------------ incremental
+    def add_data_lake(self, lake: DataLake) -> GovernorReport:
+        """Profile and register every table of ``lake``."""
+        report = GovernorReport()
+        new_profiles = self.profiler.profile_data_lake(lake)
+        report.num_tables_profiled = len(new_profiles)
+        report.num_columns_profiled = sum(len(p.column_profiles) for p in new_profiles)
+        self.table_profiles.extend(new_profiles)
+        self._store_embeddings(new_profiles)
+        edges = self.schema_builder.build(self.table_profiles, self.storage.graph)
+        report.num_similarity_edges = len(edges)
+        return report
+
+    def add_table(self, table: Table, dataset_name: str = "default") -> GovernorReport:
+        """Incrementally add a single table to the LiDS graph."""
+        lake = DataLake(name=dataset_name)
+        lake.add_table(dataset_name, table)
+        return self.add_data_lake(lake)
+
+    def add_pipelines(self, scripts: Sequence[PipelineScript]) -> GovernorReport:
+        """Abstract scripts, write their named graphs, and link them to datasets."""
+        report = GovernorReport()
+        abstractions = self.abstractor.abstract_scripts(scripts)
+        self.abstractions.extend(abstractions)
+        self.pipeline_builder.add_pipelines(abstractions, self.storage.graph)
+        self.pipeline_builder.add_library_hierarchy(
+            self.abstractor.library_hierarchy_edges(), self.storage.graph
+        )
+        report.num_pipelines_abstracted = len(abstractions)
+        report.link_reports = self.linker.link_pipelines(abstractions, self.storage.graph)
+        return report
+
+    # ----------------------------------------------------------------- lookups
+    def table_profile(self, dataset_name: str, table_name: str) -> Optional[TableProfile]:
+        """Find the stored profile of a table."""
+        for profile in self.table_profiles:
+            if profile.dataset_name == dataset_name and profile.table_name == table_name:
+                return profile
+        return None
+
+    def _store_embeddings(self, table_profiles: Sequence[TableProfile]) -> None:
+        for table_profile in table_profiles:
+            if table_profile.embedding is not None:
+                self.storage.embeddings.put(
+                    "table",
+                    str(table_uri(table_profile.dataset_name, table_profile.table_name)),
+                    table_profile.embedding,
+                )
+            for profile in table_profile.column_profiles:
+                self.storage.embeddings.put(
+                    "column",
+                    str(
+                        column_uri(
+                            profile.dataset_name, profile.table_name, profile.column_name
+                        )
+                    ),
+                    profile.embedding,
+                )
+
+    @staticmethod
+    def _merge(base: GovernorReport, other: GovernorReport) -> GovernorReport:
+        base.num_tables_profiled += other.num_tables_profiled
+        base.num_columns_profiled += other.num_columns_profiled
+        base.num_pipelines_abstracted += other.num_pipelines_abstracted
+        base.num_similarity_edges += other.num_similarity_edges
+        base.link_reports.extend(other.link_reports)
+        return base

@@ -1,0 +1,210 @@
+"""The LiDS (Linked Data Science) ontology.
+
+The ontology conceptualizes data, pipeline and library entities (Section 2.1):
+13 classes, 19 object properties and 22 data properties under
+``http://kglids.org/ontology/``, with data instances under
+``http://kglids.org/resource/``.  :meth:`LiDSOntology.ontology_triples` emits
+the OWL declarations so the ontology itself is part of the published graph.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from repro.rdf.namespace import KGLIDS_DATA, KGLIDS_ONTOLOGY, KGLIDS_PIPELINE, OWL, RDF, RDFS
+from repro.rdf.terms import Literal, URIRef
+
+
+class LiDSOntology:
+    """URI constants for every class and property of the LiDS ontology."""
+
+    # ------------------------------------------------------------ 13 classes
+    Source = KGLIDS_ONTOLOGY.Source
+    Dataset = KGLIDS_ONTOLOGY.Dataset
+    Table = KGLIDS_ONTOLOGY.Table
+    Column = KGLIDS_ONTOLOGY.Column
+    Pipeline = KGLIDS_ONTOLOGY.Pipeline
+    Statement = KGLIDS_ONTOLOGY.Statement
+    Parameter = KGLIDS_ONTOLOGY.Parameter
+    Library = KGLIDS_ONTOLOGY.Library
+    Package = KGLIDS_ONTOLOGY.Package
+    Class = KGLIDS_ONTOLOGY.Class
+    Function = KGLIDS_ONTOLOGY.Function
+    Model = KGLIDS_ONTOLOGY.Model
+    Task = KGLIDS_ONTOLOGY.Task
+
+    CLASSES = (
+        Source,
+        Dataset,
+        Table,
+        Column,
+        Pipeline,
+        Statement,
+        Parameter,
+        Library,
+        Package,
+        Class,
+        Function,
+        Model,
+        Task,
+    )
+
+    # -------------------------------------------------- 19 object properties
+    isPartOf = KGLIDS_ONTOLOGY.isPartOf
+    hasSource = KGLIDS_ONTOLOGY.hasSource
+    reads = KGLIDS_ONTOLOGY.reads
+    readsColumn = KGLIDS_ONTOLOGY.readsColumn
+    callsLibrary = KGLIDS_ONTOLOGY.callsLibrary
+    callsFunction = KGLIDS_ONTOLOGY.callsFunction
+    hasNextStatement = KGLIDS_ONTOLOGY.hasNextStatement  # code flow
+    hasDataFlowTo = KGLIDS_ONTOLOGY.hasDataFlowTo  # data flow
+    hasParameter = KGLIDS_ONTOLOGY.hasParameter
+    isSubElementOf = KGLIDS_ONTOLOGY.isSubElementOf  # library hierarchy
+    hasContentSimilarity = KGLIDS_ONTOLOGY.hasContentSimilarity
+    hasLabelSimilarity = KGLIDS_ONTOLOGY.hasLabelSimilarity
+    hasSemanticSimilarity = KGLIDS_ONTOLOGY.hasSemanticSimilarity
+    unionableWith = KGLIDS_ONTOLOGY.unionableWith
+    joinableWith = KGLIDS_ONTOLOGY.joinableWith
+    usesOperation = KGLIDS_ONTOLOGY.usesOperation
+    appliedToColumn = KGLIDS_ONTOLOGY.appliedToColumn
+    appliedToTable = KGLIDS_ONTOLOGY.appliedToTable
+    hasModelingTask = KGLIDS_ONTOLOGY.hasModelingTask
+
+    OBJECT_PROPERTIES = (
+        isPartOf,
+        hasSource,
+        reads,
+        readsColumn,
+        callsLibrary,
+        callsFunction,
+        hasNextStatement,
+        hasDataFlowTo,
+        hasParameter,
+        isSubElementOf,
+        hasContentSimilarity,
+        hasLabelSimilarity,
+        hasSemanticSimilarity,
+        unionableWith,
+        joinableWith,
+        usesOperation,
+        appliedToColumn,
+        appliedToTable,
+        hasModelingTask,
+    )
+
+    # ---------------------------------------------------- 22 data properties
+    hasName = KGLIDS_ONTOLOGY.hasName
+    hasFilePath = KGLIDS_ONTOLOGY.hasFilePath
+    hasTotalRows = KGLIDS_ONTOLOGY.hasTotalRows
+    hasTotalColumns = KGLIDS_ONTOLOGY.hasTotalColumns
+    hasFineGrainedType = KGLIDS_ONTOLOGY.hasFineGrainedType
+    hasMissingCount = KGLIDS_ONTOLOGY.hasMissingCount
+    hasDistinctCount = KGLIDS_ONTOLOGY.hasDistinctCount
+    hasMinValue = KGLIDS_ONTOLOGY.hasMinValue
+    hasMaxValue = KGLIDS_ONTOLOGY.hasMaxValue
+    hasMeanValue = KGLIDS_ONTOLOGY.hasMeanValue
+    hasStdValue = KGLIDS_ONTOLOGY.hasStdValue
+    hasTrueRatio = KGLIDS_ONTOLOGY.hasTrueRatio
+    hasAverageLength = KGLIDS_ONTOLOGY.hasAverageLength
+    hasSizeInBytes = KGLIDS_ONTOLOGY.hasSizeInBytes
+    hasVotes = KGLIDS_ONTOLOGY.hasVotes
+    hasScore = KGLIDS_ONTOLOGY.hasScore
+    hasAuthor = KGLIDS_ONTOLOGY.hasAuthor
+    hasDate = KGLIDS_ONTOLOGY.hasDate
+    hasTaskType = KGLIDS_ONTOLOGY.hasTaskType
+    hasStatementText = KGLIDS_ONTOLOGY.hasStatementText
+    hasControlFlowType = KGLIDS_ONTOLOGY.hasControlFlowType
+    hasParameterValue = KGLIDS_ONTOLOGY.hasParameterValue
+
+    DATA_PROPERTIES = (
+        hasName,
+        hasFilePath,
+        hasTotalRows,
+        hasTotalColumns,
+        hasFineGrainedType,
+        hasMissingCount,
+        hasDistinctCount,
+        hasMinValue,
+        hasMaxValue,
+        hasMeanValue,
+        hasStdValue,
+        hasTrueRatio,
+        hasAverageLength,
+        hasSizeInBytes,
+        hasVotes,
+        hasScore,
+        hasAuthor,
+        hasDate,
+        hasTaskType,
+        hasStatementText,
+        hasControlFlowType,
+        hasParameterValue,
+    )
+
+    #: RDF-star annotation property carrying prediction / similarity scores.
+    withCertainty = KGLIDS_ONTOLOGY.withCertainty
+
+    @classmethod
+    def ontology_triples(cls) -> List[Tuple]:
+        """OWL declarations of all classes and properties plus labels."""
+        triples: List[Tuple] = []
+        for class_uri in cls.CLASSES:
+            triples.append((class_uri, RDF.type, OWL.Class))
+            triples.append((class_uri, RDFS.label, Literal(class_uri.local_name())))
+        for property_uri in cls.OBJECT_PROPERTIES:
+            triples.append((property_uri, RDF.type, OWL.ObjectProperty))
+            triples.append((property_uri, RDFS.label, Literal(property_uri.local_name())))
+        for property_uri in cls.DATA_PROPERTIES + (cls.withCertainty,):
+            triples.append((property_uri, RDF.type, OWL.DatatypeProperty))
+            triples.append((property_uri, RDFS.label, Literal(property_uri.local_name())))
+        return triples
+
+
+# ---------------------------------------------------------------- URI minting
+def _slug(text: str) -> str:
+    """URI-safe slug of an arbitrary name."""
+    return re.sub(r"[^A-Za-z0-9_.\-]+", "_", str(text)).strip("_") or "unnamed"
+
+
+def source_uri(source_name: str) -> URIRef:
+    return KGLIDS_DATA.term(f"source/{_slug(source_name)}")
+
+
+def dataset_uri(dataset_name: str) -> URIRef:
+    return KGLIDS_DATA.term(f"{_slug(dataset_name)}")
+
+
+def table_uri(dataset_name: str, table_name: str) -> URIRef:
+    return KGLIDS_DATA.term(f"{_slug(dataset_name)}/{_slug(table_name)}")
+
+
+def column_uri(dataset_name: str, table_name: str, column_name: str) -> URIRef:
+    return KGLIDS_DATA.term(
+        f"{_slug(dataset_name)}/{_slug(table_name)}/{_slug(column_name)}"
+    )
+
+
+def pipeline_uri(pipeline_id: str) -> URIRef:
+    return KGLIDS_PIPELINE.term(_slug(pipeline_id))
+
+
+def pipeline_graph_uri(pipeline_id: str) -> URIRef:
+    """The named graph holding one pipeline's abstraction."""
+    return KGLIDS_PIPELINE.term(f"graph/{_slug(pipeline_id)}")
+
+
+def statement_uri(pipeline_id: str, statement_index: int) -> URIRef:
+    return KGLIDS_PIPELINE.term(f"{_slug(pipeline_id)}/s{statement_index}")
+
+
+def library_uri(library_name: str) -> URIRef:
+    return KGLIDS_DATA.term(f"library/{_slug(library_name)}")
+
+
+#: Named graph holding the dataset graph (data global schema).
+DATASET_GRAPH = KGLIDS_DATA.term("graph/datasets")
+#: Named graph holding the library hierarchy graph.
+LIBRARY_GRAPH = KGLIDS_DATA.term("graph/libraries")
+#: Named graph holding the ontology declarations.
+ONTOLOGY_GRAPH = KGLIDS_ONTOLOGY.term("graph")

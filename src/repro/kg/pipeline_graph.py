@@ -1,0 +1,153 @@
+"""Pipeline named graphs and the library hierarchy graph.
+
+Each abstracted pipeline is written into its own named graph (the RDF notion
+of modularity the paper relies on), holding statement nodes with code flow,
+data flow, control-flow type, statement text, library calls and parameters.
+Library hierarchy edges accumulate in a shared library graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.kg.ontology import (
+    LIBRARY_GRAPH,
+    LiDSOntology,
+    dataset_uri,
+    library_uri,
+    pipeline_graph_uri,
+    pipeline_uri,
+    statement_uri,
+)
+from repro.pipelines.abstraction import AbstractedPipeline
+from repro.rdf import Literal, QuadStore, RDF, RDFS, URIRef
+
+
+class PipelineGraphBuilder:
+    """Writes abstracted pipelines and the library hierarchy into the store."""
+
+    def __init__(self, include_default_parameters: bool = True):
+        #: When False, only explicitly-set parameters are recorded (this is the
+        #: behaviour of general-purpose abstraction tools like GraphGen4Code
+        #: and what the AutoML comparison of Section 4.4 hinges on).
+        self.include_default_parameters = include_default_parameters
+
+    # ------------------------------------------------------------------- API
+    def add_pipeline(self, abstraction: AbstractedPipeline, store: QuadStore) -> URIRef:
+        """Write one pipeline into its named graph; returns the graph URI."""
+        ontology = LiDSOntology
+        graph = pipeline_graph_uri(abstraction.pipeline_id)
+        pipeline_node = pipeline_uri(abstraction.pipeline_id)
+        script = abstraction.script
+        store.add(pipeline_node, RDF.type, ontology.Pipeline, graph=graph)
+        store.add(pipeline_node, ontology.hasName, Literal(abstraction.pipeline_id), graph=graph)
+        store.add(pipeline_node, RDFS.label, Literal(abstraction.pipeline_id), graph=graph)
+        store.add(pipeline_node, ontology.hasAuthor, Literal(script.author), graph=graph)
+        store.add(pipeline_node, ontology.hasVotes, Literal(int(script.votes)), graph=graph)
+        if script.score is not None:
+            store.add(pipeline_node, ontology.hasScore, Literal(float(script.score)), graph=graph)
+        if script.task:
+            store.add(pipeline_node, ontology.hasTaskType, Literal(script.task), graph=graph)
+        if script.date:
+            store.add(pipeline_node, ontology.hasDate, Literal(script.date), graph=graph)
+        if script.dataset_name:
+            store.add(
+                pipeline_node, ontology.reads, dataset_uri(script.dataset_name), graph=graph
+            )
+        for statement in abstraction.statements:
+            self._add_statement(abstraction, statement, pipeline_node, store, graph)
+        self.add_library_hierarchy(
+            (edge for call in abstraction.calls_used for edge in _call_hierarchy(call)), store
+        )
+        return graph
+
+    def add_pipelines(
+        self, abstractions: Iterable[AbstractedPipeline], store: QuadStore
+    ) -> List[URIRef]:
+        """Write a collection of pipelines; returns the named-graph URIs."""
+        return [self.add_pipeline(abstraction, store) for abstraction in abstractions]
+
+    # -------------------------------------------------------------- internals
+    def _add_statement(self, abstraction, statement, pipeline_node, store, graph) -> None:
+        ontology = LiDSOntology
+        statement_node = statement_uri(abstraction.pipeline_id, statement.index)
+        store.add(statement_node, RDF.type, ontology.Statement, graph=graph)
+        store.add(statement_node, ontology.isPartOf, pipeline_node, graph=graph)
+        store.add(statement_node, ontology.hasStatementText, Literal(statement.text), graph=graph)
+        store.add(
+            statement_node, ontology.hasControlFlowType, Literal(statement.control_flow), graph=graph
+        )
+        if statement.next_statement is not None:
+            store.add(
+                statement_node,
+                ontology.hasNextStatement,
+                statement_uri(abstraction.pipeline_id, statement.next_statement),
+                graph=graph,
+            )
+        for target in statement.data_flow_next:
+            store.add(
+                statement_node,
+                ontology.hasDataFlowTo,
+                statement_uri(abstraction.pipeline_id, target),
+                graph=graph,
+            )
+        for call in statement.calls:
+            if "." not in call.full_name:
+                continue
+            call_node = library_uri(call.full_name)
+            store.add(statement_node, ontology.callsFunction, call_node, graph=graph)
+            store.add(statement_node, ontology.callsLibrary, library_uri(call.library), graph=graph)
+            parameters = dict(call.parameter_names)
+            parameters.update(call.keyword_arguments)
+            if self.include_default_parameters:
+                for name, value in call.default_parameters.items():
+                    parameters.setdefault(name, value)
+            for name, value in parameters.items():
+                parameter_node = library_uri(f"{call.full_name}/{name}")
+                store.add(parameter_node, RDF.type, ontology.Parameter, graph=graph)
+                store.add(parameter_node, ontology.hasName, Literal(name), graph=graph)
+                store.add(statement_node, ontology.hasParameter, parameter_node, graph=graph)
+                store.add(
+                    parameter_node,
+                    ontology.hasParameterValue,
+                    Literal(repr(value)),
+                    graph=graph,
+                )
+
+    # ---------------------------------------------------------- library graph
+    @staticmethod
+    def add_library_hierarchy(edges: Iterable[Tuple[str, str]], store: QuadStore) -> None:
+        """Write ``(child, parent)`` library hierarchy edges to the library graph."""
+        ontology = LiDSOntology
+        for child, parent in edges:
+            child_node = library_uri(child)
+            parent_node = library_uri(parent)
+            child_type = _library_element_type(child)
+            parent_type = _library_element_type(parent)
+            store.add(child_node, RDF.type, child_type, graph=LIBRARY_GRAPH)
+            store.add(child_node, ontology.hasName, Literal(child), graph=LIBRARY_GRAPH)
+            store.add(parent_node, RDF.type, parent_type, graph=LIBRARY_GRAPH)
+            store.add(parent_node, ontology.hasName, Literal(parent), graph=LIBRARY_GRAPH)
+            store.add(child_node, ontology.isSubElementOf, parent_node, graph=LIBRARY_GRAPH)
+
+
+def _library_element_type(qualified_name: str) -> URIRef:
+    """Heuristic LiDS class for a library hierarchy element."""
+    ontology = LiDSOntology
+    parts = qualified_name.split(".")
+    if len(parts) == 1:
+        return ontology.Library
+    leaf = parts[-1]
+    if leaf[:1].isupper():
+        return ontology.Class
+    if len(parts) == 2 and leaf.islower() and "_" not in leaf:
+        return ontology.Package
+    return ontology.Function
+
+
+def _call_hierarchy(qualified_call: str) -> List[Tuple[str, str]]:
+    parts = qualified_call.split(".")
+    edges = []
+    for i in range(len(parts) - 1, 0, -1):
+        edges.append((".".join(parts[: i + 1]), ".".join(parts[:i])))
+    return edges

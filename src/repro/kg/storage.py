@@ -1,0 +1,66 @@
+"""The KGLiDS storage layer: LiDS graph + embedding store + model store."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.embeddings.store import EmbeddingStore
+from repro.rdf import QuadStore
+from repro.sparql import SPARQLEngine, SelectResult
+
+
+class KGLiDSStorage:
+    """Bundles the three stores of Figure 1's "KGLiDS Storage" component.
+
+    * the RDF-star quad store holding the LiDS graph (GraphDB substitute),
+    * the embedding store holding CoLR column / table / dataset embeddings
+      (Faiss substitute),
+    * the model store holding trained models (GNN recommenders, CoLR models)
+      that the Model Manager exposes to users.
+    """
+
+    def __init__(self):
+        self.graph = QuadStore()
+        self.embeddings = EmbeddingStore()
+        self._models: Dict[str, Any] = {}
+        self._engine: Optional[SPARQLEngine] = None
+
+    # ---------------------------------------------------------------- SPARQL
+    @property
+    def engine(self) -> SPARQLEngine:
+        """A SPARQL engine bound to the LiDS graph."""
+        if self._engine is None:
+            self._engine = SPARQLEngine(self.graph)
+        return self._engine
+
+    def query(self, sparql: str) -> SelectResult:
+        """Run an ad-hoc SPARQL SELECT query against the LiDS graph."""
+        return self.engine.select(sparql)
+
+    # ---------------------------------------------------------------- models
+    def register_model(self, name: str, model: Any) -> None:
+        """Register a trained model under a name (Model Manager upload)."""
+        self._models[name] = model
+
+    def get_model(self, name: str) -> Any:
+        """Fetch a registered model; raises ``KeyError`` with the known names."""
+        if name not in self._models:
+            raise KeyError(
+                f"no model named {name!r} is registered; available: {sorted(self._models)}"
+            )
+        return self._models[name]
+
+    def has_model(self, name: str) -> bool:
+        return name in self._models
+
+    def list_models(self) -> List[str]:
+        """Names of all registered models (Model Manager listing)."""
+        return sorted(self._models)
+
+    # ------------------------------------------------------------ statistics
+    def statistics(self) -> Dict[str, int]:
+        """Combined statistics used by the Statistics Manager."""
+        stats = dict(self.graph.statistics())
+        stats["num_embeddings"] = self.embeddings.count()
+        stats["num_models"] = len(self._models)
+        return stats

@@ -1,0 +1,65 @@
+"""A small, numpy-based machine-learning library.
+
+KGLiDS' evaluation trains scikit-learn estimators (random forests for the
+cleaning/transformation experiments, several classifier families for AutoML)
+and applies scikit-learn preprocessing (scalers, imputers).  scikit-learn is
+not available in this environment, so this package provides compatible
+``fit`` / ``predict`` / ``transform`` implementations of the estimators the
+platform records in its knowledge graph and uses in its experiments.
+"""
+
+from repro.ml.base import BaseEstimator, ClassifierMixin, TransformerMixin, clone
+from repro.ml.ensemble import GradientBoostingClassifier, RandomForestClassifier
+from repro.ml.impute import IterativeImputer, KNNImputer, SimpleImputer
+from repro.ml.linear import LinearRegression, LogisticRegression, RidgeRegression
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    f1_score,
+    precision_score,
+    recall_score,
+)
+from repro.ml.model_selection import KFold, cross_val_score, train_test_split
+from repro.ml.naive_bayes import GaussianNB
+from repro.ml.neighbors import KNeighborsClassifier
+from repro.ml.preprocessing import (
+    FunctionTransformer,
+    LabelEncoder,
+    MinMaxScaler,
+    OneHotEncoder,
+    RobustScaler,
+    StandardScaler,
+)
+from repro.ml.tree import DecisionTreeClassifier
+
+__all__ = [
+    "BaseEstimator",
+    "ClassifierMixin",
+    "TransformerMixin",
+    "clone",
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "GradientBoostingClassifier",
+    "LogisticRegression",
+    "LinearRegression",
+    "RidgeRegression",
+    "KNeighborsClassifier",
+    "GaussianNB",
+    "StandardScaler",
+    "MinMaxScaler",
+    "RobustScaler",
+    "FunctionTransformer",
+    "LabelEncoder",
+    "OneHotEncoder",
+    "SimpleImputer",
+    "KNNImputer",
+    "IterativeImputer",
+    "accuracy_score",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "confusion_matrix",
+    "train_test_split",
+    "KFold",
+    "cross_val_score",
+]

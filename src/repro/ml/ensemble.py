@@ -1,0 +1,152 @@
+"""Tree ensembles: random forest and gradient boosting.
+
+The random forest is the workhorse of the evaluation (Tables 5 and 6 train a
+random-forest classifier on the cleaned / transformed data); gradient boosting
+stands in for the XGBoost classifiers that Kaggle pipelines frequently call.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, ClassifierMixin
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+class RandomForestClassifier(BaseEstimator, ClassifierMixin):
+    """Bagged CART trees with per-split feature subsampling."""
+
+    def __init__(
+        self,
+        n_estimators: int = 20,
+        max_depth: int = 10,
+        min_samples_split: int = 2,
+        max_features: str = "sqrt",
+        random_state: int = 0,
+    ):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self.random_state = random_state
+        self.classes_: Optional[np.ndarray] = None
+        self._trees: List[DecisionTreeClassifier] = []
+
+    def _resolve_max_features(self, n_features: int) -> Optional[int]:
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if self.max_features == "log2":
+            return max(1, int(np.log2(n_features))) if n_features > 1 else 1
+        if self.max_features in (None, "all"):
+            return None
+        return max(1, int(self.max_features))
+
+    def fit(self, X, y) -> "RandomForestClassifier":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(list(y))
+        self.classes_ = np.unique(y)
+        rng = np.random.RandomState(self.random_state)
+        n_samples, n_features = X.shape
+        max_features = self._resolve_max_features(n_features)
+        self._trees = []
+        for i in range(self.n_estimators):
+            indices = rng.randint(0, n_samples, size=n_samples)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                max_features=max_features,
+                random_state=self.random_state + i,
+            )
+            tree.fit(X[indices], y[indices])
+            self._trees.append(tree)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        if not self._trees or self.classes_ is None:
+            raise RuntimeError("RandomForestClassifier is not fitted")
+        X = np.asarray(X, dtype=float)
+        aggregate = np.zeros((X.shape[0], len(self.classes_)))
+        class_index = {label: i for i, label in enumerate(self.classes_)}
+        for tree in self._trees:
+            tree_probabilities = tree.predict_proba(X)
+            for j, label in enumerate(tree.classes_):
+                aggregate[:, class_index[label]] += tree_probabilities[:, j]
+        aggregate /= len(self._trees)
+        return aggregate
+
+    def predict(self, X) -> np.ndarray:
+        probabilities = self.predict_proba(X)
+        return self.classes_[np.argmax(probabilities, axis=1)]
+
+
+class GradientBoostingClassifier(BaseEstimator, ClassifierMixin):
+    """Gradient-boosted regression trees on the logistic loss.
+
+    Binary targets are boosted directly on log-odds; multi-class targets fall
+    back to one-vs-rest boosting.  This estimator stands in for XGBoost's
+    ``XGBClassifier`` in the pipeline corpus and the AutoML search space.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 30,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        random_state: int = 0,
+    ):
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.random_state = random_state
+        self.classes_: Optional[np.ndarray] = None
+        self._stages: List[List[DecisionTreeRegressor]] = []
+        self._base_scores: Optional[np.ndarray] = None
+
+    def fit(self, X, y) -> "GradientBoostingClassifier":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(list(y))
+        self.classes_ = np.unique(y)
+        n_classes = len(self.classes_)
+        targets = np.zeros((len(y), n_classes))
+        for j, label in enumerate(self.classes_):
+            targets[:, j] = (y == label).astype(float)
+        priors = targets.mean(axis=0).clip(1e-6, 1 - 1e-6)
+        self._base_scores = np.log(priors / (1 - priors))
+        scores = np.tile(self._base_scores, (len(y), 1))
+        self._stages = [[] for _ in range(n_classes)]
+        for stage in range(self.n_estimators):
+            probabilities = 1.0 / (1.0 + np.exp(-scores))
+            for j in range(n_classes):
+                residual = targets[:, j] - probabilities[:, j]
+                tree = DecisionTreeRegressor(
+                    max_depth=self.max_depth,
+                    random_state=self.random_state + stage * n_classes + j,
+                )
+                tree.fit(X, residual)
+                update = tree.predict(X)
+                scores[:, j] += self.learning_rate * update
+                self._stages[j].append(tree)
+        return self
+
+    def _decision_scores(self, X: np.ndarray) -> np.ndarray:
+        scores = np.tile(self._base_scores, (X.shape[0], 1))
+        for j, trees in enumerate(self._stages):
+            for tree in trees:
+                scores[:, j] += self.learning_rate * tree.predict(X)
+        return scores
+
+    def predict_proba(self, X) -> np.ndarray:
+        if self._base_scores is None or self.classes_ is None:
+            raise RuntimeError("GradientBoostingClassifier is not fitted")
+        X = np.asarray(X, dtype=float)
+        scores = self._decision_scores(X)
+        probabilities = 1.0 / (1.0 + np.exp(-scores))
+        totals = probabilities.sum(axis=1, keepdims=True)
+        totals[totals == 0.0] = 1.0
+        return probabilities / totals
+
+    def predict(self, X) -> np.ndarray:
+        probabilities = self.predict_proba(X)
+        return self.classes_[np.argmax(probabilities, axis=1)]

@@ -1,0 +1,173 @@
+"""Missing-value imputers over numeric feature matrices.
+
+The KGLiDS cleaning recommender chooses among five operations (Fillna,
+Interpolate, SimpleImputer, KNNImputer, IterativeImputer); the matrix-level
+implementations live here, while the table-level application logic lives in
+:mod:`repro.automation.cleaning`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, TransformerMixin
+
+
+def _column_fallback(column: np.ndarray) -> float:
+    finite = column[np.isfinite(column)]
+    return float(finite.mean()) if finite.size else 0.0
+
+
+class SimpleImputer(BaseEstimator, TransformerMixin):
+    """Impute missing values with a per-column statistic.
+
+    Supported strategies: ``mean``, ``median``, ``most_frequent`` and
+    ``constant`` (with ``fill_value``).
+    """
+
+    def __init__(self, strategy: str = "mean", fill_value: float = 0.0):
+        if strategy not in ("mean", "median", "most_frequent", "constant"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        self.strategy = strategy
+        self.fill_value = fill_value
+        self.statistics_: Optional[np.ndarray] = None
+
+    def fit(self, X, y=None) -> "SimpleImputer":
+        X = np.asarray(X, dtype=float)
+        stats = np.zeros(X.shape[1])
+        for j in range(X.shape[1]):
+            column = X[:, j]
+            finite = column[np.isfinite(column)]
+            if self.strategy == "constant" or finite.size == 0:
+                stats[j] = self.fill_value
+            elif self.strategy == "mean":
+                stats[j] = finite.mean()
+            elif self.strategy == "median":
+                stats[j] = np.median(finite)
+            else:  # most_frequent
+                values, counts = np.unique(finite, return_counts=True)
+                stats[j] = values[np.argmax(counts)]
+        self.statistics_ = stats
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.statistics_ is None:
+            raise RuntimeError("SimpleImputer is not fitted")
+        X = np.asarray(X, dtype=float).copy()
+        for j in range(X.shape[1]):
+            mask = ~np.isfinite(X[:, j])
+            X[mask, j] = self.statistics_[j]
+        return X
+
+
+class InterpolateImputer(BaseEstimator, TransformerMixin):
+    """Linear interpolation along each column (Pandas ``interpolate`` analogue)."""
+
+    def fit(self, X, y=None) -> "InterpolateImputer":
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        X = np.asarray(X, dtype=float).copy()
+        for j in range(X.shape[1]):
+            column = X[:, j]
+            mask = np.isfinite(column)
+            if mask.all():
+                continue
+            if not mask.any():
+                X[:, j] = 0.0
+                continue
+            indices = np.arange(len(column))
+            X[:, j] = np.interp(indices, indices[mask], column[mask])
+        return X
+
+
+class KNNImputer(BaseEstimator, TransformerMixin):
+    """Impute missing values from the k nearest rows (euclidean on shared features)."""
+
+    def __init__(self, n_neighbors: int = 5):
+        self.n_neighbors = n_neighbors
+        self._fit_X: Optional[np.ndarray] = None
+        self._fallback: Optional[np.ndarray] = None
+
+    def fit(self, X, y=None) -> "KNNImputer":
+        X = np.asarray(X, dtype=float)
+        self._fit_X = X
+        self._fallback = np.array([_column_fallback(X[:, j]) for j in range(X.shape[1])])
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self._fit_X is None or self._fallback is None:
+            raise RuntimeError("KNNImputer is not fitted")
+        X = np.asarray(X, dtype=float).copy()
+        reference = self._fit_X
+        for i in range(X.shape[0]):
+            row = X[i]
+            missing = ~np.isfinite(row)
+            if not missing.any():
+                continue
+            observed = np.isfinite(row)
+            if not observed.any():
+                X[i, missing] = self._fallback[missing]
+                continue
+            diffs = reference[:, observed] - row[observed]
+            valid = np.isfinite(diffs).all(axis=1)
+            if not valid.any():
+                X[i, missing] = self._fallback[missing]
+                continue
+            distances = np.full(reference.shape[0], np.inf)
+            distances[valid] = np.sqrt(np.nansum(diffs[valid] ** 2, axis=1))
+            order = np.argsort(distances)[: self.n_neighbors]
+            for j in np.where(missing)[0]:
+                neighbor_values = reference[order, j]
+                finite = neighbor_values[np.isfinite(neighbor_values)]
+                X[i, j] = float(finite.mean()) if finite.size else self._fallback[j]
+        return X
+
+
+class IterativeImputer(BaseEstimator, TransformerMixin):
+    """Round-robin regression imputation (MICE-style) with ridge regression."""
+
+    def __init__(self, max_iter: int = 5, ridge: float = 1.0):
+        self.max_iter = max_iter
+        self.ridge = ridge
+        self._initial: Optional[SimpleImputer] = None
+        self._train_X: Optional[np.ndarray] = None
+        self._train_mask: Optional[np.ndarray] = None
+
+    def fit(self, X, y=None) -> "IterativeImputer":
+        X = np.asarray(X, dtype=float)
+        self._initial = SimpleImputer(strategy="mean").fit(X)
+        self._train_X = X
+        self._train_mask = ~np.isfinite(X)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self._initial is None:
+            raise RuntimeError("IterativeImputer is not fitted")
+        X = np.asarray(X, dtype=float)
+        missing_mask = ~np.isfinite(X)
+        filled = self._initial.transform(X)
+        n_features = X.shape[1]
+        if n_features < 2:
+            return filled
+        for _ in range(self.max_iter):
+            for j in range(n_features):
+                target_missing = missing_mask[:, j]
+                if not target_missing.any():
+                    continue
+                others = [k for k in range(n_features) if k != j]
+                observed = ~target_missing
+                if observed.sum() < 2:
+                    continue
+                A = filled[observed][:, others]
+                b = filled[observed, j]
+                A_design = np.column_stack([A, np.ones(A.shape[0])])
+                gram = A_design.T @ A_design + self.ridge * np.eye(A_design.shape[1])
+                coefficients = np.linalg.solve(gram, A_design.T @ b)
+                A_missing = np.column_stack(
+                    [filled[target_missing][:, others], np.ones(target_missing.sum())]
+                )
+                filled[target_missing, j] = A_missing @ coefficients
+        return filled

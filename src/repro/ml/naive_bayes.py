@@ -1,0 +1,64 @@
+"""Gaussian naive Bayes classifier."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, ClassifierMixin
+
+
+class GaussianNB(BaseEstimator, ClassifierMixin):
+    """Naive Bayes with per-class Gaussian feature likelihoods."""
+
+    def __init__(self, var_smoothing: float = 1e-9):
+        self.var_smoothing = var_smoothing
+        self.classes_: Optional[np.ndarray] = None
+        self._means: Optional[np.ndarray] = None
+        self._variances: Optional[np.ndarray] = None
+        self._priors: Optional[np.ndarray] = None
+
+    def fit(self, X, y) -> "GaussianNB":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(list(y))
+        self.classes_ = np.unique(y)
+        n_classes, n_features = len(self.classes_), X.shape[1]
+        self._means = np.zeros((n_classes, n_features))
+        self._variances = np.zeros((n_classes, n_features))
+        self._priors = np.zeros(n_classes)
+        global_variance = X.var(axis=0).max() if X.size else 1.0
+        smoothing = self.var_smoothing * max(global_variance, 1.0)
+        for i, label in enumerate(self.classes_):
+            members = X[y == label]
+            self._means[i] = members.mean(axis=0)
+            self._variances[i] = members.var(axis=0) + smoothing
+            self._priors[i] = members.shape[0] / X.shape[0]
+        return self
+
+    def _joint_log_likelihood(self, X: np.ndarray) -> np.ndarray:
+        log_likelihood = np.zeros((X.shape[0], len(self.classes_)))
+        for i in range(len(self.classes_)):
+            log_prior = np.log(self._priors[i] + 1e-12)
+            gaussian = -0.5 * np.sum(
+                np.log(2.0 * np.pi * self._variances[i])
+                + (X - self._means[i]) ** 2 / self._variances[i],
+                axis=1,
+            )
+            log_likelihood[:, i] = log_prior + gaussian
+        return log_likelihood
+
+    def predict(self, X) -> np.ndarray:
+        if self._means is None or self.classes_ is None:
+            raise RuntimeError("GaussianNB is not fitted")
+        X = np.asarray(X, dtype=float)
+        return self.classes_[np.argmax(self._joint_log_likelihood(X), axis=1)]
+
+    def predict_proba(self, X) -> np.ndarray:
+        if self._means is None:
+            raise RuntimeError("GaussianNB is not fitted")
+        X = np.asarray(X, dtype=float)
+        log_likelihood = self._joint_log_likelihood(X)
+        log_likelihood -= log_likelihood.max(axis=1, keepdims=True)
+        probabilities = np.exp(log_likelihood)
+        return probabilities / probabilities.sum(axis=1, keepdims=True)

@@ -1,0 +1,62 @@
+"""K-nearest-neighbour classification."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, ClassifierMixin
+
+
+class KNeighborsClassifier(BaseEstimator, ClassifierMixin):
+    """Majority-vote k-NN with euclidean distance on standardized features."""
+
+    def __init__(self, n_neighbors: int = 5):
+        self.n_neighbors = n_neighbors
+        self.classes_: Optional[np.ndarray] = None
+        self._X: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    def fit(self, X, y) -> "KNeighborsClassifier":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(list(y))
+        self._mean = X.mean(axis=0)
+        std = X.std(axis=0)
+        self._std = np.where(std == 0.0, 1.0, std)
+        self._X = (X - self._mean) / self._std
+        self._y = y
+        self.classes_ = np.unique(y)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if self._X is None or self._y is None:
+            raise RuntimeError("KNeighborsClassifier is not fitted")
+        X = np.asarray(X, dtype=float)
+        X = (X - self._mean) / self._std
+        k = min(self.n_neighbors, self._X.shape[0])
+        predictions = []
+        for row in X:
+            distances = np.sqrt(np.sum((self._X - row) ** 2, axis=1))
+            nearest = np.argsort(distances)[:k]
+            labels, counts = np.unique(self._y[nearest], return_counts=True)
+            predictions.append(labels[np.argmax(counts)])
+        return np.asarray(predictions)
+
+    def predict_proba(self, X) -> np.ndarray:
+        if self._X is None or self._y is None or self.classes_ is None:
+            raise RuntimeError("KNeighborsClassifier is not fitted")
+        X = np.asarray(X, dtype=float)
+        X = (X - self._mean) / self._std
+        k = min(self.n_neighbors, self._X.shape[0])
+        index = {label: i for i, label in enumerate(self.classes_)}
+        probabilities = np.zeros((X.shape[0], len(self.classes_)))
+        for i, row in enumerate(X):
+            distances = np.sqrt(np.sum((self._X - row) ** 2, axis=1))
+            nearest = np.argsort(distances)[:k]
+            for label in self._y[nearest]:
+                probabilities[i, index[label]] += 1.0
+            probabilities[i] /= k
+        return probabilities

@@ -1,0 +1,174 @@
+"""Feature scaling, unary transformations and categorical encoders.
+
+These are the operations the KGLiDS transformation recommender chooses among:
+table-level scalers (Standard / MinMax / Robust) and column-level unary
+transformations (log, sqrt), plus the encoders used by the feature pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, TransformerMixin
+
+
+class StandardScaler(BaseEstimator, TransformerMixin):
+    """Standardize features to zero mean and unit variance."""
+
+    def __init__(self, with_mean: bool = True, with_std: bool = True):
+        self.with_mean = with_mean
+        self.with_std = with_std
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, X, y=None) -> "StandardScaler":
+        X = np.asarray(X, dtype=float)
+        self.mean_ = X.mean(axis=0) if self.with_mean else np.zeros(X.shape[1])
+        std = X.std(axis=0) if self.with_std else np.ones(X.shape[1])
+        self.scale_ = np.where(std == 0.0, 1.0, std)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("StandardScaler is not fitted")
+        X = np.asarray(X, dtype=float)
+        return (X - self.mean_) / self.scale_
+
+
+class MinMaxScaler(BaseEstimator, TransformerMixin):
+    """Scale features to the ``[0, 1]`` range."""
+
+    def __init__(self, feature_range: tuple = (0.0, 1.0)):
+        self.feature_range = feature_range
+        self.min_: Optional[np.ndarray] = None
+        self.range_: Optional[np.ndarray] = None
+
+    def fit(self, X, y=None) -> "MinMaxScaler":
+        X = np.asarray(X, dtype=float)
+        self.min_ = X.min(axis=0)
+        data_range = X.max(axis=0) - self.min_
+        self.range_ = np.where(data_range == 0.0, 1.0, data_range)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.min_ is None:
+            raise RuntimeError("MinMaxScaler is not fitted")
+        X = np.asarray(X, dtype=float)
+        low, high = self.feature_range
+        scaled = (X - self.min_) / self.range_
+        return scaled * (high - low) + low
+
+
+class RobustScaler(BaseEstimator, TransformerMixin):
+    """Scale features using the median and inter-quartile range."""
+
+    def __init__(self, quantile_range: tuple = (25.0, 75.0)):
+        self.quantile_range = quantile_range
+        self.center_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, X, y=None) -> "RobustScaler":
+        X = np.asarray(X, dtype=float)
+        low, high = self.quantile_range
+        self.center_ = np.median(X, axis=0)
+        iqr = np.percentile(X, high, axis=0) - np.percentile(X, low, axis=0)
+        self.scale_ = np.where(iqr == 0.0, 1.0, iqr)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.center_ is None:
+            raise RuntimeError("RobustScaler is not fitted")
+        X = np.asarray(X, dtype=float)
+        return (X - self.center_) / self.scale_
+
+
+class FunctionTransformer(BaseEstimator, TransformerMixin):
+    """Apply a unary function element-wise (used for log / sqrt transforms)."""
+
+    def __init__(self, func: Optional[Callable] = None, name: str = "identity"):
+        self.func = func
+        self.name = name
+
+    def fit(self, X, y=None) -> "FunctionTransformer":
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        if self.func is None:
+            return X
+        return self.func(X)
+
+
+def log_transform(X: np.ndarray) -> np.ndarray:
+    """``log1p`` transform shifted to tolerate negative values."""
+    X = np.asarray(X, dtype=float)
+    shift = np.minimum(X.min(axis=0), 0.0)
+    return np.log1p(X - shift)
+
+
+def sqrt_transform(X: np.ndarray) -> np.ndarray:
+    """``sqrt`` transform shifted to tolerate negative values."""
+    X = np.asarray(X, dtype=float)
+    shift = np.minimum(X.min(axis=0), 0.0)
+    return np.sqrt(X - shift)
+
+
+#: Registry of the unary (column-level) transformations the recommender uses.
+UNARY_TRANSFORMS: Dict[str, Callable] = {
+    "log": log_transform,
+    "sqrt": sqrt_transform,
+}
+
+#: Registry of the table-level scaling transformations the recommender uses.
+SCALERS: Dict[str, Callable[[], TransformerMixin]] = {
+    "StandardScaler": StandardScaler,
+    "MinMaxScaler": MinMaxScaler,
+    "RobustScaler": RobustScaler,
+}
+
+
+class LabelEncoder(BaseEstimator, TransformerMixin):
+    """Encode arbitrary labels as consecutive integers."""
+
+    def __init__(self):
+        self.classes_: List = []
+        self._index: Dict = {}
+
+    def fit(self, y, _=None) -> "LabelEncoder":
+        self.classes_ = sorted({str(v) for v in y})
+        self._index = {label: i for i, label in enumerate(self.classes_)}
+        return self
+
+    def transform(self, y) -> np.ndarray:
+        if not self._index:
+            raise RuntimeError("LabelEncoder is not fitted")
+        return np.asarray([self._index.get(str(v), 0) for v in y], dtype=int)
+
+    def inverse_transform(self, codes: Sequence[int]) -> List[str]:
+        return [self.classes_[int(c)] for c in codes]
+
+
+class OneHotEncoder(BaseEstimator, TransformerMixin):
+    """One-hot encode a sequence of categorical values (single feature)."""
+
+    def __init__(self, max_categories: int = 50):
+        self.max_categories = max_categories
+        self.categories_: List[str] = []
+
+    def fit(self, values, y=None) -> "OneHotEncoder":
+        distinct = sorted({str(v) for v in values})
+        self.categories_ = distinct[: self.max_categories]
+        return self
+
+    def transform(self, values) -> np.ndarray:
+        if not self.categories_:
+            raise RuntimeError("OneHotEncoder is not fitted")
+        index = {c: i for i, c in enumerate(self.categories_)}
+        out = np.zeros((len(list(values)), len(self.categories_)))
+        for row, value in enumerate(values):
+            position = index.get(str(value))
+            if position is not None:
+                out[row, position] = 1.0
+        return out

@@ -1,0 +1,5 @@
+"""Spark-substitute job execution."""
+
+from repro.parallel.executor import JobExecutor, map_jobs
+
+__all__ = ["JobExecutor", "map_jobs"]

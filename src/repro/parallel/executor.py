@@ -1,0 +1,66 @@
+"""A thin executor abstraction standing in for Spark RDD ``map`` jobs.
+
+Algorithms 1-3 of the paper decompose their work into independent per-script,
+per-column and per-column-pair jobs that Spark distributes across workers.
+This module keeps the same decomposition while executing either serially or
+with a thread pool — on a laptop the work is CPU-bound Python so the serial
+backend is the default, but the job-oriented structure is preserved so the
+code reads like the paper's pseudocode.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+JobInput = TypeVar("JobInput")
+JobOutput = TypeVar("JobOutput")
+
+
+class JobExecutor:
+    """Maps a worker function over independent jobs.
+
+    ``backend`` is ``"serial"`` (default) or ``"threads"``.  The executor is
+    deliberately tiny: the point is to make the map/mapPartitions structure of
+    the paper's algorithms explicit and swappable, not to re-implement Spark.
+    """
+
+    def __init__(self, backend: str = "serial", max_workers: Optional[int] = None):
+        if backend not in ("serial", "threads"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.backend = backend
+        self.max_workers = max_workers
+
+    def map(
+        self, worker: Callable[[JobInput], JobOutput], jobs: Iterable[JobInput]
+    ) -> List[JobOutput]:
+        """Apply ``worker`` to every job and return results in job order."""
+        jobs = list(jobs)
+        if self.backend == "serial" or len(jobs) <= 1:
+            return [worker(job) for job in jobs]
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            return list(pool.map(worker, jobs))
+
+    def map_partitions(
+        self,
+        worker: Callable[[Sequence[JobInput]], JobOutput],
+        jobs: Sequence[JobInput],
+        num_partitions: int = 4,
+    ) -> List[JobOutput]:
+        """Apply ``worker`` to contiguous partitions of the job list."""
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        num_partitions = max(1, min(num_partitions, len(jobs)))
+        size = (len(jobs) + num_partitions - 1) // num_partitions
+        partitions = [jobs[i : i + size] for i in range(0, len(jobs), size)]
+        return self.map(worker, partitions)
+
+
+def map_jobs(
+    worker: Callable[[JobInput], JobOutput],
+    jobs: Iterable[JobInput],
+    backend: str = "serial",
+) -> List[JobOutput]:
+    """Convenience wrapper: ``JobExecutor(backend).map(worker, jobs)``."""
+    return JobExecutor(backend=backend).map(worker, jobs)

@@ -1,0 +1,35 @@
+"""Pipeline abstraction (Algorithm 1 of the paper).
+
+Data-science pipeline scripts are abstracted into a language-independent
+representation by combining three analyses:
+
+* **static code analysis** (:mod:`repro.pipelines.static_analysis`) — code
+  flow, data flow, control-flow type and statement text via the Python AST;
+* **documentation analysis** (:mod:`repro.pipelines.docs`) — enriching each
+  library call with parameter names (including implicit and default ones) and
+  return types, and deriving the library hierarchy graph;
+* **dataset usage analysis** (:mod:`repro.pipelines.dataset_usage`) —
+  predicting which tables (``read_csv``) and columns (DataFrame subscripts)
+  the pipeline reads.
+
+:class:`repro.pipelines.abstraction.PipelineAbstractor` combines the three
+into an :class:`AbstractedPipeline`, the input of KG construction.
+"""
+
+from repro.pipelines.abstraction import (
+    AbstractedPipeline,
+    PipelineAbstractor,
+    PipelineScript,
+)
+from repro.pipelines.docs import LibraryDocumentation
+from repro.pipelines.static_analysis import CallInfo, Statement, StaticCodeAnalyzer
+
+__all__ = [
+    "Statement",
+    "CallInfo",
+    "StaticCodeAnalyzer",
+    "LibraryDocumentation",
+    "PipelineScript",
+    "AbstractedPipeline",
+    "PipelineAbstractor",
+]

@@ -1,0 +1,96 @@
+"""Dataset usage analysis: predicting table and column reads from code.
+
+Lines 14-17 of Algorithm 1: if a statement reads a table via
+``pandas.read_csv('dataset/table.csv')`` the table is predicted as a dataset
+read; if a statement subscripts a DataFrame with a string
+(``df['Survived']``) the column name is predicted as a column read.  The
+Graph Linker later verifies these predictions against the dataset graph.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List, Optional, Tuple
+
+from repro.pipelines.static_analysis import Statement
+
+_READ_FUNCTIONS = ("read_csv", "read_json", "read_parquet", "read_excel")
+
+
+def detect_dataset_read(statement: Statement) -> List[str]:
+    """File paths read by pandas ``read_*`` calls in the statement."""
+    reads: List[str] = []
+    for call in statement.calls:
+        short = call.full_name.split(".")[-1]
+        if short not in _READ_FUNCTIONS:
+            continue
+        candidates = list(call.positional_arguments) + list(call.keyword_arguments.values())
+        for candidate in candidates:
+            if isinstance(candidate, str) and _looks_like_data_path(candidate):
+                reads.append(candidate)
+                break
+    return reads
+
+
+def _looks_like_data_path(text: str) -> bool:
+    return bool(re.search(r"\.(csv|json|parquet|xlsx)$", text, re.IGNORECASE))
+
+
+def split_dataset_and_table(path: str) -> Tuple[Optional[str], str]:
+    """Split ``'titanic/train.csv'`` into ``('titanic', 'train')``.
+
+    Paths without a directory component yield ``(None, stem)``; nested
+    directories keep only the innermost one as the dataset name (Kaggle
+    layout ``../input/<dataset>/<table>.csv``).
+    """
+    cleaned = path.replace("\\", "/").strip()
+    parts = [part for part in cleaned.split("/") if part not in ("", ".", "..", "input")]
+    stem = re.sub(r"\.(csv|json|parquet|xlsx)$", "", parts[-1], flags=re.IGNORECASE)
+    if len(parts) >= 2:
+        return parts[-2], stem
+    return None, stem
+
+
+def detect_column_reads(statement_source: str) -> List[str]:
+    """Column names read through string subscripts over DataFrame variables.
+
+    Operates on the statement text so it also catches subscripts that appear
+    outside call arguments, e.g. ``X['Sex'] = imputer.fit_transform(X['Sex'])``.
+    """
+    columns: List[str] = []
+    try:
+        tree = ast.parse(statement_source)
+    except SyntaxError:
+        return columns
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Subscript):
+            continue
+        subscript_value = node.slice
+        if isinstance(subscript_value, ast.Constant) and isinstance(subscript_value.value, str):
+            columns.append(subscript_value.value)
+        elif isinstance(subscript_value, (ast.List, ast.Tuple)):
+            for element in subscript_value.elts:
+                if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                    columns.append(element.value)
+    # Also catch .drop('Survived', ...) style column references.
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr == "drop":
+                for argument in node.args:
+                    if isinstance(argument, ast.Constant) and isinstance(argument.value, str):
+                        columns.append(argument.value)
+    seen = set()
+    unique = []
+    for column in columns:
+        if column not in seen:
+            seen.add(column)
+            unique.append(column)
+    return unique
+
+
+def annotate_statement(statement: Statement) -> Statement:
+    """Attach predicted dataset and column reads to a statement in place."""
+    statement.dataset_reads = detect_dataset_read(statement)
+    statement.column_reads = detect_column_reads(statement.text)
+    return statement

@@ -1,0 +1,177 @@
+"""Programming-library documentation analysis.
+
+The paper enriches statically-analyzed calls with information mined from
+library documentation: the names and default values of parameters (including
+implicit positional and unspecified default parameters) and the return data
+type of each call.  A by-product is the library hierarchy graph (packages,
+modules, classes, functions).
+
+Offline, the documentation knowledge base is embedded as a structured Python
+dictionary covering the data-science libraries the pipeline corpus uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.pipelines.static_analysis import CallInfo, Statement
+
+
+@dataclass
+class CallableDoc:
+    """Documentation entry for one class constructor or function."""
+
+    full_name: str
+    parameters: List[Tuple[str, Optional[object]]] = field(default_factory=list)
+    return_type: Optional[str] = None
+
+
+def _doc(full_name: str, parameters: List[Tuple[str, Optional[object]]], return_type: str) -> CallableDoc:
+    return CallableDoc(full_name=full_name, parameters=parameters, return_type=return_type)
+
+
+#: The embedded documentation knowledge base (``LD`` in Algorithm 1).
+LIBRARY_DOCS: Dict[str, CallableDoc] = {
+    doc.full_name: doc
+    for doc in [
+        # ------------------------------------------------------------ pandas
+        _doc("pandas.read_csv", [("filepath_or_buffer", None), ("sep", ","), ("header", "infer")], "pandas.DataFrame"),
+        _doc("pandas.read_json", [("path_or_buf", None)], "pandas.DataFrame"),
+        _doc("pandas.DataFrame", [("data", None), ("columns", None)], "pandas.DataFrame"),
+        _doc("pandas.DataFrame.drop", [("labels", None), ("axis", 0), ("inplace", False)], "pandas.DataFrame"),
+        _doc("pandas.DataFrame.fillna", [("value", None), ("method", None)], "pandas.DataFrame"),
+        _doc("pandas.DataFrame.dropna", [("axis", 0), ("how", "any")], "pandas.DataFrame"),
+        _doc("pandas.DataFrame.interpolate", [("method", "linear")], "pandas.DataFrame"),
+        _doc("pandas.DataFrame.merge", [("right", None), ("how", "inner"), ("on", None)], "pandas.DataFrame"),
+        _doc("pandas.DataFrame.groupby", [("by", None)], "pandas.core.groupby.DataFrameGroupBy"),
+        _doc("pandas.DataFrame.apply", [("func", None), ("axis", 0)], "pandas.DataFrame"),
+        _doc("pandas.concat", [("objs", None), ("axis", 0)], "pandas.DataFrame"),
+        _doc("pandas.get_dummies", [("data", None), ("columns", None)], "pandas.DataFrame"),
+        # ----------------------------------------------------------- sklearn
+        _doc("sklearn.impute.SimpleImputer", [("missing_values", float("nan")), ("strategy", "mean"), ("fill_value", None)], "sklearn.impute.SimpleImputer"),
+        _doc("sklearn.impute.KNNImputer", [("n_neighbors", 5), ("weights", "uniform")], "sklearn.impute.KNNImputer"),
+        _doc("sklearn.impute.IterativeImputer", [("estimator", None), ("max_iter", 10)], "sklearn.impute.IterativeImputer"),
+        _doc("sklearn.preprocessing.StandardScaler", [("copy", True), ("with_mean", True), ("with_std", True)], "sklearn.preprocessing.StandardScaler"),
+        _doc("sklearn.preprocessing.MinMaxScaler", [("feature_range", (0, 1))], "sklearn.preprocessing.MinMaxScaler"),
+        _doc("sklearn.preprocessing.RobustScaler", [("quantile_range", (25.0, 75.0))], "sklearn.preprocessing.RobustScaler"),
+        _doc("sklearn.preprocessing.OneHotEncoder", [("categories", "auto"), ("handle_unknown", "error")], "sklearn.preprocessing.OneHotEncoder"),
+        _doc("sklearn.preprocessing.LabelEncoder", [], "sklearn.preprocessing.LabelEncoder"),
+        _doc("sklearn.preprocessing.FunctionTransformer", [("func", None)], "sklearn.preprocessing.FunctionTransformer"),
+        _doc("sklearn.model_selection.train_test_split", [("test_size", 0.25), ("random_state", None), ("stratify", None)], "tuple"),
+        _doc("sklearn.model_selection.cross_val_score", [("estimator", None), ("cv", 5), ("scoring", None)], "numpy.ndarray"),
+        _doc("sklearn.model_selection.GridSearchCV", [("estimator", None), ("param_grid", None), ("cv", 5)], "sklearn.model_selection.GridSearchCV"),
+        _doc("sklearn.linear_model.LogisticRegression", [("C", 1.0), ("penalty", "l2"), ("max_iter", 100), ("solver", "lbfgs")], "sklearn.linear_model.LogisticRegression"),
+        _doc("sklearn.linear_model.LinearRegression", [("fit_intercept", True)], "sklearn.linear_model.LinearRegression"),
+        _doc("sklearn.ensemble.RandomForestClassifier", [("n_estimators", 100), ("max_depth", None), ("min_samples_split", 2), ("random_state", None)], "sklearn.ensemble.RandomForestClassifier"),
+        _doc("sklearn.ensemble.RandomForestRegressor", [("n_estimators", 100), ("max_depth", None)], "sklearn.ensemble.RandomForestRegressor"),
+        _doc("sklearn.ensemble.GradientBoostingClassifier", [("n_estimators", 100), ("learning_rate", 0.1), ("max_depth", 3)], "sklearn.ensemble.GradientBoostingClassifier"),
+        _doc("sklearn.tree.DecisionTreeClassifier", [("max_depth", None), ("criterion", "gini"), ("min_samples_split", 2)], "sklearn.tree.DecisionTreeClassifier"),
+        _doc("sklearn.neighbors.KNeighborsClassifier", [("n_neighbors", 5), ("weights", "uniform")], "sklearn.neighbors.KNeighborsClassifier"),
+        _doc("sklearn.naive_bayes.GaussianNB", [("var_smoothing", 1e-9)], "sklearn.naive_bayes.GaussianNB"),
+        _doc("sklearn.svm.SVC", [("C", 1.0), ("kernel", "rbf"), ("gamma", "scale")], "sklearn.svm.SVC"),
+        _doc("sklearn.cluster.KMeans", [("n_clusters", 8), ("n_init", 10)], "sklearn.cluster.KMeans"),
+        _doc("sklearn.metrics.accuracy_score", [("y_true", None), ("y_pred", None)], "float"),
+        _doc("sklearn.metrics.f1_score", [("y_true", None), ("y_pred", None), ("average", "binary")], "float"),
+        _doc("sklearn.metrics.precision_score", [("y_true", None), ("y_pred", None)], "float"),
+        _doc("sklearn.metrics.recall_score", [("y_true", None), ("y_pred", None)], "float"),
+        _doc("sklearn.metrics.roc_auc_score", [("y_true", None), ("y_score", None)], "float"),
+        _doc("sklearn.decomposition.PCA", [("n_components", None)], "sklearn.decomposition.PCA"),
+        # ----------------------------------------------------------- xgboost
+        _doc("xgboost.XGBClassifier", [("n_estimators", 100), ("learning_rate", 0.3), ("max_depth", 6)], "xgboost.XGBClassifier"),
+        _doc("xgboost.XGBRegressor", [("n_estimators", 100), ("learning_rate", 0.3), ("max_depth", 6)], "xgboost.XGBRegressor"),
+        # ------------------------------------------------------------- numpy
+        _doc("numpy.log", [("x", None)], "numpy.ndarray"),
+        _doc("numpy.log1p", [("x", None)], "numpy.ndarray"),
+        _doc("numpy.sqrt", [("x", None)], "numpy.ndarray"),
+        _doc("numpy.array", [("object", None)], "numpy.ndarray"),
+        _doc("numpy.mean", [("a", None), ("axis", None)], "numpy.float64"),
+        # ------------------------------------------------------ visualization
+        _doc("matplotlib.pyplot.plot", [("x", None), ("y", None)], "list"),
+        _doc("matplotlib.pyplot.hist", [("x", None), ("bins", 10)], "tuple"),
+        _doc("matplotlib.pyplot.scatter", [("x", None), ("y", None)], "matplotlib.collections.PathCollection"),
+        _doc("matplotlib.pyplot.show", [], "None"),
+        _doc("seaborn.heatmap", [("data", None), ("annot", False)], "matplotlib.axes.Axes"),
+        _doc("seaborn.pairplot", [("data", None)], "seaborn.axisgrid.PairGrid"),
+        _doc("plotly.express.scatter", [("data_frame", None)], "plotly.graph_objects.Figure"),
+        _doc("wordcloud.WordCloud", [("width", 400), ("height", 200)], "wordcloud.WordCloud"),
+        # ------------------------------------------------------------- others
+        _doc("scipy.stats.zscore", [("a", None)], "numpy.ndarray"),
+        _doc("scipy.stats.pearsonr", [("x", None), ("y", None)], "tuple"),
+        _doc("nltk.word_tokenize", [("text", None)], "list"),
+        _doc("statsmodels.api.OLS", [("endog", None), ("exog", None)], "statsmodels.regression.linear_model.OLS"),
+        _doc("IPython.display.display", [("obj", None)], "None"),
+    ]
+}
+
+
+class LibraryDocumentation:
+    """Lookup and enrichment over the embedded documentation knowledge base."""
+
+    def __init__(self, docs: Optional[Dict[str, CallableDoc]] = None):
+        self.docs = docs or LIBRARY_DOCS
+        # Secondary index by unqualified callable name for partially-resolved calls.
+        self._by_short_name: Dict[str, CallableDoc] = {}
+        for doc in self.docs.values():
+            self._by_short_name.setdefault(doc.full_name.split(".")[-1], doc)
+
+    # ------------------------------------------------------------------- API
+    def lookup(self, call_name: str) -> Optional[CallableDoc]:
+        """Find the documentation entry for a (possibly unqualified) call name."""
+        if call_name in self.docs:
+            return self.docs[call_name]
+        short = call_name.split(".")[-1]
+        return self._by_short_name.get(short)
+
+    def enrich_call(self, call: CallInfo) -> CallInfo:
+        """Documentation analysis of one call (lines 9-13 of Algorithm 1).
+
+        Positional arguments are given their documented parameter names;
+        parameters the caller did not set are recorded with their defaults;
+        the return type is attached.  The call's ``full_name`` is upgraded to
+        the fully-qualified documented name when the static analysis could
+        only resolve a method name.
+        """
+        doc = self.lookup(call.full_name)
+        if doc is None:
+            return call
+        if "." not in call.full_name or not call.full_name.startswith(doc.full_name.split(".")[0]):
+            call.full_name = doc.full_name
+            call.library = doc.full_name.split(".")[0]
+        parameter_names = [name for name, _ in doc.parameters]
+        for position, value in enumerate(call.positional_arguments):
+            if position < len(parameter_names):
+                call.parameter_names[parameter_names[position]] = value
+        explicitly_set = set(call.parameter_names) | set(call.keyword_arguments)
+        for name, default in doc.parameters:
+            if name not in explicitly_set:
+                call.default_parameters[name] = default
+        call.return_type = doc.return_type
+        return call
+
+    def enrich_statement(self, statement: Statement) -> Statement:
+        """Enrich every call of a statement."""
+        statement.calls = [self.enrich_call(call) for call in statement.calls]
+        return statement
+
+    # --------------------------------------------------------- library graph
+    def hierarchy_edges(self, call_name: str) -> List[Tuple[str, str]]:
+        """``(child, parent)`` edges of the library hierarchy for one call.
+
+        ``sklearn.linear_model.LogisticRegression`` yields
+        ``[(sklearn.linear_model.LogisticRegression, sklearn.linear_model),
+        (sklearn.linear_model, sklearn)]``.
+        """
+        doc = self.lookup(call_name)
+        qualified = doc.full_name if doc else call_name
+        parts = qualified.split(".")
+        edges = []
+        for i in range(len(parts) - 1, 0, -1):
+            child = ".".join(parts[: i + 1])
+            parent = ".".join(parts[:i])
+            edges.append((child, parent))
+        return edges
+
+    def known_callables(self) -> List[str]:
+        """All fully-qualified callables in the knowledge base."""
+        return sorted(self.docs.keys())

@@ -1,0 +1,22 @@
+"""Embedding-based data profiling (Algorithm 2 of the paper).
+
+The profiler analyzes datasets at column granularity: it infers one of seven
+fine-grained data types per column, collects per-type statistics, and
+generates a CoLR embedding from a sample of the column's values.  Column
+profiles are the input to the Data Global Schema Builder (Algorithm 3).
+"""
+
+from repro.profiler.ner import NamedEntityRecognizer
+from repro.profiler.profile import ColumnProfile, DataProfiler, TableProfile
+from repro.profiler.stats import ColumnStatistics, collect_statistics
+from repro.profiler.type_inference import FineGrainedTypeInferrer
+
+__all__ = [
+    "NamedEntityRecognizer",
+    "FineGrainedTypeInferrer",
+    "ColumnStatistics",
+    "collect_statistics",
+    "ColumnProfile",
+    "TableProfile",
+    "DataProfiler",
+]

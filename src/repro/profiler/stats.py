@@ -1,0 +1,66 @@
+"""Per-column statistics collected by the profiler (line 7 of Algorithm 2)."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.tabular.column import Column
+from repro.types import TYPE_BOOLEAN, TYPE_FLOAT, TYPE_INT
+
+
+@dataclass
+class ColumnStatistics:
+    """Statistics stored in the column profile and in the LiDS graph."""
+
+    count: int = 0
+    missing_count: int = 0
+    distinct_count: int = 0
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+    mean: Optional[float] = None
+    std: Optional[float] = None
+    true_ratio: Optional[float] = None
+    average_length: Optional[float] = None
+
+    @property
+    def missing_ratio(self) -> float:
+        """Fraction of missing cells."""
+        if self.count == 0:
+            return 0.0
+        return self.missing_count / self.count
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (used when dumping profiles to JSON)."""
+        return asdict(self)
+
+
+def collect_statistics(column: Column, fine_grained_type: str) -> ColumnStatistics:
+    """Compute the statistics for a column given its fine-grained type.
+
+    Numeric columns get min/max/mean/std, boolean columns get the true-ratio
+    (used by Algorithm 3's boolean content similarity), string-like columns
+    get the average text length.
+    """
+    stats = ColumnStatistics(
+        count=len(column),
+        missing_count=column.missing_count(),
+        distinct_count=column.distinct_count(),
+    )
+    if fine_grained_type in (TYPE_INT, TYPE_FLOAT):
+        numeric = column.numeric_values()
+        if numeric:
+            array = np.asarray(numeric, dtype=float)
+            stats.minimum = float(array.min())
+            stats.maximum = float(array.max())
+            stats.mean = float(array.mean())
+            stats.std = float(array.std())
+    elif fine_grained_type == TYPE_BOOLEAN:
+        stats.true_ratio = column.true_ratio()
+    else:
+        lengths = [len(str(v)) for v in column.non_missing()]
+        if lengths:
+            stats.average_length = float(np.mean(lengths))
+    return stats

@@ -1,0 +1,122 @@
+"""Fine-grained column data-type inference (7 types, Section 3.2)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.embeddings.words import WordEmbeddingModel, default_word_model
+from repro.profiler.ner import NamedEntityRecognizer
+from repro.tabular.column import Column
+from repro.tabular.values import coerce_bool, looks_like_date, looks_like_float, looks_like_int
+from repro.types import (
+    TYPE_BOOLEAN,
+    TYPE_DATE,
+    TYPE_FLOAT,
+    TYPE_INT,
+    TYPE_NAMED_ENTITY,
+    TYPE_NATURAL_LANGUAGE,
+    TYPE_STRING,
+)
+
+
+class FineGrainedTypeInferrer:
+    """Classifies a column into one of the seven fine-grained types.
+
+    Decision order mirrors the paper's profiler: booleans, then numerics and
+    dates (value-shape based), then named entities (NER model), then natural
+    language (word-embedding vocabulary coverage), falling back to generic
+    strings.  A small sample of values is inspected (type inference does not
+    need the full column).
+    """
+
+    def __init__(
+        self,
+        ner: Optional[NamedEntityRecognizer] = None,
+        word_model: Optional[WordEmbeddingModel] = None,
+        sample_size: int = 200,
+        entity_threshold: float = 0.6,
+        language_threshold: float = 0.6,
+        seed: int = 0,
+    ):
+        self.ner = ner or NamedEntityRecognizer()
+        self.word_model = word_model or default_word_model()
+        self.sample_size = sample_size
+        self.entity_threshold = entity_threshold
+        self.language_threshold = language_threshold
+        self.seed = seed
+
+    # ------------------------------------------------------------------- API
+    def infer(self, column: Column) -> str:
+        """The fine-grained type of ``column``."""
+        sample = column.sample(self.sample_size, seed=self.seed)
+        if not sample:
+            return TYPE_STRING
+        if self._is_boolean(column, sample):
+            return TYPE_BOOLEAN
+        numeric_type = self._numeric_type(sample)
+        if numeric_type is not None:
+            return numeric_type
+        if self._is_date(sample):
+            return TYPE_DATE
+        strings = [str(v) for v in sample if isinstance(v, str)]
+        if not strings:
+            return TYPE_STRING
+        if self.ner.entity_ratio(strings) >= self.entity_threshold:
+            return TYPE_NAMED_ENTITY
+        if self._language_ratio(strings) >= self.language_threshold:
+            return TYPE_NATURAL_LANGUAGE
+        return TYPE_STRING
+
+    # -------------------------------------------------------------- internals
+    @staticmethod
+    def _is_boolean(column: Column, sample) -> bool:
+        coerced = [coerce_bool(v) for v in sample]
+        if any(flag is None for flag in coerced):
+            return False
+        # Binary integer columns with 0/1 only are treated as boolean when the
+        # column has exactly two distinct values.
+        return column.distinct_count() <= 2
+
+    @staticmethod
+    def _numeric_type(sample) -> Optional[str]:
+        ints, floats, other = 0, 0, 0
+        for value in sample:
+            if isinstance(value, bool):
+                other += 1
+            elif isinstance(value, int):
+                ints += 1
+            elif isinstance(value, float):
+                floats += 1
+            elif isinstance(value, str) and looks_like_int(value):
+                ints += 1
+            elif isinstance(value, str) and looks_like_float(value):
+                floats += 1
+            else:
+                other += 1
+        total = ints + floats + other
+        if total == 0 or (ints + floats) / total < 0.95:
+            return None
+        return TYPE_FLOAT if floats else TYPE_INT
+
+    @staticmethod
+    def _is_date(sample) -> bool:
+        strings = [str(v) for v in sample if isinstance(v, str)]
+        if not strings or len(strings) < 0.9 * len(sample):
+            return False
+        matching = sum(1 for v in strings if looks_like_date(v))
+        return matching / len(strings) >= 0.8
+
+    def _language_ratio(self, strings) -> float:
+        """Fraction of values whose tokens are mostly in-vocabulary words."""
+        if not strings:
+            return 0.0
+        in_language = 0
+        for value in strings:
+            tokens = [token.lower().strip(".,!?") for token in value.split()]
+            tokens = [token for token in tokens if token]
+            if len(tokens) < 3:
+                continue
+            known = sum(1 for token in tokens if self.word_model.has_word(token))
+            if known / len(tokens) >= 0.7:
+                in_language += 1
+        return in_language / len(strings)

@@ -1,0 +1,41 @@
+"""An in-memory RDF-star quad store (GraphDB substitute).
+
+KGLiDS stores the LiDS graph in GraphDB using the RDF-star model so that
+similarity edges can carry prediction scores.  This package provides the term
+model (URIs, literals, blank nodes, quoted triples), named-graph quad storage
+with pattern-matching indices, and N-Triples/N-Quads serialization.
+"""
+
+from repro.rdf.namespace import (
+    KGLIDS_DATA,
+    KGLIDS_ONTOLOGY,
+    KGLIDS_PIPELINE,
+    KGLIDS_RESOURCE,
+    OWL,
+    RDF,
+    RDFS,
+    XSD,
+    Namespace,
+)
+from repro.rdf.store import DEFAULT_GRAPH, QuadStore
+from repro.rdf.terms import BNode, Literal, QuotedTriple, Term, Triple, URIRef
+
+__all__ = [
+    "URIRef",
+    "Literal",
+    "BNode",
+    "QuotedTriple",
+    "Term",
+    "Triple",
+    "QuadStore",
+    "DEFAULT_GRAPH",
+    "Namespace",
+    "RDF",
+    "RDFS",
+    "XSD",
+    "OWL",
+    "KGLIDS_ONTOLOGY",
+    "KGLIDS_RESOURCE",
+    "KGLIDS_DATA",
+    "KGLIDS_PIPELINE",
+]

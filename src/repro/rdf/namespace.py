@@ -1,0 +1,67 @@
+"""Namespaces and prefix management for the LiDS graph.
+
+The paper fixes two URI prefixes: ``http://kglids.org/ontology/`` for classes
+and properties and ``http://kglids.org/resource/`` for data instances.  The
+helpers here build URIs under those prefixes and register the usual RDF
+namespaces for SPARQL prefix expansion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.rdf.terms import URIRef
+
+
+class Namespace(str):
+    """A URI prefix; attribute and item access mint URIs under the prefix."""
+
+    __slots__ = ()
+
+    def term(self, name: str) -> URIRef:
+        return URIRef(f"{self}{name}")
+
+    def __getattr__(self, name: str) -> URIRef:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return self.term(name)
+
+    def __getitem__(self, name: str) -> URIRef:
+        return self.term(name)
+
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+OWL = Namespace("http://www.w3.org/2002/07/owl#")
+
+#: Classes and properties of the LiDS ontology.
+KGLIDS_ONTOLOGY = Namespace("http://kglids.org/ontology/")
+#: Data instances (datasets, tables, columns, statements, libraries).
+KGLIDS_RESOURCE = Namespace("http://kglids.org/resource/")
+#: Sub-prefixes used when minting data and pipeline resources.
+KGLIDS_DATA = Namespace("http://kglids.org/resource/data/")
+KGLIDS_PIPELINE = Namespace("http://kglids.org/resource/pipeline/")
+
+#: Default prefix map used by the SPARQL engine and serializers.
+DEFAULT_PREFIXES: Dict[str, Namespace] = {
+    "rdf": RDF,
+    "rdfs": RDFS,
+    "xsd": XSD,
+    "owl": OWL,
+    "kglids": KGLIDS_ONTOLOGY,
+    "data": KGLIDS_DATA,
+    "pipeline": KGLIDS_PIPELINE,
+    "resource": KGLIDS_RESOURCE,
+}
+
+
+def expand_qname(qname: str, prefixes: Dict[str, Namespace] = None) -> URIRef:
+    """Expand ``prefix:local`` into a full URI using the prefix map."""
+    prefixes = prefixes or DEFAULT_PREFIXES
+    if ":" not in qname:
+        raise ValueError(f"{qname!r} is not a prefixed name")
+    prefix, local = qname.split(":", 1)
+    if prefix not in prefixes:
+        raise ValueError(f"unknown prefix {prefix!r}")
+    return prefixes[prefix].term(local)

@@ -1,0 +1,253 @@
+"""The quad store: named graphs, triple-pattern matching, RDF-star annotations."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.rdf.terms import Literal, QuotedTriple, Triple, URIRef
+
+#: Name of the default graph (triples added without an explicit graph).
+DEFAULT_GRAPH = URIRef("http://kglids.org/resource/defaultGraph")
+
+
+class _GraphIndex:
+    """Per-graph triple set with subject/predicate/object hash indices."""
+
+    __slots__ = ("triples", "by_subject", "by_predicate", "by_object")
+
+    def __init__(self):
+        self.triples: Set[Triple] = set()
+        self.by_subject: Dict[Any, Set[Triple]] = defaultdict(set)
+        self.by_predicate: Dict[Any, Set[Triple]] = defaultdict(set)
+        self.by_object: Dict[Any, Set[Triple]] = defaultdict(set)
+
+    def add(self, triple: Triple) -> bool:
+        if triple in self.triples:
+            return False
+        self.triples.add(triple)
+        self.by_subject[triple.subject].add(triple)
+        self.by_predicate[triple.predicate].add(triple)
+        self.by_object[triple.object].add(triple)
+        return True
+
+    def remove(self, triple: Triple) -> bool:
+        if triple not in self.triples:
+            return False
+        self.triples.discard(triple)
+        self.by_subject[triple.subject].discard(triple)
+        self.by_predicate[triple.predicate].discard(triple)
+        self.by_object[triple.object].discard(triple)
+        return True
+
+    def match(
+        self, subject: Any = None, predicate: Any = None, obj: Any = None
+    ) -> Iterator[Triple]:
+        """Iterate triples matching the pattern (``None`` is a wildcard)."""
+        candidates: Optional[Set[Triple]] = None
+        if subject is not None:
+            candidates = self.by_subject.get(subject, set())
+        if predicate is not None:
+            by_predicate = self.by_predicate.get(predicate, set())
+            candidates = by_predicate if candidates is None else candidates & by_predicate
+        if obj is not None:
+            by_object = self.by_object.get(obj, set())
+            candidates = by_object if candidates is None else candidates & by_object
+        if candidates is None:
+            candidates = self.triples
+        for triple in candidates:
+            yield triple
+
+
+class QuadStore:
+    """An in-memory RDF-star store with named graphs.
+
+    This is the storage engine of the reproduction: the KG Governor writes the
+    LiDS graph into it (one named graph per pipeline, plus the dataset,
+    library and ontology graphs) and the SPARQL engine evaluates queries
+    against it.
+    """
+
+    def __init__(self):
+        self._graphs: Dict[URIRef, _GraphIndex] = {}
+
+    # ------------------------------------------------------------------- add
+    def add(
+        self,
+        subject: Any,
+        predicate: Any,
+        obj: Any,
+        graph: URIRef = DEFAULT_GRAPH,
+    ) -> bool:
+        """Add a triple to ``graph``; returns ``False`` if it already existed."""
+        if graph not in self._graphs:
+            self._graphs[graph] = _GraphIndex()
+        return self._graphs[graph].add(Triple(subject, predicate, obj))
+
+    def add_triples(
+        self, triples: Iterable[Tuple[Any, Any, Any]], graph: URIRef = DEFAULT_GRAPH
+    ) -> int:
+        """Add many triples; returns the number actually inserted."""
+        inserted = 0
+        for subject, predicate, obj in triples:
+            if self.add(subject, predicate, obj, graph=graph):
+                inserted += 1
+        return inserted
+
+    def annotate(
+        self,
+        subject: Any,
+        predicate: Any,
+        obj: Any,
+        annotation_predicate: Any,
+        annotation_value: Any,
+        graph: URIRef = DEFAULT_GRAPH,
+    ) -> QuotedTriple:
+        """Add an RDF-star annotation on the (asserted) triple.
+
+        The base triple is added if absent, then
+        ``<< s p o >> annotation_predicate annotation_value`` is asserted.
+        This is how Algorithm 3 attaches similarity scores to similarity edges.
+        """
+        self.add(subject, predicate, obj, graph=graph)
+        quoted = QuotedTriple(subject, predicate, obj)
+        self.add(quoted, annotation_predicate, annotation_value, graph=graph)
+        return quoted
+
+    def remove(
+        self, subject: Any, predicate: Any, obj: Any, graph: URIRef = DEFAULT_GRAPH
+    ) -> bool:
+        """Remove a triple from ``graph`` if present."""
+        index = self._graphs.get(graph)
+        if index is None:
+            return False
+        return index.remove(Triple(subject, predicate, obj))
+
+    def remove_graph(self, graph: URIRef) -> bool:
+        """Drop an entire named graph."""
+        return self._graphs.pop(graph, None) is not None
+
+    # ----------------------------------------------------------------- query
+    def graphs(self) -> List[URIRef]:
+        """The names of all graphs currently holding triples."""
+        return list(self._graphs.keys())
+
+    def match(
+        self,
+        subject: Any = None,
+        predicate: Any = None,
+        obj: Any = None,
+        graph: Optional[URIRef] = None,
+    ) -> Iterator[Tuple[Triple, URIRef]]:
+        """Iterate ``(triple, graph)`` pairs matching the quad pattern."""
+        if graph is not None:
+            index = self._graphs.get(graph)
+            if index is None:
+                return
+            for triple in index.match(subject, predicate, obj):
+                yield triple, graph
+            return
+        for graph_name, index in self._graphs.items():
+            for triple in index.match(subject, predicate, obj):
+                yield triple, graph_name
+
+    def triples(
+        self,
+        subject: Any = None,
+        predicate: Any = None,
+        obj: Any = None,
+        graph: Optional[URIRef] = None,
+    ) -> Iterator[Triple]:
+        """Iterate triples matching the pattern across the selected graph(s)."""
+        for triple, _ in self.match(subject, predicate, obj, graph):
+            yield triple
+
+    def contains(
+        self,
+        subject: Any,
+        predicate: Any,
+        obj: Any,
+        graph: Optional[URIRef] = None,
+    ) -> bool:
+        """``True`` when the exact triple exists."""
+        return any(True for _ in self.match(subject, predicate, obj, graph))
+
+    def objects(
+        self, subject: Any, predicate: Any, graph: Optional[URIRef] = None
+    ) -> List[Any]:
+        """All objects of ``(subject, predicate, ?)``."""
+        return [t.object for t in self.triples(subject, predicate, None, graph)]
+
+    def subjects(
+        self, predicate: Any, obj: Any, graph: Optional[URIRef] = None
+    ) -> List[Any]:
+        """All subjects of ``(?, predicate, obj)``."""
+        return [t.subject for t in self.triples(None, predicate, obj, graph)]
+
+    def value(
+        self, subject: Any, predicate: Any, graph: Optional[URIRef] = None, default: Any = None
+    ) -> Any:
+        """First object of ``(subject, predicate, ?)`` converted to Python."""
+        for triple in self.triples(subject, predicate, None, graph):
+            obj = triple.object
+            return obj.to_python() if isinstance(obj, Literal) else obj
+        return default
+
+    def annotation(
+        self,
+        subject: Any,
+        predicate: Any,
+        obj: Any,
+        annotation_predicate: Any,
+        graph: Optional[URIRef] = None,
+        default: Any = None,
+    ) -> Any:
+        """Read back an RDF-star annotation value for a triple."""
+        quoted = QuotedTriple(subject, predicate, obj)
+        return self.value(quoted, annotation_predicate, graph=graph, default=default)
+
+    # ------------------------------------------------------------ statistics
+    def __len__(self) -> int:
+        return sum(len(index.triples) for index in self._graphs.values())
+
+    def num_triples(self, graph: Optional[URIRef] = None) -> int:
+        """Number of triples, optionally restricted to one graph."""
+        if graph is not None:
+            index = self._graphs.get(graph)
+            return len(index.triples) if index else 0
+        return len(self)
+
+    def unique_nodes(self) -> Set[Any]:
+        """All subjects and objects that are not literals (LiDS-graph nodes)."""
+        nodes: Set[Any] = set()
+        for index in self._graphs.values():
+            for triple in index.triples:
+                if not isinstance(triple.subject, (Literal,)):
+                    nodes.add(triple.subject)
+                if not isinstance(triple.object, (Literal,)):
+                    nodes.add(triple.object)
+        return nodes
+
+    def unique_predicates(self) -> Set[Any]:
+        """All predicates in the store."""
+        predicates: Set[Any] = set()
+        for index in self._graphs.values():
+            predicates.update(index.by_predicate.keys())
+        return predicates
+
+    def statistics(self) -> Dict[str, int]:
+        """Summary statistics used by Table 3 (triples, nodes, edge types, graphs)."""
+        return {
+            "num_triples": len(self),
+            "num_unique_nodes": len(self.unique_nodes()),
+            "num_unique_predicates": len(self.unique_predicates()),
+            "num_graphs": len(self._graphs),
+        }
+
+    def estimated_size_bytes(self) -> int:
+        """Rough serialized size: sum of N-Triples line lengths."""
+        total = 0
+        for index in self._graphs.values():
+            for triple in index.triples:
+                total += len(triple.n3()) + 1
+        return total

@@ -1,0 +1,194 @@
+"""RDF term model: URIs, literals, blank nodes, quoted (RDF-star) triples."""
+
+from __future__ import annotations
+
+from typing import Any, NamedTuple, Optional, Union
+
+
+class URIRef(str):
+    """A URI reference.  Subclasses ``str`` so it hashes/compares as its text."""
+
+    __slots__ = ()
+
+    def n3(self) -> str:
+        """N-Triples serialization of the term."""
+        return f"<{self}>"
+
+    def local_name(self) -> str:
+        """The fragment after the last ``/`` or ``#`` (for display purposes)."""
+        text = str(self)
+        for separator in ("#", "/"):
+            if separator in text:
+                candidate = text.rsplit(separator, 1)[1]
+                if candidate:
+                    return candidate
+        return text
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"URIRef({str(self)!r})"
+
+
+class BNode(str):
+    """A blank node identified by a local label."""
+
+    __slots__ = ()
+
+    def n3(self) -> str:
+        return f"_:{self}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"BNode({str(self)!r})"
+
+
+def _escape_literal(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+        .replace("\r", "\\r")
+        .replace("\t", "\\t")
+    )
+
+
+def _unescape_literal(text: str) -> str:
+    return (
+        text.replace("\\t", "\t")
+        .replace("\\r", "\r")
+        .replace("\\n", "\n")
+        .replace('\\"', '"')
+        .replace("\\\\", "\\")
+    )
+
+
+class Literal:
+    """An RDF literal with an optional datatype or language tag.
+
+    Python ``int``, ``float`` and ``bool`` values round-trip through the
+    corresponding XSD datatypes via :meth:`to_python`.
+    """
+
+    __slots__ = ("value", "datatype", "language")
+
+    def __init__(
+        self,
+        value: Any,
+        datatype: Optional["URIRef"] = None,
+        language: Optional[str] = None,
+    ):
+        from repro.rdf.namespace import XSD
+
+        if isinstance(value, bool):
+            self.value: str = "true" if value else "false"
+            self.datatype: Optional[URIRef] = datatype or XSD.boolean
+        elif isinstance(value, int):
+            self.value = str(value)
+            self.datatype = datatype or XSD.integer
+        elif isinstance(value, float):
+            self.value = repr(value)
+            self.datatype = datatype or XSD.double
+        else:
+            self.value = str(value)
+            self.datatype = datatype
+        self.language = language
+
+    def to_python(self) -> Any:
+        """Convert back to a Python value based on the datatype."""
+        from repro.rdf.namespace import XSD
+
+        if self.datatype == XSD.boolean:
+            return self.value == "true"
+        if self.datatype in (XSD.integer, XSD.int, XSD.long):
+            try:
+                return int(self.value)
+            except ValueError:
+                return self.value
+        if self.datatype in (XSD.double, XSD.float, XSD.decimal):
+            try:
+                return float(self.value)
+            except ValueError:
+                return self.value
+        return self.value
+
+    def n3(self) -> str:
+        base = f'"{_escape_literal(self.value)}"'
+        if self.language:
+            return f"{base}@{self.language}"
+        if self.datatype:
+            return f"{base}^^<{self.datatype}>"
+        return base
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Literal):
+            return NotImplemented
+        return (
+            self.value == other.value
+            and self.datatype == other.datatype
+            and self.language == other.language
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.value, self.datatype, self.language))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"Literal({self.value!r}, datatype={self.datatype!r})"
+
+    @staticmethod
+    def unescape(text: str) -> str:
+        """Inverse of the N-Triples literal escaping."""
+        return _unescape_literal(text)
+
+
+class Triple(NamedTuple):
+    """An RDF triple ``(subject, predicate, object)``."""
+
+    subject: Any
+    predicate: Any
+    object: Any
+
+    def n3(self) -> str:
+        return f"{term_n3(self.subject)} {term_n3(self.predicate)} {term_n3(self.object)} ."
+
+
+class QuotedTriple:
+    """An RDF-star quoted triple usable as the subject of annotation triples."""
+
+    __slots__ = ("subject", "predicate", "object")
+
+    def __init__(self, subject: Any, predicate: Any, obj: Any):
+        self.subject = subject
+        self.predicate = predicate
+        self.object = obj
+
+    def as_triple(self) -> Triple:
+        return Triple(self.subject, self.predicate, self.object)
+
+    def n3(self) -> str:
+        return (
+            f"<< {term_n3(self.subject)} {term_n3(self.predicate)} "
+            f"{term_n3(self.object)} >>"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuotedTriple):
+            return NotImplemented
+        return (
+            self.subject == other.subject
+            and self.predicate == other.predicate
+            and self.object == other.object
+        )
+
+    def __hash__(self) -> int:
+        return hash(("<<>>", self.subject, self.predicate, self.object))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"QuotedTriple({self.subject!r}, {self.predicate!r}, {self.object!r})"
+
+
+Term = Union[URIRef, BNode, Literal, QuotedTriple]
+
+
+def term_n3(term: Any) -> str:
+    """N-Triples serialization of any term (plain strings become literals)."""
+    if isinstance(term, (URIRef, BNode, Literal, QuotedTriple)):
+        return term.n3()
+    return Literal(term).n3()

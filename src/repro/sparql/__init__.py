@@ -1,0 +1,13 @@
+"""A SPARQL subset parser and evaluator over :class:`repro.rdf.QuadStore`.
+
+KGLiDS implements most of its predefined operations as SPARQL queries against
+the LiDS graph stored in GraphDB.  This package provides the query engine the
+reproduction needs: SELECT queries with basic graph patterns, FILTER,
+OPTIONAL, UNION, GRAPH, aggregates with GROUP BY, ORDER BY and LIMIT/OFFSET,
+plus RDF-star quoted-triple patterns for reading similarity scores.
+"""
+
+from repro.sparql.engine import SPARQLEngine, SelectResult
+from repro.sparql.parser import parse_query
+
+__all__ = ["SPARQLEngine", "SelectResult", "parse_query"]

@@ -1,0 +1,423 @@
+"""Evaluation of parsed SPARQL queries over a :class:`~repro.rdf.QuadStore`."""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.rdf.namespace import DEFAULT_PREFIXES
+from repro.rdf.store import QuadStore
+from repro.rdf.terms import Literal, QuotedTriple, URIRef
+from repro.sparql.algebra import (
+    Aggregate,
+    BindClause,
+    BooleanExpr,
+    Comparison,
+    ConstExpr,
+    Expression,
+    FilterClause,
+    FunctionCall,
+    GroupPattern,
+    NamedGraphPattern,
+    NotExpr,
+    OptionalPattern,
+    QuotedPattern,
+    SelectQuery,
+    TriplePattern,
+    UnionPattern,
+    Var,
+    VarExpr,
+)
+from repro.sparql.parser import parse_query
+
+Binding = Dict[str, Any]
+
+
+class SelectResult:
+    """The result of a SELECT query: variable names plus rows of bindings."""
+
+    def __init__(self, variables: List[str], rows: List[Dict[str, Any]]):
+        self.variables = variables
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def column(self, variable: str) -> List[Any]:
+        """All values bound to ``variable`` across rows (``None`` when unbound)."""
+        return [row.get(variable) for row in self.rows]
+
+    def to_table(self, name: str = "query_result"):
+        """Convert to a :class:`repro.tabular.Table` (the paper returns DataFrames)."""
+        from repro.tabular import Column, Table
+
+        table = Table(name)
+        for variable in self.variables:
+            table.add_column(Column(variable, [row.get(variable) for row in self.rows]))
+        return table
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"SelectResult(variables={self.variables}, rows={len(self.rows)})"
+
+
+def _to_python(value: Any) -> Any:
+    if isinstance(value, Literal):
+        return value.to_python()
+    return value
+
+
+def _term_matches(pattern_term: Any, value: Any, binding: Binding) -> Optional[Binding]:
+    """Try to match one pattern term against a concrete value, extending the binding."""
+    if isinstance(pattern_term, Var):
+        bound = binding.get(str(pattern_term))
+        if bound is None:
+            extended = dict(binding)
+            extended[str(pattern_term)] = value
+            return extended
+        return binding if bound == value else None
+    if isinstance(pattern_term, QuotedPattern):
+        if not isinstance(value, QuotedTriple):
+            return None
+        current: Optional[Binding] = binding
+        for part, concrete in (
+            (pattern_term.subject, value.subject),
+            (pattern_term.predicate, value.predicate),
+            (pattern_term.object, value.object),
+        ):
+            current = _term_matches(part, concrete, current)
+            if current is None:
+                return None
+        return current
+    return binding if pattern_term == value else None
+
+
+class SPARQLEngine:
+    """Evaluates SELECT queries against a quad store."""
+
+    def __init__(self, store: QuadStore, prefixes=None):
+        self.store = store
+        self.prefixes = prefixes or DEFAULT_PREFIXES
+
+    # ------------------------------------------------------------------ API
+    def select(self, query: str) -> SelectResult:
+        """Parse and evaluate a SELECT query."""
+        parsed = parse_query(query, self.prefixes)
+        return self.evaluate(parsed)
+
+    def evaluate(self, query: SelectQuery) -> SelectResult:
+        """Evaluate an already-parsed query."""
+        solutions = self._evaluate_group(query.where, [dict()], graph=None)
+        if query.has_aggregates():
+            rows = self._aggregate(query, solutions)
+        else:
+            rows = solutions
+        # ORDER BY is applied before projection (SPARQL semantics), so sort
+        # keys may reference variables that are not selected.
+        rows = self._order(query, rows)
+        variables = self._result_variables(query, rows)
+        projected = self._project(query, rows, variables)
+        if query.distinct:
+            projected = self._distinct(projected)
+        if query.offset:
+            projected = projected[query.offset :]
+        if query.limit is not None:
+            projected = projected[: query.limit]
+        return SelectResult(variables, projected)
+
+    # ------------------------------------------------------------ evaluation
+    def _evaluate_group(
+        self, group: GroupPattern, solutions: List[Binding], graph: Optional[Any]
+    ) -> List[Binding]:
+        filters: List[FilterClause] = []
+        current = solutions
+        for element in group.elements:
+            if isinstance(element, TriplePattern):
+                current = self._join_pattern(element, current, graph)
+            elif isinstance(element, FilterClause):
+                filters.append(element)
+            elif isinstance(element, OptionalPattern):
+                current = self._left_join(element.group, current, graph)
+            elif isinstance(element, UnionPattern):
+                merged: List[Binding] = []
+                for branch in element.branches:
+                    merged.extend(self._evaluate_group(branch, current, graph))
+                current = merged
+            elif isinstance(element, NamedGraphPattern):
+                current = self._evaluate_named_graph(element, current)
+            elif isinstance(element, BindClause):
+                bound: List[Binding] = []
+                for solution in current:
+                    extended = dict(solution)
+                    extended[str(element.variable)] = self._evaluate_expression(
+                        element.expression, solution
+                    )
+                    bound.append(extended)
+                current = bound
+            else:  # pragma: no cover - parser only produces the above
+                raise TypeError(f"unexpected group element {element!r}")
+        for filter_clause in filters:
+            current = [
+                solution
+                for solution in current
+                if self._truth(self._evaluate_expression(filter_clause.expression, solution))
+            ]
+        return current
+
+    def _join_pattern(
+        self, pattern: TriplePattern, solutions: List[Binding], graph: Optional[Any]
+    ) -> List[Binding]:
+        results: List[Binding] = []
+        for solution in solutions:
+            subject = self._resolve(pattern.subject, solution)
+            predicate = self._resolve(pattern.predicate, solution)
+            obj = self._resolve(pattern.object, solution)
+            lookup_subject = subject if not isinstance(subject, (Var, QuotedPattern)) else None
+            lookup_predicate = predicate if not isinstance(predicate, Var) else None
+            lookup_object = obj if not isinstance(obj, (Var, QuotedPattern)) else None
+            graph_name = None
+            if graph is not None and not isinstance(graph, Var):
+                graph_name = graph
+            for triple, triple_graph in self.store.match(
+                lookup_subject, lookup_predicate, lookup_object, graph_name
+            ):
+                binding: Optional[Binding] = solution
+                if graph is not None and isinstance(graph, Var):
+                    binding = _term_matches(graph, triple_graph, binding)
+                    if binding is None:
+                        continue
+                for pattern_term, value in (
+                    (subject, triple.subject),
+                    (predicate, triple.predicate),
+                    (obj, triple.object),
+                ):
+                    binding = _term_matches(pattern_term, value, binding)
+                    if binding is None:
+                        break
+                if binding is not None:
+                    results.append(binding)
+        return results
+
+    def _left_join(
+        self, group: GroupPattern, solutions: List[Binding], graph: Optional[Any]
+    ) -> List[Binding]:
+        results: List[Binding] = []
+        for solution in solutions:
+            extended = self._evaluate_group(group, [solution], graph)
+            if extended:
+                results.extend(extended)
+            else:
+                results.append(solution)
+        return results
+
+    def _evaluate_named_graph(
+        self, element: NamedGraphPattern, solutions: List[Binding]
+    ) -> List[Binding]:
+        results: List[Binding] = []
+        if isinstance(element.graph, Var):
+            for graph_name in self.store.graphs():
+                seeded = []
+                for solution in solutions:
+                    binding = _term_matches(element.graph, graph_name, solution)
+                    if binding is not None:
+                        seeded.append(binding)
+                if seeded:
+                    results.extend(self._evaluate_group(element.group, seeded, graph_name))
+            return results
+        return self._evaluate_group(element.group, solutions, element.graph)
+
+    @staticmethod
+    def _resolve(term: Any, binding: Binding) -> Any:
+        if isinstance(term, Var):
+            return binding.get(str(term), term)
+        return term
+
+    # ----------------------------------------------------------- expressions
+    def _evaluate_expression(self, expression: Expression, binding: Binding) -> Any:
+        if isinstance(expression, VarExpr):
+            return _to_python(binding.get(str(expression.variable)))
+        if isinstance(expression, ConstExpr):
+            return _to_python(expression.value)
+        if isinstance(expression, Comparison):
+            left = self._evaluate_expression(expression.left, binding)
+            right = self._evaluate_expression(expression.right, binding)
+            return self._compare(expression.operator, left, right)
+        if isinstance(expression, BooleanExpr):
+            left = self._truth(self._evaluate_expression(expression.left, binding))
+            if expression.operator == "&&":
+                return left and self._truth(self._evaluate_expression(expression.right, binding))
+            return left or self._truth(self._evaluate_expression(expression.right, binding))
+        if isinstance(expression, NotExpr):
+            return not self._truth(self._evaluate_expression(expression.operand, binding))
+        if isinstance(expression, FunctionCall):
+            return self._evaluate_function(expression, binding)
+        raise TypeError(f"unexpected expression {expression!r}")
+
+    def _evaluate_function(self, call: FunctionCall, binding: Binding) -> Any:
+        name = call.name
+        if name == "bound":
+            argument = call.arguments[0]
+            if isinstance(argument, VarExpr):
+                return binding.get(str(argument.variable)) is not None
+            return True
+        arguments = [self._evaluate_expression(a, binding) for a in call.arguments]
+        if name == "regex":
+            flags = re.IGNORECASE if len(arguments) > 2 and "i" in str(arguments[2]) else 0
+            return bool(re.search(str(arguments[1]), str(arguments[0] or ""), flags))
+        if name == "contains":
+            return str(arguments[1]).lower() in str(arguments[0] or "").lower()
+        if name == "strstarts":
+            return str(arguments[0] or "").startswith(str(arguments[1]))
+        if name == "strends":
+            return str(arguments[0] or "").endswith(str(arguments[1]))
+        if name == "str":
+            return str(arguments[0]) if arguments[0] is not None else ""
+        if name == "lcase":
+            return str(arguments[0] or "").lower()
+        if name == "ucase":
+            return str(arguments[0] or "").upper()
+        if name == "strlen":
+            return len(str(arguments[0] or ""))
+        if name == "xsd" or name == "datatype":  # pragma: no cover - rarely used
+            return arguments[0]
+        raise ValueError(f"unsupported SPARQL function {name!r}")
+
+    @staticmethod
+    def _compare(operator: str, left: Any, right: Any) -> bool:
+        if left is None or right is None:
+            return False
+        if isinstance(left, bool) or isinstance(right, bool):
+            left_cmp, right_cmp = bool(left), bool(right)
+        elif isinstance(left, (int, float)) and isinstance(right, (int, float)):
+            left_cmp, right_cmp = float(left), float(right)
+        else:
+            left_cmp, right_cmp = str(left), str(right)
+        if operator == "=":
+            return left_cmp == right_cmp
+        if operator == "!=":
+            return left_cmp != right_cmp
+        if operator == "<":
+            return left_cmp < right_cmp
+        if operator == "<=":
+            return left_cmp <= right_cmp
+        if operator == ">":
+            return left_cmp > right_cmp
+        if operator == ">=":
+            return left_cmp >= right_cmp
+        raise ValueError(f"unknown comparison operator {operator!r}")
+
+    @staticmethod
+    def _truth(value: Any) -> bool:
+        if isinstance(value, bool):
+            return value
+        return bool(value)
+
+    # ------------------------------------------------------------ projection
+    def _result_variables(self, query: SelectQuery, rows: List[Binding]) -> List[str]:
+        if query.is_select_star():
+            seen: List[str] = []
+            for row in rows:
+                for key in row:
+                    if key not in seen:
+                        seen.append(key)
+            return seen
+        names: List[str] = []
+        for item in query.variables:
+            if isinstance(item, Aggregate):
+                names.append(str(item.alias))
+            else:
+                names.append(str(item))
+        return names
+
+    def _project(
+        self, query: SelectQuery, rows: List[Binding], variables: List[str]
+    ) -> List[Dict[str, Any]]:
+        projected: List[Dict[str, Any]] = []
+        for row in rows:
+            projected.append({name: _to_python(row.get(name)) for name in variables})
+        return projected
+
+    @staticmethod
+    def _distinct(rows: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        seen = set()
+        unique: List[Dict[str, Any]] = []
+        for row in rows:
+            key = tuple(sorted((k, str(v)) for k, v in row.items()))
+            if key not in seen:
+                seen.add(key)
+                unique.append(row)
+        return unique
+
+    @staticmethod
+    def _order(query: SelectQuery, rows: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        for variable, ascending in reversed(query.order_by):
+            name = str(variable)
+
+            def sort_key(row, _name=name):
+                value = _to_python(row.get(_name))
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    return (0, value, "")
+                return (1, 0, str(value))
+
+            rows = sorted(rows, key=sort_key, reverse=not ascending)
+        return rows
+
+    # ------------------------------------------------------------ aggregates
+    def _aggregate(self, query: SelectQuery, solutions: List[Binding]) -> List[Dict[str, Any]]:
+        groups: Dict[Tuple, List[Binding]] = {}
+        for solution in solutions:
+            key = tuple(str(_to_python(solution.get(str(v)))) for v in query.group_by)
+            groups.setdefault(key, []).append(solution)
+        if not query.group_by and not groups:
+            groups[()] = []
+        rows: List[Dict[str, Any]] = []
+        for key, members in groups.items():
+            row: Dict[str, Any] = {}
+            for variable, value in zip(query.group_by, key):
+                representative = members[0].get(str(variable)) if members else value
+                row[str(variable)] = _to_python(representative)
+            for item in query.variables:
+                if isinstance(item, Aggregate):
+                    row[str(item.alias)] = self._compute_aggregate(item, members)
+                elif str(item) not in row:
+                    row[str(item)] = _to_python(members[0].get(str(item))) if members else None
+            rows.append(row)
+        return rows
+
+    @staticmethod
+    def _compute_aggregate(aggregate: Aggregate, members: List[Binding]) -> Any:
+        if aggregate.argument is None:
+            values: Iterable[Any] = [1] * len(members)
+        else:
+            values = [
+                _to_python(member.get(str(aggregate.argument)))
+                for member in members
+                if member.get(str(aggregate.argument)) is not None
+            ]
+        values = list(values)
+        if aggregate.distinct:
+            seen = set()
+            unique = []
+            for value in values:
+                key = str(value)
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(value)
+            values = unique
+        if aggregate.function == "count":
+            return len(values)
+        if not values:
+            return None
+        if aggregate.function == "sum":
+            return sum(float(v) for v in values)
+        if aggregate.function == "avg":
+            return sum(float(v) for v in values) / len(values)
+        if aggregate.function == "min":
+            return min(values)
+        if aggregate.function == "max":
+            return max(values)
+        if aggregate.function == "sample":
+            return values[0]
+        raise ValueError(f"unknown aggregate {aggregate.function!r}")

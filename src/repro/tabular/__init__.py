@@ -1,0 +1,35 @@
+"""A lightweight, column-oriented tabular data layer.
+
+KGLiDS proper is built on top of Pandas DataFrames and Spark DataFrames.  This
+package provides the subset of that functionality the platform actually needs:
+typed columns, CSV/JSON ingestion, sampling, selection and missing-value
+handling.  All higher layers (profiler, automation, interfaces) exchange
+:class:`Table` objects where the paper exchanges DataFrames.
+"""
+
+from repro.tabular.column import Column
+from repro.tabular.datalake import DataLake, DatasetSource
+from repro.tabular.io import read_csv, read_json_records, write_csv
+from repro.tabular.table import Table
+from repro.tabular.values import (
+    MISSING_TOKENS,
+    coerce_bool,
+    coerce_float,
+    is_missing,
+    parse_value,
+)
+
+__all__ = [
+    "Column",
+    "Table",
+    "DataLake",
+    "DatasetSource",
+    "read_csv",
+    "write_csv",
+    "read_json_records",
+    "parse_value",
+    "is_missing",
+    "coerce_float",
+    "coerce_bool",
+    "MISSING_TOKENS",
+]

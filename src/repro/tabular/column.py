@@ -1,0 +1,197 @@
+"""The :class:`Column` container: a named, typed sequence of cell values."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import Any, Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.tabular.values import (
+    coerce_bool,
+    coerce_float,
+    is_missing,
+    looks_like_date,
+    parse_value,
+)
+
+#: Coarse column dtypes used by the tabular layer (the profiler refines these
+#: into the 7 fine-grained types of the paper).
+DTYPE_INT = "int"
+DTYPE_FLOAT = "float"
+DTYPE_BOOL = "bool"
+DTYPE_STRING = "string"
+DTYPE_DATE = "date"
+DTYPE_EMPTY = "empty"
+
+
+class Column:
+    """A named column of values.
+
+    Values are plain Python objects (``int``, ``float``, ``bool``, ``str`` or
+    ``None`` for missing cells).  The coarse dtype is inferred lazily from the
+    non-missing values and cached.
+    """
+
+    def __init__(self, name: str, values: Iterable[Any], parse: bool = False):
+        self.name = str(name)
+        if parse:
+            self._values: List[Any] = [parse_value(v) for v in values]
+        else:
+            self._values = list(values)
+        self._dtype: Optional[str] = None
+
+    # ------------------------------------------------------------------ basic
+    @property
+    def values(self) -> List[Any]:
+        """The underlying list of values (shared, not copied)."""
+        return self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._values)
+
+    def __getitem__(self, index: int) -> Any:
+        return self._values[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Column):
+            return NotImplemented
+        return self.name == other.name and self._values == other._values
+
+    def __repr__(self) -> str:
+        return f"Column(name={self.name!r}, n={len(self)}, dtype={self.dtype})"
+
+    def copy(self) -> "Column":
+        """Return a deep-enough copy (values list is copied)."""
+        return Column(self.name, list(self._values))
+
+    # ------------------------------------------------------------------ dtype
+    @property
+    def dtype(self) -> str:
+        """The inferred coarse dtype of the column."""
+        if self._dtype is None:
+            self._dtype = self._infer_dtype()
+        return self._dtype
+
+    def _infer_dtype(self) -> str:
+        non_missing = [v for v in self._values if not is_missing(v)]
+        if not non_missing:
+            return DTYPE_EMPTY
+        if all(isinstance(v, bool) for v in non_missing):
+            return DTYPE_BOOL
+        if all(isinstance(v, bool) or coerce_bool(v) is not None for v in non_missing):
+            distinct = {str(v).strip().lower() for v in non_missing}
+            if len(distinct) <= 2:
+                return DTYPE_BOOL
+        if all(isinstance(v, int) and not isinstance(v, bool) for v in non_missing):
+            return DTYPE_INT
+        if all(
+            isinstance(v, (int, float)) and not isinstance(v, bool)
+            for v in non_missing
+        ):
+            return DTYPE_FLOAT
+        strings = [v for v in non_missing if isinstance(v, str)]
+        if strings and all(looks_like_date(v) for v in strings):
+            if len(strings) == len(non_missing):
+                return DTYPE_DATE
+        return DTYPE_STRING
+
+    def invalidate_dtype(self) -> None:
+        """Force dtype re-inference after in-place mutation of values."""
+        self._dtype = None
+
+    # ------------------------------------------------------------ missingness
+    def missing_count(self) -> int:
+        """Number of missing cells."""
+        return sum(1 for v in self._values if is_missing(v))
+
+    def missing_ratio(self) -> float:
+        """Fraction of missing cells (0.0 for an empty column)."""
+        if not self._values:
+            return 0.0
+        return self.missing_count() / len(self._values)
+
+    def non_missing(self) -> List[Any]:
+        """The list of non-missing values."""
+        return [v for v in self._values if not is_missing(v)]
+
+    def has_missing(self) -> bool:
+        """``True`` when at least one cell is missing."""
+        return any(is_missing(v) for v in self._values)
+
+    # ------------------------------------------------------------- statistics
+    def distinct_count(self) -> int:
+        """Number of distinct non-missing values."""
+        return len({self._hashable(v) for v in self.non_missing()})
+
+    def value_counts(self) -> Counter:
+        """Counter of non-missing values."""
+        return Counter(self._hashable(v) for v in self.non_missing())
+
+    def most_frequent(self) -> Any:
+        """Most frequent non-missing value (``None`` for an all-missing column)."""
+        counts = self.value_counts()
+        if not counts:
+            return None
+        return counts.most_common(1)[0][0]
+
+    @staticmethod
+    def _hashable(value: Any) -> Any:
+        return value if not isinstance(value, (list, dict)) else str(value)
+
+    def to_float_array(self, fill: float = float("nan")) -> np.ndarray:
+        """Return values as a float array; non-numeric or missing cells -> ``fill``."""
+        out = np.full(len(self._values), fill, dtype=float)
+        for i, value in enumerate(self._values):
+            numeric = coerce_float(value)
+            if numeric is not None:
+                out[i] = numeric
+        return out
+
+    def numeric_values(self) -> List[float]:
+        """The coercible numeric values (missing / non-numeric dropped)."""
+        out = []
+        for value in self._values:
+            numeric = coerce_float(value)
+            if numeric is not None:
+                out.append(numeric)
+        return out
+
+    def true_ratio(self) -> float:
+        """Fraction of non-missing values that coerce to ``True``.
+
+        This is the statistic Algorithm 3 uses for boolean content similarity.
+        """
+        flags = [coerce_bool(v) for v in self.non_missing()]
+        flags = [f for f in flags if f is not None]
+        if not flags:
+            return 0.0
+        return sum(1 for f in flags if f) / len(flags)
+
+    # --------------------------------------------------------------- sampling
+    def sample(self, n: int, seed: int = 0) -> List[Any]:
+        """Return up to ``n`` non-missing values sampled without replacement."""
+        pool = self.non_missing()
+        if len(pool) <= n:
+            return list(pool)
+        rng = random.Random(seed)
+        return rng.sample(pool, n)
+
+    # ------------------------------------------------------------- transforms
+    def map(self, fn, name: Optional[str] = None) -> "Column":
+        """Return a new column with ``fn`` applied to every value."""
+        return Column(name or self.name, [fn(v) for v in self._values])
+
+    def fill_missing(self, value: Any) -> "Column":
+        """Return a copy with missing cells replaced by ``value``."""
+        return Column(
+            self.name, [value if is_missing(v) else v for v in self._values]
+        )
+
+    def take(self, indices: Sequence[int]) -> "Column":
+        """Return a new column with the rows at ``indices`` (in that order)."""
+        return Column(self.name, [self._values[i] for i in indices])

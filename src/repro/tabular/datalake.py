@@ -1,0 +1,168 @@
+"""Data-lake abstraction: named datasets, each holding a set of tables.
+
+KGLiDS bootstraps by pointing the KG Governor at one or more *data sources*
+(data portals, lab shares, HDFS directories in Figure 1).  This module models
+that layout: a :class:`DataLake` is a collection of :class:`DatasetSource`
+objects, and each source owns the tables of one dataset.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.tabular.io import read_csv, read_json_records
+from repro.tabular.table import Table
+
+PathLike = Union[str, Path]
+
+
+class DatasetSource:
+    """One dataset (e.g. a Kaggle dataset or a lab share) holding tables."""
+
+    def __init__(self, name: str, tables: Optional[Iterable[Table]] = None):
+        self.name = str(name)
+        self._tables: Dict[str, Table] = {}
+        for table in tables or []:
+            self.add_table(table)
+
+    def add_table(self, table: Table) -> None:
+        """Register a table under this dataset (name must be unique)."""
+        if table.name in self._tables:
+            raise ValueError(
+                f"dataset {self.name!r} already contains table {table.name!r}"
+            )
+        table.dataset = self.name
+        self._tables[table.name] = table
+
+    @property
+    def tables(self) -> List[Table]:
+        """The tables in insertion order."""
+        return list(self._tables.values())
+
+    @property
+    def table_names(self) -> List[str]:
+        return list(self._tables.keys())
+
+    def table(self, name: str) -> Table:
+        """Return the table named ``name``."""
+        if name not in self._tables:
+            raise KeyError(
+                f"dataset {self.name!r} has no table {name!r}; "
+                f"available: {self.table_names}"
+            )
+        return self._tables[name]
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __repr__(self) -> str:
+        return f"DatasetSource(name={self.name!r}, tables={len(self)})"
+
+
+class DataLake:
+    """A collection of datasets, the unit the KG Governor profiles."""
+
+    def __init__(self, name: str = "data_lake", datasets: Optional[Iterable[DatasetSource]] = None):
+        self.name = str(name)
+        self._datasets: Dict[str, DatasetSource] = {}
+        for dataset in datasets or []:
+            self.add_dataset(dataset)
+
+    # ------------------------------------------------------------ population
+    def add_dataset(self, dataset: DatasetSource) -> None:
+        if dataset.name in self._datasets:
+            raise ValueError(f"data lake already contains dataset {dataset.name!r}")
+        self._datasets[dataset.name] = dataset
+
+    def add_table(self, dataset_name: str, table: Table) -> None:
+        """Add a table, creating the dataset on demand."""
+        if dataset_name not in self._datasets:
+            self._datasets[dataset_name] = DatasetSource(dataset_name)
+        self._datasets[dataset_name].add_table(table)
+
+    @classmethod
+    def from_directory(cls, root: PathLike, name: Optional[str] = None) -> "DataLake":
+        """Load a lake from a directory tree ``root/<dataset>/<table>.{csv,json}``.
+
+        Files placed directly under ``root`` are grouped into a dataset named
+        after the root directory.
+        """
+        root = Path(root)
+        lake = cls(name or root.name)
+        for path in sorted(root.rglob("*")):
+            if path.suffix.lower() not in (".csv", ".json") or not path.is_file():
+                continue
+            relative = path.relative_to(root)
+            dataset_name = relative.parts[0] if len(relative.parts) > 1 else root.name
+            if path.suffix.lower() == ".csv":
+                table = read_csv(path, dataset=dataset_name)
+            else:
+                table = read_json_records(path, dataset=dataset_name)
+            lake.add_table(dataset_name, table)
+        return lake
+
+    # ---------------------------------------------------------------- access
+    @property
+    def datasets(self) -> List[DatasetSource]:
+        return list(self._datasets.values())
+
+    @property
+    def dataset_names(self) -> List[str]:
+        return list(self._datasets.keys())
+
+    def dataset(self, name: str) -> DatasetSource:
+        if name not in self._datasets:
+            raise KeyError(
+                f"data lake has no dataset {name!r}; available: {self.dataset_names}"
+            )
+        return self._datasets[name]
+
+    def tables(self) -> List[Table]:
+        """All tables across all datasets."""
+        return [table for dataset in self.datasets for table in dataset.tables]
+
+    def table(self, dataset_name: str, table_name: str) -> Table:
+        return self.dataset(dataset_name).table(table_name)
+
+    def find_table(self, table_name: str) -> Optional[Table]:
+        """Find a table by name across datasets (first match)."""
+        for dataset in self.datasets:
+            if dataset.has_table(table_name):
+                return dataset.table(table_name)
+        return None
+
+    def iter_columns(self) -> Iterator[Tuple[Table, str]]:
+        """Iterate over ``(table, column name)`` pairs across the lake."""
+        for table in self.tables():
+            for column_name in table.column_names:
+                yield table, column_name
+
+    # ----------------------------------------------------------------- stats
+    @property
+    def num_tables(self) -> int:
+        return sum(len(dataset) for dataset in self.datasets)
+
+    @property
+    def num_columns(self) -> int:
+        return sum(table.num_columns for table in self.tables())
+
+    @property
+    def num_rows(self) -> int:
+        return sum(table.num_rows for table in self.tables())
+
+    def estimated_size_bytes(self) -> int:
+        """Rough in-memory footprint of the lake (benchmark bookkeeping)."""
+        return sum(table.estimated_size_bytes() for table in self.tables())
+
+    def __len__(self) -> int:
+        return len(self._datasets)
+
+    def __repr__(self) -> str:
+        return (
+            f"DataLake(name={self.name!r}, datasets={len(self)}, "
+            f"tables={self.num_tables})"
+        )

@@ -1,0 +1,83 @@
+"""CSV / JSON ingestion and export for :class:`~repro.tabular.Table`."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.tabular.table import Table
+from repro.tabular.values import is_missing
+
+PathLike = Union[str, Path]
+
+
+def read_csv(
+    path: PathLike,
+    name: Optional[str] = None,
+    dataset: str = "",
+    delimiter: str = ",",
+    parse: bool = True,
+) -> Table:
+    """Read a CSV file into a :class:`Table`.
+
+    The first row is the header.  Cell values are parsed into typed Python
+    values unless ``parse`` is ``False``.
+    """
+    path = Path(path)
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        rows = list(reader)
+    if not rows:
+        return Table(name or path.stem, dataset=dataset)
+    header, data_rows = rows[0], rows[1:]
+    return Table.from_rows(
+        name or path.stem, header, data_rows, dataset=dataset, parse=parse
+    )
+
+
+def write_csv(table: Table, path: PathLike, delimiter: str = ",") -> Path:
+    """Write a :class:`Table` to a CSV file and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(table.column_names)
+        for row in table.iter_rows():
+            writer.writerow(
+                ["" if is_missing(value) else value for value in row.values()]
+            )
+    return path
+
+
+def read_json_records(
+    path: PathLike, name: Optional[str] = None, dataset: str = ""
+) -> Table:
+    """Read a JSON file containing a list of flat record objects into a Table.
+
+    Keys missing from individual records become missing cells, which mirrors
+    how semi-structured JSON data lands in a data lake.
+    """
+    path = Path(path)
+    with path.open(encoding="utf-8") as handle:
+        records = json.load(handle)
+    if not isinstance(records, list):
+        raise ValueError(f"{path} does not contain a JSON array of records")
+    return table_from_records(name or path.stem, records, dataset=dataset)
+
+
+def table_from_records(
+    name: str, records: Iterable[Dict[str, Any]], dataset: str = ""
+) -> Table:
+    """Build a Table from an iterable of record dictionaries."""
+    records = list(records)
+    header: List[str] = []
+    seen = set()
+    for record in records:
+        for key in record:
+            if key not in seen:
+                seen.add(key)
+                header.append(key)
+    rows = [[record.get(key) for key in header] for record in records]
+    return Table.from_rows(name, header, rows, dataset=dataset, parse=True)

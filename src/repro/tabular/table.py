@@ -1,0 +1,330 @@
+"""The :class:`Table` container: a named collection of equally-long columns."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.tabular.column import Column
+from repro.tabular.values import coerce_float, is_missing
+
+
+class Table:
+    """A column-oriented table.
+
+    The table plays the role Pandas DataFrames play in the original KGLiDS
+    implementation: it is what pipelines read, what the profiler inspects and
+    what the automation APIs take as input and return as output.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Optional[Iterable[Column]] = None,
+        dataset: str = "",
+    ):
+        self.name = str(name)
+        #: Name of the dataset (data-lake folder) this table belongs to.
+        self.dataset = dataset
+        self._columns: Dict[str, Column] = {}
+        for column in columns or []:
+            self.add_column(column)
+
+    # ----------------------------------------------------------- constructors
+    @classmethod
+    def from_dict(
+        cls, name: str, data: Dict[str, Sequence[Any]], dataset: str = ""
+    ) -> "Table":
+        """Build a table from ``{column name: values}``."""
+        table = cls(name, dataset=dataset)
+        for column_name, values in data.items():
+            table.add_column(Column(column_name, values))
+        return table
+
+    @classmethod
+    def from_rows(
+        cls,
+        name: str,
+        header: Sequence[str],
+        rows: Iterable[Sequence[Any]],
+        dataset: str = "",
+        parse: bool = True,
+    ) -> "Table":
+        """Build a table from a header plus an iterable of row tuples."""
+        buckets: List[List[Any]] = [[] for _ in header]
+        for row in rows:
+            for i, column_name in enumerate(header):
+                buckets[i].append(row[i] if i < len(row) else None)
+        table = cls(name, dataset=dataset)
+        for column_name, values in zip(header, buckets):
+            table.add_column(Column(column_name, values, parse=parse))
+        return table
+
+    # ----------------------------------------------------------------- basics
+    @property
+    def columns(self) -> List[Column]:
+        """The columns, in insertion order."""
+        return list(self._columns.values())
+
+    @property
+    def column_names(self) -> List[str]:
+        """The column names, in insertion order."""
+        return list(self._columns.keys())
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows (0 for a table without columns)."""
+        if not self._columns:
+            return 0
+        return len(next(iter(self._columns.values())))
+
+    @property
+    def num_columns(self) -> int:
+        """Number of columns."""
+        return len(self._columns)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """``(num_rows, num_columns)``."""
+        return self.num_rows, self.num_columns
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __contains__(self, column_name: str) -> bool:
+        return column_name in self._columns
+
+    def __getitem__(self, column_name: str) -> Column:
+        return self.column(column_name)
+
+    def __repr__(self) -> str:
+        return f"Table(name={self.name!r}, shape={self.shape})"
+
+    def column(self, column_name: str) -> Column:
+        """Return the column named ``column_name`` (raises ``KeyError`` if absent)."""
+        if column_name not in self._columns:
+            raise KeyError(
+                f"table {self.name!r} has no column {column_name!r}; "
+                f"available: {self.column_names}"
+            )
+        return self._columns[column_name]
+
+    def has_column(self, column_name: str) -> bool:
+        """``True`` when the table has a column with that name."""
+        return column_name in self._columns
+
+    # -------------------------------------------------------------- mutation
+    def add_column(self, column: Column, overwrite: bool = False) -> None:
+        """Add (or overwrite) a column; lengths must match existing columns."""
+        if column.name in self._columns and not overwrite:
+            raise ValueError(
+                f"table {self.name!r} already has a column {column.name!r}"
+            )
+        if self._columns and column.name not in self._columns:
+            if len(column) != self.num_rows:
+                raise ValueError(
+                    f"column {column.name!r} has {len(column)} rows, "
+                    f"table {self.name!r} has {self.num_rows}"
+                )
+        self._columns[column.name] = column
+
+    def set_column(self, column: Column) -> None:
+        """Add or replace a column (length must still match)."""
+        self.add_column(column, overwrite=True)
+
+    def rename_column(self, old: str, new: str) -> None:
+        """Rename a column in place, preserving order."""
+        if old not in self._columns:
+            raise KeyError(old)
+        renamed: Dict[str, Column] = {}
+        for name, column in self._columns.items():
+            if name == old:
+                renamed[new] = Column(new, column.values)
+            else:
+                renamed[name] = column
+        self._columns = renamed
+
+    # -------------------------------------------------------------- selection
+    def select(self, column_names: Sequence[str], name: Optional[str] = None) -> "Table":
+        """Return a new table with only the requested columns."""
+        return Table(
+            name or self.name,
+            [self.column(c).copy() for c in column_names],
+            dataset=self.dataset,
+        )
+
+    def drop_columns(self, column_names: Sequence[str], name: Optional[str] = None) -> "Table":
+        """Return a new table without the requested columns."""
+        keep = [c for c in self.column_names if c not in set(column_names)]
+        return self.select(keep, name=name)
+
+    def take_rows(self, indices: Sequence[int], name: Optional[str] = None) -> "Table":
+        """Return a new table with the rows at ``indices`` (in that order)."""
+        return Table(
+            name or self.name,
+            [column.take(indices) for column in self.columns],
+            dataset=self.dataset,
+        )
+
+    def head(self, n: int = 5) -> "Table":
+        """The first ``n`` rows."""
+        return self.take_rows(range(min(n, self.num_rows)))
+
+    def sample_rows(self, n: int, seed: int = 0) -> "Table":
+        """A random sample of up to ``n`` rows (without replacement)."""
+        if self.num_rows <= n:
+            return self.take_rows(range(self.num_rows))
+        rng = random.Random(seed)
+        indices = rng.sample(range(self.num_rows), n)
+        return self.take_rows(indices)
+
+    def drop_rows_with_missing(self, name: Optional[str] = None) -> "Table":
+        """Return a new table keeping only rows with no missing cell."""
+        keep = [
+            i
+            for i in range(self.num_rows)
+            if not any(is_missing(column[i]) for column in self.columns)
+        ]
+        return self.take_rows(keep, name=name)
+
+    # ------------------------------------------------------------------- rows
+    def row(self, index: int) -> Dict[str, Any]:
+        """Return row ``index`` as ``{column name: value}``."""
+        return {name: column[index] for name, column in self._columns.items()}
+
+    def iter_rows(self) -> Iterator[Dict[str, Any]]:
+        """Iterate over rows as dictionaries."""
+        for i in range(self.num_rows):
+            yield self.row(i)
+
+    def to_dict(self) -> Dict[str, List[Any]]:
+        """Return ``{column name: list of values}``."""
+        return {name: list(column.values) for name, column in self._columns.items()}
+
+    def copy(self, name: Optional[str] = None) -> "Table":
+        """Deep-enough copy of the table."""
+        return Table(
+            name or self.name,
+            [column.copy() for column in self.columns],
+            dataset=self.dataset,
+        )
+
+    # ------------------------------------------------------------- numeric ML
+    def numeric_column_names(self) -> List[str]:
+        """Names of columns whose dtype is numeric or boolean."""
+        return [
+            column.name
+            for column in self.columns
+            if column.dtype in ("int", "float", "bool")
+        ]
+
+    def categorical_column_names(self) -> List[str]:
+        """Names of columns with string/date dtype."""
+        return [
+            column.name
+            for column in self.columns
+            if column.dtype in ("string", "date")
+        ]
+
+    def to_feature_matrix(
+        self,
+        target: Optional[str] = None,
+        max_onehot_cardinality: int = 12,
+    ) -> Tuple[np.ndarray, List[str]]:
+        """Encode the table into a dense float feature matrix.
+
+        Numeric and boolean columns map to one feature each; low-cardinality
+        string columns are one-hot encoded; high-cardinality strings are
+        frequency encoded.  Missing numeric cells become the column mean
+        (or 0 when the column has no numeric values at all).  This is the
+        encoding used by the evaluation harness when training the downstream
+        random-forest classifier.
+
+        Returns the matrix and the list of generated feature names.
+        """
+        features: List[np.ndarray] = []
+        names: List[str] = []
+        for column in self.columns:
+            if target is not None and column.name == target:
+                continue
+            if column.dtype in ("int", "float", "bool"):
+                values = column.to_float_array()
+                finite = values[np.isfinite(values)]
+                fill = float(finite.mean()) if finite.size else 0.0
+                values = np.where(np.isfinite(values), values, fill)
+                features.append(values)
+                names.append(column.name)
+            else:
+                non_missing = column.non_missing()
+                distinct = sorted({str(v) for v in non_missing})
+                if 0 < len(distinct) <= max_onehot_cardinality:
+                    for category in distinct:
+                        indicator = np.array(
+                            [
+                                1.0 if (not is_missing(v) and str(v) == category) else 0.0
+                                for v in column.values
+                            ]
+                        )
+                        features.append(indicator)
+                        names.append(f"{column.name}={category}")
+                else:
+                    counts = column.value_counts()
+                    total = max(1, len(non_missing))
+                    encoded = np.array(
+                        [
+                            counts.get(Column._hashable(v), 0) / total
+                            if not is_missing(v)
+                            else 0.0
+                            for v in column.values
+                        ]
+                    )
+                    features.append(encoded)
+                    names.append(f"{column.name}#freq")
+        if not features:
+            return np.zeros((self.num_rows, 0)), []
+        return np.column_stack(features), names
+
+    def target_vector(self, target: str) -> np.ndarray:
+        """Encode the target column as an integer label vector.
+
+        Numeric targets with few distinct values and all string/bool targets
+        are label-encoded; missing labels become the most frequent class.
+        """
+        column = self.column(target)
+        values = column.values
+        labels = sorted(
+            {str(v) for v in values if not is_missing(v)},
+            key=lambda s: (len(s), s),
+        )
+        mapping = {label: i for i, label in enumerate(labels)}
+        most_common = column.most_frequent()
+        default = mapping.get(str(most_common), 0)
+        return np.array(
+            [
+                mapping.get(str(v), default) if not is_missing(v) else default
+                for v in values
+            ],
+            dtype=int,
+        )
+
+    # ------------------------------------------------------------------ stats
+    def missing_cell_count(self) -> int:
+        """Total number of missing cells in the table."""
+        return sum(column.missing_count() for column in self.columns)
+
+    def columns_with_missing(self) -> List[str]:
+        """Names of columns containing at least one missing cell."""
+        return [column.name for column in self.columns if column.has_missing()]
+
+    def estimated_size_bytes(self) -> int:
+        """A rough in-memory size estimate used for benchmark bookkeeping."""
+        total = 0
+        for column in self.columns:
+            for value in column.values:
+                if isinstance(value, str):
+                    total += 50 + len(value)
+                else:
+                    total += 28
+        return total

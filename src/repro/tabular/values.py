@@ -1,0 +1,141 @@
+"""Value-level parsing and coercion helpers shared by the tabular layer.
+
+The raw data KGLiDS ingests comes from CSV and JSON files, where every cell is
+a string.  These helpers turn cell text into typed Python values (``int``,
+``float``, ``bool``, ``str`` or ``None`` for missing) and provide the inverse
+coercions used by the profiler and the ML layer.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Optional
+
+#: Strings that are treated as missing values when parsing raw cells.
+MISSING_TOKENS = frozenset(
+    {"", "na", "n/a", "nan", "null", "none", "missing", "?", "-"}
+)
+
+_TRUE_TOKENS = frozenset({"true", "t", "yes", "y", "1"})
+_FALSE_TOKENS = frozenset({"false", "f", "no", "n", "0"})
+
+_INT_RE = re.compile(r"^[+-]?\d+$")
+_FLOAT_RE = re.compile(r"^[+-]?(\d+\.\d*|\.\d+|\d+)([eE][+-]?\d+)?$")
+
+_DATE_PATTERNS = (
+    re.compile(r"^\d{4}-\d{1,2}-\d{1,2}([ T]\d{1,2}:\d{2}(:\d{2})?)?$"),
+    re.compile(r"^\d{1,2}/\d{1,2}/\d{2,4}$"),
+    re.compile(r"^\d{1,2}-\d{1,2}-\d{4}$"),
+    re.compile(
+        r"^\d{1,2}\s+(jan|feb|mar|apr|may|jun|jul|aug|sep|oct|nov|dec)[a-z]*\s+\d{4}$",
+        re.IGNORECASE,
+    ),
+    re.compile(
+        r"^(jan|feb|mar|apr|may|jun|jul|aug|sep|oct|nov|dec)[a-z]*\s+\d{1,2},?\s+\d{4}$",
+        re.IGNORECASE,
+    ),
+)
+
+
+def is_missing(value: Any) -> bool:
+    """Return ``True`` when ``value`` represents a missing cell."""
+    if value is None:
+        return True
+    if isinstance(value, float) and math.isnan(value):
+        return True
+    if isinstance(value, str) and value.strip().lower() in MISSING_TOKENS:
+        return True
+    return False
+
+
+def looks_like_int(text: str) -> bool:
+    """Return ``True`` when ``text`` is an integer literal."""
+    return bool(_INT_RE.match(text.strip()))
+
+
+def looks_like_float(text: str) -> bool:
+    """Return ``True`` when ``text`` is a numeric literal (int or float)."""
+    return bool(_FLOAT_RE.match(text.strip()))
+
+
+def looks_like_bool(text: str) -> bool:
+    """Return ``True`` when ``text`` is a boolean literal."""
+    return text.strip().lower() in _TRUE_TOKENS or text.strip().lower() in _FALSE_TOKENS
+
+
+def looks_like_date(text: str) -> bool:
+    """Return ``True`` when ``text`` matches one of the supported date layouts."""
+    stripped = text.strip()
+    return any(pattern.match(stripped) for pattern in _DATE_PATTERNS)
+
+
+def parse_value(raw: Any) -> Any:
+    """Parse a raw cell into a typed Python value.
+
+    Strings that look like integers, floats or booleans are converted; missing
+    tokens become ``None``; anything else is returned as a stripped string.
+    Values that are already typed (int/float/bool) pass through unchanged.
+    """
+    if raw is None:
+        return None
+    if isinstance(raw, bool):
+        return raw
+    if isinstance(raw, int):
+        return raw
+    if isinstance(raw, float):
+        return None if math.isnan(raw) else raw
+    text = str(raw).strip()
+    if text.lower() in MISSING_TOKENS:
+        return None
+    if looks_like_int(text):
+        try:
+            return int(text)
+        except ValueError:  # pragma: no cover - defensive, regex should prevent
+            return text
+    if looks_like_float(text):
+        try:
+            return float(text)
+        except ValueError:  # pragma: no cover - defensive
+            return text
+    lowered = text.lower()
+    if lowered in _TRUE_TOKENS and lowered in {"true", "t", "yes", "y"}:
+        return True
+    if lowered in _FALSE_TOKENS and lowered in {"false", "f", "no", "n"}:
+        return False
+    return text
+
+
+def coerce_float(value: Any) -> Optional[float]:
+    """Coerce ``value`` to ``float`` if possible, otherwise return ``None``."""
+    if is_missing(value):
+        return None
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, (int, float)):
+        return float(value)
+    text = str(value).strip()
+    if looks_like_float(text):
+        try:
+            return float(text)
+        except ValueError:  # pragma: no cover - defensive
+            return None
+    return None
+
+
+def coerce_bool(value: Any) -> Optional[bool]:
+    """Coerce ``value`` to ``bool`` if possible, otherwise return ``None``."""
+    if is_missing(value):
+        return None
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        if value in (0, 1):
+            return bool(value)
+        return None
+    text = str(value).strip().lower()
+    if text in _TRUE_TOKENS:
+        return True
+    if text in _FALSE_TOKENS:
+        return False
+    return None

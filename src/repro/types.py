@@ -1,0 +1,45 @@
+"""Shared constants: the fine-grained column data types of KGLiDS.
+
+The profiler classifies every column into one of seven fine-grained types
+(Section 3.2); pairwise column comparison, CoLR models and the GNN feature
+layout all key on these names, so they live in one place.
+"""
+
+#: Numeric integers.
+TYPE_INT = "int"
+#: Numeric floats.
+TYPE_FLOAT = "float"
+#: Boolean columns (content similarity uses the true-ratio, not CoLR).
+TYPE_BOOLEAN = "boolean"
+#: Date / timestamp columns.
+TYPE_DATE = "date"
+#: Named entities (persons, countries, organizations, ...).
+TYPE_NAMED_ENTITY = "named_entity"
+#: Free natural-language text (reviews, comments, ...).
+TYPE_NATURAL_LANGUAGE = "natural_language"
+#: Generic strings that fit none of the above (codes, IDs, ...).
+TYPE_STRING = "string"
+
+#: All seven fine-grained types, in the canonical order used for reporting
+#: (matches the row order of Table 1).
+FINE_GRAINED_TYPES = (
+    TYPE_INT,
+    TYPE_FLOAT,
+    TYPE_BOOLEAN,
+    TYPE_DATE,
+    TYPE_NAMED_ENTITY,
+    TYPE_NATURAL_LANGUAGE,
+    TYPE_STRING,
+)
+
+#: The six types that have CoLR embedding models (booleans are compared via
+#: their true-ratio instead); order defines the layout of the concatenated
+#: 1800-dimensional table embeddings used to initialize the GNN models.
+COLR_TYPES = (
+    TYPE_INT,
+    TYPE_FLOAT,
+    TYPE_DATE,
+    TYPE_NAMED_ENTITY,
+    TYPE_NATURAL_LANGUAGE,
+    TYPE_STRING,
+)

@@ -1,0 +1,179 @@
+"""Tests for the cleaning / transformation operations and GNN recommenders."""
+
+import numpy as np
+import pytest
+
+from repro.automation import (
+    CLEANING_OPERATIONS,
+    SCALING_OPERATIONS,
+    UNARY_OPERATIONS,
+    CleaningRecommender,
+    TransformationRecommender,
+    apply_cleaning_operation,
+    apply_scaling_operation,
+    apply_unary_transformation,
+)
+from repro.automation.training_data import (
+    CLEANING_CALL_TO_OPERATION,
+    TrainingExample,
+    build_training_graph,
+    extract_operation_examples,
+)
+from repro.datagen import generate_classification_dataset
+from repro.tabular import Table
+from repro.types import COLR_TYPES
+
+
+@pytest.fixture()
+def dirty_table():
+    table, _ = generate_classification_dataset(
+        "dirty", n_rows=60, n_features=4, missing_rate=0.15, seed=5
+    )
+    return table
+
+
+class TestCleaningOperations:
+    @pytest.mark.parametrize("operation", CLEANING_OPERATIONS)
+    def test_every_operation_removes_numeric_missing(self, dirty_table, operation):
+        cleaned = apply_cleaning_operation(dirty_table, operation)
+        assert cleaned.missing_cell_count() == 0
+        assert cleaned.shape == dirty_table.shape
+        # The original table is untouched.
+        assert dirty_table.missing_cell_count() > 0
+
+    def test_categorical_missing_filled_with_mode(self):
+        table = Table.from_dict("t", {"cat": ["a", None, "a", "b"], "x": [1.0, 2.0, 3.0, 4.0]})
+        cleaned = apply_cleaning_operation(table, "SimpleImputer")
+        assert cleaned.column("cat").values[1] == "a"
+
+    def test_unknown_operation_rejected(self, dirty_table):
+        with pytest.raises(ValueError):
+            apply_cleaning_operation(dirty_table, "MagicImputer")
+
+    def test_fillna_uses_constant(self):
+        table = Table.from_dict("t", {"x": [1.0, None, 3.0]})
+        cleaned = apply_cleaning_operation(table, "Fillna", fill_value=-5.0)
+        assert cleaned.column("x").values[1] == -5.0
+
+
+class TestTransformationOperations:
+    def test_standard_scaler_zero_mean(self):
+        table = Table.from_dict("t", {"x": [1.0, 2.0, 3.0, 4.0], "y": [0, 1, 0, 1]})
+        scaled = apply_scaling_operation(table, "StandardScaler", exclude=["y"])
+        assert np.mean(scaled.column("x").values) == pytest.approx(0.0, abs=1e-9)
+        assert scaled.column("y").values == [0, 1, 0, 1]
+
+    def test_minmax_scaler_range(self):
+        table = Table.from_dict("t", {"x": [10.0, 20.0, 30.0]})
+        scaled = apply_scaling_operation(table, "MinMaxScaler")
+        assert min(scaled.column("x").values) == pytest.approx(0.0)
+        assert max(scaled.column("x").values) == pytest.approx(1.0)
+
+    def test_scaling_preserves_missing(self):
+        table = Table.from_dict("t", {"x": [1.0, None, 3.0]})
+        scaled = apply_scaling_operation(table, "RobustScaler")
+        assert scaled.column("x").values[1] is None
+
+    def test_unary_log_and_sqrt(self):
+        table = Table.from_dict("t", {"x": [0.0, 1.0, 10.0, 100.0]})
+        logged = apply_unary_transformation(table, "x", "log")
+        rooted = apply_unary_transformation(table, "x", "sqrt")
+        assert max(logged.column("x").values) < 10.0
+        assert max(rooted.column("x").values) == pytest.approx(10.0)
+        assert apply_unary_transformation(table, "x", "none").column("x").values == table.column("x").values
+
+    def test_unknown_operations_rejected(self):
+        table = Table.from_dict("t", {"x": [1.0]})
+        with pytest.raises(ValueError):
+            apply_scaling_operation(table, "SuperScaler")
+        with pytest.raises(ValueError):
+            apply_unary_transformation(table, "x", "cube")
+
+
+def _synthetic_examples(operations, dimensions, per_class=6, seed=0):
+    rng = np.random.RandomState(seed)
+    examples = []
+    for class_index, operation in enumerate(operations):
+        center = np.zeros(dimensions)
+        center[class_index * 3 : class_index * 3 + 3] = 2.0
+        for i in range(per_class):
+            examples.append(
+                TrainingExample(
+                    node_id=f"table_{operation}_{i}",
+                    embedding=center + rng.normal(scale=0.2, size=dimensions),
+                    operation=operation,
+                )
+            )
+    return examples
+
+
+class TestTrainingDataExtraction:
+    def test_build_training_graph_structure(self):
+        examples = _synthetic_examples(CLEANING_OPERATIONS, 30)
+        graph = build_training_graph(examples, CLEANING_OPERATIONS, 30)
+        assert graph.num_nodes == len(examples) + len(CLEANING_OPERATIONS)
+        assert graph.num_edges == len(examples)
+
+    def test_empty_examples_rejected(self):
+        with pytest.raises(ValueError):
+            build_training_graph([], CLEANING_OPERATIONS, 10)
+
+    def test_extract_from_bootstrapped_kg(self, bootstrapped_platform):
+        examples = extract_operation_examples(
+            bootstrapped_platform.storage, CLEANING_CALL_TO_OPERATION
+        )
+        # The synthetic pipeline corpus applies cleaning operations, so the
+        # bootstrapped LiDS graph must yield training examples.
+        assert len(examples) > 0
+        assert all(example.embedding.shape == (1800,) for example in examples)
+
+
+class TestRecommenders:
+    def test_cleaning_recommender_learns_synthetic_mapping(self, dirty_table):
+        recommender = CleaningRecommender(epochs=40)
+        dimensions = recommender.feature_dimensions
+        examples = _synthetic_examples(CLEANING_OPERATIONS, dimensions, per_class=5)
+        recommender.train_from_examples(examples)
+        ranked = recommender.recommend_cleaning_operations(dirty_table)
+        assert len(ranked) == len(CLEANING_OPERATIONS)
+        assert all(0.0 <= score <= 1.0 for _, score in ranked)
+        names = [name for name, _ in ranked]
+        assert set(names) == set(CLEANING_OPERATIONS)
+
+    def test_cleaning_recommender_untrained_raises(self, dirty_table):
+        with pytest.raises(RuntimeError):
+            CleaningRecommender().recommend(dirty_table)
+
+    def test_apply_cleaning_operations_uses_top_recommendation(self, dirty_table):
+        cleaned = CleaningRecommender.apply_cleaning_operations([("SimpleImputer", 0.9)], dirty_table)
+        assert cleaned.missing_cell_count() == 0
+        untouched = CleaningRecommender.apply_cleaning_operations([], dirty_table)
+        assert untouched.missing_cell_count() == dirty_table.missing_cell_count()
+
+    def test_kg_trained_cleaning_recommender(self, bootstrapped_platform, dirty_table):
+        recommendations = bootstrapped_platform.recommend_cleaning_operations(dirty_table)
+        assert recommendations[0][0] in CLEANING_OPERATIONS
+        cleaned = bootstrapped_platform.apply_cleaning_operations(recommendations, dirty_table)
+        assert cleaned.missing_cell_count() == 0
+
+    def test_transformation_recommender_end_to_end(self, bootstrapped_platform):
+        table, target = generate_classification_dataset(
+            "skewed", n_rows=60, n_features=4, skewed_features=2, scale_spread=50.0, seed=9
+        )
+        recommendation = bootstrapped_platform.recommend_transformations(table, target=target)
+        assert recommendation.scaler in SCALING_OPERATIONS
+        assert all(op in UNARY_OPERATIONS for op in recommendation.column_transforms.values())
+        transformed = bootstrapped_platform.apply_transformations(recommendation, table, target=target)
+        assert transformed.shape == table.shape
+        assert ("table", recommendation.scaler) in recommendation.as_list()
+
+    def test_transformation_recommender_untrained_raises(self):
+        table, _ = generate_classification_dataset("t", n_rows=20, n_features=2, seed=1)
+        with pytest.raises(RuntimeError):
+            TransformationRecommender().recommend_transformations(table)
+
+    def test_cleaning_embedding_prefers_columns_with_missing(self, dirty_table):
+        recommender = CleaningRecommender()
+        embedding = recommender.table_embedding(dirty_table)
+        assert embedding.shape == (300 * len(COLR_TYPES),)
+        assert np.any(embedding != 0.0)

@@ -1,0 +1,111 @@
+"""Tests for the AutoML (revised KGpip) component."""
+
+import numpy as np
+import pytest
+
+from repro.automl import (
+    ESTIMATOR_REGISTRY,
+    HYPERPARAMETER_SPACES,
+    KGpipAutoML,
+    instantiate_estimator,
+    sample_configuration,
+)
+from repro.automl.search_space import default_estimator_names
+from repro.datagen import generate_classification_dataset
+from repro.kg.storage import KGLiDSStorage
+
+
+class TestSearchSpace:
+    def test_registry_and_spaces_align(self):
+        for name in HYPERPARAMETER_SPACES:
+            assert name in ESTIMATOR_REGISTRY
+
+    def test_instantiate_with_configuration(self):
+        estimator = instantiate_estimator(
+            "sklearn.ensemble.RandomForestClassifier", {"n_estimators": 7, "bogus": 1}
+        )
+        assert estimator.get_params()["n_estimators"] == 7
+
+    def test_instantiate_unknown_estimator(self):
+        with pytest.raises(ValueError):
+            instantiate_estimator("sklearn.magic.Estimator")
+
+    def test_sample_configuration_within_space(self):
+        rng = np.random.RandomState(0)
+        configuration = sample_configuration("sklearn.tree.DecisionTreeClassifier", rng)
+        space = HYPERPARAMETER_SPACES["sklearn.tree.DecisionTreeClassifier"]
+        for parameter, value in configuration.items():
+            assert value in space[parameter]
+
+    def test_priors_bias_sampling(self):
+        rng = np.random.RandomState(0)
+        priors = {"n_neighbors": 9}
+        hits = 0
+        for _ in range(50):
+            configuration = sample_configuration(
+                "sklearn.neighbors.KNeighborsClassifier", rng, priors=priors, prior_probability=0.9
+            )
+            hits += configuration["n_neighbors"] == 9
+        assert hits > 30
+
+    def test_default_estimator_names_known(self):
+        for name in default_estimator_names():
+            assert name in ESTIMATOR_REGISTRY
+
+
+class TestKGpipAutoML:
+    def test_recommendations_from_kg(self, bootstrapped_platform, tiny_benchmark):
+        table = tiny_benchmark.lake.tables()[0]
+        automl = bootstrapped_platform.automl
+        match = automl.most_similar_table(table)
+        assert match is not None and match[1] > 0.5
+        recommendations = automl.recommend_ml_models(table)
+        assert recommendations
+        assert all(r.estimator_name in ESTIMATOR_REGISTRY for r in recommendations)
+
+    def test_recommendations_without_kg_fall_back(self):
+        automl = KGpipAutoML(storage=KGLiDSStorage())
+        table, _ = generate_classification_dataset("t", n_rows=40, n_features=3, seed=0)
+        recommendations = automl.recommend_ml_models(table)
+        assert [r.estimator_name for r in recommendations] == default_estimator_names()[:5]
+
+    def test_hyperparameter_recommendation_from_kg(self, bootstrapped_platform):
+        # The synthetic corpus always passes n_estimators / max_depth to RF.
+        priors = bootstrapped_platform.recommend_hyperparameters(
+            "sklearn.ensemble.RandomForestClassifier"
+        )
+        assert isinstance(priors, dict)
+        if priors:
+            assert all(isinstance(name, str) for name in priors)
+
+    def test_search_returns_best_result(self, bootstrapped_platform):
+        table, target = generate_classification_dataset("automl_t", n_rows=80, n_features=4, seed=3)
+        result = bootstrapped_platform.automl.search(
+            table, target, time_budget_seconds=10.0, max_evaluations=3, cv=2
+        )
+        assert result.evaluations >= 1
+        assert 0.0 <= result.best_score <= 1.0
+        assert result.best_estimator_name in ESTIMATOR_REGISTRY
+        assert len(result.trace) == result.evaluations
+
+    def test_lids_priors_flag_changes_sampling(self, bootstrapped_platform):
+        table, target = generate_classification_dataset("automl_u", n_rows=60, n_features=3, seed=4)
+        informed = KGpipAutoML(
+            storage=bootstrapped_platform.storage,
+            profiler=bootstrapped_platform.governor.profiler,
+            colr_models=bootstrapped_platform.governor.colr_models,
+            use_lids_priors=True,
+            random_state=1,
+        )
+        uninformed = KGpipAutoML(
+            storage=bootstrapped_platform.storage,
+            profiler=bootstrapped_platform.governor.profiler,
+            colr_models=bootstrapped_platform.governor.colr_models,
+            use_lids_priors=False,
+            random_state=1,
+        )
+        informed_result = informed.search(table, target, time_budget_seconds=10.0, max_evaluations=2, cv=2)
+        uninformed_result = uninformed.search(table, target, time_budget_seconds=10.0, max_evaluations=2, cv=2)
+        assert informed_result.evaluations == uninformed_result.evaluations
+        assert 0.0 <= informed_result.best_score <= 1.0
+        assert 0.0 <= uninformed_result.best_score <= 1.0

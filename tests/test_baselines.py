@@ -1,0 +1,139 @@
+"""Tests for the baseline systems (SANTOS, Starmie, GraphGen4Code, HoloClean, AutoLearn)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AutoLearn,
+    GraphGen4Code,
+    HoloCleanAimnet,
+    SantosUnionSearch,
+    StarmieUnionSearch,
+)
+from repro.baselines.autolearn import AutoLearnTimeout, distance_correlation
+from repro.baselines.graphgen4code import G4C_ASPECTS
+from repro.datagen import generate_classification_dataset, generate_pipeline_corpus
+from repro.tabular import Table
+
+
+@pytest.fixture(scope="module")
+def discovery_setup(request):
+    from repro.datagen import generate_discovery_benchmark
+
+    benchmark = generate_discovery_benchmark("tus_small", seed=7, base_tables=3, partitions=3, rows=50)
+    return benchmark
+
+
+class TestSantos:
+    def test_preprocess_and_query(self, discovery_setup):
+        santos = SantosUnionSearch()
+        n_tables = santos.preprocess(discovery_setup.lake)
+        assert n_tables == discovery_setup.num_tables
+        assert santos.kb_size > 0
+        query_key = discovery_setup.query_tables[0]
+        query_table = discovery_setup.lake.table(*query_key)
+        ranked = santos.query(query_table, k=5)
+        assert ranked
+        assert ranked[0][0] in discovery_setup.ground_truth[query_key]
+        scores = [score for _, score in ranked]
+        assert scores == sorted(scores, reverse=True)
+        assert all(0.0 <= score <= 1.0 for score in scores)
+
+    def test_query_never_returns_self(self, discovery_setup):
+        santos = SantosUnionSearch()
+        santos.preprocess(discovery_setup.lake)
+        query_key = discovery_setup.query_tables[0]
+        ranked = santos.query(discovery_setup.lake.table(*query_key), k=20)
+        assert query_key not in [key for key, _ in ranked]
+
+
+class TestStarmie:
+    def test_preprocess_and_query(self, discovery_setup):
+        starmie = StarmieUnionSearch(training_epochs=2)
+        n_columns = starmie.preprocess(discovery_setup.lake)
+        assert n_columns == discovery_setup.lake.num_columns
+        query_key = discovery_setup.query_tables[0]
+        ranked = starmie.query(discovery_setup.lake.table(*query_key), k=5)
+        assert ranked
+        assert ranked[0][0] in discovery_setup.ground_truth[query_key]
+
+    def test_query_before_preprocess_raises(self, discovery_setup):
+        starmie = StarmieUnionSearch()
+        with pytest.raises(RuntimeError):
+            starmie.query(discovery_setup.lake.tables()[0])
+
+
+class TestGraphGen4Code:
+    def test_graph_is_larger_and_more_verbose_than_lids(self, discovery_setup):
+        from repro.kg import KGGovernor
+
+        scripts = generate_pipeline_corpus(discovery_setup.lake, pipelines_per_table=1, seed=5)
+        g4c = GraphGen4Code()
+        g4c_store = g4c.abstract_scripts(scripts)
+        governor = KGGovernor()
+        governor.add_pipelines(scripts)
+        lids_pipeline_triples = governor.storage.graph.num_triples()
+        assert len(g4c_store) > lids_pipeline_triples
+        assert g4c.report.num_pipelines == len(scripts)
+        # The verbose aspects KGLiDS drops are present.
+        assert g4c.report.triples_by_aspect["statement_location"] > 0
+        assert g4c.report.triples_by_aspect["func_parameter_order"] > 0
+        assert g4c.report.triples_by_aspect["variable_names"] > 0
+        assert set(g4c.report.triples_by_aspect) == set(G4C_ASPECTS)
+
+    def test_syntax_errors_are_skipped(self):
+        from repro.pipelines import PipelineScript
+
+        g4c = GraphGen4Code()
+        store = g4c.abstract_scripts([PipelineScript("bad", "def broken(:\n")])
+        assert len(store) == 0
+
+
+class TestHoloClean:
+    def test_repairs_all_missing_cells(self):
+        table, _ = generate_classification_dataset("hc", n_rows=60, n_features=4, missing_rate=0.2, seed=2)
+        cleaned = HoloCleanAimnet().clean(table)
+        assert cleaned.missing_cell_count() == 0
+        assert cleaned.shape == table.shape
+
+    def test_observed_cells_untouched(self):
+        table = Table.from_dict("t", {"a": [1.0, None, 3.0, 4.0], "b": ["x", "y", "x", None]})
+        cleaned = HoloCleanAimnet().clean(table)
+        assert cleaned.column("a").values[0] == 1.0
+        assert cleaned.column("b").values[0] == "x"
+        assert cleaned.missing_cell_count() == 0
+
+    def test_categorical_prediction_uses_cooccurrence(self):
+        # b is perfectly determined by a; the missing b cell should follow it.
+        table = Table.from_dict(
+            "t",
+            {
+                "a": ["r", "r", "r", "s", "s", "s", "r"],
+                "b": ["red", "red", "red", "sun", "sun", "sun", None],
+            },
+        )
+        cleaned = HoloCleanAimnet().clean(table)
+        assert cleaned.column("b").values[6] == "red"
+
+
+class TestAutoLearn:
+    def test_distance_correlation_detects_dependence(self):
+        rng = np.random.RandomState(0)
+        x = rng.normal(size=120)
+        assert distance_correlation(x, 2 * x + 1) > 0.9
+        assert distance_correlation(x, x**2) > distance_correlation(x, rng.normal(size=120))
+
+    def test_transform_adds_generated_features(self):
+        table, target = generate_classification_dataset(
+            "al", n_rows=80, n_features=4, seed=3, scale_spread=2.0
+        )
+        autolearn = AutoLearn(correlation_threshold=0.05)
+        augmented = autolearn.transform(table, target)
+        assert augmented.num_columns >= table.num_columns
+        assert autolearn.report.correlated_pairs >= autolearn.report.linear_pairs
+
+    def test_timeout_raises(self):
+        table, target = generate_classification_dataset("al2", n_rows=150, n_features=8, seed=4)
+        autolearn = AutoLearn(time_budget_seconds=0.0)
+        with pytest.raises(AutoLearnTimeout):
+            autolearn.transform(table, target)

@@ -1,0 +1,180 @@
+"""Tests for the workload generators, evaluation helpers and the executor."""
+
+import time
+
+import pytest
+
+from repro.datagen import (
+    DOMAINS,
+    generate_automl_datasets,
+    generate_base_table,
+    generate_classification_dataset,
+    generate_cleaning_datasets,
+    generate_discovery_benchmark,
+    generate_pipeline_corpus,
+    generate_transformation_datasets,
+)
+from repro.eval import (
+    average_precision_recall_at_k,
+    format_report_table,
+    measure_call,
+    precision_at_k,
+    recall_at_k,
+)
+from repro.parallel import JobExecutor, map_jobs
+from repro.pipelines import PipelineAbstractor
+
+
+class TestBaseTables:
+    def test_every_domain_generates(self):
+        for domain in DOMAINS:
+            table = generate_base_table(domain, f"{domain}_t", n_rows=30, seed=1)
+            assert table.num_rows == 30
+            assert table.num_columns == len(DOMAINS[domain])
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(ValueError):
+            generate_base_table("astrology", "t")
+
+    def test_column_subset(self):
+        table = generate_base_table("health", "h", n_rows=10, column_subset=["age", "sex"])
+        assert table.column_names == ["age", "sex"]
+
+    def test_generation_is_deterministic(self):
+        a = generate_base_table("games", "g", n_rows=20, seed=5)
+        b = generate_base_table("games", "g", n_rows=20, seed=5)
+        assert a.to_dict() == b.to_dict()
+
+
+class TestDiscoveryBenchmark:
+    def test_ground_truth_matches_partitioning(self):
+        benchmark = generate_discovery_benchmark("tus_small", seed=2, base_tables=3, partitions=3, rows=40)
+        assert benchmark.num_tables == 9
+        assert len(benchmark.query_tables) == 3
+        for query in benchmark.query_tables:
+            assert len(benchmark.ground_truth[query]) == 2
+            assert query not in benchmark.ground_truth[query]
+        assert benchmark.average_unionable_per_query() == pytest.approx(2.0)
+
+    def test_hard_style_renames_columns(self):
+        benchmark = generate_discovery_benchmark("d3l_small", seed=4, base_tables=2, partitions=4, rows=40)
+        query = benchmark.query_tables[0]
+        query_columns = set(benchmark.lake.table(*query).column_names)
+        renamed = False
+        for other in benchmark.ground_truth[query]:
+            other_columns = set(benchmark.lake.table(*other).column_names)
+            if other_columns - query_columns:
+                renamed = True
+        assert renamed
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ValueError):
+            generate_discovery_benchmark("mystery")
+
+
+class TestPipelineCorpus:
+    def test_corpus_size_and_metadata(self):
+        benchmark = generate_discovery_benchmark("tus_small", seed=2, base_tables=2, partitions=2, rows=30)
+        scripts = generate_pipeline_corpus(benchmark.lake, pipelines_per_table=3, seed=1)
+        assert len(scripts) == benchmark.num_tables * 3
+        assert all(script.dataset_name for script in scripts)
+        assert any(script.task == "eda" for script in scripts)
+        assert any(script.task == "classification" for script in scripts)
+
+    def test_scripts_are_valid_python_and_abstractable(self):
+        benchmark = generate_discovery_benchmark("tus_small", seed=2, base_tables=2, partitions=2, rows=30)
+        scripts = generate_pipeline_corpus(benchmark.lake, pipelines_per_table=2, seed=1)
+        abstractor = PipelineAbstractor()
+        abstractions = abstractor.abstract_scripts(scripts[:6])
+        assert all(abstraction.statements for abstraction in abstractions)
+        assert all("pandas" in abstraction.libraries_used for abstraction in abstractions)
+
+
+class TestTaskDatasets:
+    def test_classification_dataset_shape_and_missing(self):
+        table, target = generate_classification_dataset(
+            "t", n_rows=50, n_features=3, missing_rate=0.2, categorical_features=2, seed=0
+        )
+        assert target == "target"
+        assert table.num_rows == 50
+        assert table.missing_cell_count() > 0
+        assert len([c for c in table.column_names if c.startswith("category_")]) == 2
+
+    def test_cleaning_datasets_sizes_increase(self):
+        datasets = generate_cleaning_datasets(count=5, base_rows=40)
+        assert len(datasets) == 5
+        assert datasets[-1].size_cells > datasets[0].size_cells
+        assert all(d.table.missing_cell_count() > 0 for d in datasets)
+
+    def test_transformation_datasets_have_skew(self):
+        datasets = generate_transformation_datasets(count=3, base_rows=40)
+        assert len(datasets) == 3
+        assert all(d.table.missing_cell_count() == 0 for d in datasets)
+
+    def test_automl_datasets_mix_tasks(self):
+        datasets = generate_automl_datasets(count=4, base_rows=40)
+        assert {d.task for d in datasets} == {"binary", "multiclass"}
+
+
+class TestDiscoveryMetrics:
+    def test_precision_recall_at_k(self):
+        ranked = ["a", "b", "c", "d"]
+        relevant = {"a", "c", "x"}
+        assert precision_at_k(ranked, relevant, 2) == pytest.approx(0.5)
+        assert recall_at_k(ranked, relevant, 4) == pytest.approx(2 / 3)
+        assert precision_at_k([], relevant, 3) == 0.0
+        assert recall_at_k(ranked, set(), 3) == 0.0
+        assert precision_at_k(ranked, relevant, 0) == 0.0
+
+    def test_average_over_queries_penalizes_missing(self):
+        rankings = {"q1": ["a", "b"]}
+        ground_truth = {"q1": {"a"}, "q2": {"z"}}
+        results = average_precision_recall_at_k(rankings, ground_truth, [1])
+        precision, recall = results[1]
+        assert precision == pytest.approx(0.5)
+        assert recall == pytest.approx(0.5)
+
+
+class TestMeasureAndReport:
+    def test_measure_call_success(self):
+        run = measure_call(lambda: sum(range(1000)))
+        assert not run.failed
+        assert run.result == sum(range(1000))
+        assert run.elapsed_seconds >= 0.0
+        assert run.peak_memory_mb >= 0.0
+
+    def test_measure_call_exception(self):
+        run = measure_call(lambda: 1 / 0)
+        assert run.failed
+        assert "ZeroDivisionError" in run.error
+
+    def test_measure_call_simulated_oom(self):
+        run = measure_call(lambda: [0] * 500_000, memory_budget_mb=0.001)
+        assert run.failed
+        assert "OOM" in run.error
+
+    def test_format_report_table(self):
+        text = format_report_table(["name", "value"], [["a", 1.23456], ["bbbb", 2]], title="T")
+        assert "T" in text and "1.235" in text
+        assert text.count("\n") >= 3
+
+
+class TestParallelExecutor:
+    def test_serial_and_threaded_map_agree(self):
+        jobs = list(range(20))
+        serial = JobExecutor("serial").map(lambda x: x * x, jobs)
+        threaded = JobExecutor("threads", max_workers=4).map(lambda x: x * x, jobs)
+        assert serial == threaded == [x * x for x in jobs]
+
+    def test_map_partitions(self):
+        executor = JobExecutor()
+        results = executor.map_partitions(sum, list(range(10)), num_partitions=3)
+        assert sum(results) == sum(range(10))
+        assert executor.map_partitions(sum, [], num_partitions=3) == []
+
+    def test_invalid_backend(self):
+        with pytest.raises(ValueError):
+            JobExecutor("gpu")
+
+    def test_map_jobs_helper(self):
+        assert map_jobs(len, ["ab", "c"]) == [2, 1]

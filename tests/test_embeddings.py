@@ -1,0 +1,197 @@
+"""Unit tests for word embeddings, CoLR models, training and vector indexes."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings import (
+    CoarseGrainedModelSet,
+    ColRModel,
+    ColRModelSet,
+    EmbeddingStore,
+    FlatIndex,
+    HNSWIndex,
+    cosine_similarity,
+    generate_training_pairs,
+    label_similarity,
+    tokenize_label,
+    train_colr_model,
+)
+from repro.embeddings.training import binary_cross_entropy_loss
+from repro.types import COLR_TYPES
+
+
+class TestWordEmbeddings:
+    def test_tokenize_label_splits_cases(self):
+        assert tokenize_label("patient_age") == ["patient", "age"]
+        assert tokenize_label("MaxHeartRate") == ["maximum", "heart", "rate"]
+        assert tokenize_label("area-sq-ft") == ["area", "sq", "ft"]
+        assert tokenize_label("") == []
+
+    def test_abbreviation_expansion(self):
+        assert "quantity" in tokenize_label("order_qty")
+
+    def test_identical_labels_have_similarity_one(self):
+        assert label_similarity("age", "Age") == 1.0
+
+    def test_related_labels_score_higher_than_unrelated(self):
+        related = label_similarity("patient_age", "age_years")
+        unrelated = label_similarity("patient_age", "review_text")
+        assert related > unrelated
+
+    def test_similarity_bounds(self):
+        for a, b in [("age", "target"), ("gdp", "gdp_billion_usd"), ("", "x")]:
+            assert 0.0 <= label_similarity(a, b) <= 1.0
+
+    def test_shared_unit_tokens_help(self):
+        assert label_similarity("area_sq_ft", "area_sq_m") > 0.5
+
+
+class TestCoLR:
+    def test_embedding_dimensions(self):
+        models = ColRModelSet.pretrained()
+        embedding = models.embed_column_values([1, 2, 3], "int")
+        assert embedding.shape == (300,)
+
+    def test_empty_column_embeds_to_zeros(self):
+        models = ColRModelSet.pretrained()
+        assert np.allclose(models.embed_column_values([], "float"), 0.0)
+
+    def test_embedding_is_deterministic(self):
+        models_a, models_b = ColRModelSet.pretrained(), ColRModelSet.pretrained()
+        values = [1.5, 2.5, 10.0]
+        assert np.allclose(
+            models_a.embed_column_values(values, "float"),
+            models_b.embed_column_values(values, "float"),
+        )
+
+    def test_similar_distributions_closer_than_different_scales(self):
+        models = ColRModelSet.pretrained()
+        rng = np.random.RandomState(0)
+        a = models.embed_column_values(rng.normal(30, 5, 200).tolist(), "float")
+        b = models.embed_column_values(rng.normal(31, 6, 150).tolist(), "float")
+        c = models.embed_column_values(rng.exponential(50000, 150).tolist(), "float")
+        assert cosine_similarity(a, b) > cosine_similarity(a, c)
+
+    def test_subsample_stability(self):
+        models = ColRModelSet.pretrained()
+        rng = np.random.RandomState(1)
+        values = rng.normal(100, 10, 1000).tolist()
+        full = models.embed_column_values(values, "float")
+        sample = models.embed_column_values(values[:100], "float")
+        assert cosine_similarity(full, sample) > 0.99
+
+    def test_string_and_entity_columns_distinguishable(self):
+        models = ColRModelSet.pretrained()
+        names = models.embed_column_values(["James Smith", "Mary Jones"] * 20, "named_entity")
+        codes = models.embed_column_values(["X9-11", "QQ-42"] * 20, "named_entity")
+        other_names = models.embed_column_values(["Linda Brown", "Robert Davis"] * 20, "named_entity")
+        assert cosine_similarity(names, other_names) > cosine_similarity(names, codes)
+
+    def test_table_embedding_layout(self):
+        models = ColRModelSet.pretrained()
+        column = models.embed_column_values([1, 2, 3], "int")
+        table_embedding = models.table_embedding([column], ["int"])
+        assert table_embedding.shape == (300 * len(COLR_TYPES),)
+        # Only the int block should be non-zero.
+        assert np.any(table_embedding[:300] != 0.0)
+        assert np.allclose(table_embedding[300:], 0.0)
+
+    def test_dataset_embedding_is_mean(self):
+        models = ColRModelSet.pretrained()
+        t1 = np.ones(1800)
+        t2 = np.zeros(1800)
+        assert np.allclose(models.dataset_embedding([t1, t2]), 0.5)
+
+    def test_unknown_type_falls_back_to_string_model(self):
+        models = ColRModelSet.pretrained()
+        assert models.model_for("mystery") is models.models["string"]
+
+    def test_coarse_grained_model_set_groups_types(self):
+        coarse = CoarseGrainedModelSet()
+        assert coarse.coarse_type("int") == "numeric"
+        assert coarse.model_for("int") is coarse.model_for("float")
+        assert coarse.model_for("named_entity") is coarse.model_for("string")
+
+    def test_cosine_similarity_bounds_and_zero_vector(self):
+        assert cosine_similarity(np.zeros(3), np.ones(3)) == 0.0
+        assert cosine_similarity(np.ones(3), np.ones(3)) == pytest.approx(1.0)
+        assert cosine_similarity(np.ones(3), -np.ones(3)) == pytest.approx(0.0)
+
+
+class TestTraining:
+    def test_generated_pairs_are_balanced(self):
+        pairs = generate_training_pairs(20, fine_grained_type="float")
+        assert sum(pair.label for pair in pairs) == 10
+
+    def test_training_reduces_or_keeps_loss(self):
+        model = ColRModel("float")
+        pairs = generate_training_pairs(16, fine_grained_type="float")
+        losses = train_colr_model(model, pairs, epochs=3)
+        assert losses[-1] <= losses[0] + 1e-9
+
+    def test_loss_is_finite_and_positive(self):
+        model = ColRModel("string")
+        pairs = generate_training_pairs(8, fine_grained_type="string")
+        loss = binary_cross_entropy_loss(model, pairs)
+        assert 0.0 < loss < 20.0
+
+    def test_empty_pairs_loss_zero(self):
+        assert binary_cross_entropy_loss(ColRModel("float"), []) == 0.0
+
+
+class TestIndexes:
+    def _vectors(self, n=30, d=16, seed=0):
+        rng = np.random.RandomState(seed)
+        return [rng.normal(size=d) for _ in range(n)]
+
+    def test_flat_index_exact_top1(self):
+        vectors = self._vectors()
+        index = FlatIndex(16)
+        for i, vector in enumerate(vectors):
+            index.add(f"v{i}", vector)
+        results = index.search(vectors[7], k=3)
+        assert results[0][0] == "v7"
+        assert results[0][1] == pytest.approx(1.0)
+
+    def test_flat_index_dimension_check(self):
+        index = FlatIndex(4)
+        with pytest.raises(ValueError):
+            index.add("x", np.ones(5))
+
+    def test_hnsw_finds_nearest_most_of_the_time(self):
+        vectors = self._vectors(n=60)
+        index = HNSWIndex(16, m=8, ef_search=32)
+        for i, vector in enumerate(vectors):
+            index.add(f"v{i}", vector)
+        hits = sum(1 for i in range(0, 60, 5) if index.search(vectors[i], k=3)[0][0] == f"v{i}")
+        assert hits >= 10  # at least ~80% of probes find their own vector first
+
+    def test_empty_index_search(self):
+        assert FlatIndex(4).search(np.ones(4)) == []
+        assert HNSWIndex(4).search(np.ones(4)) == []
+
+
+class TestEmbeddingStore:
+    def test_put_get_and_search(self):
+        store = EmbeddingStore()
+        store.put("column", "a", np.array([1.0, 0.0]))
+        store.put("column", "b", np.array([0.0, 1.0]))
+        assert store.get("column", "a") is not None
+        assert store.get("column", "zzz") is None
+        assert store.search("column", np.array([1.0, 0.1]), k=1)[0][0] == "a"
+        assert store.count() == 2
+        assert store.count("column") == 2
+        assert store.estimated_size_bytes() > 0
+
+    def test_overwrite_rebuilds_index(self):
+        store = EmbeddingStore()
+        store.put("t", "a", np.array([1.0, 0.0]))
+        store.put("t", "a", np.array([0.0, 1.0]))
+        assert store.count("t") == 1
+        assert store.search("t", np.array([0.0, 1.0]), k=1)[0][1] == pytest.approx(1.0)
+
+    def test_namespaces_are_isolated(self):
+        store = EmbeddingStore()
+        store.put("column", "a", np.ones(3))
+        assert store.search("table", np.ones(3)) == []
+        assert store.keys("column") == ["a"]

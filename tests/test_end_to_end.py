@@ -1,0 +1,100 @@
+"""End-to-end integration tests over the bootstrapped platform.
+
+These mirror the heart-failure walkthrough of Section 5: search for datasets,
+discover unionable tables, inspect libraries and pipelines, get cleaning /
+transformation / model recommendations, and run the AutoML search — all
+against one LiDS graph built from a synthetic lake plus pipeline corpus.
+"""
+
+import pytest
+
+from repro.automation.operations import CLEANING_OPERATIONS, SCALING_OPERATIONS
+from repro.datagen import generate_classification_dataset
+from repro.eval import average_precision_recall_at_k
+from repro.kg.ontology import DATASET_GRAPH, LiDSOntology
+from repro.ml import RandomForestClassifier
+from repro.ml.model_selection import cross_val_f1
+
+
+class TestEndToEndScenario:
+    def test_discovery_accuracy_on_ground_truth(self, bootstrapped_platform, tiny_benchmark):
+        rankings = {}
+        for query in tiny_benchmark.query_tables:
+            result = bootstrapped_platform.get_unionable_tables(query[0], query[1], k=10)
+            rankings[query] = list(zip(result.column("dataset"), result.column("table")))
+        ground_truth = {query: tiny_benchmark.ground_truth[query] for query in tiny_benchmark.query_tables}
+        metrics = average_precision_recall_at_k(rankings, ground_truth, [1, 2])
+        precision_at_1, _ = metrics[1]
+        _, recall_at_2 = metrics[2]
+        assert precision_at_1 >= 0.6
+        assert recall_at_2 >= 0.6
+
+    def test_lids_graph_is_well_typed(self, bootstrapped_platform):
+        store = bootstrapped_platform.storage.graph
+        ontology = LiDSOntology
+        # Every column node has a fine-grained type and a parent table.
+        from repro.rdf import RDF
+
+        for triple in store.triples(None, RDF.type, ontology.Column, graph=DATASET_GRAPH):
+            column = triple.subject
+            assert store.value(column, ontology.hasFineGrainedType, graph=DATASET_GRAPH) is not None
+            assert store.value(column, ontology.isPartOf, graph=DATASET_GRAPH) is not None
+
+    def test_every_pipeline_has_its_own_named_graph(self, bootstrapped_platform):
+        store = bootstrapped_platform.storage.graph
+        from repro.rdf import RDF
+
+        pipeline_graphs = [g for g in store.graphs() if "pipeline/graph/" in str(g)]
+        pipelines = set()
+        for graph in pipeline_graphs:
+            members = list(store.triples(None, RDF.type, LiDSOntology.Pipeline, graph=graph))
+            assert len(members) == 1
+            pipelines.add(members[0].subject)
+        assert len(pipelines) == len(pipeline_graphs)
+
+    def test_on_demand_cleaning_improves_or_matches_dropping_rows(self, bootstrapped_platform):
+        table, target = generate_classification_dataset(
+            "e2e_cleaning", n_rows=140, n_features=5, missing_rate=0.25, seed=21
+        )
+        recommendations = bootstrapped_platform.recommend_cleaning_operations(table)
+        assert recommendations[0][0] in CLEANING_OPERATIONS
+        cleaned = bootstrapped_platform.apply_cleaning_operations(recommendations, table)
+        X_cleaned, _ = cleaned.to_feature_matrix(target=target)
+        y_cleaned = cleaned.target_vector(target)
+        baseline_table = table.drop_rows_with_missing()
+        X_baseline, _ = baseline_table.to_feature_matrix(target=target)
+        y_baseline = baseline_table.target_vector(target)
+        model = RandomForestClassifier(n_estimators=5, max_depth=6)
+        cleaned_f1 = cross_val_f1(model, X_cleaned, y_cleaned, cv=3)
+        baseline_f1 = cross_val_f1(model, X_baseline, y_baseline, cv=3) if len(y_baseline) >= 6 else 0.0
+        # Cleaning keeps every row, so it must stay in the same ballpark as the
+        # drop-nulls baseline (which here retains only ~25% of the rows and is
+        # therefore high-variance) and produce a usable model outright.
+        assert cleaned_f1 >= max(0.4, baseline_f1 - 0.25)
+
+    def test_transformation_recommendation_round_trip(self, bootstrapped_platform):
+        table, target = generate_classification_dataset(
+            "e2e_transform", n_rows=100, n_features=4, skewed_features=2, scale_spread=100.0, seed=22
+        )
+        recommendation = bootstrapped_platform.recommend_transformations(table, target=target)
+        assert recommendation.scaler in SCALING_OPERATIONS
+        transformed = bootstrapped_platform.apply_transformations(recommendation, table, target=target)
+        # The target column is untouched and all features remain usable.
+        assert transformed.column(target).values == table.column(target).values
+        X, _ = transformed.to_feature_matrix(target=target)
+        assert X.shape[0] == table.num_rows
+
+    def test_automl_search_beats_trivial_baseline(self, bootstrapped_platform):
+        table, target = generate_classification_dataset(
+            "e2e_automl", n_rows=120, n_features=5, seed=23
+        )
+        result = bootstrapped_platform.automl.search(
+            table, target, time_budget_seconds=20.0, max_evaluations=4, cv=2
+        )
+        assert result.best_score > 0.4
+        assert result.best_estimator_name
+
+    def test_statistics_are_consistent(self, bootstrapped_platform, tiny_benchmark):
+        stats = bootstrapped_platform.statistics()
+        assert stats["num_embeddings"] >= tiny_benchmark.num_tables
+        assert stats["num_graphs"] >= tiny_benchmark.num_tables  # pipeline graphs + dataset graph

@@ -1,0 +1,127 @@
+"""Unit tests for the GNN substrate (graph, sampling, node classifier)."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import FeatureGraph, GNNNodeClassifier, GraphSAINTNodeSampler
+
+
+def _two_cluster_graph(n_per_class=20, dimensions=8, seed=0):
+    rng = np.random.RandomState(seed)
+    graph = FeatureGraph(dimensions)
+    for label in (0, 1):
+        center = np.zeros(dimensions)
+        center[label] = 3.0
+        for i in range(n_per_class):
+            graph.add_node(f"{label}-{i}", center + rng.normal(scale=0.4, size=dimensions), label=label)
+    # Connect nodes within each class.
+    for label in (0, 1):
+        for i in range(n_per_class - 1):
+            graph.add_edge(f"{label}-{i}", f"{label}-{i + 1}")
+    return graph
+
+
+class TestFeatureGraph:
+    def test_add_node_and_dimensions_check(self):
+        graph = FeatureGraph(3)
+        graph.add_node("a", [1, 2, 3], label=0)
+        with pytest.raises(ValueError):
+            graph.add_node("b", [1, 2])
+
+    def test_re_adding_updates_features(self):
+        graph = FeatureGraph(2)
+        graph.add_node("a", [0, 0])
+        graph.add_node("a", [1, 1])
+        assert graph.num_nodes == 1
+        assert np.allclose(graph.features_matrix(), [[1, 1]])
+
+    def test_edges_require_existing_nodes(self):
+        graph = FeatureGraph(2)
+        graph.add_node("a", [0, 0])
+        with pytest.raises(KeyError):
+            graph.add_edge("a", "missing")
+
+    def test_normalized_adjacency_rows_sum_to_one(self):
+        graph = _two_cluster_graph(n_per_class=4)
+        adjacency = graph.normalized_adjacency()
+        assert np.allclose(adjacency.sum(axis=1), 1.0)
+
+    def test_neighbors_and_labels(self):
+        graph = _two_cluster_graph(n_per_class=3)
+        assert "0-1" in graph.neighbors("0-0")
+        indices, labels = graph.labels_array()
+        assert len(indices) == graph.num_nodes
+        assert set(labels.tolist()) == {0, 1}
+
+    def test_subgraph_preserves_labels_and_edges(self):
+        graph = _two_cluster_graph(n_per_class=5)
+        subgraph = graph.subgraph(range(5))
+        assert subgraph.num_nodes == 5
+        assert subgraph.num_edges > 0
+        _, labels = subgraph.labels_array()
+        assert set(labels.tolist()) <= {0, 1}
+
+
+class TestGraphSAINTSampler:
+    def test_sample_respects_budget(self):
+        graph = _two_cluster_graph(n_per_class=30)
+        sampler = GraphSAINTNodeSampler(graph, budget=16, seed=0)
+        sample = sampler.sample()
+        assert sample.num_nodes <= 16
+        # Every sample contains labeled nodes.
+        indices, _ = sample.labels_array()
+        assert indices.size > 0
+
+    def test_small_graph_returned_whole(self):
+        graph = _two_cluster_graph(n_per_class=3)
+        sampler = GraphSAINTNodeSampler(graph, budget=100)
+        assert sampler.sample().num_nodes == graph.num_nodes
+
+    def test_budget_validation(self):
+        graph = _two_cluster_graph(n_per_class=2)
+        with pytest.raises(ValueError):
+            GraphSAINTNodeSampler(graph, budget=1)
+
+    def test_iter_samples_count(self):
+        graph = _two_cluster_graph(n_per_class=10)
+        sampler = GraphSAINTNodeSampler(graph, budget=8)
+        assert len(list(sampler.iter_samples(3))) == 3
+
+
+class TestGNNNodeClassifier:
+    def test_learns_separable_clusters_full_graph(self):
+        graph = _two_cluster_graph()
+        model = GNNNodeClassifier(feature_dimensions=8, num_classes=2, epochs=60, random_state=0)
+        model.fit(graph, use_graphsaint=False)
+        assert model.accuracy(graph) > 0.9
+
+    def test_training_loss_decreases(self):
+        graph = _two_cluster_graph()
+        model = GNNNodeClassifier(feature_dimensions=8, num_classes=2, epochs=40)
+        model.fit(graph, use_graphsaint=False)
+        assert model.training_losses_[-1] < model.training_losses_[0]
+
+    def test_graphsaint_training_also_learns(self):
+        graph = _two_cluster_graph(n_per_class=40)
+        model = GNNNodeClassifier(feature_dimensions=8, num_classes=2, epochs=30, random_state=1)
+        model.fit(graph, use_graphsaint=True, sample_budget=24, samples_per_epoch=3)
+        assert model.accuracy(graph) > 0.85
+
+    def test_predict_isolated_node(self):
+        graph = _two_cluster_graph()
+        model = GNNNodeClassifier(feature_dimensions=8, num_classes=2, epochs=50)
+        model.fit(graph, use_graphsaint=False)
+        features = np.zeros(8)
+        features[1] = 3.0
+        assert model.predict_features(features) == 1
+        probabilities = model.predict_proba_features(features)
+        assert probabilities.shape == (2,)
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_unlabeled_graph_trains_without_error(self):
+        graph = FeatureGraph(4)
+        graph.add_node("a", [1, 0, 0, 0])
+        model = GNNNodeClassifier(feature_dimensions=4, num_classes=2, epochs=3)
+        model.fit(graph, use_graphsaint=False)
+        assert model.training_losses_ == []
+        assert model.accuracy(graph) == 0.0

@@ -1,0 +1,103 @@
+"""Integration tests for the KGLiDS interfaces (Section 5 operations)."""
+
+import pytest
+
+from repro.interfaces import KGLiDS
+from repro.tabular import Table
+
+
+class TestDiscoveryInterfaces:
+    def test_search_keywords_conjunctive_and_disjunctive(self, bootstrapped_platform, tiny_benchmark):
+        lake_domains = {dataset.name.split("_")[0] for dataset in tiny_benchmark.lake.datasets}
+        domain = sorted(lake_domains)[0]
+        result = bootstrapped_platform.search_keywords([[domain]])
+        assert result.num_rows > 0
+        assert "table" in result.column_names
+        # A nonsense conjunctive group combined with a valid disjunct still matches.
+        result_or = bootstrapped_platform.search_keywords([["zzz", "qqq"], domain])
+        assert result_or.num_rows == result.num_rows
+        assert bootstrapped_platform.search_keywords([["zzz_not_there"]]).num_rows == 0
+
+    def test_unionable_tables_rank_ground_truth_first(self, bootstrapped_platform, tiny_benchmark):
+        query = tiny_benchmark.query_tables[0]
+        result = bootstrapped_platform.get_unionable_tables(query[0], query[1], k=5)
+        assert result.num_rows > 0
+        top_dataset = result.column("dataset")[0]
+        top_table = result.column("table")[0]
+        assert (top_dataset, top_table) in tiny_benchmark.ground_truth[query]
+        scores = list(result.column("score"))
+        assert scores == sorted(scores, reverse=True)
+
+    def test_find_unionable_columns(self, bootstrapped_platform, tiny_benchmark):
+        query = tiny_benchmark.query_tables[0]
+        partner = next(iter(tiny_benchmark.ground_truth[query]))
+        result = bootstrapped_platform.find_unionable_columns(query[0], query[1], partner[0], partner[1])
+        assert result.num_rows > 0
+        assert set(result.column_names) == {"column_a", "column_b", "similarity", "score"}
+
+    def test_joinable_tables_and_paths(self, bootstrapped_platform, tiny_benchmark):
+        query = tiny_benchmark.query_tables[0]
+        joinable = bootstrapped_platform.get_joinable_tables(query[0], query[1], k=5)
+        paths = bootstrapped_platform.get_path_to_table(query[0], query[1], hops=2)
+        assert set(paths.column_names) == {"target_table", "hops", "path"}
+        if joinable.num_rows:
+            assert paths.num_rows > 0
+            target = (joinable.column("dataset")[0], joinable.column("table")[0])
+            shortest = bootstrapped_platform.get_shortest_path_between_tables(
+                query[0], query[1], target[0], target[1]
+            )
+            assert shortest is not None and len(shortest) >= 2
+
+    def test_shortest_path_missing_table(self, bootstrapped_platform):
+        assert (
+            bootstrapped_platform.get_shortest_path_between_tables("no", "no", "no2", "no2") is None
+        )
+
+
+class TestPipelineInterfaces:
+    def test_top_k_libraries(self, bootstrapped_platform):
+        result = bootstrapped_platform.get_top_k_library_used(5)
+        assert 0 < result.num_rows <= 5
+        counts = list(result.column("num_pipelines"))
+        assert counts == sorted(counts, reverse=True)
+        assert "pandas" in result.column("library_name")
+
+    def test_top_libraries_filtered_by_task(self, bootstrapped_platform):
+        result = bootstrapped_platform.get_top_used_libraries(5, task="classification")
+        assert result.num_rows > 0
+        unfiltered = bootstrapped_platform.get_top_used_libraries(5, task=None)
+        assert unfiltered.num_rows >= result.num_rows - 1
+
+    def test_pipelines_calling_libraries(self, bootstrapped_platform):
+        result = bootstrapped_platform.get_pipelines_calling_libraries(
+            "pandas.read_csv", "sklearn.model_selection.train_test_split"
+        )
+        assert result.num_rows > 0
+        votes = list(result.column("votes"))
+        assert votes == sorted(votes, reverse=True)
+        none_result = bootstrapped_platform.get_pipelines_calling_libraries("no.such.call")
+        assert none_result.num_rows == 0
+
+
+class TestModelAndAdHocInterfaces:
+    def test_recommend_ml_models_table_output(self, bootstrapped_platform, tiny_benchmark):
+        table = tiny_benchmark.lake.tables()[1]
+        result = bootstrapped_platform.recommend_ml_models(table, k=3)
+        assert result.num_rows > 0
+        assert "estimator" in result.column_names
+
+    def test_ad_hoc_query_returns_table(self, bootstrapped_platform):
+        result = bootstrapped_platform.query(
+            "SELECT (COUNT(?t) AS ?n) WHERE { ?t a kglids:Table }"
+        )
+        assert isinstance(result, Table)
+        assert result.column("n")[0] > 0
+
+    def test_statistics_manager(self, bootstrapped_platform):
+        stats = bootstrapped_platform.statistics()
+        assert stats["num_triples"] > 0
+        assert stats["num_models"] >= 1
+
+    def test_model_manager_contains_trained_gnns(self, bootstrapped_platform):
+        models = bootstrapped_platform.storage.list_models()
+        assert "cleaning_gnn" in models

@@ -1,0 +1,131 @@
+"""Unit tests for the classifier implementations."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    GaussianNB,
+    GradientBoostingClassifier,
+    KNeighborsClassifier,
+    LinearRegression,
+    LogisticRegression,
+    RandomForestClassifier,
+    RidgeRegression,
+    accuracy_score,
+    clone,
+)
+from repro.ml.tree import DecisionTreeRegressor
+
+
+@pytest.fixture(scope="module")
+def binary_data():
+    rng = np.random.RandomState(0)
+    X = np.vstack([rng.normal(0, 1, (40, 3)), rng.normal(3, 1, (40, 3))])
+    y = np.array([0] * 40 + [1] * 40)
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def multiclass_data():
+    rng = np.random.RandomState(1)
+    X = np.vstack([rng.normal(i * 3, 0.8, (25, 2)) for i in range(3)])
+    y = np.array([0] * 25 + [1] * 25 + [2] * 25)
+    return X, y
+
+
+ALL_CLASSIFIERS = [
+    DecisionTreeClassifier(max_depth=5),
+    RandomForestClassifier(n_estimators=5, max_depth=5),
+    GradientBoostingClassifier(n_estimators=5, max_depth=2),
+    LogisticRegression(max_iter=150),
+    KNeighborsClassifier(n_neighbors=3),
+    GaussianNB(),
+]
+
+
+class TestClassifiers:
+    @pytest.mark.parametrize("estimator", ALL_CLASSIFIERS, ids=lambda e: type(e).__name__)
+    def test_binary_separable(self, binary_data, estimator):
+        X, y = binary_data
+        model = clone(estimator).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.9
+
+    @pytest.mark.parametrize("estimator", ALL_CLASSIFIERS, ids=lambda e: type(e).__name__)
+    def test_multiclass_separable(self, multiclass_data, estimator):
+        X, y = multiclass_data
+        model = clone(estimator).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.85
+
+    @pytest.mark.parametrize("estimator", ALL_CLASSIFIERS, ids=lambda e: type(e).__name__)
+    def test_predict_proba_sums_to_one(self, binary_data, estimator):
+        X, y = binary_data
+        model = clone(estimator).fit(X, y)
+        probabilities = model.predict_proba(X[:10])
+        assert probabilities.shape == (10, 2)
+        assert np.allclose(probabilities.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_string_labels_supported(self, binary_data):
+        X, y = binary_data
+        labels = np.where(y == 1, "yes", "no")
+        model = RandomForestClassifier(n_estimators=3, max_depth=4).fit(X, labels)
+        assert set(model.predict(X)) <= {"yes", "no"}
+
+    def test_unfitted_raises(self, binary_data):
+        X, _ = binary_data
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier().predict(X)
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict(X)
+
+    def test_score_method(self, binary_data):
+        X, y = binary_data
+        assert GaussianNB().fit(X, y).score(X, y) > 0.9
+
+
+class TestParamsAndClone:
+    def test_get_params(self):
+        model = RandomForestClassifier(n_estimators=7)
+        assert model.get_params()["n_estimators"] == 7
+
+    def test_set_params_validates(self):
+        model = RandomForestClassifier()
+        with pytest.raises(ValueError):
+            model.set_params(bogus=1)
+
+    def test_clone_is_unfitted_copy(self, binary_data):
+        X, y = binary_data
+        model = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        copy = clone(model)
+        assert copy.get_params()["max_depth"] == 3
+        with pytest.raises(RuntimeError):
+            copy.predict(X)
+
+    def test_repr_contains_params(self):
+        assert "n_neighbors=5" in repr(KNeighborsClassifier())
+
+
+class TestRegressors:
+    def test_linear_regression_recovers_coefficients(self):
+        rng = np.random.RandomState(0)
+        X = rng.normal(size=(100, 2))
+        y = 3.0 * X[:, 0] - 2.0 * X[:, 1] + 5.0
+        model = LinearRegression().fit(X, y)
+        assert model.coef_ == pytest.approx([3.0, -2.0], abs=1e-6)
+        assert model.intercept_ == pytest.approx(5.0, abs=1e-6)
+        assert model.score(X, y) > 0.999
+
+    def test_ridge_shrinks_towards_zero(self):
+        rng = np.random.RandomState(0)
+        X = rng.normal(size=(50, 1))
+        y = 10.0 * X[:, 0]
+        strong = RidgeRegression(alpha=1000.0).fit(X, y)
+        weak = RidgeRegression(alpha=0.001).fit(X, y)
+        assert abs(strong.coef_[0]) < abs(weak.coef_[0])
+
+    def test_tree_regressor_fits_step_function(self):
+        X = np.linspace(0, 1, 60).reshape(-1, 1)
+        y = (X[:, 0] > 0.5).astype(float) * 10.0
+        model = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        predictions = model.predict(X)
+        assert np.abs(predictions - y).mean() < 0.5

@@ -1,0 +1,131 @@
+"""Unit tests for scalers, encoders and imputers."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    FunctionTransformer,
+    IterativeImputer,
+    KNNImputer,
+    LabelEncoder,
+    MinMaxScaler,
+    OneHotEncoder,
+    RobustScaler,
+    SimpleImputer,
+    StandardScaler,
+)
+from repro.ml.impute import InterpolateImputer
+from repro.ml.preprocessing import log_transform, sqrt_transform
+
+
+@pytest.fixture()
+def matrix():
+    rng = np.random.RandomState(0)
+    return rng.normal(loc=10.0, scale=3.0, size=(50, 4))
+
+
+class TestScalers:
+    def test_standard_scaler(self, matrix):
+        scaled = StandardScaler().fit_transform(matrix)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_standard_scaler_constant_column(self):
+        X = np.ones((10, 2))
+        scaled = StandardScaler().fit_transform(X)
+        assert np.isfinite(scaled).all()
+
+    def test_minmax_scaler(self, matrix):
+        scaled = MinMaxScaler().fit_transform(matrix)
+        assert scaled.min() >= 0.0 and scaled.max() <= 1.0 + 1e-12
+
+    def test_minmax_custom_range(self, matrix):
+        scaled = MinMaxScaler(feature_range=(-1, 1)).fit_transform(matrix)
+        assert scaled.min() >= -1.0 - 1e-12 and scaled.max() <= 1.0 + 1e-12
+
+    def test_robust_scaler_centers_on_median(self, matrix):
+        scaled = RobustScaler().fit_transform(matrix)
+        assert np.allclose(np.median(scaled, axis=0), 0.0, atol=1e-9)
+
+    def test_unfitted_raises(self, matrix):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(matrix)
+
+    def test_function_transformer_and_unary_helpers(self, matrix):
+        assert np.allclose(FunctionTransformer().fit_transform(matrix), matrix)
+        assert np.isfinite(log_transform(matrix - 50.0)).all()
+        assert np.isfinite(sqrt_transform(matrix - 50.0)).all()
+
+
+class TestEncoders:
+    def test_label_encoder_round_trip(self):
+        encoder = LabelEncoder().fit(["b", "a", "c", "a"])
+        codes = encoder.transform(["a", "b", "c"])
+        assert codes.tolist() == [0, 1, 2]
+        assert encoder.inverse_transform(codes) == ["a", "b", "c"]
+
+    def test_label_encoder_unknown_maps_to_zero(self):
+        encoder = LabelEncoder().fit(["a", "b"])
+        assert encoder.transform(["zzz"]).tolist() == [0]
+
+    def test_one_hot_encoder(self):
+        encoder = OneHotEncoder().fit(["x", "y", "x"])
+        encoded = encoder.transform(["x", "y", "z"])
+        assert encoded.shape == (3, 2)
+        assert encoded[2].sum() == 0.0  # unknown category -> all zeros
+
+
+def _with_missing(matrix, rate=0.2, seed=1):
+    rng = np.random.RandomState(seed)
+    corrupted = matrix.copy()
+    mask = rng.rand(*matrix.shape) < rate
+    corrupted[mask] = np.nan
+    return corrupted
+
+
+class TestImputers:
+    @pytest.mark.parametrize(
+        "imputer",
+        [
+            SimpleImputer(strategy="mean"),
+            SimpleImputer(strategy="median"),
+            SimpleImputer(strategy="most_frequent"),
+            SimpleImputer(strategy="constant", fill_value=-1.0),
+            InterpolateImputer(),
+            KNNImputer(n_neighbors=3),
+            IterativeImputer(max_iter=2),
+        ],
+    )
+    def test_all_imputers_remove_missing(self, matrix, imputer):
+        corrupted = _with_missing(matrix)
+        filled = imputer.fit_transform(corrupted)
+        assert np.isfinite(filled).all()
+        # Observed cells are untouched.
+        observed = np.isfinite(corrupted)
+        assert np.allclose(filled[observed], corrupted[observed])
+
+    def test_simple_imputer_mean_value(self):
+        X = np.array([[1.0], [3.0], [np.nan]])
+        filled = SimpleImputer(strategy="mean").fit_transform(X)
+        assert filled[2, 0] == pytest.approx(2.0)
+
+    def test_simple_imputer_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            SimpleImputer(strategy="magic")
+
+    def test_knn_imputer_uses_neighbours(self):
+        X = np.array([[1.0, 10.0], [1.1, 11.0], [5.0, 50.0], [1.05, np.nan]])
+        filled = KNNImputer(n_neighbors=2).fit_transform(X)
+        assert filled[3, 1] == pytest.approx(10.5, rel=0.1)
+
+    def test_iterative_imputer_recovers_linear_relation(self):
+        rng = np.random.RandomState(0)
+        x = rng.normal(size=80)
+        Y = np.column_stack([x, 2 * x + 1])
+        Y[5, 1] = np.nan
+        filled = IterativeImputer(max_iter=5).fit_transform(Y)
+        assert filled[5, 1] == pytest.approx(2 * x[5] + 1, abs=0.5)
+
+    def test_unfitted_imputer_raises(self, matrix):
+        with pytest.raises(RuntimeError):
+            SimpleImputer().transform(matrix)

@@ -1,0 +1,192 @@
+"""Unit tests for pipeline abstraction: static analysis, docs, dataset usage."""
+
+import pytest
+
+from repro.pipelines import (
+    LibraryDocumentation,
+    PipelineAbstractor,
+    PipelineScript,
+    StaticCodeAnalyzer,
+)
+from repro.pipelines.dataset_usage import (
+    detect_column_reads,
+    detect_dataset_read,
+    split_dataset_and_table,
+)
+from repro.pipelines.static_analysis import (
+    CONTROL_FLOW_CONDITIONAL,
+    CONTROL_FLOW_IMPORT,
+    CONTROL_FLOW_LOOP,
+)
+
+
+class TestStaticAnalysis:
+    def test_statement_count_and_text(self, example_pipeline_source):
+        statements = StaticCodeAnalyzer().analyze(example_pipeline_source)
+        assert len(statements) > 10
+        assert any("read_csv" in s.text for s in statements)
+
+    def test_import_alias_resolution(self):
+        statements, aliases = StaticCodeAnalyzer().analyze_with_aliases(
+            "import pandas as pd\ndf = pd.read_csv('x.csv')\n"
+        )
+        assert aliases["pd"] == "pandas"
+        calls = [c for s in statements for c in s.calls]
+        assert calls[0].full_name == "pandas.read_csv"
+
+    def test_from_import_resolution(self):
+        statements = StaticCodeAnalyzer().analyze(
+            "from sklearn.preprocessing import StandardScaler\ns = StandardScaler()\n"
+        )
+        calls = [c for s in statements for c in s.calls]
+        assert calls[0].full_name == "sklearn.preprocessing.StandardScaler"
+
+    def test_control_flow_types(self):
+        source = (
+            "import os\n"
+            "for i in range(3):\n    x = i + 1\n"
+            "if x:\n    y = x * 2\n"
+            "def helper():\n    z = 1\n    return z\n"
+        )
+        statements = StaticCodeAnalyzer().analyze(source)
+        flows = {s.control_flow for s in statements}
+        assert CONTROL_FLOW_IMPORT in flows
+        assert CONTROL_FLOW_LOOP in flows
+        assert CONTROL_FLOW_CONDITIONAL in flows
+
+    def test_code_flow_links_are_sequential(self, example_pipeline_source):
+        statements = StaticCodeAnalyzer().analyze(example_pipeline_source)
+        for i, statement in enumerate(statements[:-1]):
+            assert statement.next_statement == statements[i + 1].index
+        assert statements[-1].next_statement is None
+
+    def test_data_flow_follows_variables(self):
+        source = "a = 1\nb = a + 1\nc = 5\nd = b + c\n"
+        statements = StaticCodeAnalyzer().analyze(source)
+        assert statements[1].index in statements[0].data_flow_next
+        assert statements[3].index in statements[2].data_flow_next
+
+    def test_insignificant_calls_dropped(self):
+        statements = StaticCodeAnalyzer().analyze("print('hello')\nx = len([1])\n")
+        calls = [c for s in statements for c in s.calls]
+        assert calls == []
+
+    def test_keyword_and_positional_arguments_extracted(self):
+        statements = StaticCodeAnalyzer().analyze(
+            "from sklearn.ensemble import RandomForestClassifier\n"
+            "clf = RandomForestClassifier(50, max_depth=10)\n"
+        )
+        call = [c for s in statements for c in s.calls][0]
+        assert call.positional_arguments == [50]
+        assert call.keyword_arguments == {"max_depth": 10}
+
+    def test_syntax_error_returns_empty(self):
+        assert StaticCodeAnalyzer().analyze("def broken(:\n") == []
+
+
+class TestDocumentationAnalysis:
+    def test_lookup_by_full_and_short_name(self):
+        docs = LibraryDocumentation()
+        assert docs.lookup("pandas.read_csv").return_type == "pandas.DataFrame"
+        assert docs.lookup("read_csv").full_name == "pandas.read_csv"
+        assert docs.lookup("not.a.real.call") is None
+
+    def test_enrich_call_names_implicit_parameters(self):
+        statements = StaticCodeAnalyzer().analyze(
+            "from sklearn.ensemble import RandomForestClassifier\n"
+            "clf = RandomForestClassifier(50, max_depth=10)\n"
+        )
+        docs = LibraryDocumentation()
+        call = [c for s in statements for c in s.calls][0]
+        enriched = docs.enrich_call(call)
+        # The first positional argument is n_estimators (implicit name).
+        assert enriched.parameter_names["n_estimators"] == 50
+        # Unspecified parameters appear with their documented defaults.
+        assert "min_samples_split" in enriched.default_parameters
+        assert enriched.return_type == "sklearn.ensemble.RandomForestClassifier"
+        assert enriched.all_parameters()["max_depth"] == 10
+
+    def test_enrich_infers_return_type_of_read_csv(self):
+        statements = StaticCodeAnalyzer().analyze(
+            "import pandas as pd\ndf = pd.read_csv('titanic/train.csv')\n"
+        )
+        docs = LibraryDocumentation()
+        statement = docs.enrich_statement(statements[-1])
+        assert statement.calls[0].return_type == "pandas.DataFrame"
+
+    def test_hierarchy_edges(self):
+        docs = LibraryDocumentation()
+        edges = docs.hierarchy_edges("sklearn.linear_model.LogisticRegression")
+        assert ("sklearn.linear_model.LogisticRegression", "sklearn.linear_model") in edges
+        assert ("sklearn.linear_model", "sklearn") in edges
+
+    def test_known_callables_not_empty(self):
+        assert len(LibraryDocumentation().known_callables()) > 40
+
+
+class TestDatasetUsage:
+    def test_split_dataset_and_table(self):
+        assert split_dataset_and_table("titanic/train.csv") == ("titanic", "train")
+        assert split_dataset_and_table("train.csv") == (None, "train")
+        assert split_dataset_and_table("../input/heart-uci/heart.csv") == ("heart-uci", "heart")
+
+    def test_detect_dataset_read(self):
+        statements = StaticCodeAnalyzer().analyze(
+            "import pandas as pd\ndf = pd.read_csv('titanic/train.csv')\n"
+        )
+        reads = detect_dataset_read(statements[-1])
+        assert reads == ["titanic/train.csv"]
+
+    def test_detect_column_reads_subscripts_and_drop(self):
+        columns = detect_column_reads("X, y = df.drop('Survived', axis=1), df['Survived']")
+        assert columns == ["Survived"]
+        columns = detect_column_reads("X['Sex'] = imputer.fit_transform(X['Sex'])")
+        assert columns == ["Sex"]
+        columns = detect_column_reads("sub = df[['a', 'b']]")
+        assert set(columns) == {"a", "b"}
+
+    def test_detect_column_reads_ignores_bad_syntax(self):
+        assert detect_column_reads("df[???") == []
+
+
+class TestPipelineAbstractor:
+    def test_abstract_running_example(self, example_pipeline_source):
+        abstractor = PipelineAbstractor()
+        script = PipelineScript("p1", example_pipeline_source, dataset_name="titanic", votes=12)
+        abstraction = abstractor.abstract_script(script)
+        assert "pandas" in abstraction.libraries_used
+        assert "sklearn" in abstraction.libraries_used
+        assert "sklearn.ensemble.RandomForestClassifier" in abstraction.calls_used
+        assert ("titanic", "train") in abstraction.predicted_table_reads
+        assert "Survived" in abstraction.predicted_column_reads
+        # NormalizedAge is predicted here and later pruned by the linker.
+        assert "NormalizedAge" in abstraction.predicted_column_reads
+
+    def test_local_variable_methods_not_counted_as_libraries(self, example_pipeline_source):
+        abstractor = PipelineAbstractor()
+        abstraction = abstractor.abstract_script(PipelineScript("p1", example_pipeline_source))
+        assert "clf" not in abstraction.libraries_used
+        assert "imputer" not in abstraction.libraries_used
+
+    def test_library_usage_counts(self, example_pipeline_source):
+        abstractor = PipelineAbstractor()
+        abstractions = abstractor.abstract_scripts(
+            [
+                PipelineScript("p1", example_pipeline_source),
+                PipelineScript("p2", "import pandas as pd\ndf = pd.read_csv('a/b.csv')\n"),
+            ]
+        )
+        counts = PipelineAbstractor.library_usage_counts(abstractions)
+        assert counts["pandas"] == 2
+        assert counts["sklearn"] == 1
+
+    def test_library_hierarchy_accumulates(self, example_pipeline_source):
+        abstractor = PipelineAbstractor()
+        abstractor.abstract_script(PipelineScript("p1", example_pipeline_source))
+        edges = abstractor.library_hierarchy_edges()
+        assert ("sklearn.ensemble", "sklearn") in edges
+
+    def test_empty_script(self):
+        abstraction = PipelineAbstractor().abstract_script(PipelineScript("p", ""))
+        assert abstraction.statements == []
+        assert abstraction.libraries_used == set()

@@ -1,0 +1,153 @@
+"""Unit tests for NER, fine-grained type inference, statistics and profiling."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.profiler import (
+    ColumnProfile,
+    DataProfiler,
+    FineGrainedTypeInferrer,
+    NamedEntityRecognizer,
+    collect_statistics,
+)
+from repro.tabular import Column, DataLake, Table
+from repro.types import FINE_GRAINED_TYPES
+
+
+class TestNER:
+    def test_person_recognition(self):
+        ner = NamedEntityRecognizer()
+        assert ner.recognize("James Smith") == "PERSON"
+        assert ner.recognize("Fatima Khan") == "PERSON"
+
+    def test_location_recognition(self):
+        ner = NamedEntityRecognizer()
+        assert ner.recognize("Montreal") == "GPE"
+        assert ner.recognize("Canada") == "GPE"
+
+    def test_organization_and_language(self):
+        ner = NamedEntityRecognizer()
+        assert ner.recognize("Google") == "ORG"
+        assert ner.recognize("French") == "LANGUAGE"
+
+    def test_non_entities(self):
+        ner = NamedEntityRecognizer(use_shape_heuristic=False)
+        assert ner.recognize("X9-11") is None
+        assert ner.recognize("the product was great") is None
+        assert ner.recognize("") is None
+        assert ner.recognize(None) is None
+
+    def test_shape_heuristic(self):
+        ner = NamedEntityRecognizer()
+        assert ner.recognize("Zorblat Qixx") == "PROPER_NOUN"
+
+    def test_entity_ratio(self):
+        ner = NamedEntityRecognizer()
+        assert ner.entity_ratio(["Montreal", "Cairo", "x9"]) == pytest.approx(2 / 3)
+        assert ner.entity_ratio([]) == 0.0
+
+
+class TestTypeInference:
+    @pytest.fixture()
+    def inferrer(self):
+        return FineGrainedTypeInferrer()
+
+    def test_int_and_float(self, inferrer):
+        assert inferrer.infer(Column("a", list(range(20)))) == "int"
+        assert inferrer.infer(Column("a", [1.5, 2.25, 3.75] * 5)) == "float"
+
+    def test_boolean(self, inferrer):
+        assert inferrer.infer(Column("a", [True, False] * 10)) == "boolean"
+        assert inferrer.infer(Column("a", [0, 1, 1, 0] * 5)) == "boolean"
+        assert inferrer.infer(Column("a", ["yes", "no"] * 10)) == "boolean"
+
+    def test_date(self, inferrer):
+        assert inferrer.infer(Column("a", ["2021-01-01", "2020-06-15"] * 6)) == "date"
+
+    def test_named_entity(self, inferrer):
+        values = ["James Smith", "Mary Johnson", "Montreal", "Canada"] * 5
+        assert inferrer.infer(Column("a", values)) == "named_entity"
+
+    def test_natural_language(self, inferrer):
+        values = [
+            "the product is excellent and I would recommend it",
+            "poor quality do not buy this one at all",
+        ] * 8
+        assert inferrer.infer(Column("a", values)) == "natural_language"
+
+    def test_generic_string(self, inferrer):
+        assert inferrer.infer(Column("a", ["C85", "B42", "E12", "QX7"] * 5)) == "string"
+
+    def test_empty_column_defaults_to_string(self, inferrer):
+        assert inferrer.infer(Column("a", [None, None])) == "string"
+
+    def test_all_types_are_known(self, inferrer):
+        for values in ([1], [1.5], [True, False], ["2020-01-01"], ["James Smith"], ["x"]):
+            assert inferrer.infer(Column("a", values * 10)) in FINE_GRAINED_TYPES
+
+
+class TestStatistics:
+    def test_numeric_statistics(self):
+        stats = collect_statistics(Column("a", [1, 2, 3, None]), "int")
+        assert stats.count == 4
+        assert stats.missing_count == 1
+        assert stats.minimum == 1 and stats.maximum == 3
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.missing_ratio == pytest.approx(0.25)
+
+    def test_boolean_statistics(self):
+        stats = collect_statistics(Column("a", [True, True, False]), "boolean")
+        assert stats.true_ratio == pytest.approx(2 / 3)
+
+    def test_string_statistics(self):
+        stats = collect_statistics(Column("a", ["ab", "abcd"]), "string")
+        assert stats.average_length == pytest.approx(3.0)
+
+    def test_to_dict_round_trip(self):
+        stats = collect_statistics(Column("a", [1, 2]), "int")
+        assert json.dumps(stats.to_dict())
+
+
+class TestDataProfiler:
+    def test_profile_column_fields(self, titanic_table):
+        profiler = DataProfiler()
+        profile = profiler.profile_column(titanic_table, titanic_table.column("Age"))
+        assert profile.fine_grained_type == "int"
+        assert profile.embedding.shape == (300,)
+        assert profile.column_id == "titanic/train/Age"
+        assert json.loads(profile.to_json())["column"] == "Age"
+
+    def test_profile_table_types(self, titanic_table):
+        profiler = DataProfiler()
+        table_profile = profiler.profile_table(titanic_table)
+        types = {p.column_name: p.fine_grained_type for p in table_profile.column_profiles}
+        assert types["Name"] == "named_entity"
+        assert types["Survived"] == "boolean"
+        assert types["Embarked_date"] == "date"
+        assert types["Cabin"] == "string"
+        assert table_profile.embedding.shape == (1800,)
+
+    def test_profile_data_lake_and_statistics(self, small_lake):
+        profiler = DataProfiler()
+        profiles = profiler.profile_data_lake(small_lake)
+        assert len(profiles) == 2
+        stats = DataProfiler.lake_statistics(profiles)
+        assert stats["num_tables"] == 2
+        assert stats["total_columns"] == small_lake.num_columns
+        type_total = sum(stats[f"{type_name}_cols"] for type_name in FINE_GRAINED_TYPES)
+        assert type_total == small_lake.num_columns
+
+    def test_subsampling_fraction_controls_sample(self, titanic_table):
+        full = DataProfiler(sample_fraction=1.0, min_sample_size=10_000)
+        sampled = DataProfiler(sample_fraction=0.1, min_sample_size=2)
+        profile_full = full.profile_column(titanic_table, titanic_table.column("Fare"))
+        profile_sampled = sampled.profile_column(titanic_table, titanic_table.column("Fare"))
+        assert profile_full.embedding.shape == profile_sampled.embedding.shape
+
+    def test_type_breakdown_sums_to_columns(self, titanic_table):
+        profiler = DataProfiler()
+        table_profile = profiler.profile_table(titanic_table)
+        breakdown = table_profile.type_breakdown()
+        assert sum(breakdown.values()) == titanic_table.num_columns

@@ -1,0 +1,175 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import math
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.embeddings.colr import ColRModelSet, cosine_similarity
+from repro.eval import precision_at_k, recall_at_k
+from repro.ml import MinMaxScaler, SimpleImputer, StandardScaler, accuracy_score, f1_score
+from repro.rdf import KGLIDS_ONTOLOGY, Literal, QuadStore, URIRef
+from repro.rdf.serialize import parse_nquads, serialize_nquads
+from repro.tabular import Column, Table
+from repro.tabular.values import is_missing, parse_value
+
+_SETTINGS = settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+cell_values = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.booleans(),
+    st.text(alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"), max_codepoint=0x7F), max_size=12),
+    st.none(),
+)
+
+
+class TestTabularProperties:
+    @_SETTINGS
+    @given(st.lists(cell_values, min_size=1, max_size=50))
+    def test_missing_plus_non_missing_equals_length(self, values):
+        column = Column("c", values)
+        assert column.missing_count() + len(column.non_missing()) == len(column)
+        assert 0.0 <= column.missing_ratio() <= 1.0
+
+    @_SETTINGS
+    @given(st.lists(cell_values, min_size=1, max_size=50), st.integers(min_value=1, max_value=60))
+    def test_sample_is_subset_of_non_missing(self, values, n):
+        column = Column("c", values)
+        sample = column.sample(n, seed=3)
+        assert len(sample) <= min(n, len(column.non_missing()))
+        non_missing = column.non_missing()
+        assert all(value in non_missing for value in sample)
+
+    @_SETTINGS
+    @given(st.lists(st.text(max_size=8), min_size=1, max_size=20))
+    def test_parse_value_never_raises_and_misses_are_none(self, raw_values):
+        for raw in raw_values:
+            parsed = parse_value(raw)
+            if is_missing(raw):
+                assert parsed is None
+
+    @_SETTINGS
+    @given(
+        st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=2, max_size=40),
+        st.lists(st.integers(min_value=0, max_value=3), min_size=2, max_size=40),
+    )
+    def test_feature_matrix_is_finite(self, numeric, labels):
+        n = min(len(numeric), len(labels))
+        table = Table.from_dict("t", {"x": numeric[:n], "y": labels[:n]})
+        X, _ = table.to_feature_matrix(target="y")
+        assert np.isfinite(X).all()
+        assert X.shape[0] == n
+
+
+class TestMLProperties:
+    @_SETTINGS
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=60))
+    def test_perfect_predictions_score_one(self, labels):
+        assert accuracy_score(labels, labels) == 1.0
+        average = "binary" if len(set(labels)) <= 2 else "macro"
+        assert 0.0 <= f1_score(labels, labels, average=average) <= 1.0
+
+    @_SETTINGS
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2), min_size=2, max_size=40),
+        st.lists(st.integers(min_value=0, max_value=2), min_size=2, max_size=40),
+    )
+    def test_metric_bounds(self, y_true, y_pred):
+        n = min(len(y_true), len(y_pred))
+        assert 0.0 <= accuracy_score(y_true[:n], y_pred[:n]) <= 1.0
+        assert 0.0 <= f1_score(y_true[:n], y_pred[:n], average="macro") <= 1.0
+
+    @_SETTINGS
+    @given(
+        st.integers(min_value=3, max_value=25),
+        st.integers(min_value=1, max_value=5),
+        st.floats(min_value=0.0, max_value=0.6),
+    )
+    def test_imputer_output_is_always_finite(self, rows, cols, missing_rate):
+        rng = np.random.RandomState(0)
+        X = rng.normal(size=(rows, cols))
+        X[rng.rand(rows, cols) < missing_rate] = np.nan
+        filled = SimpleImputer().fit_transform(X)
+        assert np.isfinite(filled).all()
+
+    @_SETTINGS
+    @given(st.integers(min_value=3, max_value=30), st.integers(min_value=1, max_value=4))
+    def test_scalers_are_shape_preserving_and_finite(self, rows, cols):
+        rng = np.random.RandomState(1)
+        X = rng.normal(scale=10.0, size=(rows, cols))
+        for scaler in (StandardScaler(), MinMaxScaler()):
+            scaled = scaler.fit_transform(X)
+            assert scaled.shape == X.shape
+            assert np.isfinite(scaled).all()
+
+
+class TestRDFProperties:
+    node_text = st.text(
+        alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd")), min_size=1, max_size=10
+    )
+
+    @_SETTINGS
+    @given(st.lists(st.tuples(node_text, node_text, node_text), min_size=1, max_size=30))
+    def test_store_deduplicates_and_roundtrips(self, raw_triples):
+        store = QuadStore()
+        triples = [
+            (URIRef(f"http://s/{s}"), URIRef(f"http://p/{p}"), Literal(o))
+            for s, p, o in raw_triples
+        ]
+        for triple in triples:
+            store.add(*triple)
+            store.add(*triple)  # duplicate insert must be a no-op
+        assert len(store) == len(set(triples))
+        reloaded = parse_nquads(serialize_nquads(store))
+        assert len(reloaded) == len(store)
+        for subject, predicate, obj in set(triples):
+            assert reloaded.contains(subject, predicate, obj)
+
+    @_SETTINGS
+    @given(node_text, node_text, st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    def test_annotation_roundtrip(self, a, b, score):
+        store = QuadStore()
+        onto = KGLIDS_ONTOLOGY
+        subject, obj = URIRef(f"http://c/{a}"), URIRef(f"http://c/{b}")
+        store.annotate(subject, onto.hasContentSimilarity, obj, onto.withCertainty, Literal(score))
+        recovered = store.annotation(subject, onto.hasContentSimilarity, obj, onto.withCertainty)
+        assert math.isclose(recovered, score, rel_tol=1e-9, abs_tol=1e-12)
+
+
+class TestEmbeddingAndMetricProperties:
+    @_SETTINGS
+    @given(
+        st.lists(st.floats(min_value=-1e4, max_value=1e4, allow_nan=False), min_size=1, max_size=40)
+    )
+    def test_column_embedding_is_finite_and_bounded(self, values):
+        models = ColRModelSet.pretrained()
+        embedding = models.embed_column_values(values, "float")
+        assert embedding.shape == (300,)
+        assert np.isfinite(embedding).all()
+        assert np.abs(embedding).max() <= 1.0 + 1e-9  # tanh output layer
+
+    @_SETTINGS
+    @given(
+        st.lists(st.floats(min_value=-10, max_value=10, allow_nan=False), min_size=2, max_size=32),
+        st.lists(st.floats(min_value=-10, max_value=10, allow_nan=False), min_size=2, max_size=32),
+    )
+    def test_cosine_similarity_bounds_and_symmetry(self, a, b):
+        n = min(len(a), len(b))
+        va, vb = np.asarray(a[:n]), np.asarray(b[:n])
+        similarity = cosine_similarity(va, vb)
+        assert 0.0 <= similarity <= 1.0
+        assert math.isclose(similarity, cosine_similarity(vb, va), abs_tol=1e-12)
+
+    @_SETTINGS
+    @given(
+        st.lists(st.integers(min_value=0, max_value=30), min_size=0, max_size=30, unique=True),
+        st.sets(st.integers(min_value=0, max_value=30), max_size=10),
+        st.integers(min_value=1, max_value=40),
+    )
+    def test_precision_recall_bounds(self, ranked, relevant, k):
+        assert 0.0 <= precision_at_k(ranked, relevant, k) <= 1.0
+        assert 0.0 <= recall_at_k(ranked, relevant, k) <= 1.0
+        # Recall is monotone in k.
+        assert recall_at_k(ranked, relevant, k) <= recall_at_k(ranked, relevant, k + 10) + 1e-12

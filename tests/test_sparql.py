@@ -1,0 +1,158 @@
+"""Unit tests for the SPARQL parser and evaluator."""
+
+import pytest
+
+from repro.rdf import KGLIDS_ONTOLOGY, Literal, QuadStore, RDF, URIRef
+from repro.sparql import SPARQLEngine, parse_query
+from repro.sparql.parser import SPARQLSyntaxError
+
+
+@pytest.fixture()
+def engine():
+    store = QuadStore()
+    onto = KGLIDS_ONTOLOGY
+    graph_a, graph_b = URIRef("http://g/a"), URIRef("http://g/b")
+    for i, (name, rows, graph) in enumerate(
+        [("train", 100, graph_a), ("heart", 50, graph_a), ("games", 80, graph_b)]
+    ):
+        table = URIRef(f"http://data/{name}")
+        store.add(table, RDF.type, onto.Table, graph=graph)
+        store.add(table, onto.hasName, Literal(name), graph=graph)
+        store.add(table, onto.hasTotalRows, Literal(rows), graph=graph)
+    store.add(URIRef("http://data/train"), onto.isPartOf, URIRef("http://data/titanic"), graph=graph_a)
+    store.add(URIRef("http://data/titanic"), onto.hasName, Literal("titanic"), graph=graph_a)
+    store.annotate(
+        URIRef("http://data/train"),
+        onto.unionableWith,
+        URIRef("http://data/heart"),
+        onto.withCertainty,
+        Literal(0.8),
+        graph=graph_a,
+    )
+    return SPARQLEngine(store)
+
+
+class TestParser:
+    def test_parse_basic_select(self):
+        query = parse_query("SELECT ?s WHERE { ?s a kglids:Table }")
+        assert [str(v) for v in query.variables] == ["s"]
+        assert len(query.where.elements) == 1
+
+    def test_parse_prefix_declaration(self):
+        query = parse_query("PREFIX ex: <http://example.org/> SELECT ?s WHERE { ?s ex:p ?o }")
+        pattern = query.where.elements[0]
+        assert str(pattern.predicate) == "http://example.org/p"
+
+    def test_parse_aggregate_group_order_limit(self):
+        query = parse_query(
+            "SELECT ?g (COUNT(DISTINCT ?s) AS ?n) WHERE { ?s a ?t } GROUP BY ?g ORDER BY DESC(?n) LIMIT 5 OFFSET 1"
+        )
+        assert query.has_aggregates()
+        assert query.limit == 5 and query.offset == 1
+        assert query.group_by and query.order_by
+
+    def test_parse_semicolon_and_comma_abbreviations(self):
+        query = parse_query('SELECT * WHERE { ?s kglids:hasName "x" ; a kglids:Table . ?s kglids:reads ?a , ?b }')
+        assert len(query.where.elements) == 4
+
+    def test_unknown_prefix_raises(self):
+        with pytest.raises(SPARQLSyntaxError):
+            parse_query("SELECT ?s WHERE { ?s nope:p ?o }")
+
+    def test_garbage_raises(self):
+        with pytest.raises(SPARQLSyntaxError):
+            parse_query("SELECT ?s WHERE { ?s @@@ ?o }")
+
+    def test_trailing_tokens_raise(self):
+        with pytest.raises(SPARQLSyntaxError):
+            parse_query("SELECT ?s WHERE { ?s ?p ?o } garbage garbage")
+
+
+class TestEvaluation:
+    def test_basic_match_and_filter(self, engine):
+        result = engine.select(
+            'SELECT ?t ?n WHERE { ?t kglids:hasName ?n . FILTER(contains(?n, "rain")) }'
+        )
+        assert len(result) == 1
+        assert result.rows[0]["n"] == "train"
+
+    def test_numeric_filter(self, engine):
+        result = engine.select(
+            "SELECT ?n WHERE { ?t kglids:hasTotalRows ?r . ?t kglids:hasName ?n . FILTER(?r >= 80) }"
+        )
+        assert {row["n"] for row in result.rows} == {"train", "games"}
+
+    def test_boolean_operators_in_filter(self, engine):
+        result = engine.select(
+            'SELECT ?n WHERE { ?t kglids:hasName ?n . ?t kglids:hasTotalRows ?r . '
+            'FILTER(?r > 60 && !contains(?n, "game")) }'
+        )
+        assert [row["n"] for row in result.rows] == ["train"]
+
+    def test_optional_and_bound(self, engine):
+        result = engine.select(
+            "SELECT ?n WHERE { ?t kglids:hasName ?n . OPTIONAL { ?t kglids:isPartOf ?d } FILTER(!bound(?d)) }"
+        )
+        assert {row["n"] for row in result.rows} == {"heart", "games", "titanic"}
+
+    def test_union(self, engine):
+        result = engine.select(
+            'SELECT ?n WHERE { ?t kglids:hasName ?n . { ?t kglids:hasTotalRows ?r . FILTER(?r = 50) } '
+            'UNION { ?t kglids:hasTotalRows ?r2 . FILTER(?r2 = 80) } }'
+        )
+        assert {row["n"] for row in result.rows} == {"heart", "games"}
+
+    def test_named_graph_variable(self, engine):
+        result = engine.select("SELECT DISTINCT ?g WHERE { GRAPH ?g { ?t a kglids:Table } }")
+        assert len(result) == 2
+
+    def test_named_graph_constant(self, engine):
+        result = engine.select(
+            "SELECT ?t WHERE { GRAPH <http://g/b> { ?t a kglids:Table } }"
+        )
+        assert len(result) == 1
+
+    def test_aggregate_count_group_by(self, engine):
+        result = engine.select(
+            "SELECT ?g (COUNT(?t) AS ?n) WHERE { GRAPH ?g { ?t a kglids:Table } } GROUP BY ?g ORDER BY DESC(?n)"
+        )
+        assert result.rows[0]["n"] == 2
+        assert result.rows[1]["n"] == 1
+
+    def test_aggregate_avg_without_group(self, engine):
+        result = engine.select(
+            "SELECT (AVG(?r) AS ?mean) WHERE { ?t kglids:hasTotalRows ?r }"
+        )
+        assert result.rows[0]["mean"] == pytest.approx((100 + 50 + 80) / 3)
+
+    def test_order_by_limit_offset(self, engine):
+        result = engine.select(
+            "SELECT ?n WHERE { ?t kglids:hasName ?n . ?t kglids:hasTotalRows ?r } ORDER BY DESC(?r) LIMIT 1 OFFSET 1"
+        )
+        assert [row["n"] for row in result.rows] == ["games"]
+
+    def test_quoted_triple_pattern(self, engine):
+        result = engine.select(
+            "SELECT ?o ?score WHERE { << ?s kglids:unionableWith ?o >> kglids:withCertainty ?score }"
+        )
+        assert len(result) == 1
+        assert result.rows[0]["score"] == pytest.approx(0.8)
+
+    def test_bind_and_functions(self, engine):
+        result = engine.select(
+            'SELECT ?upper WHERE { ?t kglids:hasName ?n . FILTER(strstarts(?n, "tr")) BIND(ucase(?n) AS ?upper) }'
+        )
+        assert result.rows[0]["upper"] == "TRAIN"
+
+    def test_distinct(self, engine):
+        result = engine.select("SELECT DISTINCT ?type WHERE { ?t a ?type }")
+        assert len(result) == 1
+
+    def test_select_star(self, engine):
+        result = engine.select('SELECT * WHERE { ?t kglids:hasName "train" }')
+        assert result.variables == ["t"]
+
+    def test_to_table(self, engine):
+        table = engine.select("SELECT ?n WHERE { ?t kglids:hasName ?n }").to_table()
+        assert table.num_rows == 4
+        assert table.column_names == ["n"]

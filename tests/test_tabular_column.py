@@ -1,0 +1,111 @@
+"""Unit tests for the Column container."""
+
+import numpy as np
+import pytest
+
+from repro.tabular import Column
+
+
+class TestDtypeInference:
+    def test_int_column(self):
+        assert Column("a", [1, 2, 3]).dtype == "int"
+
+    def test_float_column(self):
+        assert Column("a", [1.5, 2, 3.25]).dtype == "float"
+
+    def test_bool_column(self):
+        assert Column("a", [True, False, True]).dtype == "bool"
+
+    def test_binary_string_column_is_bool(self):
+        assert Column("a", ["yes", "no", "yes"]).dtype == "bool"
+
+    def test_string_column(self):
+        assert Column("a", ["x", "y", "zebra"]).dtype == "string"
+
+    def test_date_column(self):
+        assert Column("a", ["2021-01-01", "2020-12-31"]).dtype == "date"
+
+    def test_empty_column(self):
+        assert Column("a", [None, None]).dtype == "empty"
+
+    def test_missing_values_ignored_for_dtype(self):
+        assert Column("a", [1, None, 3]).dtype == "int"
+
+    def test_parse_flag_converts_strings(self):
+        column = Column("a", ["1", "2", "NA"], parse=True)
+        assert column.values == [1, 2, None]
+        assert column.dtype == "int"
+
+    def test_invalidate_dtype(self):
+        column = Column("a", [1, 2, 3])
+        assert column.dtype == "int"
+        column.values.append("text")
+        column.invalidate_dtype()
+        assert column.dtype == "string"
+
+
+class TestMissingness:
+    def test_missing_count_and_ratio(self):
+        column = Column("a", [1, None, 3, None])
+        assert column.missing_count() == 2
+        assert column.missing_ratio() == pytest.approx(0.5)
+        assert column.has_missing()
+
+    def test_non_missing(self):
+        assert Column("a", [1, None, 3]).non_missing() == [1, 3]
+
+    def test_fill_missing(self):
+        filled = Column("a", [1, None, 3]).fill_missing(0)
+        assert filled.values == [1, 0, 3]
+
+
+class TestStatistics:
+    def test_distinct_count(self):
+        assert Column("a", [1, 1, 2, None]).distinct_count() == 2
+
+    def test_most_frequent(self):
+        assert Column("a", ["x", "y", "x"]).most_frequent() == "x"
+
+    def test_most_frequent_empty(self):
+        assert Column("a", [None]).most_frequent() is None
+
+    def test_true_ratio(self):
+        assert Column("a", [True, False, True, True]).true_ratio() == pytest.approx(0.75)
+
+    def test_true_ratio_for_binary_ints(self):
+        assert Column("a", [1, 0, 1, 1]).true_ratio() == pytest.approx(0.75)
+
+    def test_to_float_array_handles_non_numeric(self):
+        array = Column("a", [1, "x", None]).to_float_array()
+        assert array[0] == 1.0
+        assert np.isnan(array[1]) and np.isnan(array[2])
+
+    def test_numeric_values(self):
+        assert Column("a", [1, "2.5", "x", None]).numeric_values() == [1.0, 2.5]
+
+
+class TestSamplingAndTransforms:
+    def test_sample_is_bounded_and_non_missing(self):
+        column = Column("a", list(range(100)) + [None] * 10)
+        sample = column.sample(20, seed=1)
+        assert len(sample) == 20
+        assert all(value is not None for value in sample)
+
+    def test_sample_returns_all_when_small(self):
+        assert sorted(Column("a", [1, 2, 3]).sample(10)) == [1, 2, 3]
+
+    def test_map(self):
+        assert Column("a", [1, 2]).map(lambda v: v * 2).values == [2, 4]
+
+    def test_take(self):
+        assert Column("a", [10, 20, 30]).take([2, 0]).values == [30, 10]
+
+    def test_copy_is_independent(self):
+        original = Column("a", [1, 2])
+        duplicate = original.copy()
+        duplicate.values.append(3)
+        assert len(original) == 2
+
+    def test_equality(self):
+        assert Column("a", [1, 2]) == Column("a", [1, 2])
+        assert Column("a", [1, 2]) != Column("b", [1, 2])

@@ -1,0 +1,100 @@
+"""Unit tests for CSV/JSON I/O and the DataLake container."""
+
+import json
+
+import pytest
+
+from repro.tabular import DataLake, DatasetSource, Table, read_csv, read_json_records, write_csv
+from repro.tabular.io import table_from_records
+
+
+class TestCSVRoundTrip:
+    def test_write_and_read_csv(self, tmp_path, titanic_table):
+        path = write_csv(titanic_table, tmp_path / "train.csv")
+        loaded = read_csv(path, dataset="titanic")
+        assert loaded.shape == titanic_table.shape
+        assert loaded.column("Age").values[0] == 22
+        # Missing cells survive the round trip.
+        assert loaded.column("Age").missing_count() == titanic_table.column("Age").missing_count()
+
+    def test_read_csv_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        assert read_csv(path).num_rows == 0
+
+    def test_read_csv_without_parsing(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1,x\n2,y\n")
+        table = read_csv(path, parse=False)
+        assert table.column("a").values == ["1", "2"]
+
+
+class TestJSON:
+    def test_read_json_records(self, tmp_path):
+        records = [{"a": 1, "b": "x"}, {"a": 2}, {"b": "z", "c": True}]
+        path = tmp_path / "data.json"
+        path.write_text(json.dumps(records))
+        table = read_json_records(path)
+        assert table.shape == (3, 3)
+        assert table.column("a").values[2] is None
+
+    def test_read_json_rejects_non_array(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"a": 1}))
+        with pytest.raises(ValueError):
+            read_json_records(path)
+
+    def test_table_from_records_preserves_key_order(self):
+        table = table_from_records("t", [{"b": 1, "a": 2}, {"a": 3, "c": 4}])
+        assert table.column_names == ["b", "a", "c"]
+
+
+class TestDatasetSource:
+    def test_add_and_lookup(self, titanic_table):
+        source = DatasetSource("titanic", [titanic_table])
+        assert source.table("train") is titanic_table
+        assert source.has_table("train")
+        assert len(source) == 1
+
+    def test_duplicate_table_rejected(self, titanic_table):
+        source = DatasetSource("titanic", [titanic_table])
+        with pytest.raises(ValueError):
+            source.add_table(titanic_table)
+
+    def test_missing_table_raises(self):
+        with pytest.raises(KeyError):
+            DatasetSource("d").table("x")
+
+
+class TestDataLake:
+    def test_counts(self, small_lake):
+        assert len(small_lake) == 2
+        assert small_lake.num_tables == 2
+        assert small_lake.num_columns > 0
+        assert small_lake.num_rows > 0
+        assert small_lake.estimated_size_bytes() > 0
+
+    def test_table_lookup(self, small_lake):
+        assert small_lake.table("titanic", "train").name == "train"
+        assert small_lake.find_table("heart").dataset == "heart-uci"
+        assert small_lake.find_table("nope") is None
+
+    def test_missing_dataset_raises(self, small_lake):
+        with pytest.raises(KeyError):
+            small_lake.dataset("nope")
+
+    def test_duplicate_dataset_rejected(self, small_lake):
+        with pytest.raises(ValueError):
+            small_lake.add_dataset(DatasetSource("titanic"))
+
+    def test_iter_columns(self, small_lake):
+        pairs = list(small_lake.iter_columns())
+        assert ("train" in {table.name for table, _ in pairs})
+
+    def test_from_directory(self, tmp_path, titanic_table):
+        target = tmp_path / "lake" / "titanic"
+        target.mkdir(parents=True)
+        write_csv(titanic_table, target / "train.csv")
+        lake = DataLake.from_directory(tmp_path / "lake")
+        assert lake.num_tables == 1
+        assert lake.table("titanic", "train").num_rows == titanic_table.num_rows

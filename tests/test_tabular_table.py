@@ -1,0 +1,133 @@
+"""Unit tests for the Table container."""
+
+import numpy as np
+import pytest
+
+from repro.tabular import Column, Table
+
+
+@pytest.fixture()
+def table() -> Table:
+    return Table.from_dict(
+        "demo",
+        {
+            "age": [20, 30, None, 50],
+            "name": ["Ann", "Bob", "Cat", "Dan"],
+            "income": [1000.0, 2000.0, 1500.0, None],
+            "label": [0, 1, 0, 1],
+        },
+        dataset="demo_ds",
+    )
+
+
+class TestBasics:
+    def test_shape(self, table):
+        assert table.shape == (4, 4)
+        assert len(table) == 4
+
+    def test_column_access(self, table):
+        assert table.column("age")[0] == 20
+        assert table["name"].name == "name"
+        assert "age" in table
+
+    def test_missing_column_raises(self, table):
+        with pytest.raises(KeyError):
+            table.column("nope")
+
+    def test_add_column_length_mismatch(self, table):
+        with pytest.raises(ValueError):
+            table.add_column(Column("extra", [1, 2]))
+
+    def test_add_duplicate_column_raises(self, table):
+        with pytest.raises(ValueError):
+            table.add_column(Column("age", [1, 2, 3, 4]))
+
+    def test_set_column_overwrites(self, table):
+        table.set_column(Column("age", [1, 2, 3, 4]))
+        assert table.column("age").values == [1, 2, 3, 4]
+
+    def test_rename_column_preserves_order(self, table):
+        table.rename_column("name", "full_name")
+        assert table.column_names == ["age", "full_name", "income", "label"]
+
+    def test_from_rows_parses(self):
+        t = Table.from_rows("t", ["a", "b"], [["1", "x"], ["2", "y"]])
+        assert t.column("a").values == [1, 2]
+
+
+class TestSelectionAndRows:
+    def test_select_and_drop(self, table):
+        assert table.select(["age", "label"]).column_names == ["age", "label"]
+        assert table.drop_columns(["age"]).column_names == ["name", "income", "label"]
+
+    def test_take_rows_and_head(self, table):
+        assert table.take_rows([3, 0]).column("age").values == [50, 20]
+        assert table.head(2).num_rows == 2
+
+    def test_sample_rows(self, table):
+        assert table.sample_rows(2, seed=0).num_rows == 2
+        assert table.sample_rows(100).num_rows == 4
+
+    def test_drop_rows_with_missing(self, table):
+        cleaned = table.drop_rows_with_missing()
+        assert cleaned.num_rows == 2
+        assert cleaned.missing_cell_count() == 0
+
+    def test_row_and_iter_rows(self, table):
+        assert table.row(0)["name"] == "Ann"
+        assert len(list(table.iter_rows())) == 4
+
+    def test_copy_independent(self, table):
+        duplicate = table.copy()
+        duplicate.set_column(Column("age", [0, 0, 0, 0]))
+        assert table.column("age").values != [0, 0, 0, 0]
+
+
+class TestFeatureEncoding:
+    def test_feature_matrix_excludes_target(self, table):
+        X, names = table.to_feature_matrix(target="label")
+        assert X.shape[0] == 4
+        assert all("label" not in name for name in names)
+
+    def test_feature_matrix_fills_missing_with_mean(self, table):
+        X, names = table.to_feature_matrix(target="label")
+        age_index = names.index("age")
+        assert np.isfinite(X[:, age_index]).all()
+
+    def test_low_cardinality_strings_one_hot(self, table):
+        _, names = table.to_feature_matrix(target="label")
+        assert any(name.startswith("name=") for name in names)
+
+    def test_high_cardinality_strings_frequency_encoded(self):
+        t = Table.from_dict(
+            "t", {"code": [f"c{i}" for i in range(30)], "y": [i % 2 for i in range(30)]}
+        )
+        _, names = t.to_feature_matrix(target="y", max_onehot_cardinality=5)
+        assert "code#freq" in names
+
+    def test_target_vector_label_encodes(self, table):
+        y = table.target_vector("label")
+        assert set(y.tolist()) == {0, 1}
+
+    def test_target_vector_strings(self):
+        t = Table.from_dict("t", {"y": ["cat", "dog", "cat"]})
+        assert set(t.target_vector("y").tolist()) == {0, 1}
+
+    def test_empty_feature_matrix(self):
+        t = Table.from_dict("t", {"y": [1, 2]})
+        X, names = t.to_feature_matrix(target="y")
+        assert X.shape == (2, 0)
+        assert names == []
+
+
+class TestStats:
+    def test_missing_cell_count(self, table):
+        assert table.missing_cell_count() == 2
+        assert set(table.columns_with_missing()) == {"age", "income"}
+
+    def test_numeric_and_categorical_names(self, table):
+        assert "age" in table.numeric_column_names()
+        assert "name" in table.categorical_column_names()
+
+    def test_estimated_size_positive(self, table):
+        assert table.estimated_size_bytes() > 0

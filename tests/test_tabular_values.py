@@ -1,0 +1,111 @@
+"""Unit tests for value parsing and coercion."""
+
+import math
+
+import pytest
+
+from repro.tabular.values import (
+    coerce_bool,
+    coerce_float,
+    is_missing,
+    looks_like_bool,
+    looks_like_date,
+    looks_like_float,
+    looks_like_int,
+    parse_value,
+)
+
+
+class TestIsMissing:
+    def test_none_is_missing(self):
+        assert is_missing(None)
+
+    def test_nan_is_missing(self):
+        assert is_missing(float("nan"))
+
+    @pytest.mark.parametrize("token", ["", "NA", "n/a", "NaN", "null", "None", "?", "-"])
+    def test_missing_tokens(self, token):
+        assert is_missing(token)
+
+    @pytest.mark.parametrize("value", [0, 0.0, False, "0", "value", "no"])
+    def test_not_missing(self, value):
+        assert not is_missing(value)
+
+
+class TestParseValue:
+    def test_integers(self):
+        assert parse_value("42") == 42
+        assert parse_value("-7") == -7
+
+    def test_floats(self):
+        assert parse_value("3.14") == pytest.approx(3.14)
+        assert parse_value("1e3") == pytest.approx(1000.0)
+
+    def test_booleans(self):
+        assert parse_value("true") is True
+        assert parse_value("No") is False
+
+    def test_missing_tokens_become_none(self):
+        assert parse_value("NA") is None
+        assert parse_value("") is None
+
+    def test_strings_are_stripped(self):
+        assert parse_value("  hello  ") == "hello"
+
+    def test_typed_values_pass_through(self):
+        assert parse_value(5) == 5
+        assert parse_value(2.5) == 2.5
+        assert parse_value(True) is True
+
+    def test_nan_float_becomes_none(self):
+        assert parse_value(float("nan")) is None
+
+    def test_numeric_zero_one_not_boolean(self):
+        # "0"/"1" should stay integers, not become booleans.
+        assert parse_value("0") == 0
+        assert parse_value("1") == 1
+
+
+class TestShapePredicates:
+    def test_looks_like_int(self):
+        assert looks_like_int("123")
+        assert looks_like_int("-5")
+        assert not looks_like_int("1.5")
+
+    def test_looks_like_float(self):
+        assert looks_like_float("1.5")
+        assert looks_like_float("2e-3")
+        assert not looks_like_float("abc")
+
+    def test_looks_like_bool(self):
+        assert looks_like_bool("yes")
+        assert looks_like_bool("FALSE")
+        assert not looks_like_bool("maybe")
+
+    @pytest.mark.parametrize(
+        "text",
+        ["2021-05-03", "12/31/1999", "2021-05-03 14:22", "3 March 2020", "Mar 3, 2020"],
+    )
+    def test_looks_like_date_positive(self, text):
+        assert looks_like_date(text)
+
+    @pytest.mark.parametrize("text", ["hello", "123456", "12.5", "C85"])
+    def test_looks_like_date_negative(self, text):
+        assert not looks_like_date(text)
+
+
+class TestCoercions:
+    def test_coerce_float(self):
+        assert coerce_float("2.5") == 2.5
+        assert coerce_float(3) == 3.0
+        assert coerce_float(True) == 1.0
+        assert coerce_float("abc") is None
+        assert coerce_float(None) is None
+
+    def test_coerce_bool(self):
+        assert coerce_bool("yes") is True
+        assert coerce_bool(0) is False
+        assert coerce_bool(1) is True
+        assert coerce_bool(2) is None
+        assert coerce_bool("maybe") is None
+        assert coerce_bool(None) is None
