@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Run every ``bench_*.py`` in a small smoke configuration.
+
+Each benchmark file is executed in its own pytest process with
+``REPRO_BENCH_SMOKE=1`` set (benchmarks that support it shrink their
+workloads further).  Any exception, assertion failure or collection error
+fails the run, so perf-harness rot is caught even when the individual
+benches are not part of tier-1.
+
+Usage::
+
+    python benchmarks/run_all.py            # all benches
+    python benchmarks/run_all.py fig4 table2  # substring filters
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+
+
+def main(argv: list) -> int:
+    filters = [token.lower() for token in argv]
+    paths = sorted(BENCH_DIR.glob("bench_*.py"))
+    if filters:
+        paths = [p for p in paths if any(token in p.name.lower() for token in filters)]
+    if not paths:
+        print("no benchmarks matched", file=sys.stderr)
+        return 2
+
+    env = dict(os.environ)
+    env["REPRO_BENCH_SMOKE"] = "1"
+    src = str(BENCH_DIR.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+
+    failures = []
+    for path in paths:
+        started = time.perf_counter()
+        print(f"== {path.name}", flush=True)
+        result = subprocess.run(
+            [sys.executable, "-m", "pytest", str(path), "-q", "-x", "--no-header"],
+            env=env,
+            cwd=str(BENCH_DIR.parent),
+        )
+        elapsed = time.perf_counter() - started
+        status = "ok" if result.returncode == 0 else f"FAILED (exit {result.returncode})"
+        print(f"   {status} in {elapsed:.1f}s", flush=True)
+        if result.returncode != 0:
+            failures.append(path.name)
+
+    print()
+    print(f"{len(paths) - len(failures)}/{len(paths)} benchmarks passed")
+    if failures:
+        print("failed:", ", ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -28,18 +28,33 @@ class FlatIndex:
         self.dimensions = dimensions
         self._keys: List[str] = []
         self._vectors: List[np.ndarray] = []
+        self._positions: Dict[str, int] = {}
         self._matrix: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
         return len(self._keys)
 
+    def __contains__(self, key: str) -> bool:
+        return key in self._positions
+
     def add(self, key: str, vector: np.ndarray) -> None:
-        """Add a vector under ``key`` (vectors are L2-normalized on insert)."""
+        """Insert or replace the vector under ``key`` (L2-normalized on insert).
+
+        Re-adding an existing key overwrites its row in place — O(1) instead
+        of an index rebuild — so profile refreshes stay cheap.
+        """
         vector = _normalize(vector)
         if vector.shape[0] != self.dimensions:
             raise ValueError(
                 f"expected {self.dimensions}-dimensional vector, got {vector.shape[0]}"
             )
+        position = self._positions.get(key)
+        if position is not None:
+            self._vectors[position] = vector
+            if self._matrix is not None:
+                self._matrix[position] = vector
+            return
+        self._positions[key] = len(self._keys)
         self._keys.append(key)
         self._vectors.append(vector)
         self._matrix = None

@@ -25,21 +25,17 @@ class EmbeddingStore:
 
     # ------------------------------------------------------------------- API
     def put(self, namespace: str, key: str, vector: np.ndarray) -> None:
-        """Store a vector for ``key`` in ``namespace`` (e.g. ``"column"``)."""
+        """Store a vector for ``key`` in ``namespace`` (e.g. ``"column"``).
+
+        Overwrites are O(1) amortized: the flat index replaces the key's row
+        in place instead of being rebuilt.
+        """
         vector = np.asarray(vector, dtype=float).ravel()
         bucket = self._vectors.setdefault(namespace, {})
-        is_new = key not in bucket
         bucket[key] = vector
         if namespace not in self._indexes:
             self._indexes[namespace] = FlatIndex(vector.shape[0])
-        if is_new:
-            self._indexes[namespace].add(key, vector)
-        else:
-            # Rebuild the index lazily on overwrite to keep search correct.
-            index = FlatIndex(vector.shape[0])
-            for existing_key, existing_vector in bucket.items():
-                index.add(existing_key, existing_vector)
-            self._indexes[namespace] = index
+        self._indexes[namespace].add(key, vector)
 
     def get(self, namespace: str, key: str) -> Optional[np.ndarray]:
         """Fetch a stored vector (``None`` if absent)."""

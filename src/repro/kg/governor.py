@@ -10,7 +10,7 @@ can be added incrementally after bootstrapping.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.embeddings.colr import ColRModelSet
 from repro.kg.dataset_graph import DataGlobalSchemaBuilder, SimilarityThresholds
@@ -69,6 +69,10 @@ class KGGovernor:
         )
         self.linker = GlobalGraphLinker()
         self.table_profiles: List[TableProfile] = []
+        #: ``(dataset, table) -> TableProfile`` lookup, maintained alongside
+        #: ``table_profiles`` so :meth:`table_profile` is O(1) and repeated
+        #: adds of the same table are detected without a scan.
+        self._profiles_by_key: Dict[Tuple[str, str], TableProfile] = {}
         self.abstractions: List[AbstractedPipeline] = []
         self._write_ontology()
 
@@ -91,14 +95,39 @@ class KGGovernor:
 
     # ------------------------------------------------------------ incremental
     def add_data_lake(self, lake: DataLake) -> GovernorReport:
-        """Profile and register every table of ``lake``."""
+        """Profile and register every *new* table of ``lake``.
+
+        The add is incremental: tables already governed are skipped (so
+        re-adding a lake is idempotent), only the fresh tables are profiled,
+        and the schema builder scores similarity for new x (new + existing)
+        column pairs instead of rebuilding the full O(n^2) schema.  Adding
+        tables one by one therefore yields the exact graph a single bootstrap
+        over the union would.
+
+        Governance is append-only: re-adding a table whose *contents* changed
+        keeps the original profile and edges (a refresh path that retracts a
+        table's triples before re-profiling is a ROADMAP open item).
+        """
         report = GovernorReport()
-        new_profiles = self.profiler.profile_data_lake(lake)
+        fresh_tables = [
+            table
+            for table in lake.tables()
+            if (table.dataset or "default", table.name) not in self._profiles_by_key
+        ]
+        if not fresh_tables:
+            return report
+        new_profiles = self.executor.map(self.profiler.profile_table, fresh_tables)
         report.num_tables_profiled = len(new_profiles)
         report.num_columns_profiled = sum(len(p.column_profiles) for p in new_profiles)
-        self.table_profiles.extend(new_profiles)
         self._store_embeddings(new_profiles)
-        edges = self.schema_builder.build(self.table_profiles, self.storage.graph)
+        edges = self.schema_builder.build_incremental(
+            new_profiles, self.table_profiles, self.storage.graph
+        )
+        self.table_profiles.extend(new_profiles)
+        for profile in new_profiles:
+            self._profiles_by_key[(profile.dataset_name, profile.table_name)] = profile
+        # No explicit linker cache invalidation needed: the metadata writes
+        # above bumped the dataset graph's version, which keys the cache.
         report.num_similarity_edges = len(edges)
         return report
 
@@ -123,11 +152,8 @@ class KGGovernor:
 
     # ----------------------------------------------------------------- lookups
     def table_profile(self, dataset_name: str, table_name: str) -> Optional[TableProfile]:
-        """Find the stored profile of a table."""
-        for profile in self.table_profiles:
-            if profile.dataset_name == dataset_name and profile.table_name == table_name:
-                return profile
-        return None
+        """Find the stored profile of a table (O(1) dict lookup)."""
+        return self._profiles_by_key.get((dataset_name, table_name))
 
     def _store_embeddings(self, table_profiles: Sequence[TableProfile]) -> None:
         for table_profile in table_profiles:

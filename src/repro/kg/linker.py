@@ -42,6 +42,34 @@ class GlobalGraphLinker:
         #: Confidence attached to materialized predicted links (the paper
         #: annotates predicted edges with a score, e.g. 0.92 in Figure 2).
         self.prediction_score = prediction_score
+        # Cached table resolution map, keyed by the store object and the
+        # dataset graph's mutation counter: any dataset-graph write (including
+        # remove-then-add sequences that leave the triple count unchanged)
+        # invalidates it even without an explicit invalidate_cache() call,
+        # while writes to pipeline graphs — like the linker's own annotate
+        # calls — keep it warm across link_pipelines.
+        self._known_tables_cache: Optional[Dict[Tuple[str, str], URIRef]] = None
+        self._cache_store: Optional[QuadStore] = None
+        self._cache_version: int = -1
+
+    def invalidate_cache(self) -> None:
+        """Drop the cached table map (call after dataset-graph writes)."""
+        self._known_tables_cache = None
+        self._cache_store = None
+        self._cache_version = -1
+
+    def _known_tables_for(self, store: QuadStore) -> Dict[Tuple[str, str], URIRef]:
+        """The cached ``_known_tables(store)``, shared across link calls."""
+        version = store.graph_version(DATASET_GRAPH)
+        if (
+            self._known_tables_cache is None
+            or self._cache_store is not store
+            or self._cache_version != version
+        ):
+            self._known_tables_cache = self._known_tables(store)
+            self._cache_store = store
+            self._cache_version = version
+        return self._known_tables_cache
 
     # ------------------------------------------------------------------- API
     def link_pipeline(
@@ -52,7 +80,7 @@ class GlobalGraphLinker:
         report = LinkReport(pipeline_id=abstraction.pipeline_id)
         graph = pipeline_graph_uri(abstraction.pipeline_id)
         pipeline_node = pipeline_uri(abstraction.pipeline_id)
-        known_tables = self._known_tables(store)
+        known_tables = self._known_tables_for(store)
         linked_table_nodes: List[URIRef] = []
         for dataset_name, table_name in abstraction.predicted_table_reads:
             resolved = self._resolve_table(dataset_name, table_name, known_tables)

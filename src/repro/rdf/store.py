@@ -10,17 +10,22 @@ from repro.rdf.terms import Literal, QuotedTriple, Triple, URIRef
 #: Name of the default graph (triples added without an explicit graph).
 DEFAULT_GRAPH = URIRef("http://kglids.org/resource/defaultGraph")
 
+#: Shared empty candidate set so missing index entries cost no allocation.
+_EMPTY_TRIPLES: Set["Triple"] = frozenset()  # type: ignore[assignment]
+
 
 class _GraphIndex:
     """Per-graph triple set with subject/predicate/object hash indices."""
 
-    __slots__ = ("triples", "by_subject", "by_predicate", "by_object")
+    __slots__ = ("triples", "by_subject", "by_predicate", "by_object", "version")
 
     def __init__(self):
         self.triples: Set[Triple] = set()
         self.by_subject: Dict[Any, Set[Triple]] = defaultdict(set)
         self.by_predicate: Dict[Any, Set[Triple]] = defaultdict(set)
         self.by_object: Dict[Any, Set[Triple]] = defaultdict(set)
+        #: Per-graph mutation counter (bumps on every insert/remove).
+        self.version = 0
 
     def add(self, triple: Triple) -> bool:
         if triple in self.triples:
@@ -29,6 +34,7 @@ class _GraphIndex:
         self.by_subject[triple.subject].add(triple)
         self.by_predicate[triple.predicate].add(triple)
         self.by_object[triple.object].add(triple)
+        self.version += 1
         return True
 
     def remove(self, triple: Triple) -> bool:
@@ -38,25 +44,51 @@ class _GraphIndex:
         self.by_subject[triple.subject].discard(triple)
         self.by_predicate[triple.predicate].discard(triple)
         self.by_object[triple.object].discard(triple)
+        self.version += 1
         return True
 
     def match(
         self, subject: Any = None, predicate: Any = None, obj: Any = None
     ) -> Iterator[Triple]:
-        """Iterate triples matching the pattern (``None`` is a wildcard)."""
-        candidates: Optional[Set[Triple]] = None
+        """Iterate triples matching the pattern (``None`` is a wildcard).
+
+        Scans the smallest index among the bound terms and filters the rest
+        with direct field comparisons, avoiding set-intersection allocations.
+        The candidate set is snapshotted so callers may mutate the index
+        while iterating (e.g. retraction loops).
+        """
+        candidates: Set[Triple] = self.triples
         if subject is not None:
-            candidates = self.by_subject.get(subject, set())
+            candidates = self.by_subject.get(subject, _EMPTY_TRIPLES)
         if predicate is not None:
-            by_predicate = self.by_predicate.get(predicate, set())
-            candidates = by_predicate if candidates is None else candidates & by_predicate
+            by_predicate = self.by_predicate.get(predicate, _EMPTY_TRIPLES)
+            if len(by_predicate) < len(candidates):
+                candidates = by_predicate
         if obj is not None:
-            by_object = self.by_object.get(obj, set())
-            candidates = by_object if candidates is None else candidates & by_object
-        if candidates is None:
-            candidates = self.triples
-        for triple in candidates:
+            by_object = self.by_object.get(obj, _EMPTY_TRIPLES)
+            if len(by_object) < len(candidates):
+                candidates = by_object
+        for triple in tuple(candidates):
+            if subject is not None and triple.subject != subject:
+                continue
+            if predicate is not None and triple.predicate != predicate:
+                continue
+            if obj is not None and triple.object != obj:
+                continue
             yield triple
+
+    def estimate(
+        self, subject: Any = None, predicate: Any = None, obj: Any = None
+    ) -> int:
+        """Upper bound on the number of matches, from index sizes alone (O(1))."""
+        estimate = len(self.triples)
+        if subject is not None:
+            estimate = min(estimate, len(self.by_subject.get(subject, _EMPTY_TRIPLES)))
+        if predicate is not None:
+            estimate = min(estimate, len(self.by_predicate.get(predicate, _EMPTY_TRIPLES)))
+        if obj is not None:
+            estimate = min(estimate, len(self.by_object.get(obj, _EMPTY_TRIPLES)))
+        return estimate
 
 
 class QuadStore:
@@ -70,6 +102,27 @@ class QuadStore:
 
     def __init__(self):
         self._graphs: Dict[URIRef, _GraphIndex] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter: bumps on every successful write.
+
+        Readers (e.g. the Global Graph Linker) key caches on this to detect
+        *any* change, including remove-then-add sequences that leave the
+        triple count unchanged.
+        """
+        return self._version
+
+    def graph_version(self, graph: URIRef) -> int:
+        """Mutation counter of one named graph (0 for an absent graph).
+
+        Lets readers cache per-graph derived state (e.g. the linker's table
+        map over the dataset graph) without being invalidated by writes to
+        unrelated graphs.
+        """
+        index = self._graphs.get(graph)
+        return index.version if index is not None else 0
 
     # ------------------------------------------------------------------- add
     def add(
@@ -82,7 +135,10 @@ class QuadStore:
         """Add a triple to ``graph``; returns ``False`` if it already existed."""
         if graph not in self._graphs:
             self._graphs[graph] = _GraphIndex()
-        return self._graphs[graph].add(Triple(subject, predicate, obj))
+        inserted = self._graphs[graph].add(Triple(subject, predicate, obj))
+        if inserted:
+            self._version += 1
+        return inserted
 
     def add_triples(
         self, triples: Iterable[Tuple[Any, Any, Any]], graph: URIRef = DEFAULT_GRAPH
@@ -121,11 +177,17 @@ class QuadStore:
         index = self._graphs.get(graph)
         if index is None:
             return False
-        return index.remove(Triple(subject, predicate, obj))
+        removed = index.remove(Triple(subject, predicate, obj))
+        if removed:
+            self._version += 1
+        return removed
 
     def remove_graph(self, graph: URIRef) -> bool:
         """Drop an entire named graph."""
-        return self._graphs.pop(graph, None) is not None
+        dropped = self._graphs.pop(graph, None) is not None
+        if dropped:
+            self._version += 1
+        return dropped
 
     # ----------------------------------------------------------------- query
     def graphs(self) -> List[URIRef]:
@@ -150,6 +212,25 @@ class QuadStore:
         for graph_name, index in self._graphs.items():
             for triple in index.match(subject, predicate, obj):
                 yield triple, graph_name
+
+    def estimate_matches(
+        self,
+        subject: Any = None,
+        predicate: Any = None,
+        obj: Any = None,
+        graph: Optional[URIRef] = None,
+    ) -> int:
+        """Cheap upper bound on quad-pattern matches (index sizes, no scan).
+
+        The SPARQL engine uses this as the selectivity estimate when ordering
+        triple patterns; it never materializes candidates.
+        """
+        if graph is not None:
+            index = self._graphs.get(graph)
+            return index.estimate(subject, predicate, obj) if index else 0
+        return sum(
+            index.estimate(subject, predicate, obj) for index in self._graphs.values()
+        )
 
     def triples(
         self,

@@ -95,11 +95,22 @@ def _term_matches(pattern_term: Any, value: Any, binding: Binding) -> Optional[B
 
 
 class SPARQLEngine:
-    """Evaluates SELECT queries against a quad store."""
+    """Evaluates SELECT queries against a quad store.
 
-    def __init__(self, store: QuadStore, prefixes=None):
+    Evaluation is index-aware: inside each group pattern, triple patterns are
+    greedily reordered by estimated selectivity (cheapest first, given the
+    variables bound so far) before being joined, every bound term — including
+    fully-resolved RDF-star quoted triples — is pushed down into the store's
+    hash-index lookups, and identical lookups across solution bindings are
+    answered from a per-pattern memo instead of re-scanning.  ``optimize=False``
+    evaluates patterns in written order (the seed behaviour), which the
+    benchmarks use as the comparison baseline.
+    """
+
+    def __init__(self, store: QuadStore, prefixes=None, optimize: bool = True):
         self.store = store
         self.prefixes = prefixes or DEFAULT_PREFIXES
+        self.optimize = optimize
 
     # ------------------------------------------------------------------ API
     def select(self, query: str) -> SelectResult:
@@ -133,7 +144,12 @@ class SPARQLEngine:
     ) -> List[Binding]:
         filters: List[FilterClause] = []
         current = solutions
-        for element in group.elements:
+        elements = (
+            self._reorder_elements(group.elements, solutions, graph)
+            if self.optimize
+            else group.elements
+        )
+        for element in elements:
             if isinstance(element, TriplePattern):
                 current = self._join_pattern(element, current, graph)
             elif isinstance(element, FilterClause):
@@ -170,19 +186,39 @@ class SPARQLEngine:
         self, pattern: TriplePattern, solutions: List[Binding], graph: Optional[Any]
     ) -> List[Binding]:
         results: List[Binding] = []
+        graph_name = None
+        if graph is not None and not isinstance(graph, Var):
+            graph_name = graph
+        # Solutions that resolve the pattern to the same lookup key hit the
+        # same index entries; memoize the matches so repeated (or fully
+        # unbound cross-join) lookups never re-scan the store.  Both the memo
+        # and the quoted-triple pushdown are part of the optimizer, so
+        # ``optimize=False`` keeps the seed per-binding scans.
+        memo: Dict[Tuple[Any, Any, Any], List[Tuple[Any, Any]]] = {}
         for solution in solutions:
             subject = self._resolve(pattern.subject, solution)
             predicate = self._resolve(pattern.predicate, solution)
             obj = self._resolve(pattern.object, solution)
-            lookup_subject = subject if not isinstance(subject, (Var, QuotedPattern)) else None
             lookup_predicate = predicate if not isinstance(predicate, Var) else None
-            lookup_object = obj if not isinstance(obj, (Var, QuotedPattern)) else None
-            graph_name = None
-            if graph is not None and not isinstance(graph, Var):
-                graph_name = graph
-            for triple, triple_graph in self.store.match(
-                lookup_subject, lookup_predicate, lookup_object, graph_name
-            ):
+            if self.optimize:
+                lookup_subject = self._lookup_key(subject, solution)
+                lookup_object = self._lookup_key(obj, solution)
+                memo_key = (lookup_subject, lookup_predicate, lookup_object)
+                matches = memo.get(memo_key)
+                if matches is None:
+                    matches = list(
+                        self.store.match(
+                            lookup_subject, lookup_predicate, lookup_object, graph_name
+                        )
+                    )
+                    memo[memo_key] = matches
+            else:
+                lookup_subject = subject if not isinstance(subject, (Var, QuotedPattern)) else None
+                lookup_object = obj if not isinstance(obj, (Var, QuotedPattern)) else None
+                matches = self.store.match(
+                    lookup_subject, lookup_predicate, lookup_object, graph_name
+                )
+            for triple, triple_graph in matches:
                 binding: Optional[Binding] = solution
                 if graph is not None and isinstance(graph, Var):
                     binding = _term_matches(graph, triple_graph, binding)
@@ -199,6 +235,148 @@ class SPARQLEngine:
                 if binding is not None:
                     results.append(binding)
         return results
+
+    @classmethod
+    def _lookup_key(cls, term: Any, binding: Binding) -> Optional[Any]:
+        """The index lookup key for a resolved term (``None`` = wildcard)."""
+        if isinstance(term, Var):
+            return None
+        if isinstance(term, QuotedPattern):
+            return cls._resolve_quoted(term, binding)
+        return term
+
+    @classmethod
+    def _resolve_quoted(cls, pattern: QuotedPattern, binding: Binding) -> Optional[QuotedTriple]:
+        """A concrete :class:`QuotedTriple` if every part is bound, else ``None``.
+
+        Fully-bound RDF-star subjects (the common "read the certainty of this
+        edge" access path) then hit the subject hash index directly instead of
+        scanning the graph.
+        """
+        parts = []
+        for part in (pattern.subject, pattern.predicate, pattern.object):
+            value = part
+            if isinstance(part, Var):
+                value = binding.get(str(part))
+                if value is None:
+                    return None
+            if isinstance(value, QuotedPattern):
+                value = cls._resolve_quoted(value, binding)
+                if value is None:
+                    return None
+            parts.append(value)
+        return QuotedTriple(*parts)
+
+    # ------------------------------------------------------------ query plan
+    def _reorder_elements(
+        self, elements: List[Any], solutions: List[Binding], graph: Optional[Any]
+    ) -> List[Any]:
+        """Greedily reorder triple patterns by estimated selectivity.
+
+        Only maximal runs of triple patterns are permuted; OPTIONAL / UNION /
+        GRAPH / BIND elements act as barriers because their semantics depend
+        on what is already joined.  FILTERs are order-insensitive here (they
+        are deferred to the end of the group) so they pass through runs.
+        """
+        bound: set = set(solutions[0].keys()) if solutions else set()
+        # A representative incoming binding: bound variables whose value it
+        # carries can be estimated against the real indexes instead of being
+        # discounted heuristically.
+        representative: Binding = solutions[0] if solutions else {}
+        graph_name = graph if graph is not None and not isinstance(graph, Var) else None
+        reordered: List[Any] = []
+        run: List[TriplePattern] = []
+
+        def flush_run() -> None:
+            nonlocal run
+            remaining = list(run)
+            while remaining:
+                best = min(
+                    range(len(remaining)),
+                    key=lambda k: self._pattern_cost(
+                        remaining[k], bound, representative, graph_name
+                    ),
+                )
+                pattern = remaining.pop(best)
+                reordered.append(pattern)
+                bound.update(self._pattern_vars(pattern))
+            run = []
+
+        for element in elements:
+            if isinstance(element, TriplePattern):
+                run.append(element)
+            elif isinstance(element, FilterClause):
+                reordered.append(element)
+            else:
+                flush_run()
+                reordered.append(element)
+                if isinstance(element, BindClause):
+                    bound.add(str(element.variable))
+        flush_run()
+        return reordered
+
+    def _pattern_cost(
+        self,
+        pattern: TriplePattern,
+        bound: set,
+        representative: Binding,
+        graph_name: Optional[Any],
+    ) -> Tuple[int, float]:
+        """``(unbound variable count, match estimate)`` — lower is cheaper.
+
+        Constant terms — and bound variables whose value the representative
+        binding carries — are estimated against the real index sizes.  A term
+        that will be bound at evaluation time but whose value is unknown yet
+        (it is bound by an earlier pattern in the plan) still restricts
+        matches, so the estimate is discounted per such term.
+        """
+        free = 0
+        bound_without_value = 0
+        lookup: List[Any] = []
+        for term in (pattern.subject, pattern.predicate, pattern.object):
+            if isinstance(term, Var):
+                name = str(term)
+                if name in representative:
+                    lookup.append(representative[name])
+                elif name in bound:
+                    bound_without_value += 1
+                    lookup.append(None)
+                else:
+                    free += 1
+                    lookup.append(None)
+            elif isinstance(term, QuotedPattern):
+                quoted_vars = self._quoted_vars(term)
+                unresolved = [name for name in quoted_vars if name not in representative]
+                free += sum(1 for name in unresolved if name not in bound)
+                bound_without_value += sum(1 for name in unresolved if name in bound)
+                lookup.append(self._resolve_quoted(term, representative) if not unresolved else None)
+            else:
+                lookup.append(term)
+        estimate: float = self.store.estimate_matches(
+            lookup[0], lookup[1], lookup[2], graph_name
+        )
+        estimate /= 8.0 ** bound_without_value
+        return (free, estimate)
+
+    @classmethod
+    def _pattern_vars(cls, pattern: TriplePattern) -> set:
+        names: set = set()
+        for term in (pattern.subject, pattern.predicate, pattern.object):
+            if isinstance(term, Var):
+                names.add(str(term))
+            elif isinstance(term, QuotedPattern):
+                names.update(cls._quoted_vars(term))
+        return names
+
+    @classmethod
+    def _quoted_vars(cls, pattern: QuotedPattern) -> set:
+        names: set = set()
+        for part in (pattern.subject, pattern.predicate, pattern.object):
+            if isinstance(part, Var):
+                names.add(str(part))
+            elif isinstance(part, QuotedPattern):
+                names.update(cls._quoted_vars(part))
+        return names
 
     def _left_join(
         self, group: GroupPattern, solutions: List[Binding], graph: Optional[Any]
