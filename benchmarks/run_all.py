@@ -58,6 +58,19 @@ def main(argv: list) -> int:
     if failures:
         print("failed:", ", ".join(failures), file=sys.stderr)
         return 1
+
+    # Perf-trend gate: compare the BENCH_*.json files sitting in the bench
+    # dir (refreshed by any full-size rerun) against the committed baselines;
+    # >20% regression on a speedup metric fails the run.
+    print("== check_regressions.py", flush=True)
+    result = subprocess.run(
+        [sys.executable, str(BENCH_DIR / "check_regressions.py")],
+        env=env,
+        cwd=str(BENCH_DIR.parent),
+    )
+    if result.returncode != 0:
+        print("perf regression check failed", file=sys.stderr)
+        return 1
     return 0
 
 

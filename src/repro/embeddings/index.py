@@ -59,6 +59,37 @@ class FlatIndex:
         self._vectors.append(vector)
         self._matrix = None
 
+    def add_many(self, items: Sequence[Tuple[str, np.ndarray]]) -> None:
+        """Insert or replace a batch of ``(key, vector)`` pairs.
+
+        Equivalent to repeated :meth:`add` but normalizes the whole batch in
+        one vectorized pass and touches the cached matrix at most once,
+        instead of per row.
+        """
+        if not items:
+            return
+        stacked = np.stack([np.asarray(vector, dtype=float).ravel() for _, vector in items])
+        if stacked.shape[1] != self.dimensions:
+            raise ValueError(
+                f"expected {self.dimensions}-dimensional vectors, got {stacked.shape[1]}"
+            )
+        norms = np.linalg.norm(stacked, axis=1)
+        stacked = stacked / np.where(norms > 0, norms, 1.0)[:, None]
+        appended = False
+        for row, (key, _) in zip(stacked, items):
+            position = self._positions.get(key)
+            if position is not None:
+                self._vectors[position] = row
+                if self._matrix is not None and not appended:
+                    self._matrix[position] = row
+                continue
+            self._positions[key] = len(self._keys)
+            self._keys.append(key)
+            self._vectors.append(row)
+            appended = True
+        if appended:
+            self._matrix = None
+
     def _ensure_matrix(self) -> np.ndarray:
         if self._matrix is None:
             self._matrix = (
@@ -77,6 +108,30 @@ class FlatIndex:
         top = np.argpartition(-scores, k - 1)[:k]
         top = top[np.argsort(-scores[top])]
         return [(self._keys[i], float(scores[i])) for i in top]
+
+    def search_many(
+        self, queries: np.ndarray, k: int = 10
+    ) -> List[List[Tuple[str, float]]]:
+        """Top-k results for a batch of query vectors in one matrix product.
+
+        Equivalent to ``[search(q, k) for q in queries]`` but the scoring is
+        a single matmul and the top-k selection one row-wise argpartition —
+        this is the bulk candidate-generation path of the ANN-pruned
+        similarity kernel.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=float))
+        if not self._keys:
+            return [[] for _ in range(queries.shape[0])]
+        norms = np.linalg.norm(queries, axis=1)
+        normalized = queries / np.where(norms > 0, norms, 1.0)[:, None]
+        scores = normalized @ self._ensure_matrix().T
+        k = min(k, len(self._keys))
+        top = np.argpartition(-scores, k - 1, axis=1)[:, :k]
+        results: List[List[Tuple[str, float]]] = []
+        for row, candidates in enumerate(top):
+            ordered = candidates[np.argsort(-scores[row, candidates])]
+            results.append([(self._keys[i], float(scores[row, i])) for i in ordered])
+        return results
 
     def keys(self) -> List[str]:
         return list(self._keys)

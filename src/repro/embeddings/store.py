@@ -37,6 +37,26 @@ class EmbeddingStore:
             self._indexes[namespace] = FlatIndex(vector.shape[0])
         self._indexes[namespace].add(key, vector)
 
+    def put_many(
+        self, namespace: str, items: Sequence[Tuple[str, np.ndarray]]
+    ) -> None:
+        """Store a batch of ``(key, vector)`` pairs in one namespace.
+
+        The flat index ingests the whole batch at once (one normalization
+        pass, one matrix invalidation) instead of being re-touched per row —
+        this is the bulk-ingestion path the governor uses when registering a
+        freshly profiled lake.
+        """
+        if not items:
+            return
+        items = [(key, np.asarray(vector, dtype=float).ravel()) for key, vector in items]
+        bucket = self._vectors.setdefault(namespace, {})
+        for key, vector in items:
+            bucket[key] = vector
+        if namespace not in self._indexes:
+            self._indexes[namespace] = FlatIndex(items[0][1].shape[0])
+        self._indexes[namespace].add_many(items)
+
     def get(self, namespace: str, key: str) -> Optional[np.ndarray]:
         """Fetch a stored vector (``None`` if absent)."""
         return self._vectors.get(namespace, {}).get(key)

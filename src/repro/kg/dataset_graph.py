@@ -25,6 +25,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.embeddings.colr import cosine_similarity
+from repro.embeddings.index import FlatIndex, HNSWIndex
 from repro.embeddings.words import WordEmbeddingModel, default_word_model, tokenize_label
 from repro.kg.ontology import (
     DATASET_GRAPH,
@@ -76,6 +77,10 @@ class DataGlobalSchemaBuilder:
         executor: Optional[JobExecutor] = None,
         source_name: str = "data_lake",
         vectorized: bool = True,
+        ann_prune: bool = True,
+        ann_group_threshold: int = 128,
+        ann_top_k: int = 32,
+        ann_backend: str = "flat",
     ):
         self.thresholds = thresholds or SimilarityThresholds()
         # Profiles carry label embeddings computed by the *default* word
@@ -90,6 +95,27 @@ class DataGlobalSchemaBuilder:
         #: ``False`` falls back to the per-pair Python workers (the reference
         #: implementation benchmarks compare against).
         self.vectorized = vectorized
+        #: ANN candidate pruning for wide type groups: when a group holds at
+        #: least ``ann_group_threshold`` columns, content similarity scores
+        #: only each new column's ``ann_top_k`` nearest stored embeddings
+        #: (via ``FlatIndex`` or ``HNSWIndex``) instead of the full
+        #: new x existing matrix.  ``ann_prune=False`` is the exactness
+        #: escape hatch.  The high content threshold (theta ~0.985) means
+        #: true edges sit at the very top of the ranking, so a modest top-k
+        #: recovers them; ``pruning_stats`` records the achieved ratio.
+        if ann_backend not in ("flat", "hnsw"):
+            raise ValueError(f"unknown ann_backend {ann_backend!r}")
+        self.ann_prune = ann_prune
+        self.ann_group_threshold = ann_group_threshold
+        self.ann_top_k = ann_top_k
+        self.ann_backend = ann_backend
+        #: Cumulative pruning telemetry (reset with :meth:`reset_pruning_stats`).
+        self.pruning_stats: Dict[str, int] = {
+            "pruned_groups": 0,
+            "exact_groups": 0,
+            "candidate_pairs": 0,
+            "scored_pairs": 0,
+        }
 
     # ------------------------------------------------------------------- API
     def build(
@@ -112,6 +138,13 @@ class DataGlobalSchemaBuilder:
         table relationships are re-derived just for the table pairs those new
         edges touch.  Bootstrapping is the special case ``existing = ()``, so
         one-shot and table-by-table construction produce identical graphs.
+
+        When a fine-grained type group reaches ``ann_group_threshold``
+        columns, content similarity scores only each new column's
+        ``ann_top_k`` nearest neighbours (ANN candidate pruning) — an
+        approximation that can miss edges for columns with more than
+        ``ann_top_k`` matches above ``theta``; construct the builder with
+        ``ann_prune=False`` for exact scoring.
         """
         self._write_metadata_subgraphs(new_profiles, store)
         edges = self.compute_incremental_similarities(new_profiles, existing_profiles)
@@ -228,8 +261,46 @@ class DataGlobalSchemaBuilder:
             edge_lists = self.executor.map(lambda pair: self._compare_pair(*pair), pairs)
             return [edge for edges in edge_lists for edge in edges]
         jobs = self._type_group_jobs(new_profiles, existing_profiles)
-        edge_lists = self.executor.map(lambda job: self._similar_in_type_group(*job), jobs)
-        return [edge for edges in edge_lists for edge in edges]
+        if self.executor.backend == "processes" and self._use_stored_label_embeddings:
+            results = self.executor.map(
+                _score_type_group_worker,
+                jobs,
+                initializer=_init_builder_worker,
+                initargs=(self.process_config(),),
+            )
+        else:
+            results = self.executor.map(lambda job: self._score_type_group(*job), jobs)
+        edges: List[ColumnSimilarityEdge] = []
+        for group_edges, group_stats in results:
+            edges.extend(group_edges)
+            for key, value in group_stats.items():
+                self.pruning_stats[key] += value
+        return edges
+
+    def process_config(self) -> Dict[str, object]:
+        """The picklable config a worker process rebuilds this builder from."""
+        return {
+            "thresholds": self.thresholds,
+            "use_label_similarity": self.use_label_similarity,
+            "use_content_similarity": self.use_content_similarity,
+            "ann_prune": self.ann_prune,
+            "ann_group_threshold": self.ann_group_threshold,
+            "ann_top_k": self.ann_top_k,
+            "ann_backend": self.ann_backend,
+        }
+
+    def reset_pruning_stats(self) -> None:
+        """Zero the cumulative pruning telemetry."""
+        for key in self.pruning_stats:
+            self.pruning_stats[key] = 0
+
+    @property
+    def last_pruning_ratio(self) -> float:
+        """Fraction of candidate pairs actually scored (1.0 = no pruning)."""
+        candidates = self.pruning_stats["candidate_pairs"]
+        if candidates == 0:
+            return 1.0
+        return self.pruning_stats["scored_pairs"] / candidates
 
     @staticmethod
     def _type_group_jobs(
@@ -278,33 +349,112 @@ class DataGlobalSchemaBuilder:
         return [edge for edges in edge_lists for edge in edges]
 
     # --------------------------------------------------- vectorized workers
-    def _similar_in_type_group(
+    def _score_type_group(
         self,
         fine_type: str,
         new_columns: Sequence[ColumnProfile],
         old_columns: Sequence[ColumnProfile],
-    ) -> List[ColumnSimilarityEdge]:
-        """Score all new x (new + old) pairs of one type group at once."""
+    ) -> Tuple[List[ColumnSimilarityEdge], Dict[str, int]]:
+        """Score all new x (new + old) pairs of one type group at once.
+
+        Returns the edges plus pruning telemetry for the group (kept pure so
+        the method can run inside worker processes and the caller merges the
+        stats).
+        """
+        stats = {"pruned_groups": 0, "exact_groups": 0, "candidate_pairs": 0, "scored_pairs": 0}
         group = list(new_columns) + list(old_columns)
         num_new, num_total = len(new_columns), len(group)
         if num_new == 0 or num_total < 2:
-            return []
+            return [], stats
         valid = self._valid_pair_mask(group, num_new)
         if not valid.any():
-            return []
+            return [], stats
         edges: List[ColumnSimilarityEdge] = []
         if self.use_label_similarity:
             scores = self._label_score_matrix(group, num_new)
             edges.extend(self._edges_from_mask(group, valid & (scores >= self.thresholds.alpha), scores, "label"))
         if self.use_content_similarity:
+            num_candidates = int(valid.sum())
+            stats["candidate_pairs"] = num_candidates
             if fine_type == TYPE_BOOLEAN:
                 scores = self._boolean_score_matrix(group, num_new)
-                threshold = self.thresholds.beta
+                edges.extend(self._edges_from_mask(group, valid & (scores >= self.thresholds.beta), scores, "content"))
+                stats["exact_groups"] = 1
+                stats["scored_pairs"] = num_candidates
+            elif self._should_ann_prune(num_total):
+                pruned_edges, scored = self._ann_pruned_content_edges(group, num_new, valid)
+                edges.extend(pruned_edges)
+                stats["pruned_groups"] = 1
+                stats["scored_pairs"] = scored
             else:
                 scores = self._content_score_matrix(group, num_new)
-                threshold = self.thresholds.theta
-            edges.extend(self._edges_from_mask(group, valid & (scores >= threshold), scores, "content"))
-        return edges
+                edges.extend(self._edges_from_mask(group, valid & (scores >= self.thresholds.theta), scores, "content"))
+                stats["exact_groups"] = 1
+                stats["scored_pairs"] = num_candidates
+        return edges, stats
+
+    def _should_ann_prune(self, num_total: int) -> bool:
+        """Prune only wide groups where top-k is genuinely a subset."""
+        return (
+            self.ann_prune
+            and num_total >= self.ann_group_threshold
+            and self.ann_top_k + 1 < num_total
+        )
+
+    def _ann_pruned_content_edges(
+        self, group: Sequence[ColumnProfile], num_new: int, valid: np.ndarray
+    ) -> Tuple[List[ColumnSimilarityEdge], int]:
+        """Content edges from top-k ANN candidates instead of the full matrix.
+
+        Builds a vector index over the group's stored column embeddings and
+        scores, per new column, only its ``ann_top_k`` nearest neighbours.
+        New x new hits are canonicalized onto the upper triangle (cosine is
+        symmetric) so pruning agrees with the exact path on which ordered
+        pair carries an edge.  Returns the edges and the number of pairs
+        actually scored.
+        """
+        matrix = np.stack(
+            [np.asarray(profile.embedding, dtype=float).ravel() for profile in group]
+        )
+        norms = np.linalg.norm(matrix, axis=1)
+        normalized = matrix / np.where(norms > 0, norms, 1.0)[:, None]
+        # +1 because each query retrieves itself as its nearest neighbour.
+        k = min(self.ann_top_k + 1, len(group))
+        if self.ann_backend == "hnsw":
+            index = HNSWIndex(matrix.shape[1])
+            for position in range(len(group)):
+                index.add(str(position), normalized[position])
+            neighbour_lists = [index.search(normalized[i], k=k) for i in range(num_new)]
+        else:
+            index = FlatIndex(matrix.shape[1])
+            index.add_many([(str(position), row) for position, row in enumerate(normalized)])
+            neighbour_lists = index.search_many(normalized[:num_new], k=k)
+        pairs: set = set()
+        for i, neighbours in enumerate(neighbour_lists):
+            for key, _ in neighbours:
+                j = int(key)
+                if valid[i, j]:
+                    pairs.add((i, j))
+                elif j < num_new and valid[j, i]:
+                    # Both columns are new and the pair lives on the upper
+                    # triangle as (j, i); keep that canonical orientation.
+                    pairs.add((j, i))
+        if not pairs:
+            return [], 0
+        ordered = sorted(pairs)
+        rows = np.array([i for i, _ in ordered])
+        cols = np.array([j for _, j in ordered])
+        raw = np.einsum("ij,ij->i", normalized[rows], normalized[cols])
+        scores = np.clip((raw + 1.0) / 2.0, 0.0, 1.0)
+        scores[(norms[rows] == 0) | (norms[cols] == 0)] = 0.0
+        edges = [
+            ColumnSimilarityEdge(
+                group[i].column_id, group[j].column_id, "content", float(score)
+            )
+            for (i, j), score in zip(ordered, scores)
+            if score >= self.thresholds.theta
+        ]
+        return edges, len(ordered)
 
     @staticmethod
     def _valid_pair_mask(group: Sequence[ColumnProfile], num_new: int) -> np.ndarray:
@@ -534,3 +684,29 @@ class DataGlobalSchemaBuilder:
             store.annotate(
                 obj, predicate, subject, ontology.withCertainty, Literal(round(score, 4)), graph=DATASET_GRAPH
             )
+
+
+# ---------------------------------------------------------------------------
+# Process-pool workers.  One builder is rebuilt per worker process from the
+# picklable config (deterministic default word model, so every backend scores
+# labels identically); type-group jobs ship ColumnProfiles across the process
+# boundary via their dataclass pickle form.
+# ---------------------------------------------------------------------------
+_WORKER_BUILDER: Optional[DataGlobalSchemaBuilder] = None
+
+
+def _init_builder_worker(config: Dict[str, object]) -> None:
+    """Pool initializer: build the per-process schema builder from its config."""
+    global _WORKER_BUILDER
+    _WORKER_BUILDER = DataGlobalSchemaBuilder(
+        executor=JobExecutor(backend="serial"), **config
+    )
+
+
+def _score_type_group_worker(
+    job: Tuple[str, List[ColumnProfile], List[ColumnProfile]]
+) -> Tuple[List[ColumnSimilarityEdge], Dict[str, int]]:
+    """Per-type-group similarity job executed inside a worker process."""
+    if _WORKER_BUILDER is None:  # pragma: no cover - initializer always runs
+        raise RuntimeError("builder worker used before initialization")
+    return _WORKER_BUILDER._score_type_group(*job)

@@ -52,16 +52,20 @@ class KGGovernor:
         thresholds: Optional[SimilarityThresholds] = None,
         colr_models: Optional[ColRModelSet] = None,
         executor: Optional[JobExecutor] = None,
+        schema_builder: Optional[DataGlobalSchemaBuilder] = None,
         include_default_parameters: bool = True,
     ):
         self.storage = storage or KGLiDSStorage()
-        self.colr_models = colr_models or ColRModelSet.pretrained()
         self.executor = executor or JobExecutor()
+        # Pass the *original* (possibly None) model set through so the
+        # profiler keeps its all-default-components fast path: only then can
+        # process-pool workers rebuild an identical profiler from config.
         self.profiler = profiler or DataProfiler(
-            colr_models=self.colr_models, executor=self.executor
+            colr_models=colr_models, executor=self.executor
         )
+        self.colr_models = colr_models or self.profiler.colr_models
         self.abstractor = abstractor or PipelineAbstractor(executor=self.executor)
-        self.schema_builder = DataGlobalSchemaBuilder(
+        self.schema_builder = schema_builder or DataGlobalSchemaBuilder(
             thresholds=thresholds, executor=self.executor
         )
         self.pipeline_builder = PipelineGraphBuilder(
@@ -116,7 +120,7 @@ class KGGovernor:
         ]
         if not fresh_tables:
             return report
-        new_profiles = self.executor.map(self.profiler.profile_table, fresh_tables)
+        new_profiles = self.profiler.profile_tables(fresh_tables)
         report.num_tables_profiled = len(new_profiles)
         report.num_columns_profiled = sum(len(p.column_profiles) for p in new_profiles)
         self._store_embeddings(new_profiles)
@@ -156,23 +160,29 @@ class KGGovernor:
         return self._profiles_by_key.get((dataset_name, table_name))
 
     def _store_embeddings(self, table_profiles: Sequence[TableProfile]) -> None:
+        table_items = []
+        column_items = []
         for table_profile in table_profiles:
             if table_profile.embedding is not None:
-                self.storage.embeddings.put(
-                    "table",
-                    str(table_uri(table_profile.dataset_name, table_profile.table_name)),
-                    table_profile.embedding,
+                table_items.append(
+                    (
+                        str(table_uri(table_profile.dataset_name, table_profile.table_name)),
+                        table_profile.embedding,
+                    )
                 )
             for profile in table_profile.column_profiles:
-                self.storage.embeddings.put(
-                    "column",
-                    str(
-                        column_uri(
-                            profile.dataset_name, profile.table_name, profile.column_name
-                        )
-                    ),
-                    profile.embedding,
+                column_items.append(
+                    (
+                        str(
+                            column_uri(
+                                profile.dataset_name, profile.table_name, profile.column_name
+                            )
+                        ),
+                        profile.embedding,
+                    )
                 )
+        self.storage.embeddings.put_many("table", table_items)
+        self.storage.embeddings.put_many("column", column_items)
 
     @staticmethod
     def _merge(base: GovernorReport, other: GovernorReport) -> GovernorReport:

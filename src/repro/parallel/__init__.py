@@ -1,5 +1,5 @@
 """Spark-substitute job execution."""
 
-from repro.parallel.executor import JobExecutor, map_jobs
+from repro.parallel.executor import BACKENDS, JobExecutor, default_worker_count, map_jobs
 
-__all__ = ["JobExecutor", "map_jobs"]
+__all__ = ["BACKENDS", "JobExecutor", "default_worker_count", "map_jobs"]

@@ -2,55 +2,146 @@
 
 Algorithms 1-3 of the paper decompose their work into independent per-script,
 per-column and per-column-pair jobs that Spark distributes across workers.
-This module keeps the same decomposition while executing either serially or
-with a thread pool — on a laptop the work is CPU-bound Python so the serial
-backend is the default, but the job-oriented structure is preserved so the
+This module keeps the same decomposition while executing serially, with a
+thread pool, or with a process pool — the profiler and the per-type
+similarity kernels are CPU-bound Python/numpy, so only the ``processes``
+backend actually scales with cores (the GIL serializes the ``threads``
+backend on pure-Python work).  The job-oriented structure is preserved so the
 code reads like the paper's pseudocode.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 JobInput = TypeVar("JobInput")
 JobOutput = TypeVar("JobOutput")
+
+#: Backends accepted by :class:`JobExecutor`.
+BACKENDS = ("serial", "threads", "processes")
+
+
+def default_worker_count() -> int:
+    """Worker count matching the machine (affinity-aware where available)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux platforms
+        return os.cpu_count() or 1
 
 
 class JobExecutor:
     """Maps a worker function over independent jobs.
 
-    ``backend`` is ``"serial"`` (default) or ``"threads"``.  The executor is
-    deliberately tiny: the point is to make the map/mapPartitions structure of
-    the paper's algorithms explicit and swappable, not to re-implement Spark.
+    ``backend`` is ``"serial"`` (default), ``"threads"`` or ``"processes"``.
+    The executor is deliberately tiny: the point is to make the
+    map/mapPartitions structure of the paper's algorithms explicit and
+    swappable, not to re-implement Spark.
+
+    The ``processes`` backend ships jobs to a :class:`ProcessPoolExecutor`
+    in contiguous chunks (amortizing pickling overhead) and supports a
+    per-map ``initializer`` that loads heavy per-worker state (e.g. the
+    CoLR / word models) once per worker instead of once per job.  When the
+    pool cannot start or the worker/jobs cannot be pickled, the map falls
+    back to serial execution and records why in ``last_fallback_reason``.
     """
 
-    def __init__(self, backend: str = "serial", max_workers: Optional[int] = None):
-        if backend not in ("serial", "threads"):
+    def __init__(
+        self,
+        backend: str = "serial",
+        max_workers: Optional[int] = None,
+        num_partitions: Optional[int] = None,
+    ):
+        if backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}")
         self.backend = backend
         self.max_workers = max_workers
+        #: Default partition count of :meth:`map_partitions` (one per core).
+        self.num_partitions = num_partitions or default_worker_count()
+        #: Why the last ``processes`` map fell back to serial (``None`` if it
+        #: did not); mirrors Spark's task-failure diagnostics.
+        self.last_fallback_reason: Optional[str] = None
 
+    # ------------------------------------------------------------------- map
     def map(
-        self, worker: Callable[[JobInput], JobOutput], jobs: Iterable[JobInput]
+        self,
+        worker: Callable[[JobInput], JobOutput],
+        jobs: Iterable[JobInput],
+        initializer: Optional[Callable[..., None]] = None,
+        initargs: Tuple = (),
     ) -> List[JobOutput]:
-        """Apply ``worker`` to every job and return results in job order."""
+        """Apply ``worker`` to every job and return results in job order.
+
+        ``initializer``/``initargs`` set up per-worker state before any job
+        runs.  On the serial and thread backends (which share the parent's
+        memory) the initializer runs once in-process.
+        """
         jobs = list(jobs)
-        if self.backend == "serial" or len(jobs) <= 1:
-            return [worker(job) for job in jobs]
-        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            return list(pool.map(worker, jobs))
+        if self.backend == "processes" and len(jobs) > 1:
+            result = self._map_processes(worker, jobs, initializer, initargs)
+            if result is not None:
+                return result
+            # fall through to serial with last_fallback_reason recorded
+        elif self.backend == "threads" and len(jobs) > 1:
+            if initializer is not None:
+                initializer(*initargs)
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                return list(pool.map(worker, jobs))
+        if initializer is not None:
+            initializer(*initargs)
+        return [worker(job) for job in jobs]
+
+    def _map_processes(
+        self,
+        worker: Callable[[JobInput], JobOutput],
+        jobs: List[JobInput],
+        initializer: Optional[Callable[..., None]],
+        initargs: Tuple,
+    ) -> Optional[List[JobOutput]]:
+        """Chunked process-pool map; ``None`` means "fall back to serial"."""
+        self.last_fallback_reason = None
+        workers = self.max_workers or default_worker_count()
+        workers = max(1, min(workers, len(jobs)))
+        # Contiguous chunks amortize per-task pickling: aim for a few chunks
+        # per worker so stragglers still balance.
+        chunksize = max(1, (len(jobs) + workers * 4 - 1) // (workers * 4))
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers, initializer=initializer, initargs=initargs
+            ) as pool:
+                return list(pool.map(worker, jobs, chunksize=chunksize))
+        except (
+            pickle.PicklingError,
+            TypeError,
+            AttributeError,
+            ImportError,
+            OSError,
+            BrokenProcessPool,
+        ) as error:
+            # Unpicklable workers/jobs, fork failures (resource limits,
+            # sandboxes) and dead pools all degrade gracefully to serial.
+            self.last_fallback_reason = f"{type(error).__name__}: {error}"
+            return None
 
     def map_partitions(
         self,
         worker: Callable[[Sequence[JobInput]], JobOutput],
         jobs: Sequence[JobInput],
-        num_partitions: int = 4,
+        num_partitions: Optional[int] = None,
     ) -> List[JobOutput]:
-        """Apply ``worker`` to contiguous partitions of the job list."""
+        """Apply ``worker`` to contiguous partitions of the job list.
+
+        ``num_partitions`` defaults to the executor's ``num_partitions``
+        (one per core), so partitioned jobs saturate the machine by default.
+        """
         jobs = list(jobs)
         if not jobs:
             return []
+        if num_partitions is None:
+            num_partitions = self.num_partitions
         num_partitions = max(1, min(num_partitions, len(jobs)))
         size = (len(jobs) + num_partitions - 1) // num_partitions
         partitions = [jobs[i : i + size] for i in range(0, len(jobs), size)]

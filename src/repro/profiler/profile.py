@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -43,17 +43,54 @@ class ColumnProfile:
         """A stable identifier ``dataset/table/column`` used for URIs and indexes."""
         return f"{self.dataset_name}/{self.table_name}/{self.column_name}"
 
-    def to_json(self) -> str:
-        """JSON document form (what Algorithm 2 dumps per column)."""
-        payload = {
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form: JSON-serializable and the pickle transport format.
+
+        The inverse is :meth:`from_dict`; ``from_dict(to_dict(p))`` restores
+        the profile exactly (embeddings kept at full float precision), which
+        is what lets process-pool workers ship profiles across process
+        boundaries without loss.
+        """
+        return {
             "dataset": self.dataset_name,
             "table": self.table_name,
             "column": self.column_name,
             "fine_grained_type": self.fine_grained_type,
             "statistics": self.statistics.to_dict(),
-            "embedding": [round(float(x), 6) for x in self.embedding.tolist()],
+            "embedding": [float(x) for x in np.asarray(self.embedding).ravel()],
+            "label_embedding": (
+                [float(x) for x in np.asarray(self.label_embedding).ravel()]
+                if self.label_embedding is not None
+                else None
+            ),
         }
-        return json.dumps(payload)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ColumnProfile":
+        """Rebuild a profile from :meth:`to_dict` output."""
+        label_embedding = payload.get("label_embedding")
+        return cls(
+            dataset_name=payload["dataset"],
+            table_name=payload["table"],
+            column_name=payload["column"],
+            fine_grained_type=payload["fine_grained_type"],
+            statistics=ColumnStatistics.from_dict(payload["statistics"]),
+            embedding=np.asarray(payload["embedding"], dtype=float),
+            label_embedding=(
+                np.asarray(label_embedding, dtype=float)
+                if label_embedding is not None
+                else None
+            ),
+        )
+
+    def to_json(self) -> str:
+        """JSON document form (what Algorithm 2 dumps per column)."""
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, document: str) -> "ColumnProfile":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(document))
 
 
 @dataclass
@@ -76,6 +113,32 @@ class TableProfile:
             counts[profile.fine_grained_type] = counts.get(profile.fine_grained_type, 0) + 1
         return counts
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form mirroring :meth:`ColumnProfile.to_dict`."""
+        return {
+            "dataset": self.dataset_name,
+            "table": self.table_name,
+            "column_profiles": [profile.to_dict() for profile in self.column_profiles],
+            "embedding": (
+                [float(x) for x in np.asarray(self.embedding).ravel()]
+                if self.embedding is not None
+                else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "TableProfile":
+        """Rebuild a table profile from :meth:`to_dict` output."""
+        embedding = payload.get("embedding")
+        return cls(
+            dataset_name=payload["dataset"],
+            table_name=payload["table"],
+            column_profiles=[
+                ColumnProfile.from_dict(column) for column in payload["column_profiles"]
+            ],
+            embedding=np.asarray(embedding, dtype=float) if embedding is not None else None,
+        )
+
 
 class DataProfiler:
     """Profiles data lakes at column granularity (Algorithm 2).
@@ -95,6 +158,10 @@ class DataProfiler:
         executor: Optional[JobExecutor] = None,
         seed: int = 0,
     ):
+        #: Whether every model component is the deterministic default; only
+        #: then can process-pool workers rebuild an identical profiler from a
+        #: small config instead of pickling custom models.
+        self._default_components = colr_models is None and word_model is None and ner is None
         self.colr_models = colr_models or ColRModelSet.pretrained()
         self.word_model = word_model or default_word_model()
         self.ner = ner or NamedEntityRecognizer()
@@ -130,7 +197,12 @@ class DataProfiler:
     def profile_table(self, table: Table) -> TableProfile:
         """Profile every column of a table and compute the table embedding."""
         jobs = [(table, column) for column in table.columns]
-        column_profiles = self.executor.map(lambda job: self.profile_column(*job), jobs)
+        if self.executor.backend == "processes":
+            # Table-level fan-out (``profile_tables``) already owns the pool;
+            # columns run serially inside each worker to avoid nested pools.
+            column_profiles = [self.profile_column(table, column) for table, column in jobs]
+        else:
+            column_profiles = self.executor.map(lambda job: self.profile_column(*job), jobs)
         table_profile = TableProfile(
             dataset_name=table.dataset or "default",
             table_name=table.name,
@@ -143,9 +215,37 @@ class DataProfiler:
             )
         return table_profile
 
+    def profile_tables(self, tables: Sequence[Table]) -> List[TableProfile]:
+        """Profile a batch of tables, fanning out across cores when possible.
+
+        On the ``processes`` backend (with default model components) each
+        worker process rebuilds the profiler once via the pool initializer —
+        the CoLR and word models are deterministic, so every backend produces
+        byte-identical profiles — and tables are shipped to workers in
+        chunks.  Custom model components (or a failed pool start) fall back
+        to the in-process path.
+        """
+        tables = list(tables)
+        if self.executor.backend == "processes" and self._default_components:
+            return self.executor.map(
+                _profile_table_worker,
+                tables,
+                initializer=_init_profiler_worker,
+                initargs=(self.process_config(),),
+            )
+        return self.executor.map(self.profile_table, tables)
+
     def profile_data_lake(self, lake: DataLake) -> List[TableProfile]:
         """Profile every table of a data lake."""
-        return self.executor.map(self.profile_table, lake.tables())
+        return self.profile_tables(lake.tables())
+
+    def process_config(self) -> Dict[str, Any]:
+        """The picklable config a worker process rebuilds this profiler from."""
+        return {
+            "sample_fraction": self.sample_fraction,
+            "min_sample_size": self.min_sample_size,
+            "seed": self.seed,
+        }
 
     # --------------------------------------------------------------- reports
     @staticmethod
@@ -168,3 +268,25 @@ class DataProfiler:
         for type_name in FINE_GRAINED_TYPES:
             report[f"{type_name}_cols"] = breakdown[type_name]
         return report
+
+
+# ---------------------------------------------------------------------------
+# Process-pool workers.  One profiler is built per worker process (via the
+# pool initializer) so the CoLR / word / NER models load once per worker
+# rather than once per table; columns inside a worker run serially to avoid
+# nested pools.
+# ---------------------------------------------------------------------------
+_WORKER_PROFILER: Optional[DataProfiler] = None
+
+
+def _init_profiler_worker(config: Dict[str, Any]) -> None:
+    """Pool initializer: build the per-process profiler from its config."""
+    global _WORKER_PROFILER
+    _WORKER_PROFILER = DataProfiler(executor=JobExecutor(backend="serial"), **config)
+
+
+def _profile_table_worker(table: Table) -> TableProfile:
+    """Per-table job executed inside a worker process."""
+    if _WORKER_PROFILER is None:  # pragma: no cover - initializer always runs
+        raise RuntimeError("profiler worker used before initialization")
+    return _WORKER_PROFILER.profile_table(table)

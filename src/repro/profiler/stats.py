@@ -36,6 +36,12 @@ class ColumnStatistics:
         """Plain-dict form (used when dumping profiles to JSON)."""
         return asdict(self)
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ColumnStatistics":
+        """Inverse of :meth:`to_dict` (ignores unknown keys for forward compat)."""
+        known = set(cls.__dataclass_fields__)
+        return cls(**{key: value for key, value in payload.items() if key in known})
+
 
 def collect_statistics(column: Column, fine_grained_type: str) -> ColumnStatistics:
     """Compute the statistics for a column given its fine-grained type.

@@ -14,16 +14,85 @@ DEFAULT_GRAPH = URIRef("http://kglids.org/resource/defaultGraph")
 _EMPTY_TRIPLES: Set["Triple"] = frozenset()  # type: ignore[assignment]
 
 
-class _GraphIndex:
-    """Per-graph triple set with subject/predicate/object hash indices."""
+class _PredicateStats:
+    """Incremental cardinality statistics for one predicate in one graph.
 
-    __slots__ = ("triples", "by_subject", "by_predicate", "by_object", "version")
+    Tracks the triple count plus distinct subject/object counts (via
+    refcounting multisets), giving the SPARQL planner real join-size
+    estimates: the expected number of matches of ``(?s p ?o)`` for a specific
+    but yet-unknown subject is ``count / distinct_subjects`` (the average
+    subject fan-out).
+    """
+
+    __slots__ = ("count", "subjects", "objects")
+
+    def __init__(self):
+        self.count = 0
+        self.subjects: Dict[Any, int] = {}
+        self.objects: Dict[Any, int] = {}
+
+    def add(self, subject: Any, obj: Any) -> None:
+        self.count += 1
+        self.subjects[subject] = self.subjects.get(subject, 0) + 1
+        self.objects[obj] = self.objects.get(obj, 0) + 1
+
+    def remove(self, subject: Any, obj: Any) -> None:
+        self.count -= 1
+        for counter, term in ((self.subjects, subject), (self.objects, obj)):
+            remaining = counter.get(term, 0) - 1
+            if remaining > 0:
+                counter[term] = remaining
+            else:
+                counter.pop(term, None)
+
+    @property
+    def distinct_subjects(self) -> int:
+        return len(self.subjects)
+
+    @property
+    def distinct_objects(self) -> int:
+        return len(self.objects)
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "count": self.count,
+            "distinct_subjects": self.distinct_subjects,
+            "distinct_objects": self.distinct_objects,
+        }
+
+
+class _GraphIndex:
+    """Per-graph triple set with subject/predicate/object hash indices.
+
+    Beyond the three positional indices, the graph maintains per-predicate
+    cardinality statistics (updated incrementally on add/remove) and partial
+    RDF-star indices over annotation triples: triples whose subject is a
+    quoted triple are additionally keyed by the quoted triple's *inner*
+    subject and inner object, so ``<< ?c1 p ?c2 >>`` patterns with one bound
+    side hit a hash entry instead of scanning all annotations.
+    """
+
+    __slots__ = (
+        "triples",
+        "by_subject",
+        "by_predicate",
+        "by_object",
+        "by_quoted_subject",
+        "by_quoted_object",
+        "predicate_stats",
+        "version",
+    )
 
     def __init__(self):
         self.triples: Set[Triple] = set()
         self.by_subject: Dict[Any, Set[Triple]] = defaultdict(set)
         self.by_predicate: Dict[Any, Set[Triple]] = defaultdict(set)
         self.by_object: Dict[Any, Set[Triple]] = defaultdict(set)
+        #: Annotation triples keyed by their quoted subject's inner terms.
+        self.by_quoted_subject: Dict[Any, Set[Triple]] = defaultdict(set)
+        self.by_quoted_object: Dict[Any, Set[Triple]] = defaultdict(set)
+        #: Per-predicate cardinality statistics.
+        self.predicate_stats: Dict[Any, _PredicateStats] = {}
         #: Per-graph mutation counter (bumps on every insert/remove).
         self.version = 0
 
@@ -34,6 +103,13 @@ class _GraphIndex:
         self.by_subject[triple.subject].add(triple)
         self.by_predicate[triple.predicate].add(triple)
         self.by_object[triple.object].add(triple)
+        if isinstance(triple.subject, QuotedTriple):
+            self.by_quoted_subject[triple.subject.subject].add(triple)
+            self.by_quoted_object[triple.subject.object].add(triple)
+        stats = self.predicate_stats.get(triple.predicate)
+        if stats is None:
+            stats = self.predicate_stats[triple.predicate] = _PredicateStats()
+        stats.add(triple.subject, triple.object)
         self.version += 1
         return True
 
@@ -44,6 +120,14 @@ class _GraphIndex:
         self.by_subject[triple.subject].discard(triple)
         self.by_predicate[triple.predicate].discard(triple)
         self.by_object[triple.object].discard(triple)
+        if isinstance(triple.subject, QuotedTriple):
+            self.by_quoted_subject[triple.subject.subject].discard(triple)
+            self.by_quoted_object[triple.subject.object].discard(triple)
+        stats = self.predicate_stats.get(triple.predicate)
+        if stats is not None:
+            stats.remove(triple.subject, triple.object)
+            if stats.count <= 0:
+                del self.predicate_stats[triple.predicate]
         self.version += 1
         return True
 
@@ -89,6 +173,74 @@ class _GraphIndex:
         if obj is not None:
             estimate = min(estimate, len(self.by_object.get(obj, _EMPTY_TRIPLES)))
         return estimate
+
+    def _quoted_candidates(
+        self,
+        inner_subject: Any,
+        inner_object: Any,
+        predicate: Any,
+        obj: Any,
+    ) -> Set[Triple]:
+        """Smallest candidate set for a partially-bound quoted-subject pattern."""
+        candidates: Optional[Set[Triple]] = None
+        if inner_subject is not None:
+            candidates = self.by_quoted_subject.get(inner_subject, _EMPTY_TRIPLES)
+        if inner_object is not None:
+            by_inner_object = self.by_quoted_object.get(inner_object, _EMPTY_TRIPLES)
+            if candidates is None or len(by_inner_object) < len(candidates):
+                candidates = by_inner_object
+        if predicate is not None:
+            by_predicate = self.by_predicate.get(predicate, _EMPTY_TRIPLES)
+            if candidates is None or len(by_predicate) < len(candidates):
+                candidates = by_predicate
+        if obj is not None:
+            by_object = self.by_object.get(obj, _EMPTY_TRIPLES)
+            if candidates is None or len(by_object) < len(candidates):
+                candidates = by_object
+        return self.triples if candidates is None else candidates
+
+    def match_quoted(
+        self,
+        inner_subject: Any = None,
+        inner_predicate: Any = None,
+        inner_object: Any = None,
+        predicate: Any = None,
+        obj: Any = None,
+    ) -> Iterator[Triple]:
+        """Triples whose subject is a quoted triple matching the inner pattern.
+
+        ``inner_*`` constrain the quoted triple's own terms (``None`` is a
+        wildcard); ``predicate``/``obj`` constrain the outer annotation
+        triple.  Scans the smallest applicable index — for one-side-bound
+        patterns like ``<< ?c1 p ?c2 >>`` with ``?c1`` known this is the
+        partial quoted-subject hash entry, not the full annotation set.
+        """
+        candidates = self._quoted_candidates(inner_subject, inner_object, predicate, obj)
+        for triple in tuple(candidates):
+            quoted = triple.subject
+            if not isinstance(quoted, QuotedTriple):
+                continue
+            if inner_subject is not None and quoted.subject != inner_subject:
+                continue
+            if inner_predicate is not None and quoted.predicate != inner_predicate:
+                continue
+            if inner_object is not None and quoted.object != inner_object:
+                continue
+            if predicate is not None and triple.predicate != predicate:
+                continue
+            if obj is not None and triple.object != obj:
+                continue
+            yield triple
+
+    def estimate_quoted(
+        self,
+        inner_subject: Any = None,
+        inner_object: Any = None,
+        predicate: Any = None,
+        obj: Any = None,
+    ) -> int:
+        """Upper bound on :meth:`match_quoted` results from index sizes (O(1))."""
+        return len(self._quoted_candidates(inner_subject, inner_object, predicate, obj))
 
 
 class QuadStore:
@@ -232,6 +384,58 @@ class QuadStore:
             index.estimate(subject, predicate, obj) for index in self._graphs.values()
         )
 
+    def match_quoted(
+        self,
+        inner_subject: Any = None,
+        inner_predicate: Any = None,
+        inner_object: Any = None,
+        predicate: Any = None,
+        obj: Any = None,
+        graph: Optional[URIRef] = None,
+    ) -> Iterator[Tuple[Triple, URIRef]]:
+        """Annotation triples whose quoted subject matches a *partial* pattern.
+
+        The one-side-bound access path of RDF-star patterns: when only
+        ``?c1`` of ``<< ?c1 p ?c2 >> ann ?v`` is known, the partial
+        quoted-subject index answers directly instead of scanning every
+        annotation triple.
+        """
+        if graph is not None:
+            index = self._graphs.get(graph)
+            if index is None:
+                return
+            for triple in index.match_quoted(
+                inner_subject, inner_predicate, inner_object, predicate, obj
+            ):
+                yield triple, graph
+            return
+        for graph_name, index in self._graphs.items():
+            for triple in index.match_quoted(
+                inner_subject, inner_predicate, inner_object, predicate, obj
+            ):
+                yield triple, graph_name
+
+    def estimate_quoted_matches(
+        self,
+        inner_subject: Any = None,
+        inner_object: Any = None,
+        predicate: Any = None,
+        obj: Any = None,
+        graph: Optional[URIRef] = None,
+    ) -> int:
+        """Cheap upper bound on :meth:`match_quoted` results (index sizes only)."""
+        if graph is not None:
+            index = self._graphs.get(graph)
+            return (
+                index.estimate_quoted(inner_subject, inner_object, predicate, obj)
+                if index
+                else 0
+            )
+        return sum(
+            index.estimate_quoted(inner_subject, inner_object, predicate, obj)
+            for index in self._graphs.values()
+        )
+
     def triples(
         self,
         subject: Any = None,
@@ -315,6 +519,54 @@ class QuadStore:
         for index in self._graphs.values():
             predicates.update(index.by_predicate.keys())
         return predicates
+
+    def predicate_statistics(
+        self, predicate: Any, graph: Optional[URIRef] = None
+    ) -> Optional[Dict[str, int]]:
+        """Live cardinality statistics for one predicate.
+
+        Returns ``{"count", "distinct_subjects", "distinct_objects"}``
+        aggregated over the selected graph(s), or ``None`` when the predicate
+        holds no triples there.  The statistics are maintained incrementally
+        on every add/remove, so the SPARQL planner reads real cardinalities
+        instead of applying fixed selectivity discounts.
+        """
+        if graph is not None:
+            index = self._graphs.get(graph)
+            if index is None:
+                return None
+            stats = index.predicate_stats.get(predicate)
+            return stats.to_dict() if stats is not None else None
+        combined: Optional[Dict[str, int]] = None
+        for index in self._graphs.values():
+            stats = index.predicate_stats.get(predicate)
+            if stats is None:
+                continue
+            if combined is None:
+                combined = stats.to_dict()
+            else:
+                # Distinct counts cannot be merged exactly across graphs;
+                # summing gives a safe upper bound on distinct terms (it can
+                # only under-estimate fan-out, never the match count).
+                for key, value in stats.to_dict().items():
+                    combined[key] += value
+        return combined
+
+    def cardinality_statistics(
+        self, graph: Optional[URIRef] = None
+    ) -> Dict[Any, Dict[str, int]]:
+        """Per-predicate cardinality statistics over the selected graph(s)."""
+        predicates: Set[Any] = set()
+        if graph is not None:
+            index = self._graphs.get(graph)
+            predicates = set(index.predicate_stats) if index else set()
+        else:
+            for index in self._graphs.values():
+                predicates.update(index.predicate_stats)
+        return {
+            predicate: self.predicate_statistics(predicate, graph)
+            for predicate in predicates
+        }
 
     def statistics(self) -> Dict[str, int]:
         """Summary statistics used by Table 3 (triples, nodes, edge types, graphs)."""

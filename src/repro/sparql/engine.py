@@ -118,6 +118,44 @@ class SPARQLEngine:
         parsed = parse_query(query, self.prefixes)
         return self.evaluate(parsed)
 
+    def explain(self, query) -> List[str]:
+        """The planned evaluation order of the query's top-level group.
+
+        Accepts a query string or a parsed :class:`SelectQuery` and returns
+        one human-readable line per group element, in the order the planner
+        would evaluate them.  Exposes the effect of the cardinality
+        statistics on join ordering for tests and benchmarks.
+        """
+        parsed = parse_query(query, self.prefixes) if isinstance(query, str) else query
+        elements = (
+            self._reorder_elements(parsed.where.elements, [dict()], graph=None)
+            if self.optimize
+            else parsed.where.elements
+        )
+        return [self._describe_element(element) for element in elements]
+
+    @classmethod
+    def _describe_element(cls, element: Any) -> str:
+        if isinstance(element, TriplePattern):
+            return " ".join(
+                cls._describe_term(term)
+                for term in (element.subject, element.predicate, element.object)
+            )
+        return type(element).__name__
+
+    @classmethod
+    def _describe_term(cls, term: Any) -> str:
+        if isinstance(term, Var):
+            return f"?{term}"
+        if isinstance(term, QuotedPattern):
+            inner = " ".join(
+                cls._describe_term(part) for part in (term.subject, term.predicate, term.object)
+            )
+            return f"<< {inner} >>"
+        if isinstance(term, URIRef):
+            return term.n3()
+        return str(term)
+
     def evaluate(self, query: SelectQuery) -> SelectResult:
         """Evaluate an already-parsed query."""
         solutions = self._evaluate_group(query.where, [dict()], graph=None)
@@ -194,7 +232,7 @@ class SPARQLEngine:
         # unbound cross-join) lookups never re-scan the store.  Both the memo
         # and the quoted-triple pushdown are part of the optimizer, so
         # ``optimize=False`` keeps the seed per-binding scans.
-        memo: Dict[Tuple[Any, Any, Any], List[Tuple[Any, Any]]] = {}
+        memo: Dict[Tuple[Any, ...], List[Tuple[Any, Any]]] = {}
         for solution in solutions:
             subject = self._resolve(pattern.subject, solution)
             predicate = self._resolve(pattern.predicate, solution)
@@ -203,15 +241,37 @@ class SPARQLEngine:
             if self.optimize:
                 lookup_subject = self._lookup_key(subject, solution)
                 lookup_object = self._lookup_key(obj, solution)
-                memo_key = (lookup_subject, lookup_predicate, lookup_object)
-                matches = memo.get(memo_key)
-                if matches is None:
-                    matches = list(
-                        self.store.match(
-                            lookup_subject, lookup_predicate, lookup_object, graph_name
+                quoted_parts = None
+                if lookup_subject is None and isinstance(subject, QuotedPattern):
+                    # Partial RDF-star pushdown: with at least one inner term
+                    # bound, the store's partial quoted-triple index answers
+                    # without scanning every annotation.
+                    quoted_parts = self._quoted_lookup_parts(subject, solution)
+                if quoted_parts is not None:
+                    memo_key = ("<<>>",) + quoted_parts + (lookup_predicate, lookup_object)
+                    matches = memo.get(memo_key)
+                    if matches is None:
+                        matches = list(
+                            self.store.match_quoted(
+                                quoted_parts[0],
+                                quoted_parts[1],
+                                quoted_parts[2],
+                                lookup_predicate,
+                                lookup_object,
+                                graph_name,
+                            )
                         )
-                    )
-                    memo[memo_key] = matches
+                        memo[memo_key] = matches
+                else:
+                    memo_key = (lookup_subject, lookup_predicate, lookup_object)
+                    matches = memo.get(memo_key)
+                    if matches is None:
+                        matches = list(
+                            self.store.match(
+                                lookup_subject, lookup_predicate, lookup_object, graph_name
+                            )
+                        )
+                        memo[memo_key] = matches
             else:
                 lookup_subject = subject if not isinstance(subject, (Var, QuotedPattern)) else None
                 lookup_object = obj if not isinstance(obj, (Var, QuotedPattern)) else None
@@ -244,6 +304,29 @@ class SPARQLEngine:
         if isinstance(term, QuotedPattern):
             return cls._resolve_quoted(term, binding)
         return term
+
+    @classmethod
+    def _quoted_lookup_parts(
+        cls, pattern: QuotedPattern, binding: Binding
+    ) -> Optional[Tuple[Any, Any, Any]]:
+        """Concrete inner terms of a quoted pattern (``None`` = wildcard).
+
+        Returns ``(inner_subject, inner_predicate, inner_object)`` with each
+        part resolved against the binding where possible, or ``None`` when no
+        part is concrete (a fully unbound quoted pattern gains nothing from
+        the partial index).
+        """
+        parts: List[Any] = []
+        for part in (pattern.subject, pattern.predicate, pattern.object):
+            value = part
+            if isinstance(part, Var):
+                value = binding.get(str(part))
+            if isinstance(value, QuotedPattern):
+                value = cls._resolve_quoted(value, binding)
+            parts.append(value)
+        if all(part is None for part in parts):
+            return None
+        return tuple(parts)
 
     @classmethod
     def _resolve_quoted(cls, pattern: QuotedPattern, binding: Binding) -> Optional[QuotedTriple]:
@@ -315,6 +398,10 @@ class SPARQLEngine:
         flush_run()
         return reordered
 
+    #: Fallback selectivity discount per bound-but-value-unknown term, used
+    #: only when the store has no cardinality statistics for the predicate.
+    _UNKNOWN_BOUND_DISCOUNT = 8.0
+
     def _pattern_cost(
         self,
         pattern: TriplePattern,
@@ -328,18 +415,25 @@ class SPARQLEngine:
         binding carries — are estimated against the real index sizes.  A term
         that will be bound at evaluation time but whose value is unknown yet
         (it is bound by an earlier pattern in the plan) still restricts
-        matches, so the estimate is discounted per such term.
+        matches; when the predicate is known its live cardinality statistics
+        give the real expected fan-out (``count / distinct_subjects`` for a
+        bound subject, ``count / distinct_objects`` for a bound object),
+        falling back to a fixed discount otherwise.
         """
         free = 0
-        bound_without_value = 0
+        quoted_unknown_bound = 0
+        unknown_positions: List[str] = []
         lookup: List[Any] = []
-        for term in (pattern.subject, pattern.predicate, pattern.object):
+        for position, term in zip(
+            ("subject", "predicate", "object"),
+            (pattern.subject, pattern.predicate, pattern.object),
+        ):
             if isinstance(term, Var):
                 name = str(term)
                 if name in representative:
                     lookup.append(representative[name])
                 elif name in bound:
-                    bound_without_value += 1
+                    unknown_positions.append(position)
                     lookup.append(None)
                 else:
                     free += 1
@@ -348,15 +442,46 @@ class SPARQLEngine:
                 quoted_vars = self._quoted_vars(term)
                 unresolved = [name for name in quoted_vars if name not in representative]
                 free += sum(1 for name in unresolved if name not in bound)
-                bound_without_value += sum(1 for name in unresolved if name in bound)
+                quoted_unknown_bound += sum(1 for name in unresolved if name in bound)
                 lookup.append(self._resolve_quoted(term, representative) if not unresolved else None)
             else:
                 lookup.append(term)
-        estimate: float = self.store.estimate_matches(
-            lookup[0], lookup[1], lookup[2], graph_name
+        estimate: float = self._base_estimate(pattern, lookup, representative, graph_name)
+        statistics = (
+            self.store.predicate_statistics(lookup[1], graph_name)
+            if unknown_positions and lookup[1] is not None
+            else None
         )
-        estimate /= 8.0 ** bound_without_value
+        for position in unknown_positions:
+            divisor = self._UNKNOWN_BOUND_DISCOUNT
+            if statistics and statistics["count"] > 0:
+                distinct = statistics[
+                    "distinct_subjects" if position == "subject" else "distinct_objects"
+                ]
+                divisor = max(1.0, float(distinct))
+            estimate /= divisor
+        estimate /= self._UNKNOWN_BOUND_DISCOUNT**quoted_unknown_bound
         return (free, estimate)
+
+    def _base_estimate(
+        self,
+        pattern: TriplePattern,
+        lookup: List[Any],
+        representative: Binding,
+        graph_name: Optional[Any],
+    ) -> float:
+        """Index-size estimate for the resolvable part of a pattern."""
+        if lookup[0] is None and isinstance(pattern.subject, QuotedPattern):
+            parts = self._quoted_lookup_parts(pattern.subject, representative)
+            if parts is not None:
+                return float(
+                    self.store.estimate_quoted_matches(
+                        parts[0], parts[2], lookup[1], lookup[2], graph_name
+                    )
+                )
+        return float(
+            self.store.estimate_matches(lookup[0], lookup[1], lookup[2], graph_name)
+        )
 
     @classmethod
     def _pattern_vars(cls, pattern: TriplePattern) -> set:
