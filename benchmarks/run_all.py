@@ -10,6 +10,7 @@ benches are not part of tier-1.
 Usage::
 
     python benchmarks/run_all.py            # all benches
+    python benchmarks/run_all.py --smoke    # same (smoke mode is the default)
     python benchmarks/run_all.py fig4 table2  # substring filters
 """
 
@@ -25,7 +26,16 @@ BENCH_DIR = Path(__file__).resolve().parent
 
 
 def main(argv: list) -> int:
-    filters = [token.lower() for token in argv]
+    filters = []
+    for token in argv:
+        # ``--smoke`` is accepted for explicitness (e.g. in CI invocations)
+        # even though the smoke configuration is already the default here.
+        if token == "--smoke":
+            continue
+        if token.startswith("--"):
+            print(f"unknown option {token!r}", file=sys.stderr)
+            return 2
+        filters.append(token.lower())
     paths = sorted(BENCH_DIR.glob("bench_*.py"))
     if filters:
         paths = [p for p in paths if any(token in p.name.lower() for token in filters)]

@@ -97,6 +97,29 @@ class FlatIndex:
             )
         return self._matrix
 
+    def remove(self, key: str) -> bool:
+        """Delete a key's vector in O(1) by swapping the last row into its slot.
+
+        This is the retraction primitive behind ``EmbeddingStore.remove`` —
+        refreshing a table whose columns changed must drop the stale vectors,
+        not just overwrite the surviving ones.
+        """
+        position = self._positions.pop(key, None)
+        if position is None:
+            return False
+        last = len(self._keys) - 1
+        if position != last:
+            self._keys[position] = self._keys[last]
+            self._vectors[position] = self._vectors[last]
+            self._positions[self._keys[position]] = position
+            if self._matrix is not None:
+                self._matrix[position] = self._vectors[position]
+        self._keys.pop()
+        self._vectors.pop()
+        if self._matrix is not None:
+            self._matrix = self._matrix[: len(self._keys)]
+        return True
+
     def search(self, query: np.ndarray, k: int = 10) -> List[Tuple[str, float]]:
         """Top-k ``(key, cosine similarity)`` pairs for the query vector."""
         if not self._keys:
@@ -140,17 +163,29 @@ class FlatIndex:
 class HNSWIndex:
     """Approximate nearest-neighbour search over a navigable small-world graph.
 
-    Construction links each inserted vector to its ``m`` nearest existing
-    neighbours (bidirectionally); search runs a greedy best-first beam of
-    width ``ef_search`` from a fixed entry point.  This reproduces the
-    behaviour that matters for the evaluation: sub-linear query probing with
-    approximate results.
+    Construction links each inserted vector to the ``m`` best candidates
+    found by a beam search over the *existing* neighbour graph (width
+    ``ef_construction``), so an insert probes ~``ef_construction * m``
+    vectors instead of scanning all ``n`` stored ones — the seed
+    implementation's O(n^2) build becomes near-linear.  Queries run the same
+    best-first beam (width ``ef_search``) from a fixed entry point.  This
+    reproduces the behaviour that matters for the evaluation: sub-linear
+    probing with approximate results.
     """
 
-    def __init__(self, dimensions: int, m: int = 8, ef_search: int = 32):
+    def __init__(
+        self,
+        dimensions: int,
+        m: int = 8,
+        ef_search: int = 32,
+        ef_construction: Optional[int] = None,
+    ):
         self.dimensions = dimensions
         self.m = m
         self.ef_search = ef_search
+        #: Beam width used to locate link candidates during insertion; wider
+        #: beams buy graph quality (recall) for build time.
+        self.ef_construction = ef_construction if ef_construction is not None else max(32, 4 * m)
         self._keys: List[str] = []
         self._vectors: List[np.ndarray] = []
         self._neighbors: List[List[int]] = []
@@ -159,7 +194,13 @@ class HNSWIndex:
         return len(self._keys)
 
     def add(self, key: str, vector: np.ndarray) -> None:
-        """Insert a vector, wiring it into the neighbour graph."""
+        """Insert a vector, wiring it into the neighbour graph.
+
+        Link candidates come from a beam search over the current graph, not
+        from scoring every stored vector; back-links keep node degree at most
+        ``2 m`` by evicting the weakest neighbour when the new node is
+        closer.
+        """
         vector = _normalize(vector)
         if vector.shape[0] != self.dimensions:
             raise ValueError(
@@ -171,20 +212,26 @@ class HNSWIndex:
         self._neighbors.append([])
         if index == 0:
             return
-        matrix = np.vstack(self._vectors[:index])
-        scores = matrix @ vector
-        nearest = np.argsort(-scores)[: self.m]
-        for neighbor in nearest:
-            neighbor = int(neighbor)
+        candidates = self._beam_search(vector, max(self.ef_construction, self.m))
+        for score, neighbor in candidates[: self.m]:
             self._neighbors[index].append(neighbor)
-            if len(self._neighbors[neighbor]) < self.m * 2:
-                self._neighbors[neighbor].append(index)
+            backlinks = self._neighbors[neighbor]
+            if len(backlinks) < self.m * 2:
+                backlinks.append(index)
+                continue
+            # Degree cap reached: keep the new link only if it beats the
+            # neighbour's current weakest edge (one stacked matvec, not a
+            # Python-level dot per backlink).
+            neighbor_vector = self._vectors[neighbor]
+            backlink_scores = (
+                np.stack([self._vectors[b] for b in backlinks]) @ neighbor_vector
+            )
+            weakest_position = int(np.argmin(backlink_scores))
+            if score > float(backlink_scores[weakest_position]):
+                backlinks[weakest_position] = index
 
-    def search(self, query: np.ndarray, k: int = 10) -> List[Tuple[str, float]]:
-        """Approximate top-k ``(key, cosine similarity)`` via greedy beam search."""
-        if not self._keys:
-            return []
-        query = _normalize(query)
+    def _beam_search(self, query: np.ndarray, ef: int) -> List[Tuple[float, int]]:
+        """Best-first beam of width ``ef``: ``(score, node)`` sorted best-first."""
         entry = 0
         visited = {entry}
         entry_score = float(np.dot(self._vectors[entry], query))
@@ -193,7 +240,7 @@ class HNSWIndex:
         best: List[Tuple[float, int]] = [(entry_score, entry)]
         while candidates:
             negative_score, node = heapq.heappop(candidates)
-            if -negative_score < min(score for score, _ in best) and len(best) >= self.ef_search:
+            if -negative_score < min(score for score, _ in best) and len(best) >= ef:
                 break
             for neighbor in self._neighbors[node]:
                 if neighbor in visited:
@@ -203,9 +250,17 @@ class HNSWIndex:
                 heapq.heappush(candidates, (-score, neighbor))
                 best.append((score, neighbor))
                 best.sort(reverse=True)
-                if len(best) > self.ef_search:
+                if len(best) > ef:
                     best.pop()
         best.sort(reverse=True)
+        return best
+
+    def search(self, query: np.ndarray, k: int = 10) -> List[Tuple[str, float]]:
+        """Approximate top-k ``(key, cosine similarity)`` via greedy beam search."""
+        if not self._keys:
+            return []
+        query = _normalize(query)
+        best = self._beam_search(query, self.ef_search)
         return [(self._keys[i], score) for score, i in best[:k]]
 
     def keys(self) -> List[str]:

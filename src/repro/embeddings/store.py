@@ -2,11 +2,15 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.embeddings.index import FlatIndex
+
+PathLike = Union[str, Path]
 
 
 class EmbeddingStore:
@@ -57,6 +61,21 @@ class EmbeddingStore:
             self._indexes[namespace] = FlatIndex(items[0][1].shape[0])
         self._indexes[namespace].add_many(items)
 
+    def remove(self, namespace: str, key: str) -> bool:
+        """Delete a stored vector and its index row (``False`` if absent).
+
+        The retraction primitive used by table refresh: stale column / table
+        vectors must leave the ANN index, not merely be overwritten.
+        """
+        bucket = self._vectors.get(namespace)
+        if bucket is None or key not in bucket:
+            return False
+        del bucket[key]
+        index = self._indexes.get(namespace)
+        if index is not None:
+            index.remove(key)
+        return True
+
     def get(self, namespace: str, key: str) -> Optional[np.ndarray]:
         """Fetch a stored vector (``None`` if absent)."""
         return self._vectors.get(namespace, {}).get(key)
@@ -87,3 +106,47 @@ class EmbeddingStore:
             for bucket in self._vectors.values()
             for vector in bucket.values()
         )
+
+    # ------------------------------------------------------------ persistence
+    def save(self, path: PathLike) -> Path:
+        """Write the store to one ``.npz`` file (per-namespace matrices).
+
+        Keys go into a JSON manifest embedded in the archive (npz member
+        names cannot carry arbitrary URI characters); vectors are stacked
+        into one matrix per namespace.  :meth:`load` is the exact inverse —
+        vectors round-trip at full float precision and the ANN indexes are
+        rebuilt on load.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        arrays: Dict[str, np.ndarray] = {}
+        manifest: List[Dict[str, object]] = []
+        for position, namespace in enumerate(sorted(self._vectors)):
+            bucket = self._vectors[namespace]
+            keys = list(bucket.keys())
+            manifest.append({"namespace": namespace, "keys": keys})
+            if keys:
+                arrays[f"vectors_{position}"] = np.stack([bucket[key] for key in keys])
+        arrays["manifest"] = np.frombuffer(
+            json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+        )
+        with path.open("wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        return path
+
+    @classmethod
+    def load(cls, path: PathLike) -> "EmbeddingStore":
+        """Rebuild a store (vectors + ANN indexes) from a :meth:`save` file."""
+        store = cls()
+        with np.load(Path(path)) as data:
+            manifest = json.loads(data["manifest"].tobytes().decode("utf-8"))
+            for position, entry in enumerate(manifest):
+                name = f"vectors_{position}"
+                if name not in data:
+                    continue
+                matrix = data[name]
+                store.put_many(
+                    str(entry["namespace"]),
+                    list(zip(entry["keys"], matrix)),
+                )
+        return store

@@ -9,13 +9,17 @@ can be added incrementally after bootstrapping.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.embeddings.colr import ColRModelSet
+from repro.embeddings.store import EmbeddingStore
 from repro.kg.dataset_graph import DataGlobalSchemaBuilder, SimilarityThresholds
 from repro.kg.linker import GlobalGraphLinker, LinkReport
 from repro.kg.ontology import (
+    DATASET_GRAPH,
     ONTOLOGY_GRAPH,
     LiDSOntology,
     column_uri,
@@ -27,7 +31,16 @@ from repro.kg.storage import KGLiDSStorage
 from repro.parallel import JobExecutor
 from repro.pipelines.abstraction import AbstractedPipeline, PipelineAbstractor, PipelineScript
 from repro.profiler.profile import DataProfiler, TableProfile
+from repro.rdf import QuadStore, SqliteBackend
 from repro.tabular import DataLake, Table
+
+PathLike = Union[str, Path]
+
+#: File names of one saved governor directory.
+_GRAPH_FILE = "graph.sqlite3"
+_EMBEDDINGS_FILE = "embeddings.npz"
+_PROFILES_FILE = "profiles.json"
+_MANIFEST_FILE = "manifest.json"
 
 
 @dataclass
@@ -38,6 +51,9 @@ class GovernorReport:
     num_columns_profiled: int = 0
     num_pipelines_abstracted: int = 0
     num_similarity_edges: int = 0
+    #: ``dataset/table`` ids that went through the refresh path (retract +
+    #: re-profile) because their contents changed since they were governed.
+    refreshed_tables: List[str] = field(default_factory=list)
     link_reports: List[LinkReport] = field(default_factory=list)
 
 
@@ -77,11 +93,24 @@ class KGGovernor:
         #: ``table_profiles`` so :meth:`table_profile` is O(1) and repeated
         #: adds of the same table are detected without a scan.
         self._profiles_by_key: Dict[Tuple[str, str], TableProfile] = {}
+        #: Content fingerprint of each governed table, recorded at profiling
+        #: time so re-adds can tell unchanged (skip) from changed (refresh).
+        self._fingerprints_by_key: Dict[Tuple[str, str], str] = {}
         self.abstractions: List[AbstractedPipeline] = []
         self._write_ontology()
 
     def _write_ontology(self) -> None:
-        self.storage.graph.add_triples(LiDSOntology.ontology_triples(), graph=ONTOLOGY_GRAPH)
+        # A durable store reopened from disk usually carries the full
+        # ontology graph already; skipping the no-op re-adds avoids loading
+        # its shard just to discover every triple exists.  Skip only on an
+        # *exact* count match: lakes saved by an older code version re-add
+        # when the ontology grows or shrinks.  (A rename that keeps the
+        # count unchanged would need an explicit migration — the ontology
+        # is versioned with this code and has only ever grown.)
+        triples = LiDSOntology.ontology_triples()
+        if self.storage.graph.num_triples(ONTOLOGY_GRAPH) == len(triples):
+            return
+        self.storage.graph.add_triples(triples, graph=ONTOLOGY_GRAPH)
 
     # ----------------------------------------------------------- bootstrapping
     def bootstrap(
@@ -99,30 +128,51 @@ class KGGovernor:
 
     # ------------------------------------------------------------ incremental
     def add_data_lake(self, lake: DataLake) -> GovernorReport:
-        """Profile and register every *new* table of ``lake``.
+        """Profile and register every *new or changed* table of ``lake``.
 
-        The add is incremental: tables already governed are skipped (so
-        re-adding a lake is idempotent), only the fresh tables are profiled,
-        and the schema builder scores similarity for new x (new + existing)
-        column pairs instead of rebuilding the full O(n^2) schema.  Adding
-        tables one by one therefore yields the exact graph a single bootstrap
-        over the union would.
+        The add is incremental: tables already governed with unchanged
+        contents are skipped (so re-adding a lake is idempotent), only the
+        fresh tables are profiled, and the schema builder scores similarity
+        for new x (new + existing) column pairs instead of rebuilding the
+        full O(n^2) schema.  Adding tables one by one therefore yields the
+        exact graph a single bootstrap over the union would.
 
-        Governance is append-only: re-adding a table whose *contents* changed
-        keeps the original profile and edges (a refresh path that retracts a
-        table's triples before re-profiling is a ROADMAP open item).
+        Re-adding a table whose *contents* changed (detected via the content
+        fingerprint recorded when it was first governed) is routed through
+        :meth:`refresh_table` — its stale metadata triples, similarity edges
+        and embeddings are retracted before re-profiling — and logged in
+        ``GovernorReport.refreshed_tables``.  Change detection costs one
+        hash pass over each already-governed table's values per re-add —
+        far cheaper than profiling, but no longer the O(1) key lookup the
+        pre-refresh governor used.
         """
         report = GovernorReport()
-        fresh_tables = [
-            table
-            for table in lake.tables()
-            if (table.dataset or "default", table.name) not in self._profiles_by_key
-        ]
+        fresh_tables: List[Table] = []
+        fingerprints: Dict[Tuple[str, str], str] = {}
+        for table in lake.tables():
+            key = (table.dataset or "default", table.name)
+            if key not in self._profiles_by_key:
+                fresh_tables.append(table)
+                fingerprints[key] = table.content_fingerprint()
+                continue
+            recorded = self._fingerprints_by_key.get(key)
+            if recorded is None:
+                continue
+            fingerprint = table.content_fingerprint()
+            if fingerprint != recorded:
+                # Retract now, then govern alongside the fresh tables so all
+                # changed tables share one profiling batch (and the fan-out
+                # of a parallel profiler) instead of per-table refreshes.
+                self.retract_table(key[0], key[1])
+                fresh_tables.append(table)
+                fingerprints[key] = fingerprint
+                report.refreshed_tables.append(f"{key[0]}/{key[1]}")
         if not fresh_tables:
             return report
+        self._fingerprints_by_key.update(fingerprints)
         new_profiles = self.profiler.profile_tables(fresh_tables)
-        report.num_tables_profiled = len(new_profiles)
-        report.num_columns_profiled = sum(len(p.column_profiles) for p in new_profiles)
+        report.num_tables_profiled += len(new_profiles)
+        report.num_columns_profiled += sum(len(p.column_profiles) for p in new_profiles)
         self._store_embeddings(new_profiles)
         edges = self.schema_builder.build_incremental(
             new_profiles, self.table_profiles, self.storage.graph
@@ -132,7 +182,7 @@ class KGGovernor:
             self._profiles_by_key[(profile.dataset_name, profile.table_name)] = profile
         # No explicit linker cache invalidation needed: the metadata writes
         # above bumped the dataset graph's version, which keys the cache.
-        report.num_similarity_edges = len(edges)
+        report.num_similarity_edges += len(edges)
         return report
 
     def add_table(self, table: Table, dataset_name: str = "default") -> GovernorReport:
@@ -153,6 +203,169 @@ class KGGovernor:
         report.num_pipelines_abstracted = len(abstractions)
         report.link_reports = self.linker.link_pipelines(abstractions, self.storage.graph)
         return report
+
+    # ---------------------------------------------------------------- refresh
+    def refresh_table(self, table: Table, dataset_name: Optional[str] = None) -> GovernorReport:
+        """Retract a governed table's graph footprint and re-govern it.
+
+        Everything derived from the table's old contents is removed first —
+        its metadata triples, the similarity / unionability / joinability
+        edges (and their RDF-star score annotations) touching its column and
+        table nodes, and its stored embeddings — then the table is profiled
+        and added exactly like a fresh table.  The result is byte-identical
+        to governing the modified lake from scratch: no stale triples, edges
+        or embeddings survive.  Refreshing a table that was never governed
+        degrades to a plain add.
+        """
+        dataset_name = dataset_name or table.dataset or "default"
+        refreshed = self.retract_table(dataset_name, table.name)
+        lake = DataLake(name=dataset_name)
+        lake.add_table(dataset_name, table)
+        report = self.add_data_lake(lake)
+        if refreshed:
+            report.refreshed_tables.append(f"{dataset_name}/{table.name}")
+        return report
+
+    def retract_table(self, dataset_name: str, table_name: str) -> bool:
+        """Remove a table's triples, similarity edges and embeddings.
+
+        Uses the store's retraction primitives: node-scoped matches over the
+        dataset graph's hash indexes plus the partial quoted-triple indexes
+        (for the RDF-star score annotations), so retraction never scans the
+        whole graph.  Dataset / source nodes shared with other tables are
+        left in place; pipeline graphs are untouched (their ``reads`` edges
+        reference the table node URI, which a refresh re-creates).  Returns
+        ``False`` when the table was never governed.
+        """
+        key = (dataset_name, table_name)
+        profile = self._profiles_by_key.pop(key, None)
+        if profile is None:
+            return False
+        # Identity-based removal: TableProfile dataclass equality would
+        # compare embedded numpy arrays.
+        self.table_profiles = [p for p in self.table_profiles if p is not profile]
+        self._fingerprints_by_key.pop(key, None)
+        graph = self.storage.graph
+        table_node = table_uri(dataset_name, table_name)
+        column_nodes = [
+            column_uri(p.dataset_name, p.table_name, p.column_name)
+            for p in profile.column_profiles
+        ]
+        for node in [table_node] + column_nodes:
+            for triple, graph_name in list(graph.match(subject=node, graph=DATASET_GRAPH)):
+                graph.remove(triple.subject, triple.predicate, triple.object, graph=graph_name)
+            for triple, graph_name in list(graph.match(obj=node, graph=DATASET_GRAPH)):
+                graph.remove(triple.subject, triple.predicate, triple.object, graph=graph_name)
+            for triple, graph_name in list(
+                graph.match_quoted(inner_subject=node, graph=DATASET_GRAPH)
+            ):
+                graph.remove(triple.subject, triple.predicate, triple.object, graph=graph_name)
+            for triple, graph_name in list(
+                graph.match_quoted(inner_object=node, graph=DATASET_GRAPH)
+            ):
+                graph.remove(triple.subject, triple.predicate, triple.object, graph=graph_name)
+        self.storage.embeddings.remove("table", str(table_node))
+        for column_node in column_nodes:
+            self.storage.embeddings.remove("column", str(column_node))
+        return True
+
+    # ------------------------------------------------------------ persistence
+    def save(self, directory: PathLike) -> Path:
+        """Persist the governed lake to ``directory`` (graph + profiles + embeddings).
+
+        The LiDS graph lands in a sqlite file (just a flush when the governor
+        already runs on a sqlite backend at that path, a full copy
+        otherwise), embeddings in one ``.npz`` archive, and table profiles /
+        content fingerprints in JSON.  :meth:`open` restores the governor
+        from such a directory in a fresh process.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        graph_path = directory / _GRAPH_FILE
+        backend = self.storage.graph.backend
+        # Resolve both sides: a relative/symlinked spelling of the live
+        # backend's own path must not fall into the copy branch (which would
+        # unlink the database out from under the open connection).
+        if (
+            isinstance(backend, SqliteBackend)
+            and backend.path.resolve() == graph_path.resolve()
+        ):
+            self.storage.graph.flush()
+        else:
+            # Remove the target database *and* any sqlite sidecars: a stale
+            # -wal journal next to a freshly created file would be replayed
+            # into the new snapshot as a hot journal.
+            for suffix in ("", "-wal", "-shm"):
+                sidecar = graph_path.with_name(graph_path.name + suffix)
+                if sidecar.exists():
+                    sidecar.unlink()
+            snapshot = QuadStore.sqlite(graph_path)
+            for graph_name in self.storage.graph.graphs():
+                for triple in self.storage.graph.triples(graph=graph_name):
+                    snapshot.add(
+                        triple.subject, triple.predicate, triple.object, graph=graph_name
+                    )
+            snapshot.close()
+        self.storage.embeddings.save(directory / _EMBEDDINGS_FILE)
+        profiles_payload = {
+            "format": 1,
+            "profiles": [profile.to_dict() for profile in self.table_profiles],
+            "fingerprints": [
+                [dataset, table, fingerprint]
+                for (dataset, table), fingerprint in self._fingerprints_by_key.items()
+            ],
+        }
+        (directory / _PROFILES_FILE).write_text(json.dumps(profiles_payload))
+        manifest = {
+            "format": 1,
+            "num_tables": len(self.table_profiles),
+            "num_triples": self.storage.graph.num_triples(),
+            "num_embeddings": self.storage.embeddings.count(),
+        }
+        (directory / _MANIFEST_FILE).write_text(json.dumps(manifest, indent=2))
+        return directory
+
+    @classmethod
+    def open(cls, directory: PathLike, **governor_kwargs) -> "KGGovernor":
+        """Reopen a governed lake saved with :meth:`save`.
+
+        The LiDS graph comes back on the sqlite backend (named graphs load
+        lazily on first touch), the embedding store and its ANN indexes are
+        rebuilt from the archive, and the profile / fingerprint lookups are
+        restored — so ``table_profile`` answers, re-adds detect changes, the
+        linker resolves tables, and incremental adds continue exactly where
+        the saved process stopped, at a fraction of the cost of re-governing.
+        """
+        directory = Path(directory)
+        graph = QuadStore.sqlite(directory / _GRAPH_FILE)
+        embeddings_path = directory / _EMBEDDINGS_FILE
+        embeddings = (
+            EmbeddingStore.load(embeddings_path)
+            if embeddings_path.exists()
+            else EmbeddingStore()
+        )
+        storage = KGLiDSStorage(graph=graph, embeddings=embeddings)
+        governor = cls(storage=storage, **governor_kwargs)
+        profiles_path = directory / _PROFILES_FILE
+        if profiles_path.exists():
+            payload = json.loads(profiles_path.read_text())
+            for entry in payload.get("profiles", []):
+                profile = TableProfile.from_dict(entry)
+                governor.table_profiles.append(profile)
+                governor._profiles_by_key[
+                    (profile.dataset_name, profile.table_name)
+                ] = profile
+            for dataset, table, fingerprint in payload.get("fingerprints", []):
+                governor._fingerprints_by_key[(dataset, table)] = fingerprint
+        # The linker's table-resolution cache is *not* warmed eagerly: doing
+        # so would force the dataset shard to load even when the reopened
+        # governor never links a pipeline.  It rebuilds itself from the
+        # reloaded graph on the first link (keyed on the graph version).
+        return governor
+
+    def close(self) -> None:
+        """Flush and release the storage bundle (required for sqlite backends)."""
+        self.storage.close()
 
     # ----------------------------------------------------------------- lookups
     def table_profile(self, dataset_name: str, table_name: str) -> Optional[TableProfile]:
@@ -190,5 +403,6 @@ class KGGovernor:
         base.num_columns_profiled += other.num_columns_profiled
         base.num_pipelines_abstracted += other.num_pipelines_abstracted
         base.num_similarity_edges += other.num_similarity_edges
+        base.refreshed_tables.extend(other.refreshed_tables)
         base.link_reports.extend(other.link_reports)
         return base

@@ -19,11 +19,20 @@ class KGLiDSStorage:
       that the Model Manager exposes to users.
     """
 
-    def __init__(self):
-        self.graph = QuadStore()
-        self.embeddings = EmbeddingStore()
+    def __init__(
+        self,
+        graph: Optional[QuadStore] = None,
+        embeddings: Optional[EmbeddingStore] = None,
+    ):
+        #: The LiDS graph; pass ``QuadStore.sqlite(path)`` for a durable lake.
+        self.graph = graph if graph is not None else QuadStore()
+        self.embeddings = embeddings if embeddings is not None else EmbeddingStore()
         self._models: Dict[str, Any] = {}
         self._engine: Optional[SPARQLEngine] = None
+
+    def close(self) -> None:
+        """Flush and release the graph backend (no-op for in-memory stores)."""
+        self.graph.close()
 
     # ---------------------------------------------------------------- SPARQL
     @property

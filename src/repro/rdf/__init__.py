@@ -1,11 +1,18 @@
-"""An in-memory RDF-star quad store (GraphDB substitute).
+"""An RDF-star quad store with pluggable storage backends (GraphDB substitute).
 
 KGLiDS stores the LiDS graph in GraphDB using the RDF-star model so that
 similarity edges can carry prediction scores.  This package provides the term
 model (URIs, literals, blank nodes, quoted triples), named-graph quad storage
-with pattern-matching indices, and N-Triples/N-Quads serialization.
+with pattern-matching indices, N-Triples/N-Quads serialization, and two
+storage backends behind the :class:`QuadStore` interface:
+
+* ``QuadStore()`` — in-memory (the seed behaviour; dies with the process);
+* ``QuadStore.sqlite(path)`` — durable, one sqlite shard per named graph,
+  lazily reloaded on open (see :mod:`repro.rdf.backend`).
 """
 
+from repro.rdf.backend import InMemoryBackend, QuadStoreBackend, SqliteBackend
+from repro.rdf.graph_index import GraphIndex, PredicateStats
 from repro.rdf.namespace import (
     KGLIDS_DATA,
     KGLIDS_ONTOLOGY,
@@ -28,6 +35,11 @@ __all__ = [
     "Term",
     "Triple",
     "QuadStore",
+    "QuadStoreBackend",
+    "InMemoryBackend",
+    "SqliteBackend",
+    "GraphIndex",
+    "PredicateStats",
     "DEFAULT_GRAPH",
     "Namespace",
     "RDF",

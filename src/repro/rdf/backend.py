@@ -1,0 +1,349 @@
+"""Pluggable quad-store backends: where the LiDS graph's quads live durably.
+
+:class:`QuadStore` delegates all graph management to a
+:class:`QuadStoreBackend`.  Every backend hands out the same
+:class:`~repro.rdf.graph_index.GraphIndex` structure for matching, so pattern
+semantics, cardinality statistics and therefore SPARQL ``explain()`` plans
+are identical across backends — backends differ only in durability:
+
+* :class:`InMemoryBackend` — the seed behaviour: graphs live in a plain dict
+  and die with the process.
+* :class:`SqliteBackend` — quads are sharded into one sqlite table per named
+  graph (the LiDS layout: one graph per pipeline plus the dataset / library /
+  ontology graphs).  Writes are buffered and flushed in batches; on open, a
+  graph's index — including its per-predicate statistics and partial
+  quoted-triple indexes — is rebuilt lazily the first time the graph is
+  touched, so reopening a governed lake never pays for graphs a query does
+  not read.
+
+Terms are persisted in their N-Triples text form (``term_n3``) and parsed
+back with :func:`repro.rdf.terms.parse_term`; plain Python values that the
+in-memory backend would keep raw are therefore normalized to
+:class:`~repro.rdf.terms.Literal` objects on reload — and two in-memory
+triples whose terms differ only in that respect (``"5"`` vs
+``Literal("5")``) alias to the *same* durable row, so removing one removes
+the shared row.  The product layers always write proper term objects; mixed
+raw/term graphs should stay on the in-memory backend.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.rdf.graph_index import GraphIndex
+from repro.rdf.terms import Triple, URIRef, parse_term, term_n3
+
+PathLike = Union[str, Path]
+
+
+class QuadStoreBackend(ABC):
+    """Storage backend protocol behind :class:`~repro.rdf.store.QuadStore`.
+
+    The reader side hands out :class:`GraphIndex` objects (``get_index`` /
+    ``ensure_index`` / ``items``); the writer side receives persistence hooks
+    *after* the in-memory index has been updated (``quad_added`` etc.), so a
+    non-durable backend can ignore them entirely.
+    """
+
+    #: Whether this backend survives process restarts.
+    persistent: bool = False
+
+    # ----------------------------------------------------------------- graphs
+    @abstractmethod
+    def graph_names(self) -> List[URIRef]:
+        """Names of all graphs currently holding triples (no index loads)."""
+
+    @abstractmethod
+    def get_index(self, graph: URIRef) -> Optional[GraphIndex]:
+        """The graph's index, loading it if necessary; ``None`` when absent."""
+
+    @abstractmethod
+    def ensure_index(self, graph: URIRef) -> GraphIndex:
+        """The graph's index, creating the graph when absent."""
+
+    @abstractmethod
+    def drop_graph(self, graph: URIRef) -> bool:
+        """Drop a whole named graph (a backend-level retraction primitive)."""
+
+    @abstractmethod
+    def items(self) -> Iterable[Tuple[URIRef, GraphIndex]]:
+        """``(name, index)`` for every graph (loads all lazily-stored graphs)."""
+
+    def triple_count(self, graph: URIRef) -> int:
+        """Number of triples in one graph, without forcing an index load."""
+        index = self.get_index(graph)
+        return len(index.triples) if index is not None else 0
+
+    # ------------------------------------------------------ persistence hooks
+    def quad_added(self, graph: URIRef, triple: Triple) -> None:
+        """Called after a triple was inserted into the graph's index."""
+
+    def quad_removed(self, graph: URIRef, triple: Triple) -> None:
+        """Called after a triple was removed from the graph's index."""
+
+    def predicate_removed(self, graph: URIRef, predicate: Any) -> None:
+        """Called after all triples with ``predicate`` left the graph's index.
+
+        Durable backends translate this into one predicate-scoped delete
+        instead of per-triple deletes — the cheap path for bulk schema
+        retractions (e.g. dropping a similarity-edge type lake-wide).
+        """
+
+    def delete_predicate_unloaded(self, graph: URIRef, predicate: Any) -> Optional[int]:
+        """Predicate-scoped delete on a graph whose index is *not* resident.
+
+        Returns the number of triples removed when the backend could retract
+        directly in durable storage (sparing the index load), or ``None``
+        when the graph's index is resident (or the backend is volatile) and
+        the caller must retract through the index as usual.
+        """
+        return None
+
+    def flush(self) -> None:
+        """Make all buffered writes durable (no-op for volatile backends)."""
+
+    def close(self) -> None:
+        """Release any resources; the backend must not be used afterwards."""
+
+
+class InMemoryBackend(QuadStoreBackend):
+    """The seed storage: a dict of :class:`GraphIndex` per named graph."""
+
+    persistent = False
+
+    def __init__(self):
+        self._graphs: Dict[URIRef, GraphIndex] = {}
+
+    def graph_names(self) -> List[URIRef]:
+        return list(self._graphs.keys())
+
+    def get_index(self, graph: URIRef) -> Optional[GraphIndex]:
+        return self._graphs.get(graph)
+
+    def ensure_index(self, graph: URIRef) -> GraphIndex:
+        index = self._graphs.get(graph)
+        if index is None:
+            index = self._graphs[graph] = GraphIndex()
+        return index
+
+    def drop_graph(self, graph: URIRef) -> bool:
+        return self._graphs.pop(graph, None) is not None
+
+    def items(self) -> Iterable[Tuple[URIRef, GraphIndex]]:
+        return list(self._graphs.items())
+
+
+class SqliteBackend(QuadStoreBackend):
+    """A sqlite-backed quad store with one shard table per named graph.
+
+    Layout: a ``graphs`` catalog table maps graph names to shard ids; shard
+    ``quads_<id>`` holds that graph's triples as three N-Triples text columns
+    with a ``(subject, predicate, object)`` primary key plus a predicate
+    index (for predicate-scoped deletes).  All matching still runs on the
+    shared :class:`GraphIndex`, rebuilt lazily per graph on first touch — the
+    cardinality statistics and partial quoted-triple indexes are rebuilt as
+    part of that load, so the SPARQL planner sees exactly the statistics the
+    in-memory backend would.
+
+    Writes are buffered (insert/delete order preserved) and flushed every
+    ``flush_threshold`` operations, on :meth:`flush` and on :meth:`close`.
+    """
+
+    persistent = True
+
+    def __init__(self, path: PathLike, flush_threshold: int = 8192):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.flush_threshold = flush_threshold
+        self._connection = sqlite3.connect(str(self.path))
+        self._connection.execute("PRAGMA journal_mode=WAL")
+        self._connection.execute("PRAGMA synchronous=NORMAL")
+        self._connection.execute(
+            "CREATE TABLE IF NOT EXISTS graphs ("
+            " id INTEGER PRIMARY KEY AUTOINCREMENT,"
+            " name TEXT UNIQUE NOT NULL)"
+        )
+        self._connection.commit()
+        #: graph name -> shard id, in catalog order (deterministic reopen).
+        self._shards: Dict[URIRef, int] = {
+            URIRef(name): shard_id
+            for shard_id, name in self._connection.execute(
+                "SELECT id, name FROM graphs ORDER BY id"
+            )
+        }
+        #: Lazily loaded per-graph indexes (a loaded graph stays resident).
+        self._indexes: Dict[URIRef, GraphIndex] = {}
+        #: Ordered write buffer: ``(op, shard_id, params)``.
+        self._pending: List[Tuple[str, int, Tuple[str, ...]]] = []
+        self._closed = False
+
+    # ----------------------------------------------------------------- graphs
+    def graph_names(self) -> List[URIRef]:
+        return list(self._shards.keys())
+
+    def get_index(self, graph: URIRef) -> Optional[GraphIndex]:
+        index = self._indexes.get(graph)
+        if index is None:
+            shard_id = self._shards.get(graph)
+            if shard_id is None:
+                return None
+            index = self._load_shard(graph, shard_id)
+        return index
+
+    def ensure_index(self, graph: URIRef) -> GraphIndex:
+        index = self.get_index(graph)
+        if index is None:
+            cursor = self._connection.execute(
+                "INSERT INTO graphs (name) VALUES (?)", (str(graph),)
+            )
+            shard_id = int(cursor.lastrowid)
+            self._create_shard_table(shard_id)
+            self._connection.commit()
+            self._shards[graph] = shard_id
+            index = self._indexes[graph] = GraphIndex()
+        return index
+
+    def drop_graph(self, graph: URIRef) -> bool:
+        shard_id = self._shards.pop(graph, None)
+        if shard_id is None:
+            return False
+        self._indexes.pop(graph, None)
+        # Buffered writes against the shard are moot once the table is gone.
+        self._pending = [op for op in self._pending if op[1] != shard_id]
+        self._connection.execute(f"DROP TABLE IF EXISTS quads_{shard_id}")
+        self._connection.execute("DELETE FROM graphs WHERE id = ?", (shard_id,))
+        self._connection.commit()
+        return True
+
+    def items(self) -> Iterable[Tuple[URIRef, GraphIndex]]:
+        return [(graph, self.get_index(graph)) for graph in self.graph_names()]
+
+    def triple_count(self, graph: URIRef) -> int:
+        index = self._indexes.get(graph)
+        if index is not None:
+            return len(index.triples)
+        shard_id = self._shards.get(graph)
+        if shard_id is None:
+            return 0
+        self.flush()
+        row = self._connection.execute(
+            f"SELECT COUNT(*) FROM quads_{shard_id}"
+        ).fetchone()
+        return int(row[0])
+
+    # ------------------------------------------------------ persistence hooks
+    def quad_added(self, graph: URIRef, triple: Triple) -> None:
+        self._queue("insert", self._shards[graph], self._row(triple))
+
+    def quad_removed(self, graph: URIRef, triple: Triple) -> None:
+        self._queue("delete", self._shards[graph], self._row(triple))
+
+    def predicate_removed(self, graph: URIRef, predicate: Any) -> None:
+        shard_id = self._shards.get(graph)
+        if shard_id is not None:
+            self._queue("delete_predicate", shard_id, (term_n3(predicate),))
+
+    def delete_predicate_unloaded(self, graph: URIRef, predicate: Any) -> Optional[int]:
+        if graph in self._indexes:
+            return None
+        shard_id = self._shards.get(graph)
+        if shard_id is None:
+            return 0
+        # Resident writes are ordered through the pending buffer; an
+        # unloaded shard has none, but flush anyway so the delete cannot
+        # overtake queued ops from other shards sharing the connection.
+        self.flush()
+        cursor = self._connection.execute(
+            self._STATEMENTS["delete_predicate"].format(shard=shard_id),
+            (term_n3(predicate),),
+        )
+        self._connection.commit()
+        return int(cursor.rowcount)
+
+    def flush(self) -> None:
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        position = 0
+        while position < len(pending):
+            op, shard_id, _ = pending[position]
+            batch_end = position
+            while (
+                batch_end < len(pending)
+                and pending[batch_end][0] == op
+                and pending[batch_end][1] == shard_id
+            ):
+                batch_end += 1
+            rows = [params for _, _, params in pending[position:batch_end]]
+            self._connection.executemany(self._STATEMENTS[op].format(shard=shard_id), rows)
+            position = batch_end
+        self._connection.commit()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.flush()
+        self._connection.close()
+        self._closed = True
+
+    # -------------------------------------------------------------- internals
+    _STATEMENTS = {
+        "insert": (
+            "INSERT OR IGNORE INTO quads_{shard} (subject, predicate, object)"
+            " VALUES (?, ?, ?)"
+        ),
+        "delete": (
+            "DELETE FROM quads_{shard}"
+            " WHERE subject = ? AND predicate = ? AND object = ?"
+        ),
+        "delete_predicate": "DELETE FROM quads_{shard} WHERE predicate = ?",
+    }
+
+    def _create_shard_table(self, shard_id: int) -> None:
+        self._connection.execute(
+            f"CREATE TABLE IF NOT EXISTS quads_{shard_id} ("
+            " subject TEXT NOT NULL,"
+            " predicate TEXT NOT NULL,"
+            " object TEXT NOT NULL,"
+            " PRIMARY KEY (subject, predicate, object)"
+            ") WITHOUT ROWID"
+        )
+        self._connection.execute(
+            f"CREATE INDEX IF NOT EXISTS quads_{shard_id}_predicate"
+            f" ON quads_{shard_id} (predicate)"
+        )
+
+    @staticmethod
+    def _row(triple: Triple) -> Tuple[str, str, str]:
+        return (term_n3(triple.subject), term_n3(triple.predicate), term_n3(triple.object))
+
+    def _queue(self, op: str, shard_id: int, params: Tuple[str, ...]) -> None:
+        self._pending.append((op, shard_id, params))
+        if len(self._pending) >= self.flush_threshold:
+            self.flush()
+
+    def _load_shard(self, graph: URIRef, shard_id: int) -> GraphIndex:
+        """Rebuild a graph's index (stats and quoted indexes included) from disk."""
+        # Writes require a loaded index, so a lazily-loaded shard normally has
+        # no buffered ops — flush anyway so the read below is complete.
+        self.flush()
+        index = GraphIndex()
+        # Terms repeat heavily across rows (predicates, shared subjects), so
+        # memoize text -> term within the load.
+        cache: Dict[str, Any] = {}
+
+        def cached_term(text: str) -> Any:
+            term = cache.get(text)
+            if term is None:
+                term = cache[text] = parse_term(text)
+            return term
+
+        for subject, predicate, obj in self._connection.execute(
+            f"SELECT subject, predicate, object FROM quads_{shard_id}"
+        ):
+            index.add(Triple(cached_term(subject), cached_term(predicate), cached_term(obj)))
+        self._indexes[graph] = index
+        return index

@@ -1,0 +1,249 @@
+"""The per-graph triple index shared by every :class:`QuadStore` backend.
+
+One :class:`GraphIndex` holds the triples of a single named graph together
+with the access structures the SPARQL planner relies on: positional hash
+indices, per-predicate cardinality statistics and the partial RDF-star
+quoted-triple indexes.  Backends differ only in *where the quads live
+durably* (process RAM vs a sqlite shard); the in-memory index — and therefore
+``match`` / ``estimate`` semantics and the resulting query plans — is
+identical across backends.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, Iterator, Optional, Set
+
+from repro.rdf.terms import QuotedTriple, Triple
+
+#: Shared empty candidate set so missing index entries cost no allocation.
+_EMPTY_TRIPLES: Set["Triple"] = frozenset()  # type: ignore[assignment]
+
+
+class PredicateStats:
+    """Incremental cardinality statistics for one predicate in one graph.
+
+    Tracks the triple count plus distinct subject/object counts (via
+    refcounting multisets), giving the SPARQL planner real join-size
+    estimates: the expected number of matches of ``(?s p ?o)`` for a specific
+    but yet-unknown subject is ``count / distinct_subjects`` (the average
+    subject fan-out).
+    """
+
+    __slots__ = ("count", "subjects", "objects")
+
+    def __init__(self):
+        self.count = 0
+        self.subjects: Dict[Any, int] = {}
+        self.objects: Dict[Any, int] = {}
+
+    def add(self, subject: Any, obj: Any) -> None:
+        self.count += 1
+        self.subjects[subject] = self.subjects.get(subject, 0) + 1
+        self.objects[obj] = self.objects.get(obj, 0) + 1
+
+    def remove(self, subject: Any, obj: Any) -> None:
+        self.count -= 1
+        for counter, term in ((self.subjects, subject), (self.objects, obj)):
+            remaining = counter.get(term, 0) - 1
+            if remaining > 0:
+                counter[term] = remaining
+            else:
+                counter.pop(term, None)
+
+    @property
+    def distinct_subjects(self) -> int:
+        return len(self.subjects)
+
+    @property
+    def distinct_objects(self) -> int:
+        return len(self.objects)
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "count": self.count,
+            "distinct_subjects": self.distinct_subjects,
+            "distinct_objects": self.distinct_objects,
+        }
+
+
+class GraphIndex:
+    """Per-graph triple set with subject/predicate/object hash indices.
+
+    Beyond the three positional indices, the graph maintains per-predicate
+    cardinality statistics (updated incrementally on add/remove) and partial
+    RDF-star indices over annotation triples: triples whose subject is a
+    quoted triple are additionally keyed by the quoted triple's *inner*
+    subject and inner object, so ``<< ?c1 p ?c2 >>`` patterns with one bound
+    side hit a hash entry instead of scanning all annotations.
+    """
+
+    __slots__ = (
+        "triples",
+        "by_subject",
+        "by_predicate",
+        "by_object",
+        "by_quoted_subject",
+        "by_quoted_object",
+        "predicate_stats",
+        "version",
+    )
+
+    def __init__(self):
+        self.triples: Set[Triple] = set()
+        self.by_subject: Dict[Any, Set[Triple]] = defaultdict(set)
+        self.by_predicate: Dict[Any, Set[Triple]] = defaultdict(set)
+        self.by_object: Dict[Any, Set[Triple]] = defaultdict(set)
+        #: Annotation triples keyed by their quoted subject's inner terms.
+        self.by_quoted_subject: Dict[Any, Set[Triple]] = defaultdict(set)
+        self.by_quoted_object: Dict[Any, Set[Triple]] = defaultdict(set)
+        #: Per-predicate cardinality statistics.
+        self.predicate_stats: Dict[Any, PredicateStats] = {}
+        #: Per-graph mutation counter (bumps on every insert/remove).
+        self.version = 0
+
+    def add(self, triple: Triple) -> bool:
+        if triple in self.triples:
+            return False
+        self.triples.add(triple)
+        self.by_subject[triple.subject].add(triple)
+        self.by_predicate[triple.predicate].add(triple)
+        self.by_object[triple.object].add(triple)
+        if isinstance(triple.subject, QuotedTriple):
+            self.by_quoted_subject[triple.subject.subject].add(triple)
+            self.by_quoted_object[triple.subject.object].add(triple)
+        stats = self.predicate_stats.get(triple.predicate)
+        if stats is None:
+            stats = self.predicate_stats[triple.predicate] = PredicateStats()
+        stats.add(triple.subject, triple.object)
+        self.version += 1
+        return True
+
+    def remove(self, triple: Triple) -> bool:
+        if triple not in self.triples:
+            return False
+        self.triples.discard(triple)
+        self.by_subject[triple.subject].discard(triple)
+        self.by_predicate[triple.predicate].discard(triple)
+        self.by_object[triple.object].discard(triple)
+        if isinstance(triple.subject, QuotedTriple):
+            self.by_quoted_subject[triple.subject.subject].discard(triple)
+            self.by_quoted_object[triple.subject.object].discard(triple)
+        stats = self.predicate_stats.get(triple.predicate)
+        if stats is not None:
+            stats.remove(triple.subject, triple.object)
+            if stats.count <= 0:
+                del self.predicate_stats[triple.predicate]
+        self.version += 1
+        return True
+
+    def match(
+        self, subject: Any = None, predicate: Any = None, obj: Any = None
+    ) -> Iterator[Triple]:
+        """Iterate triples matching the pattern (``None`` is a wildcard).
+
+        Scans the smallest index among the bound terms and filters the rest
+        with direct field comparisons, avoiding set-intersection allocations.
+        The candidate set is snapshotted so callers may mutate the index
+        while iterating (e.g. retraction loops).
+        """
+        candidates: Set[Triple] = self.triples
+        if subject is not None:
+            candidates = self.by_subject.get(subject, _EMPTY_TRIPLES)
+        if predicate is not None:
+            by_predicate = self.by_predicate.get(predicate, _EMPTY_TRIPLES)
+            if len(by_predicate) < len(candidates):
+                candidates = by_predicate
+        if obj is not None:
+            by_object = self.by_object.get(obj, _EMPTY_TRIPLES)
+            if len(by_object) < len(candidates):
+                candidates = by_object
+        for triple in tuple(candidates):
+            if subject is not None and triple.subject != subject:
+                continue
+            if predicate is not None and triple.predicate != predicate:
+                continue
+            if obj is not None and triple.object != obj:
+                continue
+            yield triple
+
+    def estimate(
+        self, subject: Any = None, predicate: Any = None, obj: Any = None
+    ) -> int:
+        """Upper bound on the number of matches, from index sizes alone (O(1))."""
+        estimate = len(self.triples)
+        if subject is not None:
+            estimate = min(estimate, len(self.by_subject.get(subject, _EMPTY_TRIPLES)))
+        if predicate is not None:
+            estimate = min(estimate, len(self.by_predicate.get(predicate, _EMPTY_TRIPLES)))
+        if obj is not None:
+            estimate = min(estimate, len(self.by_object.get(obj, _EMPTY_TRIPLES)))
+        return estimate
+
+    def _quoted_candidates(
+        self,
+        inner_subject: Any,
+        inner_object: Any,
+        predicate: Any,
+        obj: Any,
+    ) -> Set[Triple]:
+        """Smallest candidate set for a partially-bound quoted-subject pattern."""
+        candidates: Optional[Set[Triple]] = None
+        if inner_subject is not None:
+            candidates = self.by_quoted_subject.get(inner_subject, _EMPTY_TRIPLES)
+        if inner_object is not None:
+            by_inner_object = self.by_quoted_object.get(inner_object, _EMPTY_TRIPLES)
+            if candidates is None or len(by_inner_object) < len(candidates):
+                candidates = by_inner_object
+        if predicate is not None:
+            by_predicate = self.by_predicate.get(predicate, _EMPTY_TRIPLES)
+            if candidates is None or len(by_predicate) < len(candidates):
+                candidates = by_predicate
+        if obj is not None:
+            by_object = self.by_object.get(obj, _EMPTY_TRIPLES)
+            if candidates is None or len(by_object) < len(candidates):
+                candidates = by_object
+        return self.triples if candidates is None else candidates
+
+    def match_quoted(
+        self,
+        inner_subject: Any = None,
+        inner_predicate: Any = None,
+        inner_object: Any = None,
+        predicate: Any = None,
+        obj: Any = None,
+    ) -> Iterator[Triple]:
+        """Triples whose subject is a quoted triple matching the inner pattern.
+
+        ``inner_*`` constrain the quoted triple's own terms (``None`` is a
+        wildcard); ``predicate``/``obj`` constrain the outer annotation
+        triple.  Scans the smallest applicable index — for one-side-bound
+        patterns like ``<< ?c1 p ?c2 >>`` with ``?c1`` known this is the
+        partial quoted-subject hash entry, not the full annotation set.
+        """
+        candidates = self._quoted_candidates(inner_subject, inner_object, predicate, obj)
+        for triple in tuple(candidates):
+            quoted = triple.subject
+            if not isinstance(quoted, QuotedTriple):
+                continue
+            if inner_subject is not None and quoted.subject != inner_subject:
+                continue
+            if inner_predicate is not None and quoted.predicate != inner_predicate:
+                continue
+            if inner_object is not None and quoted.object != inner_object:
+                continue
+            if predicate is not None and triple.predicate != predicate:
+                continue
+            if obj is not None and triple.object != obj:
+                continue
+            yield triple
+
+    def estimate_quoted(
+        self,
+        inner_subject: Any = None,
+        inner_object: Any = None,
+        predicate: Any = None,
+        obj: Any = None,
+    ) -> int:
+        """Upper bound on :meth:`match_quoted` results from index sizes (O(1))."""
+        return len(self._quoted_candidates(inner_subject, inner_object, predicate, obj))

@@ -2,24 +2,13 @@
 
 from __future__ import annotations
 
-import re
 from pathlib import Path
-from typing import Iterator, List, Optional, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 from repro.rdf.store import DEFAULT_GRAPH, QuadStore
-from repro.rdf.terms import BNode, Literal, QuotedTriple, Triple, URIRef, term_n3
+from repro.rdf.terms import Triple, URIRef, iter_terms, term_n3
 
 PathLike = Union[str, Path]
-
-_TERM_RE = re.compile(
-    r"""
-    (?P<quoted><<.*?>>)            # RDF-star quoted triple (non-greedy)
-    | (?P<uri><[^>]*>)             # URI
-    | (?P<bnode>_:[^\s]+)          # blank node
-    | (?P<literal>"(?:[^"\\]|\\.)*"(?:\^\^<[^>]*>|@[A-Za-z\-]+)?)  # literal
-    """,
-    re.VERBOSE,
-)
 
 
 def serialize_nquads(store: QuadStore) -> str:
@@ -45,34 +34,6 @@ def save_nquads(store: QuadStore, path: PathLike) -> Path:
     return path
 
 
-def _parse_term(token: str):
-    token = token.strip()
-    if token.startswith("<<") and token.endswith(">>"):
-        inner = token[2:-2].strip()
-        terms = list(_iter_terms(inner))
-        if len(terms) != 3:
-            raise ValueError(f"malformed quoted triple: {token!r}")
-        return QuotedTriple(terms[0], terms[1], terms[2])
-    if token.startswith("<") and token.endswith(">"):
-        return URIRef(token[1:-1])
-    if token.startswith("_:"):
-        return BNode(token[2:])
-    if token.startswith('"'):
-        match = re.match(r'^"((?:[^"\\]|\\.)*)"(?:\^\^<([^>]*)>|@([A-Za-z\-]+))?$', token)
-        if not match:
-            raise ValueError(f"malformed literal: {token!r}")
-        value = Literal.unescape(match.group(1))
-        datatype = URIRef(match.group(2)) if match.group(2) else None
-        language = match.group(3)
-        return Literal(value, datatype=datatype, language=language)
-    raise ValueError(f"cannot parse term: {token!r}")
-
-
-def _iter_terms(text: str) -> Iterator:
-    for match in _TERM_RE.finditer(text):
-        yield _parse_term(match.group(0))
-
-
 def parse_nquads_line(line: str) -> Optional[Tuple[Triple, URIRef]]:
     """Parse one N-Quads line into ``(triple, graph)``; comments/blank -> ``None``."""
     stripped = line.strip()
@@ -80,7 +41,7 @@ def parse_nquads_line(line: str) -> Optional[Tuple[Triple, URIRef]]:
         return None
     if stripped.endswith("."):
         stripped = stripped[:-1].strip()
-    terms = list(_iter_terms(stripped))
+    terms = list(iter_terms(stripped))
     if len(terms) == 3:
         return Triple(terms[0], terms[1], terms[2]), DEFAULT_GRAPH
     if len(terms) == 4:

@@ -1,260 +1,61 @@
-"""The quad store: named graphs, triple-pattern matching, RDF-star annotations."""
+"""The quad store: named graphs, triple-pattern matching, RDF-star annotations.
+
+Storage is pluggable: a :class:`QuadStore` delegates graph management to a
+:class:`~repro.rdf.backend.QuadStoreBackend` (in-memory by default,
+sqlite-sharded via :meth:`QuadStore.sqlite`), while every matching /
+estimation / statistics code path runs on the backend's shared
+:class:`~repro.rdf.graph_index.GraphIndex` — so query semantics and SPARQL
+plans do not depend on where the quads live durably.
+"""
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
+from repro.rdf.backend import InMemoryBackend, PathLike, QuadStoreBackend, SqliteBackend
 from repro.rdf.terms import Literal, QuotedTriple, Triple, URIRef
 
 #: Name of the default graph (triples added without an explicit graph).
 DEFAULT_GRAPH = URIRef("http://kglids.org/resource/defaultGraph")
 
-#: Shared empty candidate set so missing index entries cost no allocation.
-_EMPTY_TRIPLES: Set["Triple"] = frozenset()  # type: ignore[assignment]
-
-
-class _PredicateStats:
-    """Incremental cardinality statistics for one predicate in one graph.
-
-    Tracks the triple count plus distinct subject/object counts (via
-    refcounting multisets), giving the SPARQL planner real join-size
-    estimates: the expected number of matches of ``(?s p ?o)`` for a specific
-    but yet-unknown subject is ``count / distinct_subjects`` (the average
-    subject fan-out).
-    """
-
-    __slots__ = ("count", "subjects", "objects")
-
-    def __init__(self):
-        self.count = 0
-        self.subjects: Dict[Any, int] = {}
-        self.objects: Dict[Any, int] = {}
-
-    def add(self, subject: Any, obj: Any) -> None:
-        self.count += 1
-        self.subjects[subject] = self.subjects.get(subject, 0) + 1
-        self.objects[obj] = self.objects.get(obj, 0) + 1
-
-    def remove(self, subject: Any, obj: Any) -> None:
-        self.count -= 1
-        for counter, term in ((self.subjects, subject), (self.objects, obj)):
-            remaining = counter.get(term, 0) - 1
-            if remaining > 0:
-                counter[term] = remaining
-            else:
-                counter.pop(term, None)
-
-    @property
-    def distinct_subjects(self) -> int:
-        return len(self.subjects)
-
-    @property
-    def distinct_objects(self) -> int:
-        return len(self.objects)
-
-    def to_dict(self) -> Dict[str, int]:
-        return {
-            "count": self.count,
-            "distinct_subjects": self.distinct_subjects,
-            "distinct_objects": self.distinct_objects,
-        }
-
-
-class _GraphIndex:
-    """Per-graph triple set with subject/predicate/object hash indices.
-
-    Beyond the three positional indices, the graph maintains per-predicate
-    cardinality statistics (updated incrementally on add/remove) and partial
-    RDF-star indices over annotation triples: triples whose subject is a
-    quoted triple are additionally keyed by the quoted triple's *inner*
-    subject and inner object, so ``<< ?c1 p ?c2 >>`` patterns with one bound
-    side hit a hash entry instead of scanning all annotations.
-    """
-
-    __slots__ = (
-        "triples",
-        "by_subject",
-        "by_predicate",
-        "by_object",
-        "by_quoted_subject",
-        "by_quoted_object",
-        "predicate_stats",
-        "version",
-    )
-
-    def __init__(self):
-        self.triples: Set[Triple] = set()
-        self.by_subject: Dict[Any, Set[Triple]] = defaultdict(set)
-        self.by_predicate: Dict[Any, Set[Triple]] = defaultdict(set)
-        self.by_object: Dict[Any, Set[Triple]] = defaultdict(set)
-        #: Annotation triples keyed by their quoted subject's inner terms.
-        self.by_quoted_subject: Dict[Any, Set[Triple]] = defaultdict(set)
-        self.by_quoted_object: Dict[Any, Set[Triple]] = defaultdict(set)
-        #: Per-predicate cardinality statistics.
-        self.predicate_stats: Dict[Any, _PredicateStats] = {}
-        #: Per-graph mutation counter (bumps on every insert/remove).
-        self.version = 0
-
-    def add(self, triple: Triple) -> bool:
-        if triple in self.triples:
-            return False
-        self.triples.add(triple)
-        self.by_subject[triple.subject].add(triple)
-        self.by_predicate[triple.predicate].add(triple)
-        self.by_object[triple.object].add(triple)
-        if isinstance(triple.subject, QuotedTriple):
-            self.by_quoted_subject[triple.subject.subject].add(triple)
-            self.by_quoted_object[triple.subject.object].add(triple)
-        stats = self.predicate_stats.get(triple.predicate)
-        if stats is None:
-            stats = self.predicate_stats[triple.predicate] = _PredicateStats()
-        stats.add(triple.subject, triple.object)
-        self.version += 1
-        return True
-
-    def remove(self, triple: Triple) -> bool:
-        if triple not in self.triples:
-            return False
-        self.triples.discard(triple)
-        self.by_subject[triple.subject].discard(triple)
-        self.by_predicate[triple.predicate].discard(triple)
-        self.by_object[triple.object].discard(triple)
-        if isinstance(triple.subject, QuotedTriple):
-            self.by_quoted_subject[triple.subject.subject].discard(triple)
-            self.by_quoted_object[triple.subject.object].discard(triple)
-        stats = self.predicate_stats.get(triple.predicate)
-        if stats is not None:
-            stats.remove(triple.subject, triple.object)
-            if stats.count <= 0:
-                del self.predicate_stats[triple.predicate]
-        self.version += 1
-        return True
-
-    def match(
-        self, subject: Any = None, predicate: Any = None, obj: Any = None
-    ) -> Iterator[Triple]:
-        """Iterate triples matching the pattern (``None`` is a wildcard).
-
-        Scans the smallest index among the bound terms and filters the rest
-        with direct field comparisons, avoiding set-intersection allocations.
-        The candidate set is snapshotted so callers may mutate the index
-        while iterating (e.g. retraction loops).
-        """
-        candidates: Set[Triple] = self.triples
-        if subject is not None:
-            candidates = self.by_subject.get(subject, _EMPTY_TRIPLES)
-        if predicate is not None:
-            by_predicate = self.by_predicate.get(predicate, _EMPTY_TRIPLES)
-            if len(by_predicate) < len(candidates):
-                candidates = by_predicate
-        if obj is not None:
-            by_object = self.by_object.get(obj, _EMPTY_TRIPLES)
-            if len(by_object) < len(candidates):
-                candidates = by_object
-        for triple in tuple(candidates):
-            if subject is not None and triple.subject != subject:
-                continue
-            if predicate is not None and triple.predicate != predicate:
-                continue
-            if obj is not None and triple.object != obj:
-                continue
-            yield triple
-
-    def estimate(
-        self, subject: Any = None, predicate: Any = None, obj: Any = None
-    ) -> int:
-        """Upper bound on the number of matches, from index sizes alone (O(1))."""
-        estimate = len(self.triples)
-        if subject is not None:
-            estimate = min(estimate, len(self.by_subject.get(subject, _EMPTY_TRIPLES)))
-        if predicate is not None:
-            estimate = min(estimate, len(self.by_predicate.get(predicate, _EMPTY_TRIPLES)))
-        if obj is not None:
-            estimate = min(estimate, len(self.by_object.get(obj, _EMPTY_TRIPLES)))
-        return estimate
-
-    def _quoted_candidates(
-        self,
-        inner_subject: Any,
-        inner_object: Any,
-        predicate: Any,
-        obj: Any,
-    ) -> Set[Triple]:
-        """Smallest candidate set for a partially-bound quoted-subject pattern."""
-        candidates: Optional[Set[Triple]] = None
-        if inner_subject is not None:
-            candidates = self.by_quoted_subject.get(inner_subject, _EMPTY_TRIPLES)
-        if inner_object is not None:
-            by_inner_object = self.by_quoted_object.get(inner_object, _EMPTY_TRIPLES)
-            if candidates is None or len(by_inner_object) < len(candidates):
-                candidates = by_inner_object
-        if predicate is not None:
-            by_predicate = self.by_predicate.get(predicate, _EMPTY_TRIPLES)
-            if candidates is None or len(by_predicate) < len(candidates):
-                candidates = by_predicate
-        if obj is not None:
-            by_object = self.by_object.get(obj, _EMPTY_TRIPLES)
-            if candidates is None or len(by_object) < len(candidates):
-                candidates = by_object
-        return self.triples if candidates is None else candidates
-
-    def match_quoted(
-        self,
-        inner_subject: Any = None,
-        inner_predicate: Any = None,
-        inner_object: Any = None,
-        predicate: Any = None,
-        obj: Any = None,
-    ) -> Iterator[Triple]:
-        """Triples whose subject is a quoted triple matching the inner pattern.
-
-        ``inner_*`` constrain the quoted triple's own terms (``None`` is a
-        wildcard); ``predicate``/``obj`` constrain the outer annotation
-        triple.  Scans the smallest applicable index — for one-side-bound
-        patterns like ``<< ?c1 p ?c2 >>`` with ``?c1`` known this is the
-        partial quoted-subject hash entry, not the full annotation set.
-        """
-        candidates = self._quoted_candidates(inner_subject, inner_object, predicate, obj)
-        for triple in tuple(candidates):
-            quoted = triple.subject
-            if not isinstance(quoted, QuotedTriple):
-                continue
-            if inner_subject is not None and quoted.subject != inner_subject:
-                continue
-            if inner_predicate is not None and quoted.predicate != inner_predicate:
-                continue
-            if inner_object is not None and quoted.object != inner_object:
-                continue
-            if predicate is not None and triple.predicate != predicate:
-                continue
-            if obj is not None and triple.object != obj:
-                continue
-            yield triple
-
-    def estimate_quoted(
-        self,
-        inner_subject: Any = None,
-        inner_object: Any = None,
-        predicate: Any = None,
-        obj: Any = None,
-    ) -> int:
-        """Upper bound on :meth:`match_quoted` results from index sizes (O(1))."""
-        return len(self._quoted_candidates(inner_subject, inner_object, predicate, obj))
-
 
 class QuadStore:
-    """An in-memory RDF-star store with named graphs.
+    """An RDF-star store with named graphs and pluggable storage backends.
 
     This is the storage engine of the reproduction: the KG Governor writes the
     LiDS graph into it (one named graph per pipeline, plus the dataset,
     library and ontology graphs) and the SPARQL engine evaluates queries
-    against it.
+    against it.  The default backend keeps everything in process RAM (the
+    seed behaviour); :meth:`sqlite` opens a disk-backed store whose named
+    graphs are sqlite shards, reloaded lazily on open.
     """
 
-    def __init__(self):
-        self._graphs: Dict[URIRef, _GraphIndex] = {}
+    def __init__(self, backend: Optional[QuadStoreBackend] = None):
+        self._backend = backend or InMemoryBackend()
         self._version = 0
+
+    @classmethod
+    def sqlite(cls, path: PathLike) -> "QuadStore":
+        """Open (or create) a sqlite-backed store at ``path``."""
+        return cls(backend=SqliteBackend(path))
+
+    @property
+    def backend(self) -> QuadStoreBackend:
+        """The storage backend holding this store's graphs."""
+        return self._backend
+
+    @property
+    def persistent(self) -> bool:
+        """Whether this store's contents survive process restarts."""
+        return self._backend.persistent
+
+    def flush(self) -> None:
+        """Make all buffered backend writes durable (no-op when in-memory)."""
+        self._backend.flush()
+
+    def close(self) -> None:
+        """Flush and release the backend; the store must not be used after."""
+        self._backend.close()
 
     @property
     def version(self) -> int:
@@ -273,7 +74,7 @@ class QuadStore:
         map over the dataset graph) without being invalidated by writes to
         unrelated graphs.
         """
-        index = self._graphs.get(graph)
+        index = self._backend.get_index(graph)
         return index.version if index is not None else 0
 
     # ------------------------------------------------------------------- add
@@ -285,11 +86,11 @@ class QuadStore:
         graph: URIRef = DEFAULT_GRAPH,
     ) -> bool:
         """Add a triple to ``graph``; returns ``False`` if it already existed."""
-        if graph not in self._graphs:
-            self._graphs[graph] = _GraphIndex()
-        inserted = self._graphs[graph].add(Triple(subject, predicate, obj))
+        triple = Triple(subject, predicate, obj)
+        inserted = self._backend.ensure_index(graph).add(triple)
         if inserted:
             self._version += 1
+            self._backend.quad_added(graph, triple)
         return inserted
 
     def add_triples(
@@ -326,25 +127,61 @@ class QuadStore:
         self, subject: Any, predicate: Any, obj: Any, graph: URIRef = DEFAULT_GRAPH
     ) -> bool:
         """Remove a triple from ``graph`` if present."""
-        index = self._graphs.get(graph)
+        index = self._backend.get_index(graph)
         if index is None:
             return False
-        removed = index.remove(Triple(subject, predicate, obj))
+        triple = Triple(subject, predicate, obj)
+        removed = index.remove(triple)
         if removed:
             self._version += 1
+            self._backend.quad_removed(graph, triple)
         return removed
 
     def remove_graph(self, graph: URIRef) -> bool:
-        """Drop an entire named graph."""
-        dropped = self._graphs.pop(graph, None) is not None
+        """Drop an entire named graph (one shard delete on durable backends)."""
+        dropped = self._backend.drop_graph(graph)
         if dropped:
             self._version += 1
         return dropped
 
+    def remove_predicate(self, predicate: Any, graph: Optional[URIRef] = None) -> int:
+        """Remove every triple with ``predicate`` from the selected graph(s).
+
+        A bulk retraction primitive (e.g. dropping one similarity-edge type
+        lake-wide): the in-memory indexes are updated per triple, but durable
+        backends persist the retraction as a single predicate-scoped delete
+        per shard instead of per-row deletes.  Returns the number of triples
+        removed.  (Table refresh uses node-scoped retraction via the hash /
+        quoted-triple indexes instead — see ``KGGovernor.retract_table``.)
+        """
+        graphs = [graph] if graph is not None else self.graphs()
+        removed = 0
+        for graph_name in graphs:
+            # Graphs whose index is not resident (lazily-stored sqlite
+            # shards) are retracted directly in durable storage — no point
+            # loading a shard just to delete from it.
+            unloaded = self._backend.delete_predicate_unloaded(graph_name, predicate)
+            if unloaded is not None:
+                removed += unloaded
+                continue
+            index = self._backend.get_index(graph_name)
+            if index is None:
+                continue
+            victims = tuple(index.by_predicate.get(predicate, ()))
+            if not victims:
+                continue
+            for triple in victims:
+                index.remove(triple)
+            self._backend.predicate_removed(graph_name, predicate)
+            removed += len(victims)
+        if removed:
+            self._version += removed
+        return removed
+
     # ----------------------------------------------------------------- query
     def graphs(self) -> List[URIRef]:
         """The names of all graphs currently holding triples."""
-        return list(self._graphs.keys())
+        return self._backend.graph_names()
 
     def match(
         self,
@@ -355,13 +192,13 @@ class QuadStore:
     ) -> Iterator[Tuple[Triple, URIRef]]:
         """Iterate ``(triple, graph)`` pairs matching the quad pattern."""
         if graph is not None:
-            index = self._graphs.get(graph)
+            index = self._backend.get_index(graph)
             if index is None:
                 return
             for triple in index.match(subject, predicate, obj):
                 yield triple, graph
             return
-        for graph_name, index in self._graphs.items():
+        for graph_name, index in self._backend.items():
             for triple in index.match(subject, predicate, obj):
                 yield triple, graph_name
 
@@ -378,10 +215,11 @@ class QuadStore:
         triple patterns; it never materializes candidates.
         """
         if graph is not None:
-            index = self._graphs.get(graph)
+            index = self._backend.get_index(graph)
             return index.estimate(subject, predicate, obj) if index else 0
         return sum(
-            index.estimate(subject, predicate, obj) for index in self._graphs.values()
+            index.estimate(subject, predicate, obj)
+            for _, index in self._backend.items()
         )
 
     def match_quoted(
@@ -401,7 +239,7 @@ class QuadStore:
         annotation triple.
         """
         if graph is not None:
-            index = self._graphs.get(graph)
+            index = self._backend.get_index(graph)
             if index is None:
                 return
             for triple in index.match_quoted(
@@ -409,7 +247,7 @@ class QuadStore:
             ):
                 yield triple, graph
             return
-        for graph_name, index in self._graphs.items():
+        for graph_name, index in self._backend.items():
             for triple in index.match_quoted(
                 inner_subject, inner_predicate, inner_object, predicate, obj
             ):
@@ -425,7 +263,7 @@ class QuadStore:
     ) -> int:
         """Cheap upper bound on :meth:`match_quoted` results (index sizes only)."""
         if graph is not None:
-            index = self._graphs.get(graph)
+            index = self._backend.get_index(graph)
             return (
                 index.estimate_quoted(inner_subject, inner_object, predicate, obj)
                 if index
@@ -433,7 +271,7 @@ class QuadStore:
             )
         return sum(
             index.estimate_quoted(inner_subject, inner_object, predicate, obj)
-            for index in self._graphs.values()
+            for _, index in self._backend.items()
         )
 
     def triples(
@@ -493,19 +331,22 @@ class QuadStore:
 
     # ------------------------------------------------------------ statistics
     def __len__(self) -> int:
-        return sum(len(index.triples) for index in self._graphs.values())
+        return sum(self._backend.triple_count(graph) for graph in self.graphs())
 
     def num_triples(self, graph: Optional[URIRef] = None) -> int:
-        """Number of triples, optionally restricted to one graph."""
+        """Number of triples, optionally restricted to one graph.
+
+        Counting does not force lazily-stored graphs to load: durable
+        backends answer from the shard catalog.
+        """
         if graph is not None:
-            index = self._graphs.get(graph)
-            return len(index.triples) if index else 0
+            return self._backend.triple_count(graph)
         return len(self)
 
     def unique_nodes(self) -> Set[Any]:
         """All subjects and objects that are not literals (LiDS-graph nodes)."""
         nodes: Set[Any] = set()
-        for index in self._graphs.values():
+        for _, index in self._backend.items():
             for triple in index.triples:
                 if not isinstance(triple.subject, (Literal,)):
                     nodes.add(triple.subject)
@@ -516,7 +357,7 @@ class QuadStore:
     def unique_predicates(self) -> Set[Any]:
         """All predicates in the store."""
         predicates: Set[Any] = set()
-        for index in self._graphs.values():
+        for _, index in self._backend.items():
             predicates.update(index.by_predicate.keys())
         return predicates
 
@@ -532,13 +373,13 @@ class QuadStore:
         instead of applying fixed selectivity discounts.
         """
         if graph is not None:
-            index = self._graphs.get(graph)
+            index = self._backend.get_index(graph)
             if index is None:
                 return None
             stats = index.predicate_stats.get(predicate)
             return stats.to_dict() if stats is not None else None
         combined: Optional[Dict[str, int]] = None
-        for index in self._graphs.values():
+        for _, index in self._backend.items():
             stats = index.predicate_stats.get(predicate)
             if stats is None:
                 continue
@@ -558,10 +399,10 @@ class QuadStore:
         """Per-predicate cardinality statistics over the selected graph(s)."""
         predicates: Set[Any] = set()
         if graph is not None:
-            index = self._graphs.get(graph)
+            index = self._backend.get_index(graph)
             predicates = set(index.predicate_stats) if index else set()
         else:
-            for index in self._graphs.values():
+            for _, index in self._backend.items():
                 predicates.update(index.predicate_stats)
         return {
             predicate: self.predicate_statistics(predicate, graph)
@@ -574,13 +415,13 @@ class QuadStore:
             "num_triples": len(self),
             "num_unique_nodes": len(self.unique_nodes()),
             "num_unique_predicates": len(self.unique_predicates()),
-            "num_graphs": len(self._graphs),
+            "num_graphs": len(self.graphs()),
         }
 
     def estimated_size_bytes(self) -> int:
         """Rough serialized size: sum of N-Triples line lengths."""
         total = 0
-        for index in self._graphs.values():
+        for _, index in self._backend.items():
             for triple in index.triples:
                 total += len(triple.n3()) + 1
         return total

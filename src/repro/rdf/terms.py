@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Any, NamedTuple, Optional, Union
+import re
+from typing import Any, Iterator, NamedTuple, Optional, Union
 
 
 class URIRef(str):
@@ -50,14 +51,16 @@ def _escape_literal(text: str) -> str:
     )
 
 
+_UNESCAPE_RE = re.compile(r'\\([\\"nrt])')
+_UNESCAPE_MAP = {"\\": "\\", '"': '"', "n": "\n", "r": "\r", "t": "\t"}
+
+
 def _unescape_literal(text: str) -> str:
-    return (
-        text.replace("\\t", "\t")
-        .replace("\\r", "\r")
-        .replace("\\n", "\n")
-        .replace('\\"', '"')
-        .replace("\\\\", "\\")
-    )
+    # Escapes must be decoded in one left-to-right pass: sequential
+    # str.replace would mis-read the character after an escaped backslash
+    # (e.g. the serialized form of ``C:\new`` contains ``\\n``, which is an
+    # escaped backslash followed by a plain ``n`` — not a newline).
+    return _UNESCAPE_RE.sub(lambda match: _UNESCAPE_MAP[match.group(1)], text)
 
 
 class Literal:
@@ -192,3 +195,51 @@ def term_n3(term: Any) -> str:
     if isinstance(term, (URIRef, BNode, Literal, QuotedTriple)):
         return term.n3()
     return Literal(term).n3()
+
+
+# ------------------------------------------------------------- term parsing
+_TERM_RE = re.compile(
+    r"""
+    (?P<quoted><<.*?>>)            # RDF-star quoted triple (non-greedy)
+    | (?P<uri><[^>]*>)             # URI
+    | (?P<bnode>_:[^\s]+)          # blank node
+    | (?P<literal>"(?:[^"\\]|\\.)*"(?:\^\^<[^>]*>|@[A-Za-z\-]+)?)  # literal
+    """,
+    re.VERBOSE,
+)
+
+
+def parse_term(token: str) -> Term:
+    """Parse one N-Triples term token back into its term object.
+
+    The inverse of :func:`term_n3` (plain Python values that were coerced to
+    literals on serialization come back as :class:`Literal`).  Shared by the
+    N-Quads parser and the sqlite quad-store backend, which stores terms in
+    their N-Triples text form.
+    """
+    token = token.strip()
+    if token.startswith("<<") and token.endswith(">>"):
+        inner = token[2:-2].strip()
+        terms = list(iter_terms(inner))
+        if len(terms) != 3:
+            raise ValueError(f"malformed quoted triple: {token!r}")
+        return QuotedTriple(terms[0], terms[1], terms[2])
+    if token.startswith("<") and token.endswith(">"):
+        return URIRef(token[1:-1])
+    if token.startswith("_:"):
+        return BNode(token[2:])
+    if token.startswith('"'):
+        match = re.match(r'^"((?:[^"\\]|\\.)*)"(?:\^\^<([^>]*)>|@([A-Za-z\-]+))?$', token)
+        if not match:
+            raise ValueError(f"malformed literal: {token!r}")
+        value = Literal.unescape(match.group(1))
+        datatype = URIRef(match.group(2)) if match.group(2) else None
+        language = match.group(3)
+        return Literal(value, datatype=datatype, language=language)
+    raise ValueError(f"cannot parse term: {token!r}")
+
+
+def iter_terms(text: str) -> Iterator[Term]:
+    """Iterate the term objects of a whitespace-separated N-Triples line."""
+    for match in _TERM_RE.finditer(text):
+        yield parse_term(match.group(0))

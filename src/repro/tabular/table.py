@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -210,6 +211,25 @@ class Table:
             [column.copy() for column in self.columns],
             dataset=self.dataset,
         )
+
+    def content_fingerprint(self) -> str:
+        """SHA-1 over column names and values, independent of table identity.
+
+        The KG Governor records this when it profiles a table so that
+        re-adding the same ``(dataset, table)`` key can distinguish an
+        unchanged re-add (idempotent skip) from changed contents (routed
+        through the refresh path).  The digest is order-sensitive in both
+        columns and rows, matching what the profiler actually sees.
+        """
+        digest = hashlib.sha1()
+        for column in self.columns:
+            digest.update(column.name.encode("utf-8", "replace"))
+            digest.update(b"\x1f")
+            for value in column.values:
+                digest.update(repr(value).encode("utf-8", "replace"))
+                digest.update(b"\x1e")
+            digest.update(b"\x1d")
+        return digest.hexdigest()
 
     # ------------------------------------------------------------- numeric ML
     def numeric_column_names(self) -> List[str]:
