@@ -24,6 +24,7 @@ from repro.kg.ontology import (
     LiDSOntology,
     column_uri,
     dataset_uri,
+    pipeline_graph_uri,
     table_uri,
 )
 from repro.kg.pipeline_graph import PipelineGraphBuilder
@@ -40,6 +41,7 @@ PathLike = Union[str, Path]
 _GRAPH_FILE = "graph.sqlite3"
 _EMBEDDINGS_FILE = "embeddings.npz"
 _PROFILES_FILE = "profiles.json"
+_PIPELINES_FILE = "pipelines.json"
 _MANIFEST_FILE = "manifest.json"
 
 
@@ -97,6 +99,10 @@ class KGGovernor:
         #: time so re-adds can tell unchanged (skip) from changed (refresh).
         self._fingerprints_by_key: Dict[Tuple[str, str], str] = {}
         self.abstractions: List[AbstractedPipeline] = []
+        #: ``pipeline_id -> AbstractedPipeline``, maintained alongside
+        #: ``abstractions`` so re-adds of already-governed scripts are
+        #: detected in O(1) (and skipped when the source is unchanged).
+        self._abstractions_by_id: Dict[str, AbstractedPipeline] = {}
         self._write_ontology()
 
     def _write_ontology(self) -> None:
@@ -192,10 +198,44 @@ class KGGovernor:
         return self.add_data_lake(lake)
 
     def add_pipelines(self, scripts: Sequence[PipelineScript]) -> GovernorReport:
-        """Abstract scripts, write their named graphs, and link them to datasets."""
+        """Abstract scripts, write their named graphs, and link them to datasets.
+
+        The add is incremental, mirroring :meth:`add_data_lake`: scripts whose
+        ``pipeline_id`` is already governed with identical source code are
+        skipped outright (re-adding a script collection is idempotent and
+        cheap — this survives :meth:`save`/:meth:`open` because the
+        abstractions round-trip through the saved directory), while scripts
+        re-added with *changed* source have their stale named graph dropped
+        before being abstracted and written afresh.
+        """
         report = GovernorReport()
-        abstractions = self.abstractor.abstract_scripts(scripts)
+        fresh_scripts: List[PipelineScript] = []
+        changed_ids: set = set()
+        for script in scripts:
+            governed = self._abstractions_by_id.get(script.pipeline_id)
+            if governed is not None:
+                if governed.script.source_code == script.source_code:
+                    continue
+                # Changed source: the pipeline's whole named graph is stale.
+                self.storage.graph.remove_graph(pipeline_graph_uri(script.pipeline_id))
+                changed_ids.add(script.pipeline_id)
+                del self._abstractions_by_id[script.pipeline_id]
+            fresh_scripts.append(script)
+        if changed_ids:
+            self.abstractions = [
+                a for a in self.abstractions if a.pipeline_id not in changed_ids
+            ]
+            # The library graph is shared across pipelines: edges the changed
+            # sources no longer imply must not survive, so rebuild it from
+            # the surviving abstractions (the fresh re-abstractions below
+            # re-contribute theirs through the normal add path).
+            self._rebuild_library_graph()
+        if not fresh_scripts:
+            return report
+        abstractions = self.abstractor.abstract_scripts(fresh_scripts)
         self.abstractions.extend(abstractions)
+        for abstraction in abstractions:
+            self._abstractions_by_id[abstraction.pipeline_id] = abstraction
         self.pipeline_builder.add_pipelines(abstractions, self.storage.graph)
         self.pipeline_builder.add_library_hierarchy(
             self.abstractor.library_hierarchy_edges(), self.storage.graph
@@ -203,6 +243,29 @@ class KGGovernor:
         report.num_pipelines_abstracted = len(abstractions)
         report.link_reports = self.linker.link_pipelines(abstractions, self.storage.graph)
         return report
+
+    def _rebuild_library_graph(self) -> None:
+        """Drop and rebuild the shared library graph from ``abstractions``.
+
+        Hierarchy edges accumulate per call across *all* pipelines, so
+        retracting one changed pipeline's stale contribution requires the
+        set difference against every other pipeline — cheaper and simpler to
+        re-derive the whole graph (it is small: one node per library
+        element) from the calls the surviving abstractions actually make.
+        """
+        from repro.kg.ontology import LIBRARY_GRAPH
+
+        graph = self.storage.graph
+        graph.remove_graph(LIBRARY_GRAPH)
+        self.abstractor.library_hierarchy = set()
+        for abstraction in self.abstractions:
+            for call in abstraction.calls_used:
+                for edge in self.abstractor.documentation.hierarchy_edges(call):
+                    self.abstractor.library_hierarchy.add(edge)
+            self.pipeline_builder.add_call_hierarchy(abstraction, graph)
+        self.pipeline_builder.add_library_hierarchy(
+            self.abstractor.library_hierarchy_edges(), graph
+        )
 
     # ---------------------------------------------------------------- refresh
     def refresh_table(self, table: Table, dataset_name: Optional[str] = None) -> GovernorReport:
@@ -316,9 +379,20 @@ class KGGovernor:
             ],
         }
         (directory / _PROFILES_FILE).write_text(json.dumps(profiles_payload))
+        pipelines_payload = {
+            "format": 1,
+            "abstractions": [
+                abstraction.to_dict() for abstraction in self.abstractions
+            ],
+            "library_hierarchy": [
+                list(edge) for edge in self.abstractor.library_hierarchy_edges()
+            ],
+        }
+        (directory / _PIPELINES_FILE).write_text(json.dumps(pipelines_payload))
         manifest = {
             "format": 1,
             "num_tables": len(self.table_profiles),
+            "num_pipelines": len(self.abstractions),
             "num_triples": self.storage.graph.num_triples(),
             "num_embeddings": self.storage.embeddings.count(),
         }
@@ -357,6 +431,15 @@ class KGGovernor:
                 ] = profile
             for dataset, table, fingerprint in payload.get("fingerprints", []):
                 governor._fingerprints_by_key[(dataset, table)] = fingerprint
+        pipelines_path = directory / _PIPELINES_FILE
+        if pipelines_path.exists():
+            payload = json.loads(pipelines_path.read_text())
+            for entry in payload.get("abstractions", []):
+                abstraction = AbstractedPipeline.from_dict(entry)
+                governor.abstractions.append(abstraction)
+                governor._abstractions_by_id[abstraction.pipeline_id] = abstraction
+            for child, parent in payload.get("library_hierarchy", []):
+                governor.abstractor.library_hierarchy.add((child, parent))
         # The linker's table-resolution cache is *not* warmed eagerly: doing
         # so would force the dataset shard to load even when the reopened
         # governor never links a pipeline.  It rebuilds itself from the

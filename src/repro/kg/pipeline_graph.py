@@ -56,10 +56,14 @@ class PipelineGraphBuilder:
             )
         for statement in abstraction.statements:
             self._add_statement(abstraction, statement, pipeline_node, store, graph)
+        self.add_call_hierarchy(abstraction, store)
+        return graph
+
+    def add_call_hierarchy(self, abstraction: AbstractedPipeline, store: QuadStore) -> None:
+        """Write the library-hierarchy edges implied by one pipeline's calls."""
         self.add_library_hierarchy(
             (edge for call in abstraction.calls_used for edge in _call_hierarchy(call)), store
         )
-        return graph
 
     def add_pipelines(
         self, abstractions: Iterable[AbstractedPipeline], store: QuadStore

@@ -30,6 +30,22 @@ class PipelineScript:
     task: Optional[str] = None  # e.g. "classification" / "regression"
     date: Optional[str] = None
 
+    def to_dict(self) -> Dict:
+        return {
+            "pipeline_id": self.pipeline_id,
+            "source_code": self.source_code,
+            "dataset_name": self.dataset_name,
+            "author": self.author,
+            "votes": self.votes,
+            "score": self.score,
+            "task": self.task,
+            "date": self.date,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "PipelineScript":
+        return cls(**payload)
+
 
 @dataclass
 class AbstractedPipeline:
@@ -49,6 +65,31 @@ class AbstractedPipeline:
     @property
     def pipeline_id(self) -> str:
         return self.script.pipeline_id
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable form; ``KGGovernor.save`` persists these so
+        pipeline re-adds after reopen stay incremental."""
+        return {
+            "script": self.script.to_dict(),
+            "statements": [statement.to_dict() for statement in self.statements],
+            "libraries_used": sorted(self.libraries_used),
+            "calls_used": sorted(self.calls_used),
+            "predicted_table_reads": [list(read) for read in self.predicted_table_reads],
+            "predicted_column_reads": list(self.predicted_column_reads),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "AbstractedPipeline":
+        return cls(
+            script=PipelineScript.from_dict(payload["script"]),
+            statements=[Statement.from_dict(s) for s in payload["statements"]],
+            libraries_used=set(payload["libraries_used"]),
+            calls_used=set(payload["calls_used"]),
+            predicted_table_reads=[
+                (dataset, table) for dataset, table in payload["predicted_table_reads"]
+            ],
+            predicted_column_reads=list(payload["predicted_column_reads"]),
+        )
 
 
 class PipelineAbstractor:

@@ -11,8 +11,13 @@ storage backends behind the :class:`QuadStore` interface:
   lazily reloaded on open (see :mod:`repro.rdf.backend`).
 """
 
-from repro.rdf.backend import InMemoryBackend, QuadStoreBackend, SqliteBackend
-from repro.rdf.graph_index import GraphIndex, PredicateStats
+from repro.rdf.backend import (
+    InMemoryBackend,
+    PersistentTermDictionary,
+    QuadStoreBackend,
+    SqliteBackend,
+)
+from repro.rdf.graph_index import GraphIndex, IdTriple, PredicateStats
 from repro.rdf.namespace import (
     KGLIDS_DATA,
     KGLIDS_ONTOLOGY,
@@ -25,7 +30,15 @@ from repro.rdf.namespace import (
     Namespace,
 )
 from repro.rdf.store import DEFAULT_GRAPH, QuadStore
-from repro.rdf.terms import BNode, Literal, QuotedTriple, Term, Triple, URIRef
+from repro.rdf.terms import (
+    BNode,
+    Literal,
+    QuotedTriple,
+    Term,
+    TermDictionary,
+    Triple,
+    URIRef,
+)
 
 __all__ = [
     "URIRef",
@@ -39,7 +52,10 @@ __all__ = [
     "InMemoryBackend",
     "SqliteBackend",
     "GraphIndex",
+    "IdTriple",
     "PredicateStats",
+    "TermDictionary",
+    "PersistentTermDictionary",
     "DEFAULT_GRAPH",
     "Namespace",
     "RDF",

@@ -1,29 +1,36 @@
 """Pluggable quad-store backends: where the LiDS graph's quads live durably.
 
 :class:`QuadStore` delegates all graph management to a
-:class:`QuadStoreBackend`.  Every backend hands out the same
-:class:`~repro.rdf.graph_index.GraphIndex` structure for matching, so pattern
-semantics, cardinality statistics and therefore SPARQL ``explain()`` plans
-are identical across backends — backends differ only in durability:
+:class:`QuadStoreBackend`.  Every backend owns one shared
+:class:`~repro.rdf.terms.TermDictionary` (term <-> integer-id interning) and
+hands out the same id-keyed :class:`~repro.rdf.graph_index.GraphIndex`
+structure for matching, so pattern semantics, cardinality statistics and
+therefore SPARQL ``explain()`` plans are identical across backends — backends
+differ only in durability:
 
 * :class:`InMemoryBackend` — the seed behaviour: graphs live in a plain dict
   and die with the process.
-* :class:`SqliteBackend` — quads are sharded into one sqlite table per named
-  graph (the LiDS layout: one graph per pipeline plus the dataset / library /
-  ontology graphs).  Writes are buffered and flushed in batches; on open, a
-  graph's index — including its per-predicate statistics and partial
-  quoted-triple indexes — is rebuilt lazily the first time the graph is
-  touched, so reopening a governed lake never pays for graphs a query does
-  not read.
+* :class:`SqliteBackend` — terms are persisted once in a ``terms`` dictionary
+  table and quads are sharded into one sqlite table of integer id-triples per
+  named graph (the LiDS layout: one graph per pipeline plus the dataset /
+  library / ontology graphs).  Writes are buffered and flushed in batches; on
+  open, the term dictionary's text is loaded eagerly (terms parse lazily on
+  first decode) while a graph's index — per-predicate statistics and partial
+  quoted-triple indexes included — is rebuilt lazily the first time the graph
+  is touched, so reopening a governed lake never pays for graphs a query does
+  not read.  ``max_resident_graphs`` additionally caps how many loaded
+  indexes stay resident: beyond the cap the least-recently-used shard is
+  evicted (after a write-through flush), keeping a long-lived governor's
+  memory bounded by its working set instead of the lake.
 
 Terms are persisted in their N-Triples text form (``term_n3``) and parsed
 back with :func:`repro.rdf.terms.parse_term`; plain Python values that the
 in-memory backend would keep raw are therefore normalized to
 :class:`~repro.rdf.terms.Literal` objects on reload — and two in-memory
-triples whose terms differ only in that respect (``"5"`` vs
-``Literal("5")``) alias to the *same* durable row, so removing one removes
-the shared row.  The product layers always write proper term objects; mixed
-raw/term graphs should stay on the in-memory backend.
+terms whose spelling differs only in that respect (``"5"`` vs
+``Literal("5")``) alias to the *same* dictionary id, so their triples
+collapse to one durable row.  The product layers always write proper term
+objects; mixed raw/term graphs should stay on the in-memory backend.
 """
 
 from __future__ import annotations
@@ -31,10 +38,10 @@ from __future__ import annotations
 import sqlite3
 from abc import ABC, abstractmethod
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
-from repro.rdf.graph_index import GraphIndex
-from repro.rdf.terms import Triple, URIRef, parse_term, term_n3
+from repro.rdf.graph_index import GraphIndex, IdTriple
+from repro.rdf.terms import TermDictionary, URIRef, parse_term, term_n3
 
 PathLike = Union[str, Path]
 
@@ -43,13 +50,17 @@ class QuadStoreBackend(ABC):
     """Storage backend protocol behind :class:`~repro.rdf.store.QuadStore`.
 
     The reader side hands out :class:`GraphIndex` objects (``get_index`` /
-    ``ensure_index`` / ``items``); the writer side receives persistence hooks
-    *after* the in-memory index has been updated (``quad_added`` etc.), so a
-    non-durable backend can ignore them entirely.
+    ``ensure_index`` / ``items``) that share the backend's ``dictionary``;
+    the writer side receives persistence hooks *after* the in-memory index
+    has been updated (``quad_added`` etc., all id-encoded), so a non-durable
+    backend can ignore them entirely.
     """
 
     #: Whether this backend survives process restarts.
     persistent: bool = False
+
+    #: The term dictionary shared by every graph of this backend.
+    dictionary: TermDictionary
 
     # ----------------------------------------------------------------- graphs
     @abstractmethod
@@ -78,21 +89,21 @@ class QuadStoreBackend(ABC):
         return len(index.triples) if index is not None else 0
 
     # ------------------------------------------------------ persistence hooks
-    def quad_added(self, graph: URIRef, triple: Triple) -> None:
-        """Called after a triple was inserted into the graph's index."""
+    def quad_added(self, graph: URIRef, triple: IdTriple) -> None:
+        """Called after an id-triple was inserted into the graph's index."""
 
-    def quad_removed(self, graph: URIRef, triple: Triple) -> None:
-        """Called after a triple was removed from the graph's index."""
+    def quad_removed(self, graph: URIRef, triple: IdTriple) -> None:
+        """Called after an id-triple was removed from the graph's index."""
 
-    def predicate_removed(self, graph: URIRef, predicate: Any) -> None:
-        """Called after all triples with ``predicate`` left the graph's index.
+    def predicate_removed(self, graph: URIRef, predicate_id: int) -> None:
+        """Called after all triples with ``predicate_id`` left the graph's index.
 
         Durable backends translate this into one predicate-scoped delete
         instead of per-triple deletes — the cheap path for bulk schema
         retractions (e.g. dropping a similarity-edge type lake-wide).
         """
 
-    def delete_predicate_unloaded(self, graph: URIRef, predicate: Any) -> Optional[int]:
+    def delete_predicate_unloaded(self, graph: URIRef, predicate_id: int) -> Optional[int]:
         """Predicate-scoped delete on a graph whose index is *not* resident.
 
         Returns the number of triples removed when the backend could retract
@@ -108,6 +119,20 @@ class QuadStoreBackend(ABC):
     def close(self) -> None:
         """Release any resources; the backend must not be used afterwards."""
 
+    # ------------------------------------------------------- residency pinning
+    def pin_residency(self) -> None:
+        """Suspend index eviction (re-entrant); no-op without a residency cap.
+
+        Cross-graph evaluation touches every shard many times (planner
+        estimates, pattern probes, full scans); pinning for the duration of
+        one query makes each missing shard load at most once, and
+        :meth:`unpin_residency` enforces the cap once at the end instead of
+        thrashing on every intermediate load.
+        """
+
+    def unpin_residency(self) -> None:
+        """Release one :meth:`pin_residency` level (enforces the cap at 0)."""
+
 
 class InMemoryBackend(QuadStoreBackend):
     """The seed storage: a dict of :class:`GraphIndex` per named graph."""
@@ -115,6 +140,7 @@ class InMemoryBackend(QuadStoreBackend):
     persistent = False
 
     def __init__(self):
+        self.dictionary = TermDictionary()
         self._graphs: Dict[URIRef, GraphIndex] = {}
 
     def graph_names(self) -> List[URIRef]:
@@ -126,7 +152,7 @@ class InMemoryBackend(QuadStoreBackend):
     def ensure_index(self, graph: URIRef) -> GraphIndex:
         index = self._graphs.get(graph)
         if index is None:
-            index = self._graphs[graph] = GraphIndex()
+            index = self._graphs[graph] = GraphIndex(self.dictionary)
         return index
 
     def drop_graph(self, graph: URIRef) -> bool:
@@ -136,28 +162,168 @@ class InMemoryBackend(QuadStoreBackend):
         return list(self._graphs.items())
 
 
+class PersistentTermDictionary(TermDictionary):
+    """A :class:`TermDictionary` whose entries round-trip through sqlite.
+
+    The backend loads the ``terms`` table eagerly as *text* (one cheap scan
+    of ``id, n3`` rows); term objects are parsed lazily on first decode and
+    cached, so reopening a lake never re-parses terms that no query touches.
+    Newly assigned ids queue ``(id, n3)`` rows that the owning backend
+    flushes ahead of any quad rows referencing them.
+
+    Interning goes through the N-Triples spelling, which is what makes saved
+    governors round-trip ids: the id a term had when written is the id its
+    text row decodes to forever after.
+    """
+
+    __slots__ = ("_text_to_id", "_id_to_text", "_pending")
+
+    def __init__(self):
+        super().__init__()
+        self._text_to_id: Dict[str, int] = {}
+        self._id_to_text: Dict[int, str] = {}
+        self._pending: List[Tuple[int, str]] = []
+
+    # ---------------------------------------------------------------- loading
+    def load_rows(self, rows: Iterable[Tuple[int, str]]) -> None:
+        """Ingest persisted ``(id, n3)`` rows (text only; no parsing)."""
+        for term_id, text in rows:
+            self._text_to_id[text] = term_id
+            self._id_to_text[term_id] = text
+            if term_id >= self._next_id:
+                self._next_id = term_id + 1
+
+    def drain_pending(self) -> List[Tuple[int, str]]:
+        """New ``(id, n3)`` rows awaiting persistence (clears the queue)."""
+        pending, self._pending = self._pending, []
+        return pending
+
+    def __len__(self) -> int:
+        return len(self._id_to_text)
+
+    # -------------------------------------------------------------- interning
+    def _assign(self, term) -> int:
+        """Intern by N-Triples spelling (the base ``encode`` drives this:
+        quoted-part maps and inner-term interning are inherited unchanged).
+
+        Unlike the volatile base ``_assign``, the spelling may already hold a
+        persisted id from an earlier process — reuse it and just register the
+        live term object against it.
+        """
+        term_id = self._intern_text(term_n3(term))
+        self._term_to_id[term] = term_id
+        self._id_to_term.setdefault(term_id, term)
+        return term_id
+
+    def _intern_text(self, text: str) -> int:
+        term_id = self._text_to_id.get(text)
+        if term_id is None:
+            term_id = self._next_id
+            self._next_id += 1
+            self._text_to_id[text] = term_id
+            self._id_to_text[term_id] = text
+            self._pending.append((term_id, text))
+        return term_id
+
+    # ---------------------------------------------------------------- lookups
+    def lookup(self, term) -> Optional[int]:
+        term_id = self._term_to_id.get(term)
+        if term_id is None:
+            term_id = self._text_to_id.get(term_n3(term))
+            if term_id is not None:
+                self._term_to_id[term] = term_id
+                self._id_to_term.setdefault(term_id, term)
+        return term_id
+
+    def decode(self, term_id: int):
+        term = self._id_to_term.get(term_id)
+        if term is None:
+            term = parse_term(self._id_to_text[term_id])
+            self._id_to_term[term_id] = term
+            self._term_to_id.setdefault(term, term_id)
+        return term
+
+    def quoted_parts(self, term_id: int) -> Optional[Tuple[int, int, int]]:
+        parts = self._quoted_parts.get(term_id)
+        if parts is None:
+            text = self._id_to_text.get(term_id)
+            if text is None or not text.startswith("<<"):
+                return None
+            quoted = self.decode(term_id)
+            parts = (
+                self.encode(quoted.subject),
+                self.encode(quoted.predicate),
+                self.encode(quoted.object),
+            )
+            self._quoted_parts[term_id] = parts
+            self._quoted_by_parts[parts] = term_id
+        return parts
+
+    def quoted_id(self, parts: Tuple[int, int, int]) -> Optional[int]:
+        term_id = self._quoted_by_parts.get(parts)
+        if term_id is None:
+            # Reconstruct the persisted spelling from the part ids; a hit
+            # registers the quoted maps so the next probe is one dict get.
+            text = (
+                f"<< {self._spelling(parts[0])} {self._spelling(parts[1])}"
+                f" {self._spelling(parts[2])} >>"
+            )
+            term_id = self._text_to_id.get(text)
+            if term_id is not None:
+                self._quoted_parts[term_id] = parts
+                self._quoted_by_parts[parts] = term_id
+        return term_id
+
+    def _spelling(self, term_id: int) -> str:
+        text = self._id_to_text.get(term_id)
+        return text if text is not None else term_n3(self.decode(term_id))
+
+
 class SqliteBackend(QuadStoreBackend):
     """A sqlite-backed quad store with one shard table per named graph.
 
-    Layout: a ``graphs`` catalog table maps graph names to shard ids; shard
-    ``quads_<id>`` holds that graph's triples as three N-Triples text columns
-    with a ``(subject, predicate, object)`` primary key plus a predicate
-    index (for predicate-scoped deletes).  All matching still runs on the
-    shared :class:`GraphIndex`, rebuilt lazily per graph on first touch — the
-    cardinality statistics and partial quoted-triple indexes are rebuilt as
-    part of that load, so the SPARQL planner sees exactly the statistics the
-    in-memory backend would.
+    Layout: a ``graphs`` catalog table maps graph names to shard ids; a
+    ``terms`` dictionary table holds every distinct term once (``id``,
+    N-Triples ``n3`` text); shard ``quads_<id>`` holds that graph's triples
+    as three integer id columns with an ``(s, p, o)`` primary key plus a
+    predicate index (for predicate-scoped deletes).  All matching still runs
+    on the shared :class:`GraphIndex`, rebuilt lazily per graph on first
+    touch — a pure integer scan, no term parsing — so the cardinality
+    statistics and partial quoted-triple indexes the SPARQL planner sees are
+    exactly the statistics the in-memory backend would produce.
 
-    Writes are buffered (insert/delete order preserved) and flushed every
+    Writes are buffered (insert/delete order preserved; new dictionary rows
+    always land before the quad rows referencing them) and flushed every
     ``flush_threshold`` operations, on :meth:`flush` and on :meth:`close`.
+
+    ``max_resident_graphs`` bounds how many loaded :class:`GraphIndex`es stay
+    in RAM: loading a shard past the cap evicts the least-recently-used
+    resident index after a write-through :meth:`flush`, so no buffered write
+    can be lost and the evicted graph reloads faithfully on next touch.
+    ``shard_loads`` / ``shard_evictions`` count both events for tests and
+    benchmarks.  Per-graph mutation counters survive eviction: a reloaded
+    index resumes *above* its pre-eviction version, so version-keyed caches
+    (e.g. the Global Graph Linker's table map) never see a stale counter.
     """
 
     persistent = True
 
-    def __init__(self, path: PathLike, flush_threshold: int = 8192):
+    def __init__(
+        self,
+        path: PathLike,
+        flush_threshold: int = 8192,
+        max_resident_graphs: Optional[int] = None,
+    ):
+        if max_resident_graphs is not None and max_resident_graphs < 1:
+            raise ValueError("max_resident_graphs must be >= 1 (or None for unbounded)")
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.flush_threshold = flush_threshold
+        self.max_resident_graphs = max_resident_graphs
+        #: Shard loads (lazy first touches *and* post-eviction reloads).
+        self.shard_loads = 0
+        #: Indexes evicted to honour ``max_resident_graphs``.
+        self.shard_evictions = 0
         self._connection = sqlite3.connect(str(self.path))
         self._connection.execute("PRAGMA journal_mode=WAL")
         self._connection.execute("PRAGMA synchronous=NORMAL")
@@ -166,7 +332,14 @@ class SqliteBackend(QuadStoreBackend):
             " id INTEGER PRIMARY KEY AUTOINCREMENT,"
             " name TEXT UNIQUE NOT NULL)"
         )
+        self._connection.execute(
+            "CREATE TABLE IF NOT EXISTS terms ("
+            " id INTEGER PRIMARY KEY,"
+            " n3 TEXT UNIQUE NOT NULL)"
+        )
         self._connection.commit()
+        self.dictionary = PersistentTermDictionary()
+        self.dictionary.load_rows(self._connection.execute("SELECT id, n3 FROM terms"))
         #: graph name -> shard id, in catalog order (deterministic reopen).
         self._shards: Dict[URIRef, int] = {
             URIRef(name): shard_id
@@ -174,10 +347,14 @@ class SqliteBackend(QuadStoreBackend):
                 "SELECT id, name FROM graphs ORDER BY id"
             )
         }
-        #: Lazily loaded per-graph indexes (a loaded graph stays resident).
+        #: Resident per-graph indexes in least- to most-recently-used order.
         self._indexes: Dict[URIRef, GraphIndex] = {}
+        #: Version offset carried across evictions, per graph (monotonicity).
+        self._version_base: Dict[URIRef, int] = {}
         #: Ordered write buffer: ``(op, shard_id, params)``.
-        self._pending: List[Tuple[str, int, Tuple[str, ...]]] = []
+        self._pending: List[Tuple[str, int, Tuple[int, ...]]] = []
+        #: Re-entrant residency-pin depth (evictions paused while > 0).
+        self._pin_depth = 0
         self._closed = False
 
     # ----------------------------------------------------------------- graphs
@@ -191,6 +368,8 @@ class SqliteBackend(QuadStoreBackend):
             if shard_id is None:
                 return None
             index = self._load_shard(graph, shard_id)
+        else:
+            self._touch(graph)
         return index
 
     def ensure_index(self, graph: URIRef) -> GraphIndex:
@@ -203,7 +382,8 @@ class SqliteBackend(QuadStoreBackend):
             self._create_shard_table(shard_id)
             self._connection.commit()
             self._shards[graph] = shard_id
-            index = self._indexes[graph] = GraphIndex()
+            index = self._indexes[graph] = GraphIndex(self.dictionary)
+            self._enforce_residency(keep=graph)
         return index
 
     def drop_graph(self, graph: URIRef) -> bool:
@@ -213,13 +393,28 @@ class SqliteBackend(QuadStoreBackend):
         self._indexes.pop(graph, None)
         # Buffered writes against the shard are moot once the table is gone.
         self._pending = [op for op in self._pending if op[1] != shard_id]
+        self._flush_terms()
         self._connection.execute(f"DROP TABLE IF EXISTS quads_{shard_id}")
         self._connection.execute("DELETE FROM graphs WHERE id = ?", (shard_id,))
         self._connection.commit()
         return True
 
     def items(self) -> Iterable[Tuple[URIRef, GraphIndex]]:
-        return [(graph, self.get_index(graph)) for graph in self.graph_names()]
+        """All ``(name, index)`` pairs — a full-store scan.
+
+        The scan runs under a residency pin so enforcement cannot evict
+        shards loaded earlier in this very call; the cap re-applies when the
+        pin releases.  (The returned list necessarily references every index
+        at once; cross-graph scans are inherently at odds with a residency
+        cap, which pays off for graph-scoped access.  Query engines should
+        hold :meth:`pin_residency` across a whole evaluation so repeated
+        scans load each missing shard only once.)
+        """
+        self.pin_residency()
+        try:
+            return [(graph, self.get_index(graph)) for graph in self.graph_names()]
+        finally:
+            self.unpin_residency()
 
     def triple_count(self, graph: URIRef) -> int:
         index = self._indexes.get(graph)
@@ -235,18 +430,18 @@ class SqliteBackend(QuadStoreBackend):
         return int(row[0])
 
     # ------------------------------------------------------ persistence hooks
-    def quad_added(self, graph: URIRef, triple: Triple) -> None:
-        self._queue("insert", self._shards[graph], self._row(triple))
+    def quad_added(self, graph: URIRef, triple: IdTriple) -> None:
+        self._queue("insert", self._shards[graph], triple)
 
-    def quad_removed(self, graph: URIRef, triple: Triple) -> None:
-        self._queue("delete", self._shards[graph], self._row(triple))
+    def quad_removed(self, graph: URIRef, triple: IdTriple) -> None:
+        self._queue("delete", self._shards[graph], triple)
 
-    def predicate_removed(self, graph: URIRef, predicate: Any) -> None:
+    def predicate_removed(self, graph: URIRef, predicate_id: int) -> None:
         shard_id = self._shards.get(graph)
         if shard_id is not None:
-            self._queue("delete_predicate", shard_id, (term_n3(predicate),))
+            self._queue("delete_predicate", shard_id, (predicate_id,))
 
-    def delete_predicate_unloaded(self, graph: URIRef, predicate: Any) -> Optional[int]:
+    def delete_predicate_unloaded(self, graph: URIRef, predicate_id: int) -> Optional[int]:
         if graph in self._indexes:
             return None
         shard_id = self._shards.get(graph)
@@ -258,29 +453,41 @@ class SqliteBackend(QuadStoreBackend):
         self.flush()
         cursor = self._connection.execute(
             self._STATEMENTS["delete_predicate"].format(shard=shard_id),
-            (term_n3(predicate),),
+            (predicate_id,),
         )
         self._connection.commit()
-        return int(cursor.rowcount)
+        removed = int(cursor.rowcount)
+        if removed:
+            # The mutation happened while no index was resident; advance the
+            # version floor so the next reload cannot repeat a version a
+            # reader observed before the shard was evicted (a graph shrinking
+            # by N and reloading would otherwise land exactly on its old
+            # counter, keeping version-keyed caches stale).
+            self._version_base[graph] = self._version_base.get(graph, 0) + removed
+        return removed
 
     def flush(self) -> None:
-        if not self._pending:
-            return
-        pending, self._pending = self._pending, []
-        position = 0
-        while position < len(pending):
-            op, shard_id, _ = pending[position]
-            batch_end = position
-            while (
-                batch_end < len(pending)
-                and pending[batch_end][0] == op
-                and pending[batch_end][1] == shard_id
-            ):
-                batch_end += 1
-            rows = [params for _, _, params in pending[position:batch_end]]
-            self._connection.executemany(self._STATEMENTS[op].format(shard=shard_id), rows)
-            position = batch_end
-        self._connection.commit()
+        flushed = self._flush_terms(commit=False)
+        if self._pending:
+            flushed = True
+            pending, self._pending = self._pending, []
+            position = 0
+            while position < len(pending):
+                op, shard_id, _ = pending[position]
+                batch_end = position
+                while (
+                    batch_end < len(pending)
+                    and pending[batch_end][0] == op
+                    and pending[batch_end][1] == shard_id
+                ):
+                    batch_end += 1
+                rows = [params for _, _, params in pending[position:batch_end]]
+                self._connection.executemany(
+                    self._STATEMENTS[op].format(shard=shard_id), rows
+                )
+                position = batch_end
+        if flushed:
+            self._connection.commit()
 
     def close(self) -> None:
         if self._closed:
@@ -291,59 +498,100 @@ class SqliteBackend(QuadStoreBackend):
 
     # -------------------------------------------------------------- internals
     _STATEMENTS = {
-        "insert": (
-            "INSERT OR IGNORE INTO quads_{shard} (subject, predicate, object)"
-            " VALUES (?, ?, ?)"
-        ),
-        "delete": (
-            "DELETE FROM quads_{shard}"
-            " WHERE subject = ? AND predicate = ? AND object = ?"
-        ),
-        "delete_predicate": "DELETE FROM quads_{shard} WHERE predicate = ?",
+        "insert": "INSERT OR IGNORE INTO quads_{shard} (s, p, o) VALUES (?, ?, ?)",
+        "delete": "DELETE FROM quads_{shard} WHERE s = ? AND p = ? AND o = ?",
+        "delete_predicate": "DELETE FROM quads_{shard} WHERE p = ?",
     }
 
     def _create_shard_table(self, shard_id: int) -> None:
         self._connection.execute(
             f"CREATE TABLE IF NOT EXISTS quads_{shard_id} ("
-            " subject TEXT NOT NULL,"
-            " predicate TEXT NOT NULL,"
-            " object TEXT NOT NULL,"
-            " PRIMARY KEY (subject, predicate, object)"
+            " s INTEGER NOT NULL,"
+            " p INTEGER NOT NULL,"
+            " o INTEGER NOT NULL,"
+            " PRIMARY KEY (s, p, o)"
             ") WITHOUT ROWID"
         )
         self._connection.execute(
             f"CREATE INDEX IF NOT EXISTS quads_{shard_id}_predicate"
-            f" ON quads_{shard_id} (predicate)"
+            f" ON quads_{shard_id} (p)"
         )
 
-    @staticmethod
-    def _row(triple: Triple) -> Tuple[str, str, str]:
-        return (term_n3(triple.subject), term_n3(triple.predicate), term_n3(triple.object))
+    def _flush_terms(self, commit: bool = True) -> bool:
+        """Persist newly interned dictionary rows (always ahead of quad rows)."""
+        rows = self.dictionary.drain_pending()
+        if not rows:
+            return False
+        self._connection.executemany(
+            "INSERT OR IGNORE INTO terms (id, n3) VALUES (?, ?)", rows
+        )
+        if commit:
+            self._connection.commit()
+        return True
 
-    def _queue(self, op: str, shard_id: int, params: Tuple[str, ...]) -> None:
+    def _queue(self, op: str, shard_id: int, params: Tuple[int, ...]) -> None:
         self._pending.append((op, shard_id, params))
         if len(self._pending) >= self.flush_threshold:
             self.flush()
 
+    def pin_residency(self) -> None:
+        self._pin_depth += 1
+
+    def unpin_residency(self) -> None:
+        self._pin_depth -= 1
+        if self._pin_depth <= 0:
+            self._pin_depth = 0
+            if self._indexes:
+                self._enforce_residency(keep=next(reversed(self._indexes)))
+
+    def _touch(self, graph: URIRef) -> None:
+        """Mark a resident graph as most recently used (O(1))."""
+        if self.max_resident_graphs is None:
+            return
+        index = self._indexes.pop(graph)
+        self._indexes[graph] = index
+
+    def _enforce_residency(self, keep: URIRef) -> None:
+        """Evict least-recently-used indexes beyond ``max_resident_graphs``.
+
+        The write-through flush runs once before the first eviction, making
+        every resident index clean; eviction then just drops the dict entry.
+        ``keep`` (the graph being loaded) is never evicted, so a cap of 1
+        still works.
+        """
+        cap = self.max_resident_graphs
+        if cap is None or self._pin_depth > 0 or len(self._indexes) <= cap:
+            return
+        self.flush()
+        for graph in list(self._indexes):
+            if len(self._indexes) <= cap:
+                break
+            if graph == keep:
+                continue
+            index = self._indexes.pop(graph)
+            # ``index.version`` is absolute (the load already folded any
+            # earlier base in), so it becomes the next reload's floor.
+            self._version_base[graph] = index.version
+            self.shard_evictions += 1
+
     def _load_shard(self, graph: URIRef, shard_id: int) -> GraphIndex:
-        """Rebuild a graph's index (stats and quoted indexes included) from disk."""
+        """Rebuild a graph's index (stats and quoted indexes included) from disk.
+
+        A pure integer scan: the shard rows are already id-triples, and the
+        quoted-triple structure comes from the shared dictionary (parsed
+        lazily, only for ids whose text is a quoted term).
+        """
         # Writes require a loaded index, so a lazily-loaded shard normally has
         # no buffered ops — flush anyway so the read below is complete.
         self.flush()
-        index = GraphIndex()
-        # Terms repeat heavily across rows (predicates, shared subjects), so
-        # memoize text -> term within the load.
-        cache: Dict[str, Any] = {}
-
-        def cached_term(text: str) -> Any:
-            term = cache.get(text)
-            if term is None:
-                term = cache[text] = parse_term(text)
-            return term
-
-        for subject, predicate, obj in self._connection.execute(
-            f"SELECT subject, predicate, object FROM quads_{shard_id}"
-        ):
-            index.add(Triple(cached_term(subject), cached_term(predicate), cached_term(obj)))
+        index = GraphIndex(self.dictionary)
+        add = index.add
+        for row in self._connection.execute(f"SELECT s, p, o FROM quads_{shard_id}"):
+            add(row)
+        # Resume the mutation counter above any pre-eviction value so
+        # version-keyed reader caches cannot mistake a reload for no change.
+        index.version += self._version_base.get(graph, 0)
         self._indexes[graph] = index
+        self.shard_loads += 1
+        self._enforce_residency(keep=graph)
         return index

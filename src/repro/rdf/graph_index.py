@@ -7,49 +7,61 @@ quoted-triple indexes.  Backends differ only in *where the quads live
 durably* (process RAM vs a sqlite shard); the in-memory index — and therefore
 ``match`` / ``estimate`` semantics and the resulting query plans — is
 identical across backends.
+
+Since the dictionary-encoding refactor the index stores **id-triples**:
+``(subject_id, predicate_id, object_id)`` tuples of small integers assigned
+by the backend's shared :class:`~repro.rdf.terms.TermDictionary`.  All index
+dictionaries, candidate sets and cardinality statistics are keyed by ids, so
+matching compares machine ints instead of hashing term objects, and each
+term's text lives in one place no matter how many triples reference it.
+:class:`~repro.rdf.store.QuadStore` translates between terms and ids at its
+public API boundary.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Dict, Iterator, Optional, Set
+from typing import Dict, Iterator, Optional, Set, Tuple
 
-from repro.rdf.terms import QuotedTriple, Triple
+from repro.rdf.terms import TermDictionary
+
+#: An id-encoded triple: ``(subject_id, predicate_id, object_id)``.
+IdTriple = Tuple[int, int, int]
 
 #: Shared empty candidate set so missing index entries cost no allocation.
-_EMPTY_TRIPLES: Set["Triple"] = frozenset()  # type: ignore[assignment]
+_EMPTY_TRIPLES: Set[IdTriple] = frozenset()  # type: ignore[assignment]
 
 
 class PredicateStats:
     """Incremental cardinality statistics for one predicate in one graph.
 
     Tracks the triple count plus distinct subject/object counts (via
-    refcounting multisets), giving the SPARQL planner real join-size
-    estimates: the expected number of matches of ``(?s p ?o)`` for a specific
-    but yet-unknown subject is ``count / distinct_subjects`` (the average
-    subject fan-out).
+    refcounting multisets over term ids), giving the SPARQL planner real
+    join-size estimates: the expected number of matches of ``(?s p ?o)`` for
+    a specific but yet-unknown subject is ``count / distinct_subjects`` (the
+    average subject fan-out).
     """
 
     __slots__ = ("count", "subjects", "objects")
 
     def __init__(self):
         self.count = 0
-        self.subjects: Dict[Any, int] = {}
-        self.objects: Dict[Any, int] = {}
+        self.subjects: Dict[int, int] = {}
+        self.objects: Dict[int, int] = {}
 
-    def add(self, subject: Any, obj: Any) -> None:
+    def add(self, subject_id: int, object_id: int) -> None:
         self.count += 1
-        self.subjects[subject] = self.subjects.get(subject, 0) + 1
-        self.objects[obj] = self.objects.get(obj, 0) + 1
+        self.subjects[subject_id] = self.subjects.get(subject_id, 0) + 1
+        self.objects[object_id] = self.objects.get(object_id, 0) + 1
 
-    def remove(self, subject: Any, obj: Any) -> None:
+    def remove(self, subject_id: int, object_id: int) -> None:
         self.count -= 1
-        for counter, term in ((self.subjects, subject), (self.objects, obj)):
-            remaining = counter.get(term, 0) - 1
+        for counter, term_id in ((self.subjects, subject_id), (self.objects, object_id)):
+            remaining = counter.get(term_id, 0) - 1
             if remaining > 0:
-                counter[term] = remaining
+                counter[term_id] = remaining
             else:
-                counter.pop(term, None)
+                counter.pop(term_id, None)
 
     @property
     def distinct_subjects(self) -> int:
@@ -68,17 +80,19 @@ class PredicateStats:
 
 
 class GraphIndex:
-    """Per-graph triple set with subject/predicate/object hash indices.
+    """Per-graph id-triple set with subject/predicate/object hash indices.
 
     Beyond the three positional indices, the graph maintains per-predicate
     cardinality statistics (updated incrementally on add/remove) and partial
     RDF-star indices over annotation triples: triples whose subject is a
     quoted triple are additionally keyed by the quoted triple's *inner*
-    subject and inner object, so ``<< ?c1 p ?c2 >>`` patterns with one bound
-    side hit a hash entry instead of scanning all annotations.
+    subject and inner object ids, so ``<< ?c1 p ?c2 >>`` patterns with one
+    bound side hit a hash entry instead of scanning all annotations.  The
+    shared :class:`TermDictionary` supplies the quoted-part structure.
     """
 
     __slots__ = (
+        "dictionary",
         "triples",
         "by_subject",
         "by_predicate",
@@ -89,65 +103,73 @@ class GraphIndex:
         "version",
     )
 
-    def __init__(self):
-        self.triples: Set[Triple] = set()
-        self.by_subject: Dict[Any, Set[Triple]] = defaultdict(set)
-        self.by_predicate: Dict[Any, Set[Triple]] = defaultdict(set)
-        self.by_object: Dict[Any, Set[Triple]] = defaultdict(set)
-        #: Annotation triples keyed by their quoted subject's inner terms.
-        self.by_quoted_subject: Dict[Any, Set[Triple]] = defaultdict(set)
-        self.by_quoted_object: Dict[Any, Set[Triple]] = defaultdict(set)
+    def __init__(self, dictionary: TermDictionary):
+        self.dictionary = dictionary
+        self.triples: Set[IdTriple] = set()
+        self.by_subject: Dict[int, Set[IdTriple]] = defaultdict(set)
+        self.by_predicate: Dict[int, Set[IdTriple]] = defaultdict(set)
+        self.by_object: Dict[int, Set[IdTriple]] = defaultdict(set)
+        #: Annotation triples keyed by their quoted subject's inner term ids.
+        self.by_quoted_subject: Dict[int, Set[IdTriple]] = defaultdict(set)
+        self.by_quoted_object: Dict[int, Set[IdTriple]] = defaultdict(set)
         #: Per-predicate cardinality statistics.
-        self.predicate_stats: Dict[Any, PredicateStats] = {}
+        self.predicate_stats: Dict[int, PredicateStats] = {}
         #: Per-graph mutation counter (bumps on every insert/remove).
         self.version = 0
 
-    def add(self, triple: Triple) -> bool:
+    def add(self, triple: IdTriple) -> bool:
         if triple in self.triples:
             return False
+        subject_id, predicate_id, object_id = triple
         self.triples.add(triple)
-        self.by_subject[triple.subject].add(triple)
-        self.by_predicate[triple.predicate].add(triple)
-        self.by_object[triple.object].add(triple)
-        if isinstance(triple.subject, QuotedTriple):
-            self.by_quoted_subject[triple.subject.subject].add(triple)
-            self.by_quoted_object[triple.subject.object].add(triple)
-        stats = self.predicate_stats.get(triple.predicate)
+        self.by_subject[subject_id].add(triple)
+        self.by_predicate[predicate_id].add(triple)
+        self.by_object[object_id].add(triple)
+        quoted = self.dictionary.quoted_parts(subject_id)
+        if quoted is not None:
+            self.by_quoted_subject[quoted[0]].add(triple)
+            self.by_quoted_object[quoted[2]].add(triple)
+        stats = self.predicate_stats.get(predicate_id)
         if stats is None:
-            stats = self.predicate_stats[triple.predicate] = PredicateStats()
-        stats.add(triple.subject, triple.object)
+            stats = self.predicate_stats[predicate_id] = PredicateStats()
+        stats.add(subject_id, object_id)
         self.version += 1
         return True
 
-    def remove(self, triple: Triple) -> bool:
+    def remove(self, triple: IdTriple) -> bool:
         if triple not in self.triples:
             return False
+        subject_id, predicate_id, object_id = triple
         self.triples.discard(triple)
-        self.by_subject[triple.subject].discard(triple)
-        self.by_predicate[triple.predicate].discard(triple)
-        self.by_object[triple.object].discard(triple)
-        if isinstance(triple.subject, QuotedTriple):
-            self.by_quoted_subject[triple.subject.subject].discard(triple)
-            self.by_quoted_object[triple.subject.object].discard(triple)
-        stats = self.predicate_stats.get(triple.predicate)
+        self.by_subject[subject_id].discard(triple)
+        self.by_predicate[predicate_id].discard(triple)
+        self.by_object[object_id].discard(triple)
+        quoted = self.dictionary.quoted_parts(subject_id)
+        if quoted is not None:
+            self.by_quoted_subject[quoted[0]].discard(triple)
+            self.by_quoted_object[quoted[2]].discard(triple)
+        stats = self.predicate_stats.get(predicate_id)
         if stats is not None:
-            stats.remove(triple.subject, triple.object)
+            stats.remove(subject_id, object_id)
             if stats.count <= 0:
-                del self.predicate_stats[triple.predicate]
+                del self.predicate_stats[predicate_id]
         self.version += 1
         return True
 
     def match(
-        self, subject: Any = None, predicate: Any = None, obj: Any = None
-    ) -> Iterator[Triple]:
-        """Iterate triples matching the pattern (``None`` is a wildcard).
+        self,
+        subject: Optional[int] = None,
+        predicate: Optional[int] = None,
+        obj: Optional[int] = None,
+    ) -> Iterator[IdTriple]:
+        """Iterate id-triples matching the pattern (``None`` is a wildcard).
 
-        Scans the smallest index among the bound terms and filters the rest
-        with direct field comparisons, avoiding set-intersection allocations.
+        Scans the smallest index among the bound ids and filters the rest
+        with direct slot comparisons, avoiding set-intersection allocations.
         The candidate set is snapshotted so callers may mutate the index
         while iterating (e.g. retraction loops).
         """
-        candidates: Set[Triple] = self.triples
+        candidates: Set[IdTriple] = self.triples
         if subject is not None:
             candidates = self.by_subject.get(subject, _EMPTY_TRIPLES)
         if predicate is not None:
@@ -159,16 +181,19 @@ class GraphIndex:
             if len(by_object) < len(candidates):
                 candidates = by_object
         for triple in tuple(candidates):
-            if subject is not None and triple.subject != subject:
+            if subject is not None and triple[0] != subject:
                 continue
-            if predicate is not None and triple.predicate != predicate:
+            if predicate is not None and triple[1] != predicate:
                 continue
-            if obj is not None and triple.object != obj:
+            if obj is not None and triple[2] != obj:
                 continue
             yield triple
 
     def estimate(
-        self, subject: Any = None, predicate: Any = None, obj: Any = None
+        self,
+        subject: Optional[int] = None,
+        predicate: Optional[int] = None,
+        obj: Optional[int] = None,
     ) -> int:
         """Upper bound on the number of matches, from index sizes alone (O(1))."""
         estimate = len(self.triples)
@@ -182,13 +207,13 @@ class GraphIndex:
 
     def _quoted_candidates(
         self,
-        inner_subject: Any,
-        inner_object: Any,
-        predicate: Any,
-        obj: Any,
-    ) -> Set[Triple]:
+        inner_subject: Optional[int],
+        inner_object: Optional[int],
+        predicate: Optional[int],
+        obj: Optional[int],
+    ) -> Set[IdTriple]:
         """Smallest candidate set for a partially-bound quoted-subject pattern."""
-        candidates: Optional[Set[Triple]] = None
+        candidates: Optional[Set[IdTriple]] = None
         if inner_subject is not None:
             candidates = self.by_quoted_subject.get(inner_subject, _EMPTY_TRIPLES)
         if inner_object is not None:
@@ -207,43 +232,44 @@ class GraphIndex:
 
     def match_quoted(
         self,
-        inner_subject: Any = None,
-        inner_predicate: Any = None,
-        inner_object: Any = None,
-        predicate: Any = None,
-        obj: Any = None,
-    ) -> Iterator[Triple]:
+        inner_subject: Optional[int] = None,
+        inner_predicate: Optional[int] = None,
+        inner_object: Optional[int] = None,
+        predicate: Optional[int] = None,
+        obj: Optional[int] = None,
+    ) -> Iterator[IdTriple]:
         """Triples whose subject is a quoted triple matching the inner pattern.
 
-        ``inner_*`` constrain the quoted triple's own terms (``None`` is a
+        ``inner_*`` constrain the quoted triple's own term ids (``None`` is a
         wildcard); ``predicate``/``obj`` constrain the outer annotation
         triple.  Scans the smallest applicable index — for one-side-bound
         patterns like ``<< ?c1 p ?c2 >>`` with ``?c1`` known this is the
         partial quoted-subject hash entry, not the full annotation set.
         """
+        quoted_parts = self.dictionary.quoted_parts
         candidates = self._quoted_candidates(inner_subject, inner_object, predicate, obj)
         for triple in tuple(candidates):
-            quoted = triple.subject
-            if not isinstance(quoted, QuotedTriple):
+            quoted = quoted_parts(triple[0])
+            if quoted is None:
                 continue
-            if inner_subject is not None and quoted.subject != inner_subject:
+            if inner_subject is not None and quoted[0] != inner_subject:
                 continue
-            if inner_predicate is not None and quoted.predicate != inner_predicate:
+            if inner_predicate is not None and quoted[1] != inner_predicate:
                 continue
-            if inner_object is not None and quoted.object != inner_object:
+            if inner_object is not None and quoted[2] != inner_object:
                 continue
-            if predicate is not None and triple.predicate != predicate:
+            if predicate is not None and triple[1] != predicate:
                 continue
-            if obj is not None and triple.object != obj:
+            if obj is not None and triple[2] != obj:
                 continue
             yield triple
 
     def estimate_quoted(
         self,
-        inner_subject: Any = None,
-        inner_object: Any = None,
-        predicate: Any = None,
-        obj: Any = None,
+        inner_subject: Optional[int] = None,
+        inner_object: Optional[int] = None,
+        predicate: Optional[int] = None,
+        obj: Optional[int] = None,
     ) -> int:
         """Upper bound on :meth:`match_quoted` results from index sizes (O(1))."""
         return len(self._quoted_candidates(inner_subject, inner_object, predicate, obj))

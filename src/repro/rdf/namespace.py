@@ -13,6 +13,15 @@ from typing import Dict
 from repro.rdf.terms import URIRef
 
 
+#: Vocabulary URIs minted via *attribute* access (``XSD.integer``,
+#: ``LiDSOntology.hasName``, …), which sits on hot paths.  Only attribute
+#: access caches: its key space is the finite set of class/property names
+#: spelled in the code.  Explicit :meth:`Namespace.term` calls mint
+#: per-entity URIs (one per table/column/statement of a lake) and stay
+#: uncached so a process-global dict never pins a whole lake's URI strings.
+_ATTR_CACHE: Dict[str, URIRef] = {}
+
+
 class Namespace(str):
     """A URI prefix; attribute and item access mint URIs under the prefix."""
 
@@ -24,7 +33,11 @@ class Namespace(str):
     def __getattr__(self, name: str) -> URIRef:
         if name.startswith("_"):
             raise AttributeError(name)
-        return self.term(name)
+        full = f"{self}{name}"
+        term = _ATTR_CACHE.get(full)
+        if term is None:
+            term = _ATTR_CACHE[full] = URIRef(full)
+        return term
 
     def __getitem__(self, name: str) -> URIRef:
         return self.term(name)

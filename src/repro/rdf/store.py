@@ -6,6 +6,15 @@ sqlite-sharded via :meth:`QuadStore.sqlite`), while every matching /
 estimation / statistics code path runs on the backend's shared
 :class:`~repro.rdf.graph_index.GraphIndex` — so query semantics and SPARQL
 plans do not depend on where the quads live durably.
+
+Terms are dictionary-encoded: the backend's shared
+:class:`~repro.rdf.terms.TermDictionary` interns every distinct term to one
+integer id and the indexes store id-triples.  This class is the translation
+boundary — the public API stays term-based (``add``/``match``/``triples``
+accept and yield term objects exactly as before), while the SPARQL engine's
+batched executor talks to the id-level API (:meth:`match_ids`,
+:meth:`match_quoted_ids`, :attr:`dictionary`) and only decodes ids at FILTER
+evaluation and final projection.
 """
 
 from __future__ import annotations
@@ -13,10 +22,14 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.rdf.backend import InMemoryBackend, PathLike, QuadStoreBackend, SqliteBackend
-from repro.rdf.terms import Literal, QuotedTriple, Triple, URIRef
+from repro.rdf.graph_index import IdTriple
+from repro.rdf.terms import Literal, QuotedTriple, TermDictionary, Triple, URIRef, term_n3
 
 #: Name of the default graph (triples added without an explicit graph).
 DEFAULT_GRAPH = URIRef("http://kglids.org/resource/defaultGraph")
+
+#: Sentinel distinguishing "term not interned" from the ``None`` wildcard.
+_ABSENT = object()
 
 
 class QuadStore:
@@ -35,14 +48,26 @@ class QuadStore:
         self._version = 0
 
     @classmethod
-    def sqlite(cls, path: PathLike) -> "QuadStore":
-        """Open (or create) a sqlite-backed store at ``path``."""
-        return cls(backend=SqliteBackend(path))
+    def sqlite(
+        cls, path: PathLike, max_resident_graphs: Optional[int] = None
+    ) -> "QuadStore":
+        """Open (or create) a sqlite-backed store at ``path``.
+
+        ``max_resident_graphs`` caps how many lazily-loaded graph indexes
+        stay in RAM (LRU eviction with write-through); ``None`` keeps every
+        touched graph resident.
+        """
+        return cls(backend=SqliteBackend(path, max_resident_graphs=max_resident_graphs))
 
     @property
     def backend(self) -> QuadStoreBackend:
         """The storage backend holding this store's graphs."""
         return self._backend
+
+    @property
+    def dictionary(self) -> TermDictionary:
+        """The backend's shared term dictionary (term <-> integer id)."""
+        return self._backend.dictionary
 
     @property
     def persistent(self) -> bool:
@@ -52,6 +77,19 @@ class QuadStore:
     def flush(self) -> None:
         """Make all buffered backend writes durable (no-op when in-memory)."""
         self._backend.flush()
+
+    def pin_residency(self) -> None:
+        """Pause index eviction (see the backend hook); pair with unpin.
+
+        Query engines hold this across one evaluation so a residency-capped
+        backend loads each missing shard at most once per query instead of
+        thrashing on every cross-graph scan.
+        """
+        self._backend.pin_residency()
+
+    def unpin_residency(self) -> None:
+        """Release one pin level (the cap re-applies at depth 0)."""
+        self._backend.unpin_residency()
 
     def close(self) -> None:
         """Flush and release the backend; the store must not be used after."""
@@ -77,6 +115,18 @@ class QuadStore:
         index = self._backend.get_index(graph)
         return index.version if index is not None else 0
 
+    # --------------------------------------------------------- id translation
+    def _lookup_id(self, term: Any) -> Any:
+        """The term's id, ``None`` for the wildcard, ``_ABSENT`` if unknown."""
+        if term is None:
+            return None
+        term_id = self._backend.dictionary.lookup(term)
+        return term_id if term_id is not None else _ABSENT
+
+    def _decode_triple(self, triple: IdTriple) -> Triple:
+        decode = self._backend.dictionary.decode
+        return Triple(decode(triple[0]), decode(triple[1]), decode(triple[2]))
+
     # ------------------------------------------------------------------- add
     def add(
         self,
@@ -86,7 +136,7 @@ class QuadStore:
         graph: URIRef = DEFAULT_GRAPH,
     ) -> bool:
         """Add a triple to ``graph``; returns ``False`` if it already existed."""
-        triple = Triple(subject, predicate, obj)
+        triple = self._backend.dictionary.encode_triple(subject, predicate, obj)
         inserted = self._backend.ensure_index(graph).add(triple)
         if inserted:
             self._version += 1
@@ -130,7 +180,13 @@ class QuadStore:
         index = self._backend.get_index(graph)
         if index is None:
             return False
-        triple = Triple(subject, predicate, obj)
+        dictionary = self._backend.dictionary
+        subject_id = dictionary.lookup(subject)
+        predicate_id = dictionary.lookup(predicate)
+        object_id = dictionary.lookup(obj)
+        if subject_id is None or predicate_id is None or object_id is None:
+            return False
+        triple = (subject_id, predicate_id, object_id)
         removed = index.remove(triple)
         if removed:
             self._version += 1
@@ -154,25 +210,28 @@ class QuadStore:
         removed.  (Table refresh uses node-scoped retraction via the hash /
         quoted-triple indexes instead — see ``KGGovernor.retract_table``.)
         """
+        predicate_id = self._backend.dictionary.lookup(predicate)
+        if predicate_id is None:
+            return 0
         graphs = [graph] if graph is not None else self.graphs()
         removed = 0
         for graph_name in graphs:
             # Graphs whose index is not resident (lazily-stored sqlite
             # shards) are retracted directly in durable storage — no point
             # loading a shard just to delete from it.
-            unloaded = self._backend.delete_predicate_unloaded(graph_name, predicate)
+            unloaded = self._backend.delete_predicate_unloaded(graph_name, predicate_id)
             if unloaded is not None:
                 removed += unloaded
                 continue
             index = self._backend.get_index(graph_name)
             if index is None:
                 continue
-            victims = tuple(index.by_predicate.get(predicate, ()))
+            victims = tuple(index.by_predicate.get(predicate_id, ()))
             if not victims:
                 continue
             for triple in victims:
                 index.remove(triple)
-            self._backend.predicate_removed(graph_name, predicate)
+            self._backend.predicate_removed(graph_name, predicate_id)
             removed += len(victims)
         if removed:
             self._version += removed
@@ -191,15 +250,38 @@ class QuadStore:
         graph: Optional[URIRef] = None,
     ) -> Iterator[Tuple[Triple, URIRef]]:
         """Iterate ``(triple, graph)`` pairs matching the quad pattern."""
+        subject_id = self._lookup_id(subject)
+        predicate_id = self._lookup_id(predicate)
+        object_id = self._lookup_id(obj)
+        if _ABSENT in (subject_id, predicate_id, object_id):
+            return
+        for triple, graph_name in self.match_ids(
+            subject_id, predicate_id, object_id, graph
+        ):
+            yield self._decode_triple(triple), graph_name
+
+    def match_ids(
+        self,
+        subject_id: Optional[int] = None,
+        predicate_id: Optional[int] = None,
+        object_id: Optional[int] = None,
+        graph: Optional[URIRef] = None,
+    ) -> Iterator[Tuple[IdTriple, URIRef]]:
+        """Id-level :meth:`match`: yields ``(id_triple, graph)`` undecoded.
+
+        The batched SPARQL executor's access path — results stay in id space
+        so joins compare machine ints and nothing is decoded until FILTER
+        evaluation / final projection.
+        """
         if graph is not None:
             index = self._backend.get_index(graph)
             if index is None:
                 return
-            for triple in index.match(subject, predicate, obj):
+            for triple in index.match(subject_id, predicate_id, object_id):
                 yield triple, graph
             return
         for graph_name, index in self._backend.items():
-            for triple in index.match(subject, predicate, obj):
+            for triple in index.match(subject_id, predicate_id, object_id):
                 yield triple, graph_name
 
     def estimate_matches(
@@ -214,11 +296,16 @@ class QuadStore:
         The SPARQL engine uses this as the selectivity estimate when ordering
         triple patterns; it never materializes candidates.
         """
+        subject_id = self._lookup_id(subject)
+        predicate_id = self._lookup_id(predicate)
+        object_id = self._lookup_id(obj)
+        if _ABSENT in (subject_id, predicate_id, object_id):
+            return 0
         if graph is not None:
             index = self._backend.get_index(graph)
-            return index.estimate(subject, predicate, obj) if index else 0
+            return index.estimate(subject_id, predicate_id, object_id) if index else 0
         return sum(
-            index.estimate(subject, predicate, obj)
+            index.estimate(subject_id, predicate_id, object_id)
             for _, index in self._backend.items()
         )
 
@@ -238,18 +325,45 @@ class QuadStore:
         quoted-subject index answers directly instead of scanning every
         annotation triple.
         """
+        ids = tuple(
+            self._lookup_id(term)
+            for term in (inner_subject, inner_predicate, inner_object, predicate, obj)
+        )
+        if _ABSENT in ids:
+            return
+        for triple, graph_name in self.match_quoted_ids(*ids, graph=graph):
+            yield self._decode_triple(triple), graph_name
+
+    def match_quoted_ids(
+        self,
+        inner_subject_id: Optional[int] = None,
+        inner_predicate_id: Optional[int] = None,
+        inner_object_id: Optional[int] = None,
+        predicate_id: Optional[int] = None,
+        object_id: Optional[int] = None,
+        graph: Optional[URIRef] = None,
+    ) -> Iterator[Tuple[IdTriple, URIRef]]:
+        """Id-level :meth:`match_quoted` (see :meth:`match_ids`)."""
         if graph is not None:
             index = self._backend.get_index(graph)
             if index is None:
                 return
             for triple in index.match_quoted(
-                inner_subject, inner_predicate, inner_object, predicate, obj
+                inner_subject_id,
+                inner_predicate_id,
+                inner_object_id,
+                predicate_id,
+                object_id,
             ):
                 yield triple, graph
             return
         for graph_name, index in self._backend.items():
             for triple in index.match_quoted(
-                inner_subject, inner_predicate, inner_object, predicate, obj
+                inner_subject_id,
+                inner_predicate_id,
+                inner_object_id,
+                predicate_id,
+                object_id,
             ):
                 yield triple, graph_name
 
@@ -262,17 +376,16 @@ class QuadStore:
         graph: Optional[URIRef] = None,
     ) -> int:
         """Cheap upper bound on :meth:`match_quoted` results (index sizes only)."""
+        ids = tuple(
+            self._lookup_id(term)
+            for term in (inner_subject, inner_object, predicate, obj)
+        )
+        if _ABSENT in ids:
+            return 0
         if graph is not None:
             index = self._backend.get_index(graph)
-            return (
-                index.estimate_quoted(inner_subject, inner_object, predicate, obj)
-                if index
-                else 0
-            )
-        return sum(
-            index.estimate_quoted(inner_subject, inner_object, predicate, obj)
-            for _, index in self._backend.items()
-        )
+            return index.estimate_quoted(*ids) if index else 0
+        return sum(index.estimate_quoted(*ids) for _, index in self._backend.items())
 
     def triples(
         self,
@@ -345,21 +458,26 @@ class QuadStore:
 
     def unique_nodes(self) -> Set[Any]:
         """All subjects and objects that are not literals (LiDS-graph nodes)."""
-        nodes: Set[Any] = set()
+        node_ids: Set[int] = set()
         for _, index in self._backend.items():
             for triple in index.triples:
-                if not isinstance(triple.subject, (Literal,)):
-                    nodes.add(triple.subject)
-                if not isinstance(triple.object, (Literal,)):
-                    nodes.add(triple.object)
+                node_ids.add(triple[0])
+                node_ids.add(triple[2])
+        decode = self._backend.dictionary.decode
+        nodes: Set[Any] = set()
+        for node_id in node_ids:
+            term = decode(node_id)
+            if not isinstance(term, Literal):
+                nodes.add(term)
         return nodes
 
     def unique_predicates(self) -> Set[Any]:
         """All predicates in the store."""
-        predicates: Set[Any] = set()
+        predicate_ids: Set[int] = set()
         for _, index in self._backend.items():
-            predicates.update(index.by_predicate.keys())
-        return predicates
+            predicate_ids.update(index.by_predicate.keys())
+        decode = self._backend.dictionary.decode
+        return {decode(predicate_id) for predicate_id in predicate_ids}
 
     def predicate_statistics(
         self, predicate: Any, graph: Optional[URIRef] = None
@@ -372,15 +490,18 @@ class QuadStore:
         on every add/remove, so the SPARQL planner reads real cardinalities
         instead of applying fixed selectivity discounts.
         """
+        predicate_id = self._backend.dictionary.lookup(predicate)
+        if predicate_id is None:
+            return None
         if graph is not None:
             index = self._backend.get_index(graph)
             if index is None:
                 return None
-            stats = index.predicate_stats.get(predicate)
+            stats = index.predicate_stats.get(predicate_id)
             return stats.to_dict() if stats is not None else None
         combined: Optional[Dict[str, int]] = None
         for _, index in self._backend.items():
-            stats = index.predicate_stats.get(predicate)
+            stats = index.predicate_stats.get(predicate_id)
             if stats is None:
                 continue
             if combined is None:
@@ -397,16 +518,17 @@ class QuadStore:
         self, graph: Optional[URIRef] = None
     ) -> Dict[Any, Dict[str, int]]:
         """Per-predicate cardinality statistics over the selected graph(s)."""
-        predicates: Set[Any] = set()
+        predicate_ids: Set[int] = set()
         if graph is not None:
             index = self._backend.get_index(graph)
-            predicates = set(index.predicate_stats) if index else set()
+            predicate_ids = set(index.predicate_stats) if index else set()
         else:
             for _, index in self._backend.items():
-                predicates.update(index.predicate_stats)
+                predicate_ids.update(index.predicate_stats)
+        decode = self._backend.dictionary.decode
         return {
-            predicate: self.predicate_statistics(predicate, graph)
-            for predicate in predicates
+            decode(predicate_id): self.predicate_statistics(decode(predicate_id), graph)
+            for predicate_id in predicate_ids
         }
 
     def statistics(self) -> Dict[str, int]:
@@ -419,9 +541,22 @@ class QuadStore:
         }
 
     def estimated_size_bytes(self) -> int:
-        """Rough serialized size: sum of N-Triples line lengths."""
+        """Rough serialized size: sum of N-Triples line lengths.
+
+        Computed in id space with one length per distinct term — the
+        dictionary means a term's text is measured once, not once per
+        referencing triple.
+        """
+        decode = self._backend.dictionary.decode
+        lengths: Dict[int, int] = {}
         total = 0
         for _, index in self._backend.items():
             for triple in index.triples:
-                total += len(triple.n3()) + 1
+                line = 5  # two separating spaces, " .", and the newline
+                for term_id in triple:
+                    length = lengths.get(term_id)
+                    if length is None:
+                        length = lengths[term_id] = len(term_n3(decode(term_id)))
+                    line += length
+                total += line
         return total

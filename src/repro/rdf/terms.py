@@ -54,6 +54,12 @@ def _escape_literal(text: str) -> str:
 _UNESCAPE_RE = re.compile(r'\\([\\"nrt])')
 _UNESCAPE_MAP = {"\\": "\\", '"': '"', "n": "\n", "r": "\r", "t": "\t"}
 
+#: Lazily initialized XSD datatype sets for :meth:`Literal.to_python`
+#: (the namespace module imports this one, so they cannot load eagerly).
+_XSD_BOOLEAN = None
+_XSD_INTEGER_TYPES: frozenset = frozenset()
+_XSD_FLOAT_TYPES: frozenset = frozenset()
+
 
 def _unescape_literal(text: str) -> str:
     # Escapes must be decoded in one left-to-right pass: sequential
@@ -96,16 +102,24 @@ class Literal:
 
     def to_python(self) -> Any:
         """Convert back to a Python value based on the datatype."""
-        from repro.rdf.namespace import XSD
+        datatype = self.datatype
+        if datatype is None:
+            return self.value
+        global _XSD_BOOLEAN, _XSD_INTEGER_TYPES, _XSD_FLOAT_TYPES
+        if _XSD_BOOLEAN is None:
+            from repro.rdf.namespace import XSD
 
-        if self.datatype == XSD.boolean:
+            _XSD_BOOLEAN = XSD.boolean
+            _XSD_INTEGER_TYPES = frozenset((XSD.integer, XSD.int, XSD.long))
+            _XSD_FLOAT_TYPES = frozenset((XSD.double, XSD.float, XSD.decimal))
+        if datatype == _XSD_BOOLEAN:
             return self.value == "true"
-        if self.datatype in (XSD.integer, XSD.int, XSD.long):
+        if datatype in _XSD_INTEGER_TYPES:
             try:
                 return int(self.value)
             except ValueError:
                 return self.value
-        if self.datatype in (XSD.double, XSD.float, XSD.decimal):
+        if datatype in _XSD_FLOAT_TYPES:
             try:
                 return float(self.value)
             except ValueError:
@@ -243,3 +257,107 @@ def iter_terms(text: str) -> Iterator[Term]:
     """Iterate the term objects of a whitespace-separated N-Triples line."""
     for match in _TERM_RE.finditer(text):
         yield parse_term(match.group(0))
+
+
+# ------------------------------------------------------- dictionary encoding
+class TermDictionary:
+    """Bidirectional term <-> integer-id interning.
+
+    Every serious triple store dictionary-encodes terms: each distinct term
+    gets one small integer id, triples become id-tuples, and joins compare
+    machine ints instead of hashing/comparing Python strings and literal
+    objects.  One dictionary is shared by all named graphs of a backend, so
+    ids are stable across graphs and a term's text is stored exactly once
+    regardless of how many triples reference it.
+
+    Ids start at 1 (matching sqlite's ``INTEGER PRIMARY KEY`` row ids so the
+    persistent subclass can reuse them verbatim); id 0 is never assigned, and
+    negative ids are reserved for the SPARQL engine's query-local values.
+
+    Quoted (RDF-star) triples are first-class terms: encoding one interns its
+    inner terms first and records the ``id -> (s, p, o)`` part mapping, so
+    the graph index can maintain its partial quoted-triple indexes — and the
+    engine can structurally match quoted patterns — without ever decoding.
+
+    Equality follows Python ``dict`` key semantics, exactly like the seed's
+    triple sets did: terms that compare equal (e.g. ``URIRef("x")`` and the
+    plain string ``"x"``) alias to one id, terms that do not (``Literal("5")``
+    vs ``"5"``) stay distinct.
+    """
+
+    __slots__ = (
+        "_term_to_id",
+        "_id_to_term",
+        "_quoted_parts",
+        "_quoted_by_parts",
+        "_next_id",
+    )
+
+    def __init__(self):
+        self._term_to_id: dict = {}
+        self._id_to_term: dict = {}
+        #: ``quoted term id -> (subject id, predicate id, object id)``.
+        self._quoted_parts: dict = {}
+        #: Inverse of ``_quoted_parts`` for O(1) quoted-term lookups by parts.
+        self._quoted_by_parts: dict = {}
+        self._next_id: int = 1
+
+    def __len__(self) -> int:
+        return len(self._id_to_term)
+
+    # ------------------------------------------------------------- interning
+    def encode(self, term: Any) -> int:
+        """The term's id, interning it (and any inner terms) if new."""
+        term_id = self._term_to_id.get(term)
+        if term_id is not None:
+            return term_id
+        if isinstance(term, QuotedTriple):
+            parts = (
+                self.encode(term.subject),
+                self.encode(term.predicate),
+                self.encode(term.object),
+            )
+            term_id = self._quoted_by_parts.get(parts)
+            if term_id is None:
+                term_id = self._assign(term)
+                self._quoted_parts[term_id] = parts
+                self._quoted_by_parts[parts] = term_id
+            else:
+                self._term_to_id[term] = term_id
+            return term_id
+        return self._assign(term)
+
+    def encode_triple(self, subject: Any, predicate: Any, obj: Any) -> "tuple[int, int, int]":
+        return (self.encode(subject), self.encode(predicate), self.encode(obj))
+
+    def _assign(self, term: Any) -> int:
+        term_id = self._next_id
+        self._next_id += 1
+        self._term_to_id[term] = term_id
+        self._id_to_term[term_id] = term
+        return term_id
+
+    # --------------------------------------------------------------- lookups
+    def lookup(self, term: Any) -> Optional[int]:
+        """The term's id without interning; ``None`` for unknown terms."""
+        term_id = self._term_to_id.get(term)
+        if term_id is None and isinstance(term, QuotedTriple):
+            subject = self.lookup(term.subject)
+            predicate = self.lookup(term.predicate)
+            obj = self.lookup(term.object)
+            if subject is None or predicate is None or obj is None:
+                return None
+            return self._quoted_by_parts.get((subject, predicate, obj))
+        return term_id
+
+    def decode(self, term_id: int) -> Any:
+        """The term interned under ``term_id``."""
+        return self._id_to_term[term_id]
+
+    def quoted_parts(self, term_id: int) -> Optional["tuple[int, int, int]"]:
+        """Inner ``(s, p, o)`` ids of a quoted-triple id, else ``None``."""
+        return self._quoted_parts.get(term_id)
+
+    def quoted_id(self, parts: "tuple[int, int, int]") -> Optional[int]:
+        """The id of the quoted triple with these inner ids, if interned."""
+        return self._quoted_by_parts.get(parts)

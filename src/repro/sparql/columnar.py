@@ -1,0 +1,212 @@
+"""Columnar solution relations for the batched SPARQL executor.
+
+The batched executor represents intermediate solutions as a
+:class:`Relation`: a fixed variable-slot layout plus rows that are plain
+tuples of integer term ids — no per-row dicts, no term objects.  Joining a
+triple pattern into the accumulated solutions is a hash join on the shared
+variables; ids only decode back to terms at FILTER evaluation and final
+projection.
+
+Two id spaces meet here: the store's :class:`~repro.rdf.terms.TermDictionary`
+assigns positive ids to interned terms, and a per-query :class:`QueryEncoder`
+assigns *negative* ids to query-local values (BIND results, graph names or
+constants the store never interned).  Equality of ids coincides with the
+seed engine's value equality: a local id is only assigned when the store
+dictionary has no id for the value, and local interning uses the same
+``dict``-key equality the seed's ``==`` comparisons reduce to.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.rdf.terms import TermDictionary
+
+#: Cell value marking an unbound variable slot (OPTIONAL padding).
+UNBOUND = None
+
+
+class QueryEncoder:
+    """Per-query value <-> id codec layered over the store dictionary.
+
+    Reads pass through to the store's dictionary; values the store never
+    interned (BIND results, graph names, constants absent from the data) get
+    query-local negative ids, so every value flowing through a query has
+    exactly one id and joins stay pure integer comparisons.
+    """
+
+    __slots__ = ("dictionary", "_local_ids", "_local_values")
+
+    def __init__(self, dictionary: TermDictionary):
+        self.dictionary = dictionary
+        self._local_ids: Dict[Any, int] = {}
+        self._local_values: List[Any] = []
+
+    def encode(self, value: Any) -> int:
+        """The value's id (store id when interned, else a query-local one)."""
+        term_id = self.dictionary.lookup(value)
+        if term_id is not None:
+            return term_id
+        local = self._local_ids.get(value)
+        if local is None:
+            self._local_values.append(value)
+            local = -len(self._local_values)
+            self._local_ids[value] = local
+        return local
+
+    def decode(self, term_id: int) -> Any:
+        """The value behind an id from either space."""
+        if term_id < 0:
+            return self._local_values[-term_id - 1]
+        return self.dictionary.decode(term_id)
+
+    def quoted_parts(self, term_id: int) -> Optional[Tuple[int, int, int]]:
+        """Inner part ids when ``term_id`` denotes a quoted triple."""
+        if term_id < 0:
+            return None
+        return self.dictionary.quoted_parts(term_id)
+
+    def quoted_id(self, parts: Tuple[int, int, int]) -> Optional[int]:
+        """The store id of the quoted triple with these inner ids, if any."""
+        if any(part < 0 for part in parts):
+            return None
+        return self.dictionary.quoted_id(parts)
+
+
+class Relation:
+    """A set of solutions over a fixed variable-slot layout.
+
+    ``variables`` names the slots; each row is a tuple of ids (or
+    :data:`UNBOUND` for variables an OPTIONAL branch left unbound).  Group
+    evaluation only ever *extends* the layout — new variables append new
+    slots — so a prefix of any descendant relation's layout is always the
+    ancestor's layout.
+    """
+
+    __slots__ = ("variables", "rows", "_slots")
+
+    def __init__(self, variables: Tuple[str, ...], rows: List[tuple]):
+        self.variables = variables
+        self.rows = rows
+        self._slots: Dict[str, int] = {name: i for i, name in enumerate(variables)}
+
+    @classmethod
+    def unit(cls) -> "Relation":
+        """The join identity: no variables, one empty row."""
+        return cls((), [()])
+
+    def slot(self, name: str) -> Optional[int]:
+        return self._slots.get(name)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def decode_row(self, row: tuple, encoder: QueryEncoder) -> Dict[str, Any]:
+        """One row as a seed-style binding dict (unbound slots omitted).
+
+        Internal columns (names starting with ``#`` — impossible in parsed
+        SPARQL variables) carry engine bookkeeping such as OPTIONAL row
+        provenance, not term ids, and are never decoded.
+        """
+        decode = encoder.decode
+        return {
+            name: decode(cell)
+            for name, cell in zip(self.variables, row)
+            if cell is not UNBOUND and not name.startswith("#")
+        }
+
+    def to_bindings(self, encoder: QueryEncoder) -> List[Dict[str, Any]]:
+        """Decode every row — the final-projection boundary of the executor."""
+        return [self.decode_row(row, encoder) for row in self.rows]
+
+    @staticmethod
+    def concat(relations: Sequence["Relation"]) -> "Relation":
+        """Union of relations, aligning layouts (missing slots pad unbound).
+
+        Used for UNION branches and per-graph GRAPH evaluations, whose
+        branches may have grown different variable sets.
+        """
+        if not relations:
+            return Relation((), [])
+        variables: List[str] = []
+        seen = set()
+        for relation in relations:
+            for name in relation.variables:
+                if name not in seen:
+                    seen.add(name)
+                    variables.append(name)
+        layout = tuple(variables)
+        rows: List[tuple] = []
+        for relation in relations:
+            if relation.variables == layout:
+                rows.extend(relation.rows)
+                continue
+            slots = [relation.slot(name) for name in layout]
+            for row in relation.rows:
+                rows.append(
+                    tuple(row[slot] if slot is not None else UNBOUND for slot in slots)
+                )
+        return Relation(layout, rows)
+
+
+class BoundedMemo:
+    """A capacity-bounded LRU memo for pattern-lookup results.
+
+    The seed engine's per-pattern memo grew without limit across large
+    solution sets; this one evicts least-recently-used entries past
+    ``capacity`` and counts hits / misses / evictions so the engine can
+    expose cache effectiveness to tests and benchmarks.  A ``capacity`` of
+    ``None`` disables eviction (but keeps the counters).
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "evictions", "_entries")
+
+    #: Sentinel distinguishing "absent" from a memoized empty result.
+    _MISSING = object()
+
+    def __init__(self, capacity: Optional[int]):
+        if capacity is not None and capacity < 1:
+            raise ValueError("memo capacity must be >= 1 (or None for unbounded)")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: Dict[Any, Any] = {}
+
+    def get(self, key: Any) -> Any:
+        """The memoized value or :data:`BoundedMemo.MISSING`; refreshes recency."""
+        entries = self._entries
+        value = entries.get(key, self._MISSING)
+        if value is self._MISSING:
+            self.misses += 1
+            return self._MISSING
+        self.hits += 1
+        if self.capacity is not None:
+            # Python dicts iterate in insertion order; re-inserting refreshes
+            # this key's position in the eviction queue at O(1).
+            del entries[key]
+            entries[key] = value
+        return value
+
+    def put(self, key: Any, value: Any) -> None:
+        entries = self._entries
+        if self.capacity is not None and len(entries) >= self.capacity:
+            victim = next(iter(entries))
+            del entries[victim]
+            self.evictions += 1
+        entries[key] = value
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def MISSING(self) -> Any:
+        return self._MISSING
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._entries),
+        }

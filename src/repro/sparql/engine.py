@@ -1,13 +1,33 @@
-"""Evaluation of parsed SPARQL queries over a :class:`~repro.rdf.QuadStore`."""
+"""Evaluation of parsed SPARQL queries over a :class:`~repro.rdf.QuadStore`.
+
+Two executors share one planner:
+
+* The **batched executor** (the default) evaluates each triple pattern
+  set-at-a-time: solutions live in a columnar
+  :class:`~repro.sparql.columnar.Relation` (tuples of integer term ids over a
+  fixed variable-slot layout, no per-row dicts) and each pattern is hash-
+  joined into the accumulated relation on the shared variables, with one
+  memoized index probe per distinct key.  Ids decode back to term objects
+  only at FILTER evaluation and final projection.
+* The **tuple executor** (``batched=False``) is the previous
+  binding-at-a-time loop: one store lookup per solution, one dict copy per
+  matched variable.  It remains as the reference implementation the batched
+  executor is tested and benchmarked against.
+
+``optimize=False`` bypasses both and evaluates patterns in written order with
+unmemoized scans — the seed semantics escape hatch.
+"""
 
 from __future__ import annotations
 
+import gc
 import re
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.rdf.namespace import DEFAULT_PREFIXES
 from repro.rdf.store import QuadStore
 from repro.rdf.terms import Literal, QuotedTriple, URIRef
+from repro.sparql.columnar import UNBOUND, BoundedMemo, QueryEncoder, Relation
 from repro.sparql.algebra import (
     Aggregate,
     BindClause,
@@ -107,10 +127,51 @@ class SPARQLEngine:
     benchmarks use as the comparison baseline.
     """
 
-    def __init__(self, store: QuadStore, prefixes=None, optimize: bool = True):
+    #: Default capacity of the per-pattern lookup memos (distinct join keys
+    #: cached per pattern; least-recently-used entries evict beyond this).
+    DEFAULT_MEMO_CAPACITY = 4096
+
+    #: Scan-vs-probe crossover: one per-key index probe costs roughly this
+    #: many single-candidate scan steps, so scan mode is picked whenever the
+    #: constant-only candidate set is within this factor of the build side.
+    _SCAN_FACTOR = 4
+
+    def __init__(
+        self,
+        store: QuadStore,
+        prefixes=None,
+        optimize: bool = True,
+        batched: bool = True,
+        memo_capacity: Optional[int] = DEFAULT_MEMO_CAPACITY,
+    ):
         self.store = store
         self.prefixes = prefixes or DEFAULT_PREFIXES
         self.optimize = optimize
+        #: Use the columnar hash-join executor (only meaningful when
+        #: ``optimize`` is on; ``optimize=False`` always runs the seed loop).
+        self.batched = batched
+        #: Bound on each per-pattern lookup memo (``None`` = unbounded).
+        self.memo_capacity = memo_capacity
+        #: Cumulative pattern-lookup memo counters across queries.
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self.memo_evictions = 0
+        #: Monotonic suffix for OPTIONAL provenance columns (never collides
+        #: with parsed variables: ``#`` cannot appear in a SPARQL var name).
+        self._provenance_counter = 0
+
+    def memo_counters(self) -> Dict[str, int]:
+        """Cumulative hit/miss/eviction counts of the pattern-lookup memos."""
+        return {
+            "hits": self.memo_hits,
+            "misses": self.memo_misses,
+            "evictions": self.memo_evictions,
+        }
+
+    def _absorb_memo(self, memo: BoundedMemo) -> None:
+        self.memo_hits += memo.hits
+        self.memo_misses += memo.misses
+        self.memo_evictions += memo.evictions
 
     # ------------------------------------------------------------------ API
     def select(self, query: str) -> SelectResult:
@@ -157,8 +218,47 @@ class SPARQLEngine:
         return str(term)
 
     def evaluate(self, query: SelectQuery) -> SelectResult:
-        """Evaluate an already-parsed query."""
-        solutions = self._evaluate_group(query.where, [dict()], graph=None)
+        """Evaluate an already-parsed query.
+
+        The store's residency cap (if any) is pinned for the duration: every
+        evaluation path scans graphs repeatedly, and pinning makes a capped
+        backend load each missing shard at most once per query.
+        """
+        self.store.pin_residency()
+        try:
+            return self._evaluate(query)
+        finally:
+            self.store.unpin_residency()
+
+    def _evaluate(self, query: SelectQuery) -> SelectResult:
+        if self.optimize and self.batched:
+            # The columnar executor's intermediates are acyclic (tuples of
+            # ints inside plain lists), so reference counting reclaims them
+            # fully; pausing the cyclic collector stops it re-scanning the
+            # growing row lists on every allocation spike — a large, pure
+            # win on 100k-row materializations.
+            gc_was_enabled = gc.isenabled()
+            if gc_was_enabled:
+                gc.disable()
+            try:
+                encoder = QueryEncoder(self.store.dictionary)
+                relation = self._evaluate_group_rel(
+                    query.where, Relation.unit(), None, encoder
+                )
+                if not (
+                    query.has_aggregates() or query.order_by or query.is_select_star()
+                ):
+                    # Fused projection: decode only the selected variables,
+                    # straight from the id relation — no intermediate binding
+                    # dicts.  (Aggregates / ORDER BY / SELECT * may read
+                    # variables beyond the projection, so they decode fully.)
+                    return self._project_relation(query, relation, encoder)
+                solutions = relation.to_bindings(encoder)
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
+        else:
+            solutions = self._evaluate_group(query.where, [dict()], graph=None)
         if query.has_aggregates():
             rows = self._aggregate(query, solutions)
         else:
@@ -168,6 +268,49 @@ class SPARQLEngine:
         rows = self._order(query, rows)
         variables = self._result_variables(query, rows)
         projected = self._project(query, rows, variables)
+        if query.distinct:
+            projected = self._distinct(projected)
+        if query.offset:
+            projected = projected[query.offset :]
+        if query.limit is not None:
+            projected = projected[: query.limit]
+        return SelectResult(variables, projected)
+
+    def _project_relation(
+        self, query: SelectQuery, relation: Relation, encoder: QueryEncoder
+    ) -> SelectResult:
+        """Project a result relation directly to Python-value rows.
+
+        One decode per selected cell (memoized id -> Python value), skipping
+        the intermediate term-binding dicts of the general path.
+        """
+        variables = [str(item) for item in query.variables]
+        rows = relation.rows
+        decode = encoder.decode
+        #: id -> projected Python value, shared across rows.
+        values: Dict[int, Any] = {}
+        columns: List[List[Any]] = []
+        for name in variables:
+            slot = relation.slot(name)
+            if slot is None:
+                columns.append([None] * len(rows))
+                continue
+            column: List[Any] = []
+            append = column.append
+            for row in rows:
+                cell = row[slot]
+                if cell is None:
+                    append(None)
+                    continue
+                value = values.get(cell)
+                if value is None:
+                    value = values[cell] = _to_python(decode(cell))
+                append(value)
+            columns.append(column)
+        if variables:
+            projected = [dict(zip(variables, combo)) for combo in zip(*columns)]
+        else:
+            projected = [{} for _ in rows]
         if query.distinct:
             projected = self._distinct(projected)
         if query.offset:
@@ -231,8 +374,11 @@ class SPARQLEngine:
         # same index entries; memoize the matches so repeated (or fully
         # unbound cross-join) lookups never re-scan the store.  Both the memo
         # and the quoted-triple pushdown are part of the optimizer, so
-        # ``optimize=False`` keeps the seed per-binding scans.
-        memo: Dict[Tuple[Any, ...], List[Tuple[Any, Any]]] = {}
+        # ``optimize=False`` keeps the seed per-binding scans.  The memo is
+        # capacity-bounded: a pattern joined against a huge solution set with
+        # mostly distinct keys evicts instead of holding every result alive.
+        memo = BoundedMemo(self.memo_capacity)
+        missing = memo.MISSING
         for solution in solutions:
             subject = self._resolve(pattern.subject, solution)
             predicate = self._resolve(pattern.predicate, solution)
@@ -250,7 +396,7 @@ class SPARQLEngine:
                 if quoted_parts is not None:
                     memo_key = ("<<>>",) + quoted_parts + (lookup_predicate, lookup_object)
                     matches = memo.get(memo_key)
-                    if matches is None:
+                    if matches is missing:
                         matches = list(
                             self.store.match_quoted(
                                 quoted_parts[0],
@@ -261,17 +407,17 @@ class SPARQLEngine:
                                 graph_name,
                             )
                         )
-                        memo[memo_key] = matches
+                        memo.put(memo_key, matches)
                 else:
                     memo_key = (lookup_subject, lookup_predicate, lookup_object)
                     matches = memo.get(memo_key)
-                    if matches is None:
+                    if matches is missing:
                         matches = list(
                             self.store.match(
                                 lookup_subject, lookup_predicate, lookup_object, graph_name
                             )
                         )
-                        memo[memo_key] = matches
+                        memo.put(memo_key, matches)
             else:
                 lookup_subject = subject if not isinstance(subject, (Var, QuotedPattern)) else None
                 lookup_object = obj if not isinstance(obj, (Var, QuotedPattern)) else None
@@ -294,6 +440,7 @@ class SPARQLEngine:
                         break
                 if binding is not None:
                     results.append(binding)
+        self._absorb_memo(memo)
         return results
 
     @classmethod
@@ -350,6 +497,815 @@ class SPARQLEngine:
             parts.append(value)
         return QuotedTriple(*parts)
 
+    # ------------------------------------------------- batched (columnar) path
+    def _evaluate_group_rel(
+        self, group: GroupPattern, relation: Relation, graph: Optional[Any], encoder: QueryEncoder
+    ) -> Relation:
+        """Evaluate one group pattern set-at-a-time over a columnar relation.
+
+        Mirrors :meth:`_evaluate_group` element by element (filters deferred
+        to the end of the group, same barrier semantics for OPTIONAL / UNION
+        / GRAPH / BIND) but keeps every intermediate solution as an id-tuple;
+        terms materialize only inside FILTER / BIND expression evaluation.
+        """
+        if not relation.rows:
+            return relation
+        filters: List[FilterClause] = []
+        elements = (
+            self._reorder_elements(
+                group.elements, [relation.decode_row(relation.rows[0], encoder)], graph
+            )
+            if self.optimize
+            else group.elements
+        )
+        current = relation
+        for element in elements:
+            if isinstance(element, TriplePattern):
+                current = self._join_rel(element, current, graph, encoder)
+            elif isinstance(element, FilterClause):
+                filters.append(element)
+            elif isinstance(element, OptionalPattern):
+                current = self._left_join_rel(element.group, current, graph, encoder)
+            elif isinstance(element, UnionPattern):
+                current = Relation.concat(
+                    [
+                        self._evaluate_group_rel(branch, current, graph, encoder)
+                        for branch in element.branches
+                    ]
+                )
+            elif isinstance(element, NamedGraphPattern):
+                current = self._named_graph_rel(element, current, encoder)
+            elif isinstance(element, BindClause):
+                current = self._bind_rel(element, current, encoder)
+            else:  # pragma: no cover - parser only produces the above
+                raise TypeError(f"unexpected group element {element!r}")
+            if not current.rows:
+                break
+        if filters and current.rows:
+            current = self._filter_rel(filters, current, encoder)
+        return current
+
+    def _join_rel(
+        self, pattern: TriplePattern, relation: Relation, graph: Optional[Any], encoder: QueryEncoder
+    ) -> Relation:
+        """Hash-join one triple pattern into the accumulated relation.
+
+        Build side: the relation rows, keyed by the ids of the variables
+        shared with the pattern.  The probe side picks one of two compiled
+        strategies by cost:
+
+        * **scan mode** — when the pattern's constant-bound candidate set is
+          no larger than the build side, scan it once into a hash table
+          ``join key -> extension tuples`` and join every row with a dict
+          get.  One index pass total, classic hash join.
+        * **probe mode** — otherwise, one direct index lookup per *distinct*
+          key (memoized, capacity-bounded), which wins when per-row bindings
+          narrow candidates far below the constant-only set.
+
+        Extensions are precomputed id tuples concatenated onto rows — no
+        per-row dicts, no term decoding.  Shapes the compiler does not cover
+        (repeated variables, graph variables, nested quoted patterns) fall
+        back to the general per-key walk in :meth:`_probe_pattern`.
+        """
+        graph_var = str(graph) if isinstance(graph, Var) else None
+        graph_name = graph if graph is not None and graph_var is None else None
+
+        # Pattern variables in the seed engine's binding order: the graph
+        # variable first, then subject / predicate / object (quoted-pattern
+        # inner variables recurse in the same order).
+        ordered_vars: List[str] = [graph_var] if graph_var is not None else []
+        for term in (pattern.subject, pattern.predicate, pattern.object):
+            self._collect_term_vars(term, ordered_vars)
+        has_duplicates = len(ordered_vars) != len(set(ordered_vars))
+
+        key_names: List[str] = []
+        key_slots: List[int] = []
+        new_vars: List[str] = []
+        for name in ordered_vars:
+            slot = relation.slot(name)
+            if slot is not None:
+                if name not in key_names:
+                    key_names.append(name)
+                    key_slots.append(slot)
+            elif name not in new_vars:
+                new_vars.append(name)
+
+        plan = None
+        if graph_var is None and not has_duplicates:
+            plan = self._compile_join_plan(pattern, key_names, new_vars, graph_name, encoder)
+
+        out_rows: List[tuple] = []
+        out_variables = relation.variables + tuple(new_vars)
+
+        if (
+            plan is not None
+            and key_names
+            and self._scan_cost(plan) <= self._SCAN_FACTOR * len(relation.rows)
+        ):
+            table = self._scan_join_table(plan)
+            fallback_rows: List[tuple] = []
+            append = out_rows.append
+            table_get = table.get
+            if len(key_slots) == 1:
+                only_slot = key_slots[0]
+                for row in relation.rows:
+                    cell = row[only_slot]
+                    if cell is None:
+                        fallback_rows.append(row)
+                        continue
+                    extensions = table_get(cell)
+                    if extensions:
+                        for extension in extensions:
+                            append(row + extension if extension else row)
+            else:
+                for row in relation.rows:
+                    key = tuple(row[slot] for slot in key_slots)
+                    if None in key:
+                        fallback_rows.append(row)
+                        continue
+                    extensions = table_get(key)
+                    if extensions:
+                        for extension in extensions:
+                            append(row + extension if extension else row)
+            if fallback_rows:
+                # Rows with OPTIONAL-unbound shared cells need the general
+                # walk (the unbound variable binds from the match).
+                self._join_slow_rows(
+                    pattern, fallback_rows, key_names, key_slots, new_vars,
+                    graph_var, graph_name, encoder, out_rows,
+                )
+            return Relation(out_variables, out_rows)
+
+        memo = BoundedMemo(self.memo_capacity)
+        missing = memo.MISSING
+        probe = plan["probe"] if plan is not None else None
+        fallback_rows = []
+        append = out_rows.append
+        for row in relation.rows:
+            key = tuple(row[slot] for slot in key_slots)
+            if probe is None or None in key:
+                fallback_rows.append(row)
+                continue
+            extensions = memo.get(key)
+            if extensions is missing:
+                extensions = probe(key)
+                memo.put(key, extensions)
+            for extension in extensions:
+                append(row + extension if extension else row)
+        self._absorb_memo(memo)
+        if fallback_rows:
+            self._join_slow_rows(
+                pattern, fallback_rows, key_names, key_slots, new_vars,
+                graph_var, graph_name, encoder, out_rows,
+            )
+        return Relation(out_variables, out_rows)
+
+    def _join_slow_rows(
+        self,
+        pattern: TriplePattern,
+        rows: List[tuple],
+        key_names: List[str],
+        key_slots: List[int],
+        new_vars: List[str],
+        graph_var: Optional[str],
+        graph_name: Optional[Any],
+        encoder: QueryEncoder,
+        out_rows: List[tuple],
+    ) -> None:
+        """General per-key walk for rows scan mode cannot serve."""
+        memo = BoundedMemo(self.memo_capacity)
+        missing = memo.MISSING
+        update_slots = {name: slot for name, slot in zip(key_names, key_slots)}
+        for row in rows:
+            key = tuple(row[slot] for slot in key_slots)
+            probed = memo.get(key)
+            if probed is missing:
+                probed = self._probe_pattern(
+                    pattern,
+                    dict(zip(key_names, key)),
+                    graph_var,
+                    graph_name,
+                    new_vars,
+                    encoder,
+                )
+                memo.put(key, probed)
+            for updates, extension in probed:
+                if updates:
+                    cells = list(row)
+                    for name, value in updates:
+                        cells[update_slots[name]] = value
+                    out_rows.append(tuple(cells) + extension)
+                else:
+                    out_rows.append(row + extension)
+        self._absorb_memo(memo)
+
+    #: Source kinds of a compiled join plan position.
+    _SRC_CONST = 0
+    _SRC_KEY = 1
+    _SRC_FREE = 2
+
+    @staticmethod
+    def _compile_picker(picks: List[Tuple[str, int]]):
+        """``(triple, parts) -> id tuple`` without generator frames.
+
+        ``picks`` name triple slots (``('t', 0..2)``) or quoted-subject part
+        slots (``('q', 0..2)``); the returned callable runs once per
+        candidate match, so the common arities are unrolled.
+        """
+        selectors = [(kind == "q", position) for kind, position in picks]
+        if len(selectors) == 1:
+            (q0, p0), = selectors
+            return lambda triple, parts: ((parts if q0 else triple)[p0],)
+        if len(selectors) == 2:
+            (q0, p0), (q1, p1) = selectors
+            return lambda triple, parts: (
+                (parts if q0 else triple)[p0],
+                (parts if q1 else triple)[p1],
+            )
+        if len(selectors) == 3:
+            (q0, p0), (q1, p1), (q2, p2) = selectors
+            return lambda triple, parts: (
+                (parts if q0 else triple)[p0],
+                (parts if q1 else triple)[p1],
+                (parts if q2 else triple)[p2],
+            )
+        return lambda triple, parts: tuple(
+            (parts if quoted else triple)[position] for quoted, position in selectors
+        )
+
+    def _compile_join_plan(
+        self,
+        pattern: TriplePattern,
+        key_names: List[str],
+        new_vars: List[str],
+        graph_name: Optional[Any],
+        encoder: QueryEncoder,
+    ) -> Optional[Dict[str, Any]]:
+        """Compile one pattern join into a probe closure + scan metadata.
+
+        Hoists everything that does not depend on the join key — constant
+        term ids, the resolved graph indexes, the extension and key pick
+        plans — so each probe is a candidate-set selection plus a tight
+        filter loop, and a scan is one pass building the join hash table.
+        Returns ``None`` for shapes outside the fast cases (nested quoted
+        patterns, quoted terms off the subject position); the probe closure
+        itself returns ``None`` for keys carrying OPTIONAL-unbound cells.
+        """
+        key_positions = {name: index for index, name in enumerate(key_names)}
+        CONST, KEY, FREE = self._SRC_CONST, self._SRC_KEY, self._SRC_FREE
+
+        def source_of(term) -> Optional[Tuple[int, Optional[int]]]:
+            if isinstance(term, Var):
+                position = key_positions.get(str(term))
+                return (KEY, position) if position is not None else (FREE, None)
+            if isinstance(term, QuotedPattern):
+                return None
+            return (CONST, encoder.encode(term))
+
+        subject, predicate, obj = pattern.subject, pattern.predicate, pattern.object
+        quoted_sources: Optional[List[Tuple[int, Optional[int]]]] = None
+        if isinstance(subject, QuotedPattern):
+            quoted_sources = []
+            for part in (subject.subject, subject.predicate, subject.object):
+                source = source_of(part)
+                if source is None:  # nested quoted pattern: general walk
+                    return None
+                quoted_sources.append(source)
+            subject_source = (FREE, None)
+        else:
+            source = source_of(subject)
+            if source is None:
+                return None
+            subject_source = source
+        predicate_source = source_of(predicate)
+        object_source = source_of(obj)
+        if predicate_source is None or object_source is None:
+            return None
+
+        # Pick plans: where each output id comes from in a match — a triple
+        # slot ('t', 0..2) or a quoted-subject part ('q', 0..2).
+        first_positions: Dict[str, Tuple[str, int]] = {}
+        for position, term in enumerate((subject, predicate, obj)):
+            if isinstance(term, Var):
+                first_positions.setdefault(str(term), ("t", position))
+        if quoted_sources is not None:
+            for part_index, part in enumerate(
+                (subject.subject, subject.predicate, subject.object)
+            ):
+                if isinstance(part, Var):
+                    first_positions.setdefault(str(part), ("q", part_index))
+        picks = [first_positions[name] for name in new_vars]
+        key_picks = [first_positions[name] for name in key_names]
+        triple_only = all(kind == "t" for kind, _ in picks + key_picks)
+        ext_picker = self._compile_picker(picks) if picks else (lambda triple, parts: ())
+
+        backend = self.store.backend
+        if graph_name is not None:
+            index = backend.get_index(graph_name)
+            indexes = [index] if index is not None else []
+        else:
+            indexes = [index for _, index in backend.items()]
+        quoted_parts = encoder.quoted_parts
+        quoted_id = encoder.quoted_id
+
+        s_mode, s_value = subject_source
+        p_mode, p_value = predicate_source
+        o_mode, o_value = object_source
+
+        def filtered_candidates(index, subject_id, predicate_id, object_id):
+            """Smallest candidate set for the bound ids; ``None`` = no hits."""
+            candidates = index.triples
+            if subject_id is not None:
+                candidates = index.by_subject.get(subject_id)
+                if not candidates:
+                    return None
+            if predicate_id is not None:
+                alternative = index.by_predicate.get(predicate_id)
+                if not alternative:
+                    return None
+                if len(alternative) < len(candidates):
+                    candidates = alternative
+            if object_id is not None:
+                alternative = index.by_object.get(object_id)
+                if not alternative:
+                    return None
+                if len(alternative) < len(candidates):
+                    candidates = alternative
+            return candidates
+
+        def matches_into(results, subject_id, predicate_id, object_id, inner):
+            """Scan candidates under the given bound ids, appending the
+            extension tuple of every accepted match."""
+            append = results.append
+            for index in indexes:
+                if inner is None:
+                    candidates = filtered_candidates(
+                        index, subject_id, predicate_id, object_id
+                    )
+                    if candidates is None:
+                        continue
+                    for triple in candidates:
+                        if subject_id is not None and triple[0] != subject_id:
+                            continue
+                        if predicate_id is not None and triple[1] != predicate_id:
+                            continue
+                        if object_id is not None and triple[2] != object_id:
+                            continue
+                        if triple_only:
+                            append(ext_picker(triple, None))
+                        else:
+                            parts = quoted_parts(triple[0])
+                            if parts is None:
+                                continue
+                            append(ext_picker(triple, parts))
+                else:
+                    candidates = index._quoted_candidates(
+                        inner[0], inner[2], predicate_id, object_id
+                    )
+                    for triple in candidates:
+                        parts = quoted_parts(triple[0])
+                        if parts is None:
+                            continue
+                        if inner[0] is not None and parts[0] != inner[0]:
+                            continue
+                        if inner[1] is not None and parts[1] != inner[1]:
+                            continue
+                        if inner[2] is not None and parts[2] != inner[2]:
+                            continue
+                        if predicate_id is not None and triple[1] != predicate_id:
+                            continue
+                        if object_id is not None and triple[2] != object_id:
+                            continue
+                        append(ext_picker(triple, parts))
+
+        def probe(key: tuple):
+            predicate_id = (
+                p_value if p_mode == CONST else key[p_value] if p_mode == KEY else None
+            )
+            object_id = (
+                o_value if o_mode == CONST else key[o_value] if o_mode == KEY else None
+            )
+            inner = None
+            if quoted_sources is None:
+                subject_id = (
+                    s_value if s_mode == CONST else key[s_value] if s_mode == KEY else None
+                )
+            else:
+                inner = tuple(
+                    value if mode == CONST else key[value] if mode == KEY else None
+                    for mode, value in quoted_sources
+                )
+                if None not in inner:
+                    subject_id = quoted_id(inner)
+                    if subject_id is None:
+                        return []
+                    inner = None  # exact id lookup; no structural filtering
+                else:
+                    subject_id = None
+            results: List[tuple] = []
+            matches_into(results, subject_id, predicate_id, object_id, inner)
+            return results
+
+        return {
+            "probe": probe,
+            "quoted_sources": quoted_sources,
+            "sources": (subject_source, predicate_source, object_source),
+            "indexes": indexes,
+            "key_picks": key_picks,
+            "picks": picks,
+            "triple_only": triple_only,
+            "quoted_parts": quoted_parts,
+            "filtered_candidates": filtered_candidates,
+            "ext_picker": ext_picker,
+        }
+
+    def _scan_cost(self, plan: Dict[str, Any]) -> float:
+        """Upper bound on the candidates a constant-only scan would touch."""
+        CONST = self._SRC_CONST
+        sources = plan["sources"]
+        quoted_sources = plan["quoted_sources"]
+        subject_id = sources[0][1] if sources[0][0] == CONST else None
+        predicate_id = sources[1][1] if sources[1][0] == CONST else None
+        object_id = sources[2][1] if sources[2][0] == CONST else None
+        total = 0
+        for index in plan["indexes"]:
+            if quoted_sources is not None:
+                inner_subject = (
+                    quoted_sources[0][1] if quoted_sources[0][0] == CONST else None
+                )
+                inner_object = (
+                    quoted_sources[2][1] if quoted_sources[2][0] == CONST else None
+                )
+                total += index.estimate_quoted(
+                    inner_subject, inner_object, predicate_id, object_id
+                )
+            else:
+                total += index.estimate(subject_id, predicate_id, object_id)
+        return total
+
+    def _scan_join_table(self, plan: Dict[str, Any]) -> Dict[Any, List[tuple]]:
+        """One constant-only index pass, hashed by the join-key variables.
+
+        The build side of scan-mode hash join: maps a join key (the bare id
+        for single-variable keys, an id tuple otherwise) to the list of
+        extension tuples its matches produce.  Candidates come from the
+        smallest constant-bound index entry; key and extension ids are picked
+        straight out of each matching id-triple (or its quoted-subject
+        parts), so the whole build is one tight loop in id space.
+        """
+        CONST = self._SRC_CONST
+        sources = plan["sources"]
+        quoted_sources = plan["quoted_sources"]
+        subject_id = sources[0][1] if sources[0][0] == CONST else None
+        predicate_id = sources[1][1] if sources[1][0] == CONST else None
+        object_id = sources[2][1] if sources[2][0] == CONST else None
+        inner = (
+            tuple(value if mode == CONST else None for mode, value in quoted_sources)
+            if quoted_sources is not None
+            else None
+        )
+
+        key_picks = plan["key_picks"]
+        triple_only = plan["triple_only"]
+        quoted_parts = plan["quoted_parts"]
+        filtered_candidates = plan["filtered_candidates"]
+        ext_picker = plan["ext_picker"]
+        single = len(key_picks) == 1
+        if single:
+            single_quoted = key_picks[0][0] == "q"
+            single_position = key_picks[0][1]
+            key_picker = None
+        else:
+            key_picker = self._compile_picker(key_picks)
+
+        table: Dict[Any, List[tuple]] = {}
+        for index in plan["indexes"]:
+            if inner is None:
+                candidates = filtered_candidates(
+                    index, subject_id, predicate_id, object_id
+                )
+                if candidates is None:
+                    continue
+            else:
+                candidates = index._quoted_candidates(
+                    inner[0], inner[2], predicate_id, object_id
+                )
+            for triple in candidates:
+                if subject_id is not None and triple[0] != subject_id:
+                    continue
+                if predicate_id is not None and triple[1] != predicate_id:
+                    continue
+                if object_id is not None and triple[2] != object_id:
+                    continue
+                if triple_only:
+                    parts = None
+                else:
+                    parts = quoted_parts(triple[0])
+                    if parts is None:
+                        continue
+                if inner is not None:
+                    if parts is None:
+                        parts = quoted_parts(triple[0])
+                        if parts is None:
+                            continue
+                    if inner[0] is not None and parts[0] != inner[0]:
+                        continue
+                    if inner[1] is not None and parts[1] != inner[1]:
+                        continue
+                    if inner[2] is not None and parts[2] != inner[2]:
+                        continue
+                if single:
+                    key = (parts if single_quoted else triple)[single_position]
+                else:
+                    key = key_picker(triple, parts)
+                extension = ext_picker(triple, parts)
+                bucket = table.get(key)
+                if bucket is None:
+                    table[key] = [extension]
+                else:
+                    bucket.append(extension)
+        return table
+
+
+    def _probe_pattern(
+        self,
+        pattern: TriplePattern,
+        bind: Dict[str, Optional[int]],
+        graph_var: Optional[str],
+        graph_name: Optional[Any],
+        new_vars: List[str],
+        encoder: QueryEncoder,
+    ) -> List[Tuple[tuple, tuple]]:
+        """All pattern matches under one join key, as ``(updates, extension)``.
+
+        ``extension`` carries the ids of the pattern's new variables (in
+        ``new_vars`` order); ``updates`` re-binds shared variables whose cell
+        was :data:`UNBOUND` in this key (OPTIONAL padding), as
+        ``(name, id)`` pairs.  The result is shared by every build row in
+        the key's group — the memoized unit of work.
+        """
+        # Shared variables that are unbound *in this key* must bind from the
+        # match (the seed engine's ``binding.get(...) is None`` path).
+        unbound_shared = [name for name, value in bind.items() if value is None]
+
+        lookup_graph = graph_name
+        if graph_var is not None and bind.get(graph_var) is not None:
+            lookup_graph = encoder.decode(bind[graph_var])
+        capture_graph = graph_var is not None and bind.get(graph_var) is None
+
+        subject = pattern.subject
+        predicate = pattern.predicate
+        obj = pattern.object
+        quoted_lookup: Optional[Tuple[Optional[int], Optional[int], Optional[int]]] = None
+        if isinstance(subject, Var):
+            subject_id = bind.get(str(subject))
+        elif isinstance(subject, QuotedPattern):
+            parts = self._resolve_quoted_ids(subject, bind, encoder)
+            if None not in parts:
+                subject_id = encoder.quoted_id(parts)  # type: ignore[arg-type]
+                if subject_id is None:
+                    return []
+            elif any(part is not None for part in parts):
+                subject_id = None
+                quoted_lookup = parts
+            else:
+                subject_id = None
+        else:
+            subject_id = encoder.encode(subject)
+        predicate_id = (
+            bind.get(str(predicate)) if isinstance(predicate, Var) else encoder.encode(predicate)
+        )
+        object_id = bind.get(str(obj)) if isinstance(obj, Var) else encoder.encode(obj)
+
+        if quoted_lookup is not None:
+            matches = self.store.match_quoted_ids(
+                quoted_lookup[0],
+                quoted_lookup[1],
+                quoted_lookup[2],
+                predicate_id,
+                object_id,
+                graph=lookup_graph,
+            )
+        else:
+            matches = self.store.match_ids(
+                subject_id, predicate_id, object_id, graph=lookup_graph
+            )
+
+        results: List[Tuple[tuple, tuple]] = []
+        for triple, triple_graph in matches:
+            local: Dict[str, int] = {}
+            if capture_graph:
+                local[graph_var] = encoder.encode(triple_graph)
+            if not (
+                self._match_term_id(subject, triple[0], bind, local, encoder)
+                and self._match_term_id(predicate, triple[1], bind, local, encoder)
+                and self._match_term_id(obj, triple[2], bind, local, encoder)
+            ):
+                continue
+            updates = tuple(
+                (name, local[name]) for name in unbound_shared if name in local
+            )
+            extension = tuple(local[name] for name in new_vars)
+            results.append((updates, extension))
+        return results
+
+    def _resolve_quoted_ids(
+        self, pattern: QuotedPattern, bind: Dict[str, Optional[int]], encoder: QueryEncoder
+    ) -> Tuple[Optional[int], Optional[int], Optional[int]]:
+        """Inner part ids of a quoted pattern under ``bind`` (``None`` holes)."""
+        parts: List[Optional[int]] = []
+        for part in (pattern.subject, pattern.predicate, pattern.object):
+            if isinstance(part, Var):
+                parts.append(bind.get(str(part)))
+            elif isinstance(part, QuotedPattern):
+                inner = self._resolve_quoted_ids(part, bind, encoder)
+                parts.append(encoder.quoted_id(inner) if None not in inner else None)  # type: ignore[arg-type]
+            else:
+                parts.append(encoder.encode(part))
+        return (parts[0], parts[1], parts[2])
+
+    def _match_term_id(
+        self,
+        term: Any,
+        term_id: int,
+        bind: Dict[str, Optional[int]],
+        local: Dict[str, int],
+        encoder: QueryEncoder,
+    ) -> bool:
+        """Match one pattern term against a matched id, extending ``local``."""
+        if isinstance(term, Var):
+            name = str(term)
+            value = local.get(name)
+            if value is None:
+                value = bind.get(name)
+            if value is None:
+                local[name] = term_id
+                return True
+            return value == term_id
+        if isinstance(term, QuotedPattern):
+            parts = encoder.quoted_parts(term_id)
+            if parts is None:
+                return False
+            return (
+                self._match_term_id(term.subject, parts[0], bind, local, encoder)
+                and self._match_term_id(term.predicate, parts[1], bind, local, encoder)
+                and self._match_term_id(term.object, parts[2], bind, local, encoder)
+            )
+        return encoder.encode(term) == term_id
+
+    @classmethod
+    def _collect_term_vars(cls, term: Any, ordered: List[str]) -> None:
+        """Append a pattern term's variable names in binding order."""
+        if isinstance(term, Var):
+            ordered.append(str(term))
+        elif isinstance(term, QuotedPattern):
+            for part in (term.subject, term.predicate, term.object):
+                cls._collect_term_vars(part, ordered)
+
+    def _left_join_rel(
+        self, group: GroupPattern, relation: Relation, graph: Optional[Any], encoder: QueryEncoder
+    ) -> Relation:
+        """OPTIONAL: rows extend when the group matches, survive unbound otherwise.
+
+        A hidden provenance column (a name no SPARQL variable can collide
+        with) threads each input row through the group evaluation, so the
+        whole OPTIONAL body runs set-at-a-time instead of once per row.
+        """
+        self._provenance_counter += 1
+        provenance = f"#row{self._provenance_counter}"
+        seeded = Relation(
+            relation.variables + (provenance,),
+            [row + (position,) for position, row in enumerate(relation.rows)],
+        )
+        result = self._evaluate_group_rel(group, seeded, graph, encoder)
+        provenance_slot = result.slot(provenance)
+        keep = [slot for slot, name in enumerate(result.variables) if name != provenance]
+        out_variables = tuple(name for name in result.variables if name != provenance)
+        extended_by_row: Dict[int, List[tuple]] = {}
+        for row in result.rows:
+            extended_by_row.setdefault(row[provenance_slot], []).append(
+                tuple(row[slot] for slot in keep)
+            )
+        padding = (UNBOUND,) * (len(out_variables) - len(relation.variables))
+        out_rows: List[tuple] = []
+        for position, row in enumerate(relation.rows):
+            extended = extended_by_row.get(position)
+            if extended:
+                out_rows.extend(extended)
+            else:
+                out_rows.append(row + padding)
+        return Relation(out_variables, out_rows)
+
+    def _named_graph_rel(
+        self, element: NamedGraphPattern, relation: Relation, encoder: QueryEncoder
+    ) -> Relation:
+        if not isinstance(element.graph, Var):
+            return self._evaluate_group_rel(element.group, relation, element.graph, encoder)
+        name = str(element.graph)
+        slot = relation.slot(name)
+        branches: List[Relation] = []
+        for graph_name in self.store.graphs():
+            graph_id = encoder.encode(graph_name)
+            if slot is None:
+                seeded = Relation(
+                    relation.variables + (name,),
+                    [row + (graph_id,) for row in relation.rows],
+                )
+            else:
+                rows: List[tuple] = []
+                for row in relation.rows:
+                    if row[slot] == graph_id:
+                        rows.append(row)
+                    elif row[slot] is UNBOUND:
+                        cells = list(row)
+                        cells[slot] = graph_id
+                        rows.append(tuple(cells))
+                seeded = Relation(relation.variables, rows)
+            if seeded.rows:
+                branches.append(
+                    self._evaluate_group_rel(element.group, seeded, graph_name, encoder)
+                )
+        if not branches:
+            return Relation(
+                relation.variables + ((name,) if slot is None else ()), []
+            )
+        return Relation.concat(branches)
+
+    def _bind_rel(
+        self, element: BindClause, relation: Relation, encoder: QueryEncoder
+    ) -> Relation:
+        name = str(element.variable)
+        needed: Set[str] = set()
+        self._expression_vars(element.expression, needed)
+        slots = [
+            (variable, relation.slot(variable))
+            for variable in needed
+            if relation.slot(variable) is not None
+        ]
+        target = relation.slot(name)
+        decode = encoder.decode
+        out_rows: List[tuple] = []
+        for row in relation.rows:
+            binding = {
+                variable: decode(row[slot])
+                for variable, slot in slots
+                if row[slot] is not UNBOUND
+            }
+            value = self._evaluate_expression(element.expression, binding)
+            cell = encoder.encode(value) if value is not None else UNBOUND
+            if target is None:
+                out_rows.append(row + (cell,))
+            else:
+                cells = list(row)
+                cells[target] = cell
+                out_rows.append(tuple(cells))
+        variables = relation.variables if target is not None else relation.variables + (name,)
+        return Relation(variables, out_rows)
+
+    def _filter_rel(
+        self, filters: List[FilterClause], relation: Relation, encoder: QueryEncoder
+    ) -> Relation:
+        """Apply the group's deferred FILTERs, decoding only referenced vars."""
+        needed: Set[str] = set()
+        for filter_clause in filters:
+            self._expression_vars(filter_clause.expression, needed)
+        slots = [
+            (variable, relation.slot(variable))
+            for variable in needed
+            if relation.slot(variable) is not None
+        ]
+        decode = encoder.decode
+        out_rows: List[tuple] = []
+        for row in relation.rows:
+            binding = {
+                variable: decode(row[slot])
+                for variable, slot in slots
+                if row[slot] is not UNBOUND
+            }
+            if all(
+                self._truth(self._evaluate_expression(filter_clause.expression, binding))
+                for filter_clause in filters
+            ):
+                out_rows.append(row)
+        return Relation(relation.variables, out_rows)
+
+    @classmethod
+    def _expression_vars(cls, expression: Expression, names: Set[str]) -> None:
+        """Collect the variable names an expression reads."""
+        if isinstance(expression, VarExpr):
+            names.add(str(expression.variable))
+        elif isinstance(expression, Comparison):
+            cls._expression_vars(expression.left, names)
+            cls._expression_vars(expression.right, names)
+        elif isinstance(expression, BooleanExpr):
+            cls._expression_vars(expression.left, names)
+            cls._expression_vars(expression.right, names)
+        elif isinstance(expression, NotExpr):
+            cls._expression_vars(expression.operand, names)
+        elif isinstance(expression, FunctionCall):
+            for argument in expression.arguments:
+                cls._expression_vars(argument, names)
+
     # ------------------------------------------------------------ query plan
     def _reorder_elements(
         self, elements: List[Any], solutions: List[Binding], graph: Optional[Any]
@@ -370,16 +1326,19 @@ class SPARQLEngine:
         reordered: List[Any] = []
         run: List[TriplePattern] = []
 
+        def ordering_cost(pattern: TriplePattern) -> Tuple[int, int, float]:
+            # A pattern sharing no variable with what is already bound would
+            # cross-join the accumulated solutions; schedule every connected
+            # pattern (however expensive) ahead of it.
+            pattern_vars = self._pattern_vars(pattern)
+            disconnected = int(bool(bound) and bool(pattern_vars) and not (pattern_vars & bound))
+            return (disconnected, *self._pattern_cost(pattern, bound, representative, graph_name))
+
         def flush_run() -> None:
             nonlocal run
             remaining = list(run)
             while remaining:
-                best = min(
-                    range(len(remaining)),
-                    key=lambda k: self._pattern_cost(
-                        remaining[k], bound, representative, graph_name
-                    ),
-                )
+                best = min(range(len(remaining)), key=lambda k: ordering_cost(remaining[k]))
                 pattern = remaining.pop(best)
                 reordered.append(pattern)
                 bound.update(self._pattern_vars(pattern))

@@ -385,22 +385,31 @@ class TestPartialQuotedIndex:
             }}
         """
         engine = SPARQLEngine(store)
+        # Whichever executor runs, a one-side-bound quoted pattern must pick
+        # its candidates through the partial quoted-triple index
+        # (GraphIndex._quoted_candidates), never via full triple scans
+        # (store.match / store.match_ids with an unbound subject).
+        from repro.rdf.graph_index import GraphIndex
+
         calls = {"match": 0, "match_quoted": 0}
-        original_match, original_quoted = store.match, store.match_quoted
+        original_match = store.match_ids
+        original_candidates = GraphIndex._quoted_candidates
 
         def counting_match(*args, **kwargs):
             calls["match"] += 1
             return original_match(*args, **kwargs)
 
-        def counting_quoted(*args, **kwargs):
+        def counting_candidates(*args, **kwargs):
             calls["match_quoted"] += 1
-            return original_quoted(*args, **kwargs)
+            return original_candidates(*args, **kwargs)
 
-        store.match, store.match_quoted = counting_match, counting_quoted
+        store.match_ids = counting_match
+        GraphIndex._quoted_candidates = counting_candidates
         try:
             result = engine.select(query)
         finally:
-            store.match, store.match_quoted = original_match, original_quoted
+            store.match_ids = original_match
+            GraphIndex._quoted_candidates = original_candidates
         assert result.rows == [{"c2": _uri("d7"), "score": pytest.approx(0.5 + 7 / 300)}]
         assert calls["match_quoted"] >= 1
         assert calls["match"] == 0

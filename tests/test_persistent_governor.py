@@ -559,3 +559,140 @@ class TestHNSWConstruction:
         results = hnsw.search(np.array([1.0, 0.0, 0.0, 0.0]), k=3)
         assert len(results) == 3
         assert all(score == pytest.approx(1.0) for _, score in results)
+
+
+# --------------------------------------------------------------------------
+# Pipeline abstraction persistence
+# --------------------------------------------------------------------------
+class TestPipelinePersistence:
+    def _scripts(self, source):
+        from repro.pipelines.abstraction import PipelineScript
+
+        return [
+            PipelineScript(
+                "titanic_p1", source, dataset_name="titanic", votes=10, task="classification"
+            )
+        ]
+
+    def test_abstractions_round_trip_through_save_open(
+        self, tmp_path, example_pipeline_source
+    ):
+        governor = KGGovernor()
+        governor.add_data_lake(make_lake())
+        governor.add_pipelines(self._scripts(example_pipeline_source))
+        directory = tmp_path / "lake"
+        governor.save(directory)
+
+        reopened = KGGovernor.open(directory)
+        assert len(reopened.abstractions) == 1
+        original = governor.abstractions[0]
+        restored = reopened.abstractions[0]
+        assert restored.pipeline_id == original.pipeline_id
+        assert restored.script.source_code == original.script.source_code
+        assert restored.libraries_used == original.libraries_used
+        assert restored.calls_used == original.calls_used
+        assert restored.predicted_table_reads == original.predicted_table_reads
+        assert [s.to_dict() for s in restored.statements] == [
+            s.to_dict() for s in original.statements
+        ]
+        assert (
+            reopened.abstractor.library_hierarchy_edges()
+            == governor.abstractor.library_hierarchy_edges()
+        )
+        reopened.close()
+
+    def test_unchanged_pipeline_readd_is_skipped_after_reopen(
+        self, tmp_path, example_pipeline_source
+    ):
+        governor = KGGovernor()
+        governor.add_data_lake(make_lake())
+        governor.add_pipelines(self._scripts(example_pipeline_source))
+        directory = tmp_path / "lake"
+        governor.save(directory)
+        before = serialize_nquads(governor.storage.graph)
+
+        reopened = KGGovernor.open(directory)
+        report = reopened.add_pipelines(self._scripts(example_pipeline_source))
+        assert report.num_pipelines_abstracted == 0  # skipped, not re-abstracted
+        assert serialize_nquads(reopened.storage.graph) == before
+        reopened.close()
+
+    def test_changed_pipeline_source_is_refreshed(self, example_pipeline_source):
+        from repro.pipelines.abstraction import PipelineScript
+
+        governor = KGGovernor()
+        governor.add_data_lake(make_lake())
+        governor.add_pipelines(self._scripts(example_pipeline_source))
+        changed = example_pipeline_source + "\nprint('v2')\n"
+        report = governor.add_pipelines(
+            [PipelineScript("titanic_p1", changed, dataset_name="titanic")]
+        )
+        assert report.num_pipelines_abstracted == 1
+        assert len(governor.abstractions) == 1
+        assert governor.abstractions[0].script.source_code == changed
+
+        # The graph equals abstracting the changed script from scratch.
+        scratch = KGGovernor()
+        scratch.add_data_lake(make_lake())
+        scratch.add_pipelines(
+            [PipelineScript("titanic_p1", changed, dataset_name="titanic")]
+        )
+        assert serialize_nquads(governor.storage.graph) == serialize_nquads(
+            scratch.storage.graph
+        )
+
+    def test_changed_imports_drop_stale_library_triples(self):
+        """A re-add whose new source stops using a library must not leave
+        that library's hierarchy triples behind (the library graph is shared
+        across pipelines and is rebuilt from the surviving abstractions)."""
+        from repro.pipelines.abstraction import PipelineScript
+
+        v1 = "import pandas as pd\nfrom sklearn.svm import SVC\nclf = SVC()\nclf.fit([[1]], [1])\n"
+        v2 = "import pandas as pd\ndf = pd.read_csv('x.csv')\n"
+        governor = KGGovernor()
+        governor.add_data_lake(make_lake())
+        governor.add_pipelines([PipelineScript("p1", v1, dataset_name="titanic")])
+        governor.add_pipelines([PipelineScript("p1", v2, dataset_name="titanic")])
+
+        scratch = KGGovernor()
+        scratch.add_data_lake(make_lake())
+        scratch.add_pipelines([PipelineScript("p1", v2, dataset_name="titanic")])
+        assert serialize_nquads(governor.storage.graph) == serialize_nquads(
+            scratch.storage.graph
+        )
+
+    def test_nan_inside_containers_round_trips(self):
+        import math
+
+        from repro.pipelines.static_analysis import CallInfo
+
+        call = CallInfo(
+            full_name="x.f",
+            library="x",
+            keyword_arguments={"weights": (float("nan"), 1), "bound": float("-inf")},
+        )
+        restored = CallInfo.from_dict(call.to_dict())
+        weights = restored.keyword_arguments["weights"]
+        assert isinstance(weights, tuple) and math.isnan(weights[0]) and weights[1] == 1
+        assert restored.keyword_arguments["bound"] == float("-inf")
+
+    def test_statement_and_call_serialization_round_trip(self, example_pipeline_source):
+        from repro.pipelines.abstraction import AbstractedPipeline, PipelineAbstractor
+
+        abstraction = PipelineAbstractor().abstract_script(
+            self._scripts(example_pipeline_source)[0]
+        )
+        restored = AbstractedPipeline.from_dict(abstraction.to_dict())
+        assert restored.to_dict() == abstraction.to_dict()
+        # Tuples in argument values survive (JSON alone would flatten them).
+        from repro.pipelines.static_analysis import CallInfo
+
+        call = CallInfo(
+            full_name="pandas.read_csv",
+            library="pandas",
+            keyword_arguments={"usecols": ("a", "b"), "sep": ","},
+        )
+        assert CallInfo.from_dict(call.to_dict()).keyword_arguments == {
+            "usecols": ("a", "b"),
+            "sep": ",",
+        }

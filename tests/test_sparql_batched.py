@@ -1,0 +1,384 @@
+"""The batched SPARQL executor, term dictionary and shard eviction.
+
+Pins the contracts of the dictionary-encoded storage / batched-join PR:
+
+* **Randomized parity** — the batched (columnar hash-join) executor, the
+  tuple-at-a-time executor and the seed written-order path return the same
+  rows (modulo order) on generated graphs and a zoo of query shapes, over
+  both the in-memory and sqlite backends;
+* **Term dictionary** — term <-> id interning is bidirectional, quoted
+  triples are first-class, and ids round-trip byte-stably through a sqlite
+  save/reopen;
+* **LRU shard eviction** — ``max_resident_graphs`` caps resident indexes
+  with write-through flushes, eviction counters, and per-graph version
+  monotonicity across evict/reload cycles;
+* **Bounded lookup memo** — the per-pattern memo evicts past capacity and
+  reports hit/miss counters through the engine.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.rdf import (
+    Literal,
+    QuadStore,
+    QuotedTriple,
+    SqliteBackend,
+    TermDictionary,
+    URIRef,
+)
+from repro.rdf.serialize import serialize_nquads
+from repro.sparql import SPARQLEngine
+from repro.sparql.columnar import BoundedMemo
+
+EX = "http://example.org/"
+
+
+def _uri(name: str) -> URIRef:
+    return URIRef(f"{EX}{name}")
+
+
+def make_random_store(seed: int, store: QuadStore | None = None) -> QuadStore:
+    """A small random multi-graph store with literals and annotations."""
+    rng = random.Random(seed)
+    if store is None:  # NB: an empty QuadStore is falsy (len() == 0)
+        store = QuadStore()
+    graphs = [_uri("g1"), _uri("g2")]
+    subjects = [_uri(f"s{i}") for i in range(12)]
+    predicates = [_uri(f"p{i}") for i in range(4)]
+    for _ in range(120):
+        subject = rng.choice(subjects)
+        predicate = rng.choice(predicates)
+        obj = rng.choice(subjects) if rng.random() < 0.6 else Literal(rng.randint(0, 9))
+        store.add(subject, predicate, obj, graph=rng.choice(graphs))
+    # RDF-star annotations on a handful of edges.
+    annotation = _uri("certainty")
+    for _ in range(15):
+        subject = rng.choice(subjects)
+        obj = rng.choice(subjects)
+        store.annotate(
+            subject,
+            predicates[0],
+            obj,
+            annotation,
+            Literal(round(rng.random(), 3)),
+            graph=rng.choice(graphs),
+        )
+    # Names so FILTER / BIND string functions have text to chew on.
+    has_name = _uri("name")
+    for position, subject in enumerate(subjects):
+        store.add(subject, has_name, Literal(f"node_{position}"), graph=graphs[0])
+    return store
+
+
+QUERY_SHAPES = [
+    # chain join
+    f"SELECT ?a ?b ?c WHERE {{ ?a <{EX}p0> ?b . ?b <{EX}p1> ?c . }}",
+    # star join with names
+    f"SELECT ?s ?n ?x WHERE {{ ?s <{EX}name> ?n . ?s <{EX}p2> ?x . }}",
+    # triangle-ish with repeated variable use
+    f"SELECT ?a ?b WHERE {{ ?a <{EX}p0> ?b . ?b <{EX}p0> ?a . }}",
+    # quoted annotation read with joined names
+    f"""SELECT ?a ?b ?v ?n WHERE {{
+        << ?a <{EX}p0> ?b >> <{EX}certainty> ?v .
+        ?a <{EX}name> ?n .
+    }}""",
+    # OPTIONAL with a filter on boundness
+    f"""SELECT ?s ?n ?x WHERE {{
+        ?s <{EX}name> ?n . OPTIONAL {{ ?s <{EX}p3> ?x . }}
+    }}""",
+    f"""SELECT ?s ?n WHERE {{
+        ?s <{EX}name> ?n . OPTIONAL {{ ?s <{EX}p3> ?x . }} FILTER(!bound(?x))
+    }}""",
+    # OPTIONAL variable reused by a later pattern
+    f"""SELECT ?s ?x ?y WHERE {{
+        ?s <{EX}name> ?n . OPTIONAL {{ ?s <{EX}p3> ?x . }} ?x <{EX}p1> ?y .
+    }}""",
+    # UNION
+    f"""SELECT ?s ?o WHERE {{
+        {{ ?s <{EX}p0> ?o . }} UNION {{ ?s <{EX}p1> ?o . }}
+    }}""",
+    # named graph variable
+    f"SELECT ?g ?s ?o WHERE {{ GRAPH ?g {{ ?s <{EX}p2> ?o . }} }}",
+    # named graph constant
+    f"SELECT ?s ?o WHERE {{ GRAPH <{EX}g2> {{ ?s <{EX}p0> ?o . }} }}",
+    # FILTER on a numeric literal
+    f"SELECT ?s ?o WHERE {{ ?s <{EX}p1> ?o . FILTER(?o >= 5) }}",
+    # BIND + string function + filter
+    f"""SELECT ?s ?upper WHERE {{
+        ?s <{EX}name> ?n . FILTER(strstarts(?n, "node_1")) BIND(ucase(?n) AS ?upper)
+    }}""",
+    # aggregate over a join
+    f"""SELECT ?a (COUNT(?b) AS ?n) WHERE {{
+        ?a <{EX}p0> ?b . ?a <{EX}name> ?m .
+    }} GROUP BY ?a ORDER BY ?a""",
+    # distinct projection
+    f"SELECT DISTINCT ?a WHERE {{ ?a <{EX}p0> ?b . ?b <{EX}p1> ?c . }}",
+]
+
+
+def rows_key(result):
+    """Order-insensitive, binding-order-insensitive row multiset."""
+    return sorted(
+        tuple(sorted((key, str(value)) for key, value in row.items()))
+        for row in result.rows
+    )
+
+
+class TestRandomizedParity:
+    @pytest.mark.parametrize("seed", [3, 11, 42])
+    @pytest.mark.parametrize("shape", range(len(QUERY_SHAPES)))
+    def test_batched_matches_seed_semantics(self, seed, shape):
+        store = make_random_store(seed)
+        query = QUERY_SHAPES[shape]
+        batched = SPARQLEngine(store).select(query)
+        tuple_engine = SPARQLEngine(store, batched=False).select(query)
+        seed_engine = SPARQLEngine(store, optimize=False).select(query)
+        assert rows_key(batched) == rows_key(seed_engine)
+        assert rows_key(tuple_engine) == rows_key(seed_engine)
+
+    @pytest.mark.parametrize("seed", [7, 19])
+    def test_parity_holds_on_sqlite_backend(self, seed, tmp_path):
+        memory_store = make_random_store(seed)
+        sqlite_store = make_random_store(seed, QuadStore.sqlite(tmp_path / "s.sqlite3"))
+        assert serialize_nquads(memory_store) == serialize_nquads(sqlite_store)
+        for query in QUERY_SHAPES:
+            expected = rows_key(SPARQLEngine(memory_store, optimize=False).select(query))
+            assert rows_key(SPARQLEngine(sqlite_store).select(query)) == expected
+            assert rows_key(SPARQLEngine(memory_store).select(query)) == expected
+        sqlite_store.close()
+
+    @pytest.mark.parametrize("seed", [5])
+    def test_parity_after_reopen(self, seed, tmp_path):
+        """A reopened store (ids decoded from the terms table) stays identical."""
+        path = tmp_path / "s.sqlite3"
+        original = make_random_store(seed, QuadStore.sqlite(path))
+        expected = {
+            query: rows_key(SPARQLEngine(original).select(query))
+            for query in QUERY_SHAPES
+        }
+        original.close()
+        reopened = QuadStore.sqlite(path)
+        for query, rows in expected.items():
+            assert rows_key(SPARQLEngine(reopened).select(query)) == rows
+        reopened.close()
+
+    def test_explain_stable_across_executors(self):
+        store = make_random_store(3)
+        query = QUERY_SHAPES[0]
+        assert (
+            SPARQLEngine(store).explain(query)
+            == SPARQLEngine(store, batched=False).explain(query)
+        )
+
+
+class TestTermDictionary:
+    def test_encode_decode_round_trip(self):
+        dictionary = TermDictionary()
+        terms = [_uri("a"), Literal("x"), Literal(5), _uri("b")]
+        ids = [dictionary.encode(term) for term in terms]
+        assert len(set(ids)) == len(ids)
+        for term, term_id in zip(terms, ids):
+            assert dictionary.decode(term_id) == term
+            assert dictionary.lookup(term) == term_id
+        assert dictionary.encode(terms[0]) == ids[0]  # interning is stable
+        assert dictionary.lookup(_uri("missing")) is None
+
+    def test_quoted_triples_are_first_class(self):
+        dictionary = TermDictionary()
+        quoted = QuotedTriple(_uri("a"), _uri("p"), Literal(1))
+        quoted_id = dictionary.encode(quoted)
+        parts = dictionary.quoted_parts(quoted_id)
+        assert parts == (
+            dictionary.lookup(_uri("a")),
+            dictionary.lookup(_uri("p")),
+            dictionary.lookup(Literal(1)),
+        )
+        assert dictionary.quoted_id(parts) == quoted_id
+        assert dictionary.lookup(QuotedTriple(_uri("a"), _uri("p"), Literal(1))) == quoted_id
+        assert dictionary.quoted_parts(dictionary.encode(_uri("a"))) is None
+
+    def test_ids_round_trip_through_sqlite(self, tmp_path):
+        path = tmp_path / "store.sqlite3"
+        store = QuadStore.sqlite(path)
+        terms = [_uri("a"), _uri("p"), Literal("hello\nworld"), Literal(2.5)]
+        store.add(terms[0], terms[1], terms[2])
+        store.add(terms[0], terms[1], terms[3])
+        store.annotate(terms[0], terms[1], terms[3], _uri("score"), Literal(0.9))
+        recorded = {str(term): store.dictionary.lookup(term) for term in terms}
+        quoted = QuotedTriple(terms[0], terms[1], terms[3])
+        recorded_quoted = store.dictionary.lookup(quoted)
+        store.close()
+
+        reopened = QuadStore.sqlite(path)
+        for term in terms:
+            assert reopened.dictionary.lookup(term) == recorded[str(term)]
+            assert reopened.dictionary.decode(recorded[str(term)]) == term
+        assert reopened.dictionary.lookup(quoted) == recorded_quoted
+        assert reopened.dictionary.quoted_parts(recorded_quoted) == (
+            recorded[str(terms[0])],
+            recorded[str(terms[1])],
+            recorded[str(terms[3])],
+        )
+        reopened.close()
+
+    def test_value_equal_terms_share_one_id(self):
+        """Dict-key equality semantics: URIRef("x") and "x" alias (as the
+        seed's triple sets did), Literal("5") and "5" stay distinct."""
+        dictionary = TermDictionary()
+        assert dictionary.encode(_uri("x")) == dictionary.encode(str(_uri("x")))
+        assert dictionary.encode(Literal("5")) != dictionary.encode("5")
+
+
+class TestShardEviction:
+    def _populated(self, path, cap):
+        store = QuadStore(backend=SqliteBackend(path, max_resident_graphs=cap))
+        for g in range(5):
+            for i in range(4):
+                store.add(_uri(f"s{i}"), _uri("p"), Literal(i), graph=_uri(f"g{g}"))
+        return store
+
+    def test_resident_set_is_capped(self, tmp_path):
+        store = self._populated(tmp_path / "e.sqlite3", cap=2)
+        backend = store.backend
+        assert isinstance(backend, SqliteBackend)
+        assert len(backend._indexes) <= 2
+        assert backend.shard_evictions >= 3
+        # Every graph still answers correctly after eviction + reload.
+        for g in range(5):
+            assert store.num_triples(_uri(f"g{g}")) == 4
+            assert len(list(store.triples(graph=_uri(f"g{g}")))) == 4
+        assert len(backend._indexes) <= 2
+        store.close()
+
+    def test_write_through_before_eviction(self, tmp_path):
+        """Buffered writes of a shard must be durable before it is evicted."""
+        path = tmp_path / "e.sqlite3"
+        store = self._populated(path, cap=1)
+        store.close()
+        reopened = QuadStore.sqlite(path)
+        assert reopened.num_triples() == 20
+        for g in range(5):
+            assert sorted(
+                str(t.object) for t in reopened.triples(graph=_uri(f"g{g}"))
+            ) == sorted(str(Literal(i)) for i in range(4))
+        reopened.close()
+
+    def test_eviction_counters_exposed(self, tmp_path):
+        store = self._populated(tmp_path / "e.sqlite3", cap=2)
+        backend = store.backend
+        loads_before = backend.shard_loads
+        evictions_before = backend.shard_evictions
+        # Touching an evicted graph reloads it (and evicts another).
+        victims = [g for g in store.graphs() if g not in backend._indexes]
+        assert victims
+        list(store.triples(graph=victims[0]))
+        assert backend.shard_loads == loads_before + 1
+        assert backend.shard_evictions == evictions_before + 1
+        store.close()
+
+    def test_graph_version_monotonic_across_eviction(self, tmp_path):
+        """Version-keyed reader caches must never see a reload as 'no change'."""
+        store = self._populated(tmp_path / "e.sqlite3", cap=1)
+        graph = _uri("g0")
+        version_before = store.graph_version(graph)  # forces a reload
+        # Touch the other graphs so g0 is evicted again.
+        for g in range(1, 5):
+            store.num_triples(_uri(f"g{g}"))
+            list(store.triples(graph=_uri(f"g{g}")))
+        store.add(_uri("sX"), _uri("p"), Literal(99), graph=graph)
+        assert store.graph_version(graph) > version_before
+        store.close()
+
+    def test_version_advances_for_unloaded_predicate_delete(self, tmp_path):
+        """A predicate delete on an evicted shard must advance the version
+        floor: shrinking by N and reloading would otherwise land exactly on
+        the pre-eviction counter and keep version-keyed caches stale."""
+        store = self._populated(tmp_path / "e.sqlite3", cap=1)
+        graph = _uri("g0")
+        observed = store.graph_version(graph)  # loads g0
+        list(store.triples(graph=_uri("g4")))  # evicts g0
+        backend = store.backend
+        assert graph not in backend._indexes
+        assert store.remove_predicate(_uri("p"), graph=graph) == 4
+        assert graph not in backend._indexes  # retracted in sqlite directly
+        assert store.graph_version(graph) > observed
+        assert store.num_triples(graph) == 0
+        store.close()
+
+    def test_cap_of_one_still_functions(self, tmp_path):
+        store = self._populated(tmp_path / "e.sqlite3", cap=1)
+        backend = store.backend
+        assert len(backend._indexes) <= 1
+        engine = SPARQLEngine(store)
+        result = engine.select(f"SELECT ?s ?o WHERE {{ ?s <{EX}p> ?o . }}")
+        assert len(result) == 20
+        store.close()
+
+    def test_invalid_cap_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            SqliteBackend(tmp_path / "bad.sqlite3", max_resident_graphs=0)
+
+    def test_query_pins_residency_loading_each_shard_once(self, tmp_path):
+        """A cross-graph query on a capped store must load each missing
+        shard at most once (the engine pins residency for the evaluation),
+        and the cap must re-apply once the query finishes."""
+        path = tmp_path / "pin.sqlite3"
+        store = self._populated(path, cap=None)
+        store.close()
+        capped = QuadStore.sqlite(path, max_resident_graphs=2)
+        backend = capped.backend
+        engine = SPARQLEngine(capped)
+        query = f"SELECT ?s ?o WHERE {{ ?s <{EX}p> ?o . ?s <{EX}p> ?o . }}"
+        # 4 distinct (s, o) pairs replicated in all 5 graphs: the first
+        # pattern binds 20 rows, the self-join matches each in 5 graphs.
+        assert len(engine.select(query)) == 100
+        first_loads = backend.shard_loads
+        assert first_loads == 5  # one load per shard, despite cap < graphs
+        assert len(backend._indexes) <= 2  # cap re-applied after the query
+        assert len(engine.select(query)) == 100
+        assert backend.shard_loads - first_loads <= 5
+        capped.close()
+
+
+class TestBoundedMemo:
+    def test_lru_eviction_and_counters(self):
+        memo = BoundedMemo(capacity=2)
+        missing = memo.MISSING
+        assert memo.get("a") is missing
+        memo.put("a", 1)
+        memo.put("b", 2)
+        assert memo.get("a") == 1  # refreshes "a"; "b" is now LRU
+        memo.put("c", 3)  # evicts "b"
+        assert memo.get("b") is missing
+        assert memo.get("a") == 1
+        assert memo.get("c") == 3
+        counters = memo.counters()
+        assert counters["evictions"] == 1
+        assert counters["hits"] == 3
+        assert counters["misses"] == 2
+        assert len(memo) == 2
+
+    def test_unbounded_memo_keeps_counters(self):
+        memo = BoundedMemo(capacity=None)
+        for position in range(100):
+            memo.put(position, position)
+        assert len(memo) == 100
+        assert memo.counters()["evictions"] == 0
+
+    def test_engine_exposes_memo_counters(self):
+        store = make_random_store(3)
+        engine = SPARQLEngine(store, memo_capacity=8)
+        engine.select(QUERY_SHAPES[0])
+        counters = engine.memo_counters()
+        assert counters["misses"] > 0
+
+    def test_tiny_capacity_does_not_change_results(self):
+        store = make_random_store(11)
+        roomy = SPARQLEngine(store)
+        cramped = SPARQLEngine(store, memo_capacity=1)
+        for query in QUERY_SHAPES:
+            assert rows_key(cramped.select(query)) == rows_key(roomy.select(query))
