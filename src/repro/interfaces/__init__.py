@@ -8,6 +8,6 @@ recommendation — plus ad-hoc SPARQL queries.  Results are returned as
 the original system returns.
 """
 
-from repro.interfaces.api import KGLiDS
+from repro.interfaces.api import KGLiDS, LiDSClient
 
-__all__ = ["KGLiDS"]
+__all__ = ["KGLiDS", "LiDSClient"]

@@ -1,7 +1,18 @@
-"""The :class:`KGLiDS` facade: pre-defined operations over the LiDS graph."""
+"""The user-facing read surface over the LiDS graph.
+
+* :class:`KGLiDS` — the paper's facade: pre-defined discovery operations
+  plus ad-hoc SPARQL over a bootstrapped governor.  Multi-lookup operations
+  run inside one store read view, so they observe a single committed state
+  even while a :class:`~repro.kg.service.GovernorService` ingests on a
+  background thread.
+* :class:`LiDSClient` — the unified entry point: it fronts a live service,
+  a plain governor, or a saved governor directory
+  (:meth:`LiDSClient.open`, read-only) with the same API.
+"""
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import networkx as nx
@@ -12,6 +23,7 @@ from repro.automation.transformation import TransformationRecommendation, Transf
 from repro.automl.kgpip import EstimatorRecommendation, KGpipAutoML
 from repro.kg.governor import KGGovernor
 from repro.kg.ontology import DATASET_GRAPH, LiDSOntology, library_uri, table_uri
+from repro.kg.service import GovernorService
 from repro.kg.storage import KGLiDSStorage
 from repro.pipelines.abstraction import PipelineScript
 from repro.rdf import RDF, URIRef
@@ -65,6 +77,18 @@ class KGLiDS:
             platform.transformation_recommender.train_from_kg(platform.storage)
         return platform
 
+    # ----------------------------------------------------------- consistency
+    def read_view(self):
+        """A consistent read scope over the LiDS graph (context manager).
+
+        Everything read inside one view belongs to a single committed store
+        state: ingestion batches applied by a background
+        :class:`~repro.kg.service.GovernorService` either precede the whole
+        view or wait for it.  Single queries already get a view implicitly;
+        use this to make *sequences* of calls mutually consistent.
+        """
+        return self.storage.graph.read_view()
+
     # ----------------------------------------------------------- ad-hoc query
     def query(self, sparql: str) -> Table:
         """Run an ad-hoc SPARQL SELECT query; results come back as a Table."""
@@ -77,6 +101,10 @@ class KGLiDS:
         Nested lists are conjunctive (all terms must appear), top-level
         entries are combined disjunctively.
         """
+        with self.read_view():
+            return self._search_keywords(conditions)
+
+    def _search_keywords(self, conditions: KeywordConditions) -> Table:
         result = self.storage.query(
             """
             SELECT DISTINCT ?table ?table_name ?dataset_name WHERE {
@@ -170,6 +198,12 @@ class KGLiDS:
         self, dataset_a: str, table_a: str, dataset_b: str, table_b: str
     ) -> Table:
         """Matched (unionable) column pairs between two tables with their scores."""
+        with self.read_view():
+            return self._find_unionable_columns(dataset_a, table_a, dataset_b, table_b)
+
+    def _find_unionable_columns(
+        self, dataset_a: str, table_a: str, dataset_b: str, table_b: str
+    ) -> Table:
         ontology = LiDSOntology
         store = self.storage.graph
         node_a = table_uri(dataset_a, table_a)
@@ -225,6 +259,10 @@ class KGLiDS:
     def get_path_to_table(self, dataset: str, table: str, hops: int = 2) -> Table:
         """Join paths (up to ``hops`` edges) from the given table to other tables."""
         start = str(table_uri(dataset, table))
+        with self.read_view():
+            return self._get_path_to_table(start, hops)
+
+    def _get_path_to_table(self, start: str, hops: int) -> Table:
         join_graph = self._join_graph()
         rows = []
         if start in join_graph:
@@ -246,16 +284,17 @@ class KGLiDS:
         self, dataset_a: str, table_a: str, dataset_b: str, table_b: str
     ) -> Optional[List[str]]:
         """Shortest join path between two tables (labels), or ``None``."""
-        join_graph = self._join_graph()
-        source = str(table_uri(dataset_a, table_a))
-        target = str(table_uri(dataset_b, table_b))
-        if source not in join_graph or target not in join_graph:
-            return None
-        try:
-            path = nx.shortest_path(join_graph, source, target)
-        except nx.NetworkXNoPath:
-            return None
-        return [self._table_label(node) for node in path]
+        with self.read_view():
+            join_graph = self._join_graph()
+            source = str(table_uri(dataset_a, table_a))
+            target = str(table_uri(dataset_b, table_b))
+            if source not in join_graph or target not in join_graph:
+                return None
+            try:
+                path = nx.shortest_path(join_graph, source, target)
+            except nx.NetworkXNoPath:
+                return None
+            return [self._table_label(node) for node in path]
 
     def _table_label(self, table_uri_str: str) -> str:
         name = self.storage.graph.value(
@@ -379,7 +418,8 @@ class KGLiDS:
     # ------------------------------------------------------------- statistics
     def statistics(self) -> Dict[str, int]:
         """Statistics Manager view of the platform state."""
-        return self.storage.statistics()
+        with self.read_view():
+            return self.storage.statistics()
 
     # -------------------------------------------------------------- helpers
     @staticmethod
@@ -388,3 +428,65 @@ class KGLiDS:
         for column_name in columns:
             table.add_column(Column(column_name, [row.get(column_name) for row in rows]))
         return table
+
+
+class LiDSClient(KGLiDS):
+    """One read surface over every way a LiDS graph can be served.
+
+    * ``LiDSClient(service)`` — front a live
+      :class:`~repro.kg.service.GovernorService`: reads stay answerable
+      while ingestion runs, and every read observes whole committed batches.
+    * ``LiDSClient(governor)`` — front a plain (synchronous) governor.
+    * ``LiDSClient.open(directory)`` — front a saved governor directory
+      *read-only*: discovery works immediately (sqlite shards load lazily),
+      while every mutation raises ``PermissionError`` so the saved lake
+      cannot be modified by accident.
+
+    The discovery API is exactly :class:`KGLiDS`; this class only decides
+    where the graph comes from and whether it may change.
+    """
+
+    def __init__(self, source: Union[GovernorService, KGGovernor]):
+        if isinstance(source, GovernorService):
+            self.service: Optional[GovernorService] = source
+            governor = source.governor
+        elif isinstance(source, KGGovernor):
+            self.service = source._service
+            governor = source
+        else:
+            raise TypeError(
+                "LiDSClient fronts a GovernorService or a KGGovernor; "
+                f"got {type(source).__name__}"
+            )
+        super().__init__(governor)
+
+    @classmethod
+    def open(cls, directory: Union[str, Path], **governor_kwargs) -> "LiDSClient":
+        """Open a saved governor directory for read-only discovery.
+
+        The returned client answers every read operation; the underlying
+        governor rejects mutations (``read_only``), so the directory's
+        graph, embeddings and profiles stay exactly as saved.
+        """
+        governor = KGGovernor.open(directory, **governor_kwargs)
+        governor.read_only = True
+        return cls(governor)
+
+    @property
+    def read_only(self) -> bool:
+        """Whether this client fronts a read-only (opened) governor."""
+        return self.governor.read_only
+
+    def close(self) -> None:
+        """Release the underlying storage (flushes sqlite-backed graphs).
+
+        For a service-fronted client, close the service first (or let it
+        drain): closing storage under a live scheduler would fail every
+        in-flight ticket on a closed backend, so it is rejected here.
+        """
+        if self.service is not None and not self.service.closed:
+            raise RuntimeError(
+                "close the GovernorService before closing the client "
+                "(a live scheduler still writes through this storage)"
+            )
+        self.governor.close()

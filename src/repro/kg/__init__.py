@@ -14,15 +14,19 @@ abstracted pipelines into the LiDS graph.
   dataset usage against the dataset graph.
 * :mod:`repro.kg.governor` — the KG Governor orchestrating profiling,
   abstraction, construction and incremental maintenance.
+* :mod:`repro.kg.service` — the queued ingestion service: ``submit_*``
+  returns :class:`IngestTicket` handles while a background scheduler
+  coalesces micro-batches and commits them atomically.
 * :mod:`repro.kg.storage` — the KGLiDS storage bundle (quad store +
   embedding store + model store).
 """
 
 from repro.kg.dataset_graph import DataGlobalSchemaBuilder, SimilarityThresholds
-from repro.kg.governor import KGGovernor
+from repro.kg.governor import GovernorReport, KGGovernor
 from repro.kg.linker import GlobalGraphLinker
 from repro.kg.ontology import LiDSOntology, column_uri, dataset_uri, pipeline_graph_uri, table_uri
 from repro.kg.pipeline_graph import PipelineGraphBuilder
+from repro.kg.service import GovernorService, IngestTicket
 from repro.kg.storage import KGLiDSStorage
 
 __all__ = [
@@ -36,5 +40,8 @@ __all__ = [
     "PipelineGraphBuilder",
     "GlobalGraphLinker",
     "KGGovernor",
+    "GovernorReport",
+    "GovernorService",
+    "IngestTicket",
     "KGLiDSStorage",
 ]

@@ -65,6 +65,20 @@ class ColumnSimilarityEdge:
     score: float
 
 
+@dataclass
+class IncrementalBuildPlan:
+    """The pure-compute half of an incremental build, ready to be applied.
+
+    Produced by :meth:`DataGlobalSchemaBuilder.plan_incremental` without
+    touching the store, so the expensive similarity scoring can run while
+    readers keep querying; :meth:`DataGlobalSchemaBuilder.apply_incremental`
+    then writes everything inside one short commit batch.
+    """
+
+    edges: List[ColumnSimilarityEdge]
+    table_scores: Dict[Tuple[str, str, str], float]
+
+
 class DataGlobalSchemaBuilder:
     """Builds the dataset graph from table profiles (Algorithm 3)."""
 
@@ -146,13 +160,42 @@ class DataGlobalSchemaBuilder:
         ``ann_top_k`` matches above ``theta``; construct the builder with
         ``ann_prune=False`` for exact scoring.
         """
-        self._write_metadata_subgraphs(new_profiles, store)
+        plan = self.plan_incremental(new_profiles, existing_profiles)
+        return self.apply_incremental(new_profiles, plan, store)
+
+    def plan_incremental(
+        self,
+        new_profiles: Sequence[TableProfile],
+        existing_profiles: Sequence[TableProfile],
+    ) -> IncrementalBuildPlan:
+        """Compute the similarity edges and table relationships — no writes.
+
+        This is the expensive half of :meth:`build_incremental` (matrix
+        scoring across the executor, table-relationship derivation) kept
+        store-free so callers can run it *outside* a write gate and keep
+        concurrent readers unblocked while it crunches.
+        """
         edges = self.compute_incremental_similarities(new_profiles, existing_profiles)
-        self._write_similarity_edges(edges, store)
         all_profiles = list(existing_profiles) + list(new_profiles)
         table_scores = self.derive_table_relationships(all_profiles, edges)
-        self._write_table_relationships(table_scores, store)
-        return edges
+        return IncrementalBuildPlan(edges=edges, table_scores=table_scores)
+
+    def apply_incremental(
+        self,
+        new_profiles: Sequence[TableProfile],
+        plan: IncrementalBuildPlan,
+        store: QuadStore,
+    ) -> List[ColumnSimilarityEdge]:
+        """Write a planned increment into ``store`` (the cheap, write-only half).
+
+        Callers wanting batch atomicity wrap this single call in
+        ``store.write_batch()``; the triples written are exactly those
+        :meth:`build_incremental` would write.
+        """
+        self._write_metadata_subgraphs(new_profiles, store)
+        self._write_similarity_edges(plan.edges, store)
+        self._write_table_relationships(plan.table_scores, store)
+        return plan.edges
 
     # ---------------------------------------------------- metadata subgraphs
     def _write_metadata_subgraphs(

@@ -12,7 +12,10 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service -> governor)
+    from repro.kg.service import GovernorService
 
 from repro.embeddings.colr import ColRModelSet
 from repro.embeddings.store import EmbeddingStore
@@ -56,7 +59,40 @@ class GovernorReport:
     #: ``dataset/table`` ids that went through the refresh path (retract +
     #: re-profile) because their contents changed since they were governed.
     refreshed_tables: List[str] = field(default_factory=list)
+    #: ``dataset/table`` ids removed from the graph by retraction requests.
+    retracted_tables: List[str] = field(default_factory=list)
     link_reports: List[LinkReport] = field(default_factory=list)
+
+    def merge(self, other: "GovernorReport") -> "GovernorReport":
+        """Compose two reports into a new one (associative, non-mutating).
+
+        Counters add and the event lists concatenate in ``self``-then-
+        ``other`` order, so ``(a.merge(b)).merge(c) == a.merge(b.merge(c))``
+        — ticket results from the governor service compose into the same
+        totals no matter how the scheduler coalesced the submissions.
+        """
+        return GovernorReport(
+            num_tables_profiled=self.num_tables_profiled + other.num_tables_profiled,
+            num_columns_profiled=self.num_columns_profiled + other.num_columns_profiled,
+            num_pipelines_abstracted=(
+                self.num_pipelines_abstracted + other.num_pipelines_abstracted
+            ),
+            num_similarity_edges=self.num_similarity_edges + other.num_similarity_edges,
+            refreshed_tables=self.refreshed_tables + other.refreshed_tables,
+            retracted_tables=self.retracted_tables + other.retracted_tables,
+            link_reports=self.link_reports + other.link_reports,
+        )
+
+    def __add__(self, other: "GovernorReport") -> "GovernorReport":
+        if not isinstance(other, GovernorReport):
+            return NotImplemented
+        return self.merge(other)
+
+    def __radd__(self, other) -> "GovernorReport":
+        # ``sum(reports)`` starts from 0; an empty report is the identity.
+        if other == 0:
+            return self.merge(GovernorReport())
+        return NotImplemented
 
 
 class KGGovernor:
@@ -103,6 +139,14 @@ class KGGovernor:
         #: ``abstractions`` so re-adds of already-governed scripts are
         #: detected in O(1) (and skipped when the source is unchanged).
         self._abstractions_by_id: Dict[str, AbstractedPipeline] = {}
+        #: The :class:`~repro.kg.service.GovernorService` currently fronting
+        #: this governor, if any.  While attached, the public sync mutators
+        #: become submit-and-wait shims through the service queue so queued
+        #: and direct callers serialize on one scheduler.
+        self._service: Optional["GovernorService"] = None
+        #: Set by ``LiDSClient.open``: a read-only governor rejects every
+        #: mutation (the saved directory stays untouched).
+        self.read_only = False
         self._write_ontology()
 
     def _write_ontology(self) -> None:
@@ -118,6 +162,35 @@ class KGGovernor:
             return
         self.storage.graph.add_triples(triples, graph=ONTOLOGY_GRAPH)
 
+    # -------------------------------------------------------- service routing
+    def _ensure_writable(self) -> None:
+        if self.read_only:
+            raise PermissionError(
+                "this governor is read-only (opened via LiDSClient.open); "
+                "reopen it with KGGovernor.open to govern new data"
+            )
+
+    def _route_to_service(self) -> Optional["GovernorService"]:
+        """The service to submit through, or ``None`` for the direct path.
+
+        Mutations called on the service's own scheduler thread run directly
+        (they *are* the queued work being executed); everyone else becomes a
+        submit-and-wait shim so concurrent sync callers and queued tickets
+        serialize through one scheduler.  Waiting while holding a read view
+        on the graph would deadlock against the scheduler's write batches,
+        so that is rejected up front.
+        """
+        service = self._service
+        if service is None or service.is_scheduler_thread():
+            return None
+        if self.storage.graph.in_read_view():
+            raise RuntimeError(
+                "cannot govern synchronously while holding a read view: the "
+                "scheduler's write batch would wait on this thread's view "
+                "while this thread waits on the ticket"
+            )
+        return service
+
     # ----------------------------------------------------------- bootstrapping
     def bootstrap(
         self,
@@ -127,9 +200,9 @@ class KGGovernor:
         """Profile a data lake, abstract pipeline scripts and build the LiDS graph."""
         report = GovernorReport()
         if lake is not None:
-            report = self._merge(report, self.add_data_lake(lake))
+            report = report.merge(self.add_data_lake(lake))
         if scripts:
-            report = self._merge(report, self.add_pipelines(scripts))
+            report = report.merge(self.add_pipelines(scripts))
         return report
 
     # ------------------------------------------------------------ incremental
@@ -151,7 +224,19 @@ class KGGovernor:
         hash pass over each already-governed table's values per re-add —
         far cheaper than profiling, but no longer the O(1) key lookup the
         pre-refresh governor used.
+
+        Concurrency: profiling and similarity scoring run *outside* the
+        store's write gate; only the final graph application (metadata
+        subgraphs, similarity edges, table relationships) holds it, inside
+        one ``write_batch`` — so concurrent read views block only for the
+        short apply phase and observe either none or all of this add.  When
+        a :class:`~repro.kg.service.GovernorService` fronts this governor,
+        the call becomes a submit-and-wait through its queue.
         """
+        self._ensure_writable()
+        service = self._route_to_service()
+        if service is not None:
+            return service.submit_lake(lake).result()
         report = GovernorReport()
         fresh_tables: List[Table] = []
         fingerprints: Dict[Tuple[str, str], str] = {}
@@ -179,13 +264,17 @@ class KGGovernor:
         new_profiles = self.profiler.profile_tables(fresh_tables)
         report.num_tables_profiled += len(new_profiles)
         report.num_columns_profiled += sum(len(p.column_profiles) for p in new_profiles)
-        self._store_embeddings(new_profiles)
-        edges = self.schema_builder.build_incremental(
-            new_profiles, self.table_profiles, self.storage.graph
-        )
-        self.table_profiles.extend(new_profiles)
-        for profile in new_profiles:
-            self._profiles_by_key[(profile.dataset_name, profile.table_name)] = profile
+        plan = self.schema_builder.plan_incremental(new_profiles, self.table_profiles)
+        with self.storage.graph.write_batch():
+            self._store_embeddings(new_profiles)
+            edges = self.schema_builder.apply_incremental(
+                new_profiles, plan, self.storage.graph
+            )
+            self.table_profiles.extend(new_profiles)
+            for profile in new_profiles:
+                self._profiles_by_key[
+                    (profile.dataset_name, profile.table_name)
+                ] = profile
         # No explicit linker cache invalidation needed: the metadata writes
         # above bumped the dataset graph's version, which keys the cache.
         report.num_similarity_edges += len(edges)
@@ -207,7 +296,16 @@ class KGGovernor:
         abstractions round-trip through the saved directory), while scripts
         re-added with *changed* source have their stale named graph dropped
         before being abstracted and written afresh.
+
+        Like :meth:`add_data_lake`, abstraction (the expensive static
+        analysis) runs outside the store's write gate; stale-graph removal
+        and the fresh graph writes each run as one atomic ``write_batch``,
+        and a fronting service turns the call into a submit-and-wait.
         """
+        self._ensure_writable()
+        service = self._route_to_service()
+        if service is not None:
+            return service.submit_pipelines(scripts).result()
         report = GovernorReport()
         fresh_scripts: List[PipelineScript] = []
         changed_ids: set = set()
@@ -216,32 +314,36 @@ class KGGovernor:
             if governed is not None:
                 if governed.script.source_code == script.source_code:
                     continue
-                # Changed source: the pipeline's whole named graph is stale.
-                self.storage.graph.remove_graph(pipeline_graph_uri(script.pipeline_id))
                 changed_ids.add(script.pipeline_id)
                 del self._abstractions_by_id[script.pipeline_id]
             fresh_scripts.append(script)
         if changed_ids:
-            self.abstractions = [
-                a for a in self.abstractions if a.pipeline_id not in changed_ids
-            ]
-            # The library graph is shared across pipelines: edges the changed
-            # sources no longer imply must not survive, so rebuild it from
-            # the surviving abstractions (the fresh re-abstractions below
-            # re-contribute theirs through the normal add path).
-            self._rebuild_library_graph()
+            with self.storage.graph.write_batch():
+                # Changed source: each stale pipeline's whole named graph
+                # goes, and the shared library graph is rebuilt from the
+                # surviving abstractions (the fresh re-abstractions below
+                # re-contribute theirs through the normal add path).
+                for pipeline_id in changed_ids:
+                    self.storage.graph.remove_graph(pipeline_graph_uri(pipeline_id))
+                self.abstractions = [
+                    a for a in self.abstractions if a.pipeline_id not in changed_ids
+                ]
+                self._rebuild_library_graph()
         if not fresh_scripts:
             return report
         abstractions = self.abstractor.abstract_scripts(fresh_scripts)
-        self.abstractions.extend(abstractions)
-        for abstraction in abstractions:
-            self._abstractions_by_id[abstraction.pipeline_id] = abstraction
-        self.pipeline_builder.add_pipelines(abstractions, self.storage.graph)
-        self.pipeline_builder.add_library_hierarchy(
-            self.abstractor.library_hierarchy_edges(), self.storage.graph
-        )
-        report.num_pipelines_abstracted = len(abstractions)
-        report.link_reports = self.linker.link_pipelines(abstractions, self.storage.graph)
+        with self.storage.graph.write_batch():
+            self.abstractions.extend(abstractions)
+            for abstraction in abstractions:
+                self._abstractions_by_id[abstraction.pipeline_id] = abstraction
+            self.pipeline_builder.add_pipelines(abstractions, self.storage.graph)
+            self.pipeline_builder.add_library_hierarchy(
+                self.abstractor.library_hierarchy_edges(), self.storage.graph
+            )
+            report.num_pipelines_abstracted = len(abstractions)
+            report.link_reports = self.linker.link_pipelines(
+                abstractions, self.storage.graph
+            )
         return report
 
     def _rebuild_library_graph(self) -> None:
@@ -279,7 +381,15 @@ class KGGovernor:
         to governing the modified lake from scratch: no stale triples, edges
         or embeddings survive.  Refreshing a table that was never governed
         degrades to a plain add.
+
+        Concurrent readers see the refresh as two commits — the retraction,
+        then the re-add — each atomic on its own (holding the write gate
+        across re-profiling would block reads for the whole profile cost).
         """
+        self._ensure_writable()
+        service = self._route_to_service()
+        if service is not None:
+            return service.submit_refresh(table, dataset_name=dataset_name).result()
         dataset_name = dataset_name or table.dataset or "default"
         refreshed = self.retract_table(dataset_name, table.name)
         lake = DataLake(name=dataset_name)
@@ -298,8 +408,15 @@ class KGGovernor:
         whole graph.  Dataset / source nodes shared with other tables are
         left in place; pipeline graphs are untouched (their ``reads`` edges
         reference the table node URI, which a refresh re-creates).  Returns
-        ``False`` when the table was never governed.
+        ``False`` when the table was never governed.  The whole retraction
+        commits as one write batch: readers never observe a partially
+        retracted table.
         """
+        self._ensure_writable()
+        service = self._route_to_service()
+        if service is not None:
+            report = service.submit_retract(dataset_name, table_name).result()
+            return bool(report.retracted_tables)
         key = (dataset_name, table_name)
         profile = self._profiles_by_key.pop(key, None)
         if profile is None:
@@ -314,22 +431,23 @@ class KGGovernor:
             column_uri(p.dataset_name, p.table_name, p.column_name)
             for p in profile.column_profiles
         ]
-        for node in [table_node] + column_nodes:
-            for triple, graph_name in list(graph.match(subject=node, graph=DATASET_GRAPH)):
-                graph.remove(triple.subject, triple.predicate, triple.object, graph=graph_name)
-            for triple, graph_name in list(graph.match(obj=node, graph=DATASET_GRAPH)):
-                graph.remove(triple.subject, triple.predicate, triple.object, graph=graph_name)
-            for triple, graph_name in list(
-                graph.match_quoted(inner_subject=node, graph=DATASET_GRAPH)
-            ):
-                graph.remove(triple.subject, triple.predicate, triple.object, graph=graph_name)
-            for triple, graph_name in list(
-                graph.match_quoted(inner_object=node, graph=DATASET_GRAPH)
-            ):
-                graph.remove(triple.subject, triple.predicate, triple.object, graph=graph_name)
-        self.storage.embeddings.remove("table", str(table_node))
-        for column_node in column_nodes:
-            self.storage.embeddings.remove("column", str(column_node))
+        with graph.write_batch():
+            for node in [table_node] + column_nodes:
+                for triple, graph_name in list(graph.match(subject=node, graph=DATASET_GRAPH)):
+                    graph.remove(triple.subject, triple.predicate, triple.object, graph=graph_name)
+                for triple, graph_name in list(graph.match(obj=node, graph=DATASET_GRAPH)):
+                    graph.remove(triple.subject, triple.predicate, triple.object, graph=graph_name)
+                for triple, graph_name in list(
+                    graph.match_quoted(inner_subject=node, graph=DATASET_GRAPH)
+                ):
+                    graph.remove(triple.subject, triple.predicate, triple.object, graph=graph_name)
+                for triple, graph_name in list(
+                    graph.match_quoted(inner_object=node, graph=DATASET_GRAPH)
+                ):
+                    graph.remove(triple.subject, triple.predicate, triple.object, graph=graph_name)
+            self.storage.embeddings.remove("table", str(table_node))
+            for column_node in column_nodes:
+                self.storage.embeddings.remove("column", str(column_node))
         return True
 
     # ------------------------------------------------------------ persistence
@@ -340,11 +458,18 @@ class KGGovernor:
         already runs on a sqlite backend at that path, a full copy
         otherwise), embeddings in one ``.npz`` archive, and table profiles /
         content fingerprints in JSON.  :meth:`open` restores the governor
-        from such a directory in a fresh process.
+        from such a directory in a fresh process.  The whole save runs under
+        one read view, so a governor being fed by a background service saves
+        a consistent committed state (no half-applied batch can land in the
+        snapshot).
         """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         graph_path = directory / _GRAPH_FILE
+        with self.storage.graph.read_view():
+            return self._save_locked(directory, graph_path)
+
+    def _save_locked(self, directory: Path, graph_path: Path) -> Path:
         backend = self.storage.graph.backend
         # Resolve both sides: a relative/symlinked spelling of the live
         # backend's own path must not fall into the copy branch (which would
@@ -479,13 +604,3 @@ class KGGovernor:
                 )
         self.storage.embeddings.put_many("table", table_items)
         self.storage.embeddings.put_many("column", column_items)
-
-    @staticmethod
-    def _merge(base: GovernorReport, other: GovernorReport) -> GovernorReport:
-        base.num_tables_profiled += other.num_tables_profiled
-        base.num_columns_profiled += other.num_columns_profiled
-        base.num_pipelines_abstracted += other.num_pipelines_abstracted
-        base.num_similarity_edges += other.num_similarity_edges
-        base.refreshed_tables.extend(other.refreshed_tables)
-        base.link_reports.extend(other.link_reports)
-        return base

@@ -1,0 +1,462 @@
+"""GovernorService: queued, non-blocking ingestion over a :class:`KGGovernor`.
+
+The paper's governor "creates, maintains and synchronizes" the LiDS graph as
+a continuously running service.  This module is that service: instead of
+blocking each caller for the full profile + similarity + construction cost,
+``submit_*`` methods enqueue work onto a bounded queue and return an
+:class:`IngestTicket` immediately; a single background scheduler thread
+drains the queue, **coalesces** adjacent table submissions into similarity
+micro-batches (one profiling fan-out through the governor's
+:class:`~repro.parallel.JobExecutor` instead of N tiny ones) and applies
+each micro-batch's graph writes as one atomic commit batch
+(``QuadStore.write_batch``) — so discovery reads running on other threads
+(``KGLiDS`` / ``LiDSClient``) stay answerable throughout and always observe
+whole committed batches.
+
+Back-pressure is the queue bound: when producers outrun the scheduler,
+``submit_*`` blocks (or raises ``queue.Full`` under a caller-supplied
+timeout) instead of growing memory without limit.
+
+While a service fronts a governor, the governor's own sync mutators
+(``add_data_lake`` etc.) become thin submit-and-wait shims through the same
+queue, so direct calls and queued tickets serialize on one scheduler and the
+resulting graph is byte-identical to synchronous governing.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.kg.governor import GovernorReport, KGGovernor
+from repro.pipelines.abstraction import PipelineScript
+from repro.tabular import DataLake, Table
+
+__all__ = ["GovernorService", "IngestTicket"]
+
+#: Queue sentinel shutting the scheduler down after all prior work drains.
+_SHUTDOWN = object()
+
+
+class IngestTicket:
+    """Handle of one queued ingestion submission.
+
+    Tickets resolve with a *merged* :class:`GovernorReport`: when the
+    scheduler coalesces several submissions into one micro-batch, every
+    ticket of the batch resolves with the same batch report (the composition
+    is associative — ``GovernorReport.merge`` — so totals are independent of
+    how the scheduler happened to cut the batches).
+    """
+
+    __slots__ = ("kind", "_done", "_running", "_report", "_error", "_wait_guard")
+
+    def __init__(self, kind: str, wait_guard=None):
+        #: What was submitted: ``tables`` / ``pipelines`` / ``refresh`` /
+        #: ``retract``.
+        self.kind = kind
+        self._done = threading.Event()
+        self._running = False
+        self._report: Optional[GovernorReport] = None
+        self._error: Optional[BaseException] = None
+        #: Called before any blocking wait; the owning service uses it to
+        #: reject waits that would deadlock (awaiting under a read view).
+        self._wait_guard = wait_guard
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def status(self) -> str:
+        """``"queued"``, ``"running"``, ``"done"`` or ``"failed"``."""
+        if self._done.is_set():
+            return "failed" if self._error is not None else "done"
+        return "running" if self._running else "queued"
+
+    def done(self) -> bool:
+        """Whether the submission finished (successfully or not)."""
+        return self._done.is_set()
+
+    def _check_wait_safe(self) -> None:
+        if not self._done.is_set() and self._wait_guard is not None:
+            self._wait_guard(self.kind)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the submission finishes; ``False`` on timeout."""
+        self._check_wait_safe()
+        return self._done.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> GovernorReport:
+        """The merged report of the batch this submission landed in.
+
+        Blocks until done; raises :class:`TimeoutError` when ``timeout``
+        expires first, and re-raises the scheduler-side exception when the
+        batch failed.
+        """
+        self._check_wait_safe()
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"ingestion ticket ({self.kind}) not done within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._report is not None
+        return self._report
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        """The failure, if any (blocks like :meth:`result`)."""
+        self._check_wait_safe()
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"ingestion ticket ({self.kind}) not done within {timeout}s"
+            )
+        return self._error
+
+    # -------------------------------------------------------- scheduler hooks
+    def _mark_running(self) -> None:
+        self._running = True
+
+    def _resolve(self, report: GovernorReport) -> None:
+        self._report = report
+        self._done.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._done.set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"IngestTicket(kind={self.kind!r}, status={self.status!r})"
+
+
+@dataclass
+class _Submission:
+    kind: str
+    payload: Any
+    ticket: IngestTicket
+
+
+class GovernorService:
+    """A queued ingestion front-end around one :class:`KGGovernor`.
+
+    ``GovernorService()`` builds its own governor (keyword arguments pass
+    through to :class:`KGGovernor`); ``GovernorService(governor)`` adopts an
+    existing one.  Either way the governor's sync mutators route through
+    this service's queue until :meth:`close`.
+
+    * ``maxsize`` bounds the submission queue (back-pressure: full queue
+      blocks producers).
+    * ``max_batch_tables`` caps how many tables one coalesced micro-batch
+      may hold — smaller batches commit more often, which shortens the
+      exclusive write window concurrent readers may wait on; larger batches
+      amortize profiling fan-out better.
+
+    The scheduler thread is a daemon: an abandoned service cannot keep the
+    interpreter alive, but orderly shutdown should still go through
+    :meth:`close` (or the context-manager form), which drains the queue
+    first so every ticket resolves.
+    """
+
+    def __init__(
+        self,
+        governor: Optional[KGGovernor] = None,
+        *,
+        maxsize: int = 128,
+        max_batch_tables: int = 16,
+        **governor_kwargs,
+    ):
+        if governor is None:
+            governor = KGGovernor(**governor_kwargs)
+        elif governor_kwargs:
+            raise ValueError("pass governor kwargs only when the service builds the governor")
+        if governor.read_only:
+            raise PermissionError("cannot serve ingestion over a read-only governor")
+        if governor._service is not None:
+            raise ValueError("governor is already fronted by another GovernorService")
+        self.governor = governor
+        self.max_batch_tables = max(1, int(max_batch_tables))
+        self._queue: "queue.Queue" = queue.Queue(maxsize)
+        #: A drained-but-unprocessed submission that ended coalescing (kind
+        #: switch or shutdown); scheduler-thread state only.
+        self._carry: Optional[Any] = None
+        self._closed = False
+        #: Makes [check closed -> enqueue] atomic against close(): without
+        #: it a racing submission could land *behind* the shutdown sentinel
+        #: and its ticket would never resolve.  Holding the lock across a
+        #: back-pressure block is safe: the scheduler (which never takes
+        #: this lock) keeps draining the queue, so the put always completes.
+        self._submit_lock = threading.Lock()
+        #: Scheduler pause switch (set = running).  :meth:`pause` lets
+        #: operators quiesce ingestion — and tests pile up submissions to
+        #: observe coalescing deterministically.
+        self._resume = threading.Event()
+        self._resume.set()
+        self._stats_lock = threading.Lock()
+        #: Telemetry: submissions accepted / resolved / failed, scheduler
+        #: batches executed, and submissions that rode along in a batch
+        #: beyond the first (``coalesced``).
+        self.stats: Dict[str, int] = {
+            "submitted": 0,
+            "completed": 0,
+            "failed": 0,
+            "batches": 0,
+            "coalesced": 0,
+        }
+        governor._service = self
+        self._thread = threading.Thread(
+            target=self._run, name="governor-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------- submission
+    def submit_table(
+        self,
+        table: Table,
+        dataset_name: str = "default",
+        *,
+        timeout: Optional[float] = None,
+    ) -> IngestTicket:
+        """Queue one table for ingestion."""
+        return self._submit("tables", [(dataset_name, table)], timeout)
+
+    def submit_tables(
+        self,
+        tables: Sequence[Table],
+        dataset_name: str = "default",
+        *,
+        timeout: Optional[float] = None,
+    ) -> IngestTicket:
+        """Queue several tables as one submission (still coalescible)."""
+        return self._submit(
+            "tables", [(dataset_name, table) for table in tables], timeout
+        )
+
+    def submit_lake(
+        self, lake: DataLake, *, timeout: Optional[float] = None
+    ) -> IngestTicket:
+        """Queue a whole data lake for ingestion."""
+        payload = [(table.dataset or "default", table) for table in lake.tables()]
+        return self._submit("tables", payload, timeout)
+
+    def submit_pipelines(
+        self, scripts: Sequence[PipelineScript], *, timeout: Optional[float] = None
+    ) -> IngestTicket:
+        """Queue pipeline scripts for abstraction + linking."""
+        return self._submit("pipelines", list(scripts), timeout)
+
+    def submit_refresh(
+        self,
+        table: Table,
+        dataset_name: Optional[str] = None,
+        *,
+        timeout: Optional[float] = None,
+    ) -> IngestTicket:
+        """Queue a table refresh (retract stale footprint, re-govern)."""
+        return self._submit("refresh", (dataset_name, table), timeout)
+
+    def submit_retract(
+        self,
+        dataset_name: str,
+        table_name: str,
+        *,
+        timeout: Optional[float] = None,
+    ) -> IngestTicket:
+        """Queue a table retraction; the report lists ``retracted_tables``."""
+        return self._submit("retract", (dataset_name, table_name), timeout)
+
+    def _submit(self, kind: str, payload: Any, timeout: Optional[float]) -> IngestTicket:
+        if self.governor.storage.graph.in_read_view():
+            # A producer blocked on a full queue (or later on the ticket)
+            # while holding a read view would deadlock the scheduler's next
+            # write batch against its own view.
+            raise RuntimeError(
+                "cannot submit ingestion work while holding a read view on "
+                "the LiDS graph"
+            )
+        ticket = IngestTicket(kind, wait_guard=self._wait_guard)
+        with self._submit_lock:
+            if self._closed:
+                raise RuntimeError("GovernorService is closed")
+            self._queue.put(_Submission(kind, payload, ticket), timeout=timeout)
+        with self._stats_lock:
+            self.stats["submitted"] += 1
+        return ticket
+
+    def _wait_guard(self, kind: str) -> None:
+        """Reject blocking waits that would deadlock the scheduler.
+
+        A thread awaiting a ticket (or :meth:`drain`) while holding a read
+        view blocks the scheduler's next write batch on its own view while
+        it blocks on the scheduler — mutual, permanent.  Raise instead.
+        """
+        if self.governor.storage.graph.in_read_view():
+            raise RuntimeError(
+                f"cannot await a {kind!r} ingestion ticket while holding a "
+                "read view on the LiDS graph (the scheduler's write batch "
+                "would deadlock against this thread's view)"
+            )
+
+    # ------------------------------------------------------------- life cycle
+    def is_scheduler_thread(self) -> bool:
+        """Whether the calling thread is this service's scheduler thread."""
+        return threading.current_thread() is self._thread
+
+    def pause(self) -> None:
+        """Stop executing queued work (submissions still enqueue)."""
+        self._resume.clear()
+
+    def resume(self) -> None:
+        """Resume executing queued work."""
+        self._resume.set()
+
+    def drain(self) -> None:
+        """Block until every submission accepted so far has resolved."""
+        self._wait_guard("drain")
+        self._queue.join()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Stop accepting work, drain the queue, and stop the scheduler.
+
+        Every ticket already accepted resolves before the scheduler exits
+        (the shutdown sentinel queues FIFO behind them).  The underlying
+        governor is *not* closed — it simply returns to direct synchronous
+        operation.  When ``timeout`` expires before the scheduler drains,
+        :class:`TimeoutError` is raised and the governor stays attached to
+        the (still draining) service — detaching it early would let direct
+        sync mutations race the in-flight batch on the governor's unlocked
+        Python state; call :meth:`close` again to finish the hand-back.
+        """
+        # Un-pause first: a paused scheduler would never drain a full queue,
+        # and the sentinel put below must always complete.
+        self._resume.set()
+        with self._submit_lock:
+            if not self._closed:
+                self._closed = True
+                # Under the submit lock no new submission can slip in behind
+                # the sentinel, so every accepted ticket resolves before the
+                # scheduler exits.
+                self._queue.put(_SHUTDOWN)
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise TimeoutError(
+                f"scheduler still draining after {timeout}s; call close() "
+                "again to finish shutdown"
+            )
+        self.governor._service = None
+
+    def __enter__(self) -> "GovernorService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- scheduler
+    def _run(self) -> None:
+        while True:
+            item = self._carry if self._carry is not None else self._queue.get()
+            self._carry = None
+            if item is _SHUTDOWN:
+                self._queue.task_done()
+                return
+            self._resume.wait()
+            batch = self._coalesce(item)
+            self._execute(item.kind, batch)
+            for _ in batch:
+                self._queue.task_done()
+
+    def _coalesce(self, first: _Submission) -> List[_Submission]:
+        """Drain immediately-available same-kind submissions behind ``first``.
+
+        Coalescing stops at ``max_batch_tables`` total tables (for table
+        submissions), at a kind switch, or at the shutdown sentinel; the
+        stopping item is carried into the next scheduler turn so FIFO order
+        across kinds is preserved.
+        """
+        batch = [first]
+        size = self._batch_size(first)
+        while size < self.max_batch_tables:
+            try:
+                nxt = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if nxt is _SHUTDOWN or nxt.kind != first.kind:
+                self._carry = nxt
+                break
+            batch.append(nxt)
+            size += self._batch_size(nxt)
+        return batch
+
+    @staticmethod
+    def _batch_size(submission: _Submission) -> int:
+        if submission.kind == "tables":
+            return len(submission.payload)
+        return 1
+
+    def _execute(self, kind: str, batch: List[_Submission]) -> None:
+        with self._stats_lock:
+            self.stats["batches"] += 1
+            self.stats["coalesced"] += len(batch) - 1
+        if kind in ("refresh", "retract"):
+            # Per-submission execution: each ticket gets its own report and
+            # its own failure, so one broken refresh cannot poison the rest.
+            for submission in batch:
+                submission.ticket._mark_running()
+                try:
+                    report = self._execute_one(submission)
+                except BaseException as error:
+                    submission.ticket._fail(error)
+                    with self._stats_lock:
+                        self.stats["failed"] += 1
+                else:
+                    submission.ticket._resolve(report)
+                    with self._stats_lock:
+                        self.stats["completed"] += 1
+            return
+        for submission in batch:
+            submission.ticket._mark_running()
+        try:
+            if kind == "tables":
+                report = self.governor.add_data_lake(self._merge_lake(batch))
+            else:
+                scripts = [script for s in batch for script in s.payload]
+                report = self.governor.add_pipelines(scripts)
+        except BaseException as error:
+            for submission in batch:
+                submission.ticket._fail(error)
+            with self._stats_lock:
+                self.stats["failed"] += len(batch)
+        else:
+            for submission in batch:
+                submission.ticket._resolve(report)
+            with self._stats_lock:
+                self.stats["completed"] += len(batch)
+
+    def _execute_one(self, submission: _Submission) -> GovernorReport:
+        if submission.kind == "refresh":
+            dataset_name, table = submission.payload
+            return self.governor.refresh_table(table, dataset_name=dataset_name)
+        dataset_name, table_name = submission.payload
+        report = GovernorReport()
+        if self.governor.retract_table(dataset_name, table_name):
+            report.retracted_tables.append(f"{dataset_name}/{table_name}")
+        return report
+
+    @staticmethod
+    def _merge_lake(batch: List[_Submission]) -> DataLake:
+        """One lake holding every table of a coalesced batch.
+
+        A ``(dataset, table)`` key submitted twice within one batch keeps the
+        *last* submission — equivalent to applying the submissions in order,
+        since the governor's refresh path makes a changed re-add
+        byte-identical to governing the final contents directly.
+        """
+        merged: Dict[Tuple[str, str], Tuple[str, Table]] = {}
+        for submission in batch:
+            for dataset_name, table in submission.payload:
+                merged[(dataset_name, table.name)] = (dataset_name, table)
+        lake = DataLake("governor-service-batch")
+        for dataset_name, table in merged.values():
+            lake.add_table(dataset_name, table)
+        return lake

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
@@ -47,6 +48,13 @@ class JobExecutor:
     CoLR / word models) once per worker instead of once per job.  When the
     pool cannot start or the worker/jobs cannot be pickled, the map falls
     back to serial execution and records why in ``last_fallback_reason``.
+
+    The executor may be shared across threads (the governor service's
+    scheduler maps on it while e.g. a recommender profiles on the caller's
+    thread): process-pool fan-outs are serialized by an internal lock, so
+    two threads never spawn two full-width worker pools at once — the
+    second fan-out queues instead of oversubscribing every core — and
+    ``last_fallback_reason`` always describes the most recent fan-out.
     """
 
     def __init__(
@@ -64,6 +72,8 @@ class JobExecutor:
         #: Why the last ``processes`` map fell back to serial (``None`` if it
         #: did not); mirrors Spark's task-failure diagnostics.
         self.last_fallback_reason: Optional[str] = None
+        #: Serializes process-pool fan-outs across sharing threads.
+        self._processes_lock = threading.Lock()
 
     # ------------------------------------------------------------------- map
     def map(
@@ -102,29 +112,30 @@ class JobExecutor:
         initargs: Tuple,
     ) -> Optional[List[JobOutput]]:
         """Chunked process-pool map; ``None`` means "fall back to serial"."""
-        self.last_fallback_reason = None
-        workers = self.max_workers or default_worker_count()
-        workers = max(1, min(workers, len(jobs)))
-        # Contiguous chunks amortize per-task pickling: aim for a few chunks
-        # per worker so stragglers still balance.
-        chunksize = max(1, (len(jobs) + workers * 4 - 1) // (workers * 4))
-        try:
-            with ProcessPoolExecutor(
-                max_workers=workers, initializer=initializer, initargs=initargs
-            ) as pool:
-                return list(pool.map(worker, jobs, chunksize=chunksize))
-        except (
-            pickle.PicklingError,
-            TypeError,
-            AttributeError,
-            ImportError,
-            OSError,
-            BrokenProcessPool,
-        ) as error:
-            # Unpicklable workers/jobs, fork failures (resource limits,
-            # sandboxes) and dead pools all degrade gracefully to serial.
-            self.last_fallback_reason = f"{type(error).__name__}: {error}"
-            return None
+        with self._processes_lock:
+            self.last_fallback_reason = None
+            workers = self.max_workers or default_worker_count()
+            workers = max(1, min(workers, len(jobs)))
+            # Contiguous chunks amortize per-task pickling: aim for a few
+            # chunks per worker so stragglers still balance.
+            chunksize = max(1, (len(jobs) + workers * 4 - 1) // (workers * 4))
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=workers, initializer=initializer, initargs=initargs
+                ) as pool:
+                    return list(pool.map(worker, jobs, chunksize=chunksize))
+            except (
+                pickle.PicklingError,
+                TypeError,
+                AttributeError,
+                ImportError,
+                OSError,
+                BrokenProcessPool,
+            ) as error:
+                # Unpicklable workers/jobs, fork failures (resource limits,
+                # sandboxes) and dead pools all degrade gracefully to serial.
+                self.last_fallback_reason = f"{type(error).__name__}: {error}"
+                return None
 
     def map_partitions(
         self,

@@ -17,6 +17,7 @@ from repro.rdf.backend import (
     QuadStoreBackend,
     SqliteBackend,
 )
+from repro.rdf.gate import ReadView, ReadWriteGate
 from repro.rdf.graph_index import GraphIndex, IdTriple, PredicateStats
 from repro.rdf.namespace import (
     KGLIDS_DATA,
@@ -54,6 +55,8 @@ __all__ = [
     "GraphIndex",
     "IdTriple",
     "PredicateStats",
+    "ReadWriteGate",
+    "ReadView",
     "TermDictionary",
     "PersistentTermDictionary",
     "DEFAULT_GRAPH",

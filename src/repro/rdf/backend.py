@@ -36,6 +36,7 @@ objects; mixed raw/term graphs should stay on the in-memory backend.
 from __future__ import annotations
 
 import sqlite3
+import threading
 from abc import ABC, abstractmethod
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
@@ -304,6 +305,13 @@ class SqliteBackend(QuadStoreBackend):
     benchmarks.  Per-graph mutation counters survive eviction: a reloaded
     index resumes *above* its pre-eviction version, so version-keyed caches
     (e.g. the Global Graph Linker's table map) never see a stale counter.
+
+    The sqlite connection is shared across threads (created with
+    ``check_same_thread=False``) and every use of it is serialized by an
+    internal lock, so a background ingestion thread and reader threads can
+    coexist on one backend.  Higher-level read/write *consistency* (torn
+    reads, batch atomicity) is the store's gate's job — see
+    ``QuadStore.read_view`` / ``QuadStore.write_batch``.
     """
 
     persistent = True
@@ -324,7 +332,14 @@ class SqliteBackend(QuadStoreBackend):
         self.shard_loads = 0
         #: Indexes evicted to honour ``max_resident_graphs``.
         self.shard_evictions = 0
-        self._connection = sqlite3.connect(str(self.path))
+        #: Serializes every use of the shared sqlite connection.  The
+        #: connection is created with ``check_same_thread=False`` so a
+        #: governor-service scheduler thread can flush writes while readers
+        #: on other threads trigger lazy shard loads; sqlite objects are
+        #: not otherwise thread-safe, so all cursor work happens under this
+        #: lock (reentrant: ``flush`` runs inside other locked sections).
+        self._db_lock = threading.RLock()
+        self._connection = sqlite3.connect(str(self.path), check_same_thread=False)
         self._connection.execute("PRAGMA journal_mode=WAL")
         self._connection.execute("PRAGMA synchronous=NORMAL")
         self._connection.execute(
@@ -364,10 +379,15 @@ class SqliteBackend(QuadStoreBackend):
     def get_index(self, graph: URIRef) -> Optional[GraphIndex]:
         index = self._indexes.get(graph)
         if index is None:
-            shard_id = self._shards.get(graph)
-            if shard_id is None:
-                return None
-            index = self._load_shard(graph, shard_id)
+            with self._db_lock:
+                # Re-check under the lock: another reader may have loaded
+                # the shard while this thread waited.
+                index = self._indexes.get(graph)
+                if index is None:
+                    shard_id = self._shards.get(graph)
+                    if shard_id is None:
+                        return None
+                    index = self._load_shard(graph, shard_id)
         else:
             self._touch(graph)
         return index
@@ -375,28 +395,35 @@ class SqliteBackend(QuadStoreBackend):
     def ensure_index(self, graph: URIRef) -> GraphIndex:
         index = self.get_index(graph)
         if index is None:
-            cursor = self._connection.execute(
-                "INSERT INTO graphs (name) VALUES (?)", (str(graph),)
-            )
-            shard_id = int(cursor.lastrowid)
-            self._create_shard_table(shard_id)
-            self._connection.commit()
-            self._shards[graph] = shard_id
-            index = self._indexes[graph] = GraphIndex(self.dictionary)
+            # Publish the catalog/index entries under the same lock as the
+            # DDL so a concurrent reader can never see the shard id without
+            # its table (or vice versa).
+            with self._db_lock:
+                cursor = self._connection.execute(
+                    "INSERT INTO graphs (name) VALUES (?)", (str(graph),)
+                )
+                shard_id = int(cursor.lastrowid)
+                self._create_shard_table(shard_id)
+                self._connection.commit()
+                self._shards[graph] = shard_id
+                index = self._indexes[graph] = GraphIndex(self.dictionary)
             self._enforce_residency(keep=graph)
         return index
 
     def drop_graph(self, graph: URIRef) -> bool:
-        shard_id = self._shards.pop(graph, None)
-        if shard_id is None:
-            return False
-        self._indexes.pop(graph, None)
-        # Buffered writes against the shard are moot once the table is gone.
-        self._pending = [op for op in self._pending if op[1] != shard_id]
-        self._flush_terms()
-        self._connection.execute(f"DROP TABLE IF EXISTS quads_{shard_id}")
-        self._connection.execute("DELETE FROM graphs WHERE id = ?", (shard_id,))
-        self._connection.commit()
+        with self._db_lock:
+            shard_id = self._shards.pop(graph, None)
+            if shard_id is None:
+                return False
+            self._indexes.pop(graph, None)
+            # Buffered writes against the shard are moot once the table is
+            # gone; rebuilding the buffer under the lock keeps a concurrent
+            # reader-triggered flush from re-running ops it already drained.
+            self._pending = [op for op in self._pending if op[1] != shard_id]
+            self._flush_terms()
+            self._connection.execute(f"DROP TABLE IF EXISTS quads_{shard_id}")
+            self._connection.execute("DELETE FROM graphs WHERE id = ?", (shard_id,))
+            self._connection.commit()
         return True
 
     def items(self) -> Iterable[Tuple[URIRef, GraphIndex]]:
@@ -423,10 +450,11 @@ class SqliteBackend(QuadStoreBackend):
         shard_id = self._shards.get(graph)
         if shard_id is None:
             return 0
-        self.flush()
-        row = self._connection.execute(
-            f"SELECT COUNT(*) FROM quads_{shard_id}"
-        ).fetchone()
+        with self._db_lock:
+            self.flush()
+            row = self._connection.execute(
+                f"SELECT COUNT(*) FROM quads_{shard_id}"
+            ).fetchone()
         return int(row[0])
 
     # ------------------------------------------------------ persistence hooks
@@ -450,12 +478,13 @@ class SqliteBackend(QuadStoreBackend):
         # Resident writes are ordered through the pending buffer; an
         # unloaded shard has none, but flush anyway so the delete cannot
         # overtake queued ops from other shards sharing the connection.
-        self.flush()
-        cursor = self._connection.execute(
-            self._STATEMENTS["delete_predicate"].format(shard=shard_id),
-            (predicate_id,),
-        )
-        self._connection.commit()
+        with self._db_lock:
+            self.flush()
+            cursor = self._connection.execute(
+                self._STATEMENTS["delete_predicate"].format(shard=shard_id),
+                (predicate_id,),
+            )
+            self._connection.commit()
         removed = int(cursor.rowcount)
         if removed:
             # The mutation happened while no index was resident; advance the
@@ -467,34 +496,36 @@ class SqliteBackend(QuadStoreBackend):
         return removed
 
     def flush(self) -> None:
-        flushed = self._flush_terms(commit=False)
-        if self._pending:
-            flushed = True
-            pending, self._pending = self._pending, []
-            position = 0
-            while position < len(pending):
-                op, shard_id, _ = pending[position]
-                batch_end = position
-                while (
-                    batch_end < len(pending)
-                    and pending[batch_end][0] == op
-                    and pending[batch_end][1] == shard_id
-                ):
-                    batch_end += 1
-                rows = [params for _, _, params in pending[position:batch_end]]
-                self._connection.executemany(
-                    self._STATEMENTS[op].format(shard=shard_id), rows
-                )
-                position = batch_end
-        if flushed:
-            self._connection.commit()
+        with self._db_lock:
+            flushed = self._flush_terms(commit=False)
+            if self._pending:
+                flushed = True
+                pending, self._pending = self._pending, []
+                position = 0
+                while position < len(pending):
+                    op, shard_id, _ = pending[position]
+                    batch_end = position
+                    while (
+                        batch_end < len(pending)
+                        and pending[batch_end][0] == op
+                        and pending[batch_end][1] == shard_id
+                    ):
+                        batch_end += 1
+                    rows = [params for _, _, params in pending[position:batch_end]]
+                    self._connection.executemany(
+                        self._STATEMENTS[op].format(shard=shard_id), rows
+                    )
+                    position = batch_end
+            if flushed:
+                self._connection.commit()
 
     def close(self) -> None:
-        if self._closed:
-            return
-        self.flush()
-        self._connection.close()
-        self._closed = True
+        with self._db_lock:
+            if self._closed:
+                return
+            self.flush()
+            self._connection.close()
+            self._closed = True
 
     # -------------------------------------------------------------- internals
     _STATEMENTS = {
@@ -519,14 +550,15 @@ class SqliteBackend(QuadStoreBackend):
 
     def _flush_terms(self, commit: bool = True) -> bool:
         """Persist newly interned dictionary rows (always ahead of quad rows)."""
-        rows = self.dictionary.drain_pending()
-        if not rows:
-            return False
-        self._connection.executemany(
-            "INSERT OR IGNORE INTO terms (id, n3) VALUES (?, ?)", rows
-        )
-        if commit:
-            self._connection.commit()
+        with self._db_lock:
+            rows = self.dictionary.drain_pending()
+            if not rows:
+                return False
+            self._connection.executemany(
+                "INSERT OR IGNORE INTO terms (id, n3) VALUES (?, ?)", rows
+            )
+            if commit:
+                self._connection.commit()
         return True
 
     def _queue(self, op: str, shard_id: int, params: Tuple[int, ...]) -> None:
@@ -535,21 +567,31 @@ class SqliteBackend(QuadStoreBackend):
             self.flush()
 
     def pin_residency(self) -> None:
-        self._pin_depth += 1
+        with self._db_lock:
+            self._pin_depth += 1
 
     def unpin_residency(self) -> None:
-        self._pin_depth -= 1
-        if self._pin_depth <= 0:
-            self._pin_depth = 0
-            if self._indexes:
-                self._enforce_residency(keep=next(reversed(self._indexes)))
+        with self._db_lock:
+            self._pin_depth -= 1
+            if self._pin_depth <= 0:
+                self._pin_depth = 0
+                if self._indexes:
+                    self._enforce_residency(keep=next(reversed(self._indexes)))
 
     def _touch(self, graph: URIRef) -> None:
-        """Mark a resident graph as most recently used (O(1))."""
+        """Mark a resident graph as most recently used (O(1)).
+
+        Concurrent readers may touch the same graph at once (the store gate
+        admits shared readers); the pop/reinsert pair runs under the backend
+        lock so two touches cannot race each other (or an eviction) into a
+        ``KeyError``.
+        """
         if self.max_resident_graphs is None:
             return
-        index = self._indexes.pop(graph)
-        self._indexes[graph] = index
+        with self._db_lock:
+            index = self._indexes.pop(graph, None)
+            if index is not None:
+                self._indexes[graph] = index
 
     def _enforce_residency(self, keep: URIRef) -> None:
         """Evict least-recently-used indexes beyond ``max_resident_graphs``.
@@ -560,19 +602,22 @@ class SqliteBackend(QuadStoreBackend):
         still works.
         """
         cap = self.max_resident_graphs
-        if cap is None or self._pin_depth > 0 or len(self._indexes) <= cap:
+        if cap is None:
             return
-        self.flush()
-        for graph in list(self._indexes):
-            if len(self._indexes) <= cap:
-                break
-            if graph == keep:
-                continue
-            index = self._indexes.pop(graph)
-            # ``index.version`` is absolute (the load already folded any
-            # earlier base in), so it becomes the next reload's floor.
-            self._version_base[graph] = index.version
-            self.shard_evictions += 1
+        with self._db_lock:
+            if self._pin_depth > 0 or len(self._indexes) <= cap:
+                return
+            self.flush()
+            for graph in list(self._indexes):
+                if len(self._indexes) <= cap:
+                    break
+                if graph == keep:
+                    continue
+                index = self._indexes.pop(graph)
+                # ``index.version`` is absolute (the load already folded any
+                # earlier base in), so it becomes the next reload's floor.
+                self._version_base[graph] = index.version
+                self.shard_evictions += 1
 
     def _load_shard(self, graph: URIRef, shard_id: int) -> GraphIndex:
         """Rebuild a graph's index (stats and quoted indexes included) from disk.
@@ -583,11 +628,12 @@ class SqliteBackend(QuadStoreBackend):
         """
         # Writes require a loaded index, so a lazily-loaded shard normally has
         # no buffered ops — flush anyway so the read below is complete.
-        self.flush()
         index = GraphIndex(self.dictionary)
         add = index.add
-        for row in self._connection.execute(f"SELECT s, p, o FROM quads_{shard_id}"):
-            add(row)
+        with self._db_lock:
+            self.flush()
+            for row in self._connection.execute(f"SELECT s, p, o FROM quads_{shard_id}"):
+                add(row)
         # Resume the mutation counter above any pre-eviction value so
         # version-keyed reader caches cannot mistake a reload for no change.
         index.version += self._version_base.get(graph, 0)

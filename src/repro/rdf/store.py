@@ -19,9 +19,11 @@ evaluation and final projection.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.rdf.backend import InMemoryBackend, PathLike, QuadStoreBackend, SqliteBackend
+from repro.rdf.gate import ReadView, ReadWriteGate
 from repro.rdf.graph_index import IdTriple
 from repro.rdf.terms import Literal, QuotedTriple, TermDictionary, Triple, URIRef, term_n3
 
@@ -46,6 +48,11 @@ class QuadStore:
     def __init__(self, backend: Optional[QuadStoreBackend] = None):
         self._backend = backend or InMemoryBackend()
         self._version = 0
+        #: Readers-writer gate making writes batch-atomic w.r.t. read views.
+        self._gate = ReadWriteGate()
+        #: Monotonic count of committed write batches (standalone mutations
+        #: count as single-op batches).  Read views pin this number.
+        self._commit_version = 0
 
     @classmethod
     def sqlite(
@@ -90,6 +97,84 @@ class QuadStore:
     def unpin_residency(self) -> None:
         """Release one pin level (the cap re-applies at depth 0)."""
         self._backend.unpin_residency()
+
+    # ------------------------------------------------- read views / write gate
+    @property
+    def commit_version(self) -> int:
+        """Count of committed write batches (the read-view snapshot key).
+
+        Unlike :attr:`version` (which bumps per triple), this only moves
+        when a whole batch commits — so two reads under one
+        :meth:`read_view` seeing the same ``commit_version`` are guaranteed
+        to observe the same committed state.
+        """
+        return self._commit_version
+
+    @contextmanager
+    def read_view(self):
+        """A consistent read scope: no write batch can commit while open.
+
+        Yields a :class:`~repro.rdf.gate.ReadView` pinned to the current
+        commit version.  Nested views (including views opened by the thread
+        holding the write side) are cheap counter bumps.  The SPARQL engine
+        opens one per evaluation; multi-query read operations (e.g. the
+        discovery API's join-path walks) should hold one view across all
+        their lookups to observe a single store state.
+        """
+        self._gate.acquire_read()
+        try:
+            yield ReadView(self, self._commit_version)
+        finally:
+            self._gate.release_read()
+
+    def in_read_view(self) -> bool:
+        """Whether the calling thread currently holds a read view."""
+        return self._gate.read_depth() > 0
+
+    @contextmanager
+    def write_batch(self):
+        """Group mutations into one atomic, durable commit batch.
+
+        While the batch is open the calling thread holds the store
+        exclusively: concurrent read views wait and then observe either none
+        or all of the batch's writes.  On exit the backend is flushed (one
+        durable commit per batch on sqlite) and the commit version advances
+        by one regardless of how many triples changed.  Batches nest — only
+        the outermost one flushes and bumps the version.  Starting a batch
+        while holding only a read view raises instead of deadlocking.
+
+        Atomicity is isolation, not rollback: if the batch *body* raises,
+        writes already issued stay applied (there is no undo log) and become
+        visible — still as one unit, still under a fresh commit version so
+        version-keyed caches cannot serve the pre-batch state as current.
+        The exception propagates for the caller to handle (the governor
+        service fails the batch's tickets with it).
+        """
+        depth = self._gate.acquire_write()
+        try:
+            yield self
+        finally:
+            if depth == 1:
+                # Flush on failure too: durable state must mirror the
+                # resident indexes, not trail them by a partial batch that
+                # would otherwise ride along with a later unrelated commit.
+                try:
+                    self._backend.flush()
+                finally:
+                    self._commit_version += 1
+            self._gate.release_write()
+
+    def _begin_write(self) -> int:
+        """Gate one standalone mutation (reentrant under an open batch)."""
+        return self._gate.acquire_write()
+
+    def _end_write(self, depth: int) -> None:
+        # A standalone op (no surrounding batch) is its own micro-commit:
+        # bump the commit version, but skip the flush — buffered-backend
+        # write batching must not degrade to one fsync per triple.
+        if depth == 1:
+            self._commit_version += 1
+        self._gate.release_write()
 
     def close(self) -> None:
         """Flush and release the backend; the store must not be used after."""
@@ -136,21 +221,26 @@ class QuadStore:
         graph: URIRef = DEFAULT_GRAPH,
     ) -> bool:
         """Add a triple to ``graph``; returns ``False`` if it already existed."""
-        triple = self._backend.dictionary.encode_triple(subject, predicate, obj)
-        inserted = self._backend.ensure_index(graph).add(triple)
-        if inserted:
-            self._version += 1
-            self._backend.quad_added(graph, triple)
-        return inserted
+        depth = self._begin_write()
+        try:
+            triple = self._backend.dictionary.encode_triple(subject, predicate, obj)
+            inserted = self._backend.ensure_index(graph).add(triple)
+            if inserted:
+                self._version += 1
+                self._backend.quad_added(graph, triple)
+            return inserted
+        finally:
+            self._end_write(depth)
 
     def add_triples(
         self, triples: Iterable[Tuple[Any, Any, Any]], graph: URIRef = DEFAULT_GRAPH
     ) -> int:
-        """Add many triples; returns the number actually inserted."""
+        """Add many triples atomically; returns the number actually inserted."""
         inserted = 0
-        for subject, predicate, obj in triples:
-            if self.add(subject, predicate, obj, graph=graph):
-                inserted += 1
+        with self.write_batch():
+            for subject, predicate, obj in triples:
+                if self.add(subject, predicate, obj, graph=graph):
+                    inserted += 1
         return inserted
 
     def annotate(
@@ -168,37 +258,51 @@ class QuadStore:
         ``<< s p o >> annotation_predicate annotation_value`` is asserted.
         This is how Algorithm 3 attaches similarity scores to similarity edges.
         """
-        self.add(subject, predicate, obj, graph=graph)
-        quoted = QuotedTriple(subject, predicate, obj)
-        self.add(quoted, annotation_predicate, annotation_value, graph=graph)
-        return quoted
+        # One gate span (not a flushing batch) keeps the asserted triple and
+        # its annotation atomic for concurrent readers.
+        depth = self._begin_write()
+        try:
+            self.add(subject, predicate, obj, graph=graph)
+            quoted = QuotedTriple(subject, predicate, obj)
+            self.add(quoted, annotation_predicate, annotation_value, graph=graph)
+            return quoted
+        finally:
+            self._end_write(depth)
 
     def remove(
         self, subject: Any, predicate: Any, obj: Any, graph: URIRef = DEFAULT_GRAPH
     ) -> bool:
         """Remove a triple from ``graph`` if present."""
-        index = self._backend.get_index(graph)
-        if index is None:
-            return False
-        dictionary = self._backend.dictionary
-        subject_id = dictionary.lookup(subject)
-        predicate_id = dictionary.lookup(predicate)
-        object_id = dictionary.lookup(obj)
-        if subject_id is None or predicate_id is None or object_id is None:
-            return False
-        triple = (subject_id, predicate_id, object_id)
-        removed = index.remove(triple)
-        if removed:
-            self._version += 1
-            self._backend.quad_removed(graph, triple)
-        return removed
+        depth = self._begin_write()
+        try:
+            index = self._backend.get_index(graph)
+            if index is None:
+                return False
+            dictionary = self._backend.dictionary
+            subject_id = dictionary.lookup(subject)
+            predicate_id = dictionary.lookup(predicate)
+            object_id = dictionary.lookup(obj)
+            if subject_id is None or predicate_id is None or object_id is None:
+                return False
+            triple = (subject_id, predicate_id, object_id)
+            removed = index.remove(triple)
+            if removed:
+                self._version += 1
+                self._backend.quad_removed(graph, triple)
+            return removed
+        finally:
+            self._end_write(depth)
 
     def remove_graph(self, graph: URIRef) -> bool:
         """Drop an entire named graph (one shard delete on durable backends)."""
-        dropped = self._backend.drop_graph(graph)
-        if dropped:
-            self._version += 1
-        return dropped
+        depth = self._begin_write()
+        try:
+            dropped = self._backend.drop_graph(graph)
+            if dropped:
+                self._version += 1
+            return dropped
+        finally:
+            self._end_write(depth)
 
     def remove_predicate(self, predicate: Any, graph: Optional[URIRef] = None) -> int:
         """Remove every triple with ``predicate`` from the selected graph(s).
@@ -210,6 +314,15 @@ class QuadStore:
         removed.  (Table refresh uses node-scoped retraction via the hash /
         quoted-triple indexes instead — see ``KGGovernor.retract_table``.)
         """
+        depth = self._begin_write()
+        try:
+            return self._remove_predicate_locked(predicate, graph)
+        finally:
+            self._end_write(depth)
+
+    def _remove_predicate_locked(
+        self, predicate: Any, graph: Optional[URIRef]
+    ) -> int:
         predicate_id = self._backend.dictionary.lookup(predicate)
         if predicate_id is None:
             return 0

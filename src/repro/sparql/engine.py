@@ -220,15 +220,20 @@ class SPARQLEngine:
     def evaluate(self, query: SelectQuery) -> SelectResult:
         """Evaluate an already-parsed query.
 
-        The store's residency cap (if any) is pinned for the duration: every
-        evaluation path scans graphs repeatedly, and pinning makes a capped
-        backend load each missing shard at most once per query.
+        Evaluation runs inside one store read view, so the result reflects a
+        single committed state even while a governor service is applying
+        write batches on another thread — a query never observes a
+        half-applied ingestion batch.  The store's residency cap (if any) is
+        also pinned for the duration: every evaluation path scans graphs
+        repeatedly, and pinning makes a capped backend load each missing
+        shard at most once per query.
         """
-        self.store.pin_residency()
-        try:
-            return self._evaluate(query)
-        finally:
-            self.store.unpin_residency()
+        with self.store.read_view():
+            self.store.pin_residency()
+            try:
+                return self._evaluate(query)
+            finally:
+                self.store.unpin_residency()
 
     def _evaluate(self, query: SelectQuery) -> SelectResult:
         if self.optimize and self.batched:
@@ -282,35 +287,44 @@ class SPARQLEngine:
         """Project a result relation directly to Python-value rows.
 
         One decode per selected cell (memoized id -> Python value), skipping
-        the intermediate term-binding dicts of the general path.
+        the intermediate term-binding dicts of the general path.  DISTINCT
+        is dictionary-aware: duplicate rows are eliminated on the projected
+        *id* tuples first — integer hashing, no term decoding, no string
+        keys — so only the surviving distinct rows are ever decoded.  A
+        value-level pass then guards the rare id-distinct / value-equal
+        collisions (two interned terms projecting to the same Python value,
+        e.g. ``Literal(5)`` vs ``Literal("5")``), keeping row sets identical
+        to the tuple executor's.
         """
         variables = [str(item) for item in query.variables]
-        rows = relation.rows
+        slots = [relation.slot(name) for name in variables]
+        id_rows: Iterable[tuple] = (
+            tuple(row[slot] if slot is not None else UNBOUND for slot in slots)
+            for row in relation.rows
+        )
+        if query.distinct:
+            seen: Set[tuple] = set()
+            deduplicated: List[tuple] = []
+            for id_row in id_rows:
+                if id_row not in seen:
+                    seen.add(id_row)
+                    deduplicated.append(id_row)
+            id_rows = deduplicated
         decode = encoder.decode
         #: id -> projected Python value, shared across rows.
         values: Dict[int, Any] = {}
-        columns: List[List[Any]] = []
-        for name in variables:
-            slot = relation.slot(name)
-            if slot is None:
-                columns.append([None] * len(rows))
-                continue
-            column: List[Any] = []
-            append = column.append
-            for row in rows:
-                cell = row[slot]
+        projected: List[Dict[str, Any]] = []
+        for id_row in id_rows:
+            row: Dict[str, Any] = {}
+            for name, cell in zip(variables, id_row):
                 if cell is None:
-                    append(None)
+                    row[name] = None
                     continue
                 value = values.get(cell)
                 if value is None:
                     value = values[cell] = _to_python(decode(cell))
-                append(value)
-            columns.append(column)
-        if variables:
-            projected = [dict(zip(variables, combo)) for combo in zip(*columns)]
-        else:
-            projected = [{} for _ in rows]
+                row[name] = value
+            projected.append(row)
         if query.distinct:
             projected = self._distinct(projected)
         if query.offset:
