@@ -477,10 +477,33 @@ class LiDSClient(KGLiDS):
         """Whether this client fronts a read-only (opened) governor."""
         return self.governor.read_only
 
+    @property
+    def quarantined(self) -> List[Any]:
+        """Keys the fronted service refuses fast after repeated failures.
+
+        Empty when the client fronts a plain governor (no service, no
+        scheduler, hence no quarantine ledger).
+        """
+        if self.service is None:
+            return []
+        return self.service.quarantined
+
+    def clear_quarantine(self, key: Optional[Any] = None) -> None:
+        """Lift the service's quarantine for one key (or all of them).
+
+        A no-op without a fronting service, so callers can always invoke
+        it after fixing bad source data regardless of how the graph is
+        served.
+        """
+        if self.service is not None:
+            self.service.clear_quarantine(key)
+
     def close(self) -> None:
         """Release the underlying storage (flushes sqlite-backed graphs).
 
-        For a service-fronted client, close the service first (or let it
+        Idempotent: the governor's close is safe to call twice, so a
+        client may appear in multiple ``finally`` blocks.  For a
+        service-fronted client, close the service first (or let it
         drain): closing storage under a live scheduler would fail every
         in-flight ticket on a closed backend, so it is rejected here.
         """

@@ -22,6 +22,7 @@ abstracted pipelines into the LiDS graph.
 """
 
 from repro.kg.dataset_graph import DataGlobalSchemaBuilder, SimilarityThresholds
+from repro.kg.errors import GovernanceError, PoisonTableError, TransientError
 from repro.kg.governor import GovernorReport, KGGovernor
 from repro.kg.linker import GlobalGraphLinker
 from repro.kg.ontology import LiDSOntology, column_uri, dataset_uri, pipeline_graph_uri, table_uri
@@ -44,4 +45,7 @@ __all__ = [
     "GovernorService",
     "IngestTicket",
     "KGLiDSStorage",
+    "GovernanceError",
+    "TransientError",
+    "PoisonTableError",
 ]

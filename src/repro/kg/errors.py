@@ -1,0 +1,56 @@
+"""Structured failure taxonomy for the governance tier.
+
+The governor service classifies batch failures so callers (and its own
+scheduler) can react mechanically instead of pattern-matching messages:
+
+* :class:`TransientError` — worth retrying: the condition is expected to
+  clear on its own (lock contention, a briefly unavailable resource).  The
+  scheduler retries these with capped exponential backoff before failing
+  the ticket.
+* :class:`PoisonTableError` — not worth retrying: the same submission has
+  failed repeatedly, so it is quarantined and every further submission
+  touching it fails fast with this error instead of wedging the queue.
+
+Failures that are neither (a profiler bug, bad input data) surface on the
+ticket as the *original* exception — the taxonomy wraps policy decisions,
+never the underlying fault.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = ["GovernanceError", "TransientError", "PoisonTableError"]
+
+
+class GovernanceError(RuntimeError):
+    """Base class of governance-tier failures."""
+
+
+class TransientError(GovernanceError):
+    """A retryable failure: the scheduler backs off and tries again.
+
+    Raise this (or subclass it) from profilers / backends / hooks when a
+    failure is expected to clear on retry; anything else is treated as a
+    hard failure and surfaces on the ticket unchanged.
+    """
+
+
+class PoisonTableError(GovernanceError):
+    """A quarantined submission: it failed repeatedly and is refused fast.
+
+    ``key`` identifies the offender (e.g. ``("table", dataset, name)``),
+    ``attempts`` how many failures led to quarantine, and ``cause`` the last
+    underlying exception (also chained as ``__cause__``).
+    """
+
+    def __init__(self, key: Any, attempts: int, cause: Optional[BaseException] = None):
+        self.key = key
+        self.attempts = attempts
+        self.cause = cause
+        super().__init__(
+            f"submission {key!r} is quarantined after {attempts} failed "
+            f"attempts (last error: {cause!r}); clear_quarantine() to retry"
+        )
+        if cause is not None:
+            self.__cause__ = cause

@@ -147,6 +147,10 @@ class KGGovernor:
         #: Set by ``LiDSClient.open``: a read-only governor rejects every
         #: mutation (the saved directory stays untouched).
         self.read_only = False
+        #: What the durable backend verified/repaired on open: the committed
+        #: ``commit_version`` marker plus any torn shards / orphan tables it
+        #: discarded (empty for in-memory stores).
+        self.recovery: Dict[str, object] = dict(self.storage.graph.recovery or {})
         self._write_ontology()
 
     def _write_ontology(self) -> None:
@@ -205,8 +209,38 @@ class KGGovernor:
             report = report.merge(self.add_pipelines(scripts))
         return report
 
+    # --------------------------------------------------------- state rollback
+    def _profile_state_snapshot(self):
+        """Copies of the python-side profile registries (undo material).
+
+        The governor's dict/list state mutates alongside the graph inside a
+        write batch; restoring this snapshot on rollback keeps both in step.
+        The copies are shallow — profiles themselves are treated as
+        immutable once built.
+        """
+        return (
+            list(self.table_profiles),
+            dict(self._profiles_by_key),
+            dict(self._fingerprints_by_key),
+        )
+
+    def _restore_profile_state(self, snapshot) -> None:
+        self.table_profiles, self._profiles_by_key, self._fingerprints_by_key = (
+            list(snapshot[0]),
+            dict(snapshot[1]),
+            dict(snapshot[2]),
+        )
+
+    def _register_state_rollback(self, restore) -> None:
+        """Attach a python-state restorer to the open write batch."""
+        graph = self.storage.graph
+        if graph.undo_enabled and graph.in_write_batch:
+            graph.on_rollback(restore)
+
     # ------------------------------------------------------------ incremental
-    def add_data_lake(self, lake: DataLake) -> GovernorReport:
+    def add_data_lake(
+        self, lake: DataLake, *, _force_refresh: frozenset = frozenset()
+    ) -> GovernorReport:
         """Profile and register every *new or changed* table of ``lake``.
 
         The add is incremental: tables already governed with unchanged
@@ -217,9 +251,10 @@ class KGGovernor:
         exact graph a single bootstrap over the union would.
 
         Re-adding a table whose *contents* changed (detected via the content
-        fingerprint recorded when it was first governed) is routed through
-        :meth:`refresh_table` — its stale metadata triples, similarity edges
-        and embeddings are retracted before re-profiling — and logged in
+        fingerprint recorded when it was first governed) takes the refresh
+        path: its stale metadata triples, similarity edges and embeddings
+        are retracted and the re-governed footprint written *in the same
+        commit* (readers observe old state or new, never neither), logged in
         ``GovernorReport.refreshed_tables``.  Change detection costs one
         hash pass over each already-governed table's values per re-add —
         far cheaper than profiling, but no longer the O(1) key lookup the
@@ -240,32 +275,56 @@ class KGGovernor:
         report = GovernorReport()
         fresh_tables: List[Table] = []
         fingerprints: Dict[Tuple[str, str], str] = {}
+        #: ``(dataset, table, stale_profile)`` of re-adds whose contents
+        #: changed — retracted inside the same commit that re-governs them.
+        stale: List[Tuple[str, str, TableProfile]] = []
         for table in lake.tables():
             key = (table.dataset or "default", table.name)
             if key not in self._profiles_by_key:
                 fresh_tables.append(table)
                 fingerprints[key] = table.content_fingerprint()
                 continue
+            forced = key in _force_refresh
             recorded = self._fingerprints_by_key.get(key)
-            if recorded is None:
+            if recorded is None and not forced:
                 continue
             fingerprint = table.content_fingerprint()
-            if fingerprint != recorded:
-                # Retract now, then govern alongside the fresh tables so all
-                # changed tables share one profiling batch (and the fan-out
-                # of a parallel profiler) instead of per-table refreshes.
-                self.retract_table(key[0], key[1])
+            if forced or fingerprint != recorded:
+                stale.append((key[0], key[1], self._profiles_by_key[key]))
                 fresh_tables.append(table)
                 fingerprints[key] = fingerprint
                 report.refreshed_tables.append(f"{key[0]}/{key[1]}")
         if not fresh_tables:
             return report
+        # Drop the stale profiles from the python registries *before*
+        # planning so similarity is never scored against a profile being
+        # retracted; the graph-side retraction happens inside the single
+        # transaction below.  The snapshot restores everything if the batch
+        # (or profiling itself) fails.
+        snapshot = self._profile_state_snapshot()
+        for dataset_name, table_name, profile in stale:
+            key = (dataset_name, table_name)
+            self._profiles_by_key.pop(key, None)
+            self._fingerprints_by_key.pop(key, None)
+            self.table_profiles = [p for p in self.table_profiles if p is not profile]
         self._fingerprints_by_key.update(fingerprints)
-        new_profiles = self.profiler.profile_tables(fresh_tables)
+        try:
+            new_profiles = self.profiler.profile_tables(fresh_tables)
+            plan = self.schema_builder.plan_incremental(new_profiles, self.table_profiles)
+        except BaseException:
+            self._restore_profile_state(snapshot)
+            raise
         report.num_tables_profiled += len(new_profiles)
         report.num_columns_profiled += sum(len(p.column_profiles) for p in new_profiles)
-        plan = self.schema_builder.plan_incremental(new_profiles, self.table_profiles)
-        with self.storage.graph.write_batch():
+        # One transaction covers stale-footprint retraction, embeddings and
+        # graph writes: a refresh is all-or-nothing, and readers see the old
+        # table state replaced by the new in a single commit.
+        with self.storage.transaction():
+            self._register_state_rollback(
+                lambda: self._restore_profile_state(snapshot)
+            )
+            for dataset_name, table_name, profile in stale:
+                self._retract_graph_footprint(dataset_name, table_name, profile)
             self._store_embeddings(new_profiles)
             edges = self.schema_builder.apply_incremental(
                 new_profiles, plan, self.storage.graph
@@ -309,6 +368,7 @@ class KGGovernor:
         report = GovernorReport()
         fresh_scripts: List[PipelineScript] = []
         changed_ids: set = set()
+        snapshot = self._pipeline_state_snapshot()
         for script in scripts:
             governed = self._abstractions_by_id.get(script.pipeline_id)
             if governed is not None:
@@ -319,6 +379,9 @@ class KGGovernor:
             fresh_scripts.append(script)
         if changed_ids:
             with self.storage.graph.write_batch():
+                self._register_state_rollback(
+                    lambda: self._restore_pipeline_state(snapshot)
+                )
                 # Changed source: each stale pipeline's whole named graph
                 # goes, and the shared library graph is rebuilt from the
                 # surviving abstractions (the fresh re-abstractions below
@@ -332,7 +395,13 @@ class KGGovernor:
         if not fresh_scripts:
             return report
         abstractions = self.abstractor.abstract_scripts(fresh_scripts)
+        # Fresh snapshot: the retraction batch above may have committed, and
+        # a rollback of the write batch below must not resurrect it.
+        snapshot = self._pipeline_state_snapshot()
         with self.storage.graph.write_batch():
+            self._register_state_rollback(
+                lambda snap=snapshot: self._restore_pipeline_state(snap)
+            )
             self.abstractions.extend(abstractions)
             for abstraction in abstractions:
                 self._abstractions_by_id[abstraction.pipeline_id] = abstraction
@@ -345,6 +414,18 @@ class KGGovernor:
                 abstractions, self.storage.graph
             )
         return report
+
+    def _pipeline_state_snapshot(self):
+        return (
+            list(self.abstractions),
+            dict(self._abstractions_by_id),
+            set(self.abstractor.library_hierarchy),
+        )
+
+    def _restore_pipeline_state(self, snapshot) -> None:
+        self.abstractions = list(snapshot[0])
+        self._abstractions_by_id = dict(snapshot[1])
+        self.abstractor.library_hierarchy = set(snapshot[2])
 
     def _rebuild_library_graph(self) -> None:
         """Drop and rebuild the shared library graph from ``abstractions``.
@@ -373,31 +454,32 @@ class KGGovernor:
     def refresh_table(self, table: Table, dataset_name: Optional[str] = None) -> GovernorReport:
         """Retract a governed table's graph footprint and re-govern it.
 
-        Everything derived from the table's old contents is removed first —
-        its metadata triples, the similarity / unionability / joinability
-        edges (and their RDF-star score annotations) touching its column and
-        table nodes, and its stored embeddings — then the table is profiled
-        and added exactly like a fresh table.  The result is byte-identical
-        to governing the modified lake from scratch: no stale triples, edges
-        or embeddings survive.  Refreshing a table that was never governed
-        degrades to a plain add.
-
-        Concurrent readers see the refresh as two commits — the retraction,
-        then the re-add — each atomic on its own (holding the write gate
-        across re-profiling would block reads for the whole profile cost).
+        Everything derived from the table's old contents is removed — its
+        metadata triples, the similarity / unionability / joinability edges
+        (and their RDF-star score annotations) touching its column and table
+        nodes, and its stored embeddings — and the re-profiled footprint is
+        written *in the same commit*: concurrent readers observe the old
+        table state or the new one, never the gap in between, and a failure
+        anywhere (profiling included) rolls everything back to the
+        pre-refresh state.  The result is byte-identical to governing the
+        modified lake from scratch: no stale triples, edges or embeddings
+        survive.  Refreshing a table that was never governed degrades to a
+        plain add.  Profiling still runs outside the write gate — only the
+        retract-and-apply phase holds it.
         """
         self._ensure_writable()
         service = self._route_to_service()
         if service is not None:
             return service.submit_refresh(table, dataset_name=dataset_name).result()
         dataset_name = dataset_name or table.dataset or "default"
-        refreshed = self.retract_table(dataset_name, table.name)
         lake = DataLake(name=dataset_name)
         lake.add_table(dataset_name, table)
-        report = self.add_data_lake(lake)
-        if refreshed:
-            report.refreshed_tables.append(f"{dataset_name}/{table.name}")
-        return report
+        # Force the refresh path even when the content fingerprint matches
+        # (the caller explicitly asked for a re-govern): the stale footprint
+        # is retracted inside the same commit that re-adds the table.
+        return self.add_data_lake(
+            lake, _force_refresh=frozenset([(dataset_name, table.name)])
+        )
 
     def retract_table(self, dataset_name: str, table_name: str) -> bool:
         """Remove a table's triples, similarity edges and embeddings.
@@ -418,37 +500,53 @@ class KGGovernor:
             report = service.submit_retract(dataset_name, table_name).result()
             return bool(report.retracted_tables)
         key = (dataset_name, table_name)
-        profile = self._profiles_by_key.pop(key, None)
+        profile = self._profiles_by_key.get(key)
         if profile is None:
             return False
+        snapshot = self._profile_state_snapshot()
+        self._profiles_by_key.pop(key, None)
+        self._fingerprints_by_key.pop(key, None)
         # Identity-based removal: TableProfile dataclass equality would
         # compare embedded numpy arrays.
         self.table_profiles = [p for p in self.table_profiles if p is not profile]
-        self._fingerprints_by_key.pop(key, None)
+        with self.storage.transaction():
+            self._register_state_rollback(
+                lambda: self._restore_profile_state(snapshot)
+            )
+            self._retract_graph_footprint(dataset_name, table_name, profile)
+        return True
+
+    def _retract_graph_footprint(
+        self, dataset_name: str, table_name: str, profile: TableProfile
+    ) -> None:
+        """Remove one table's triples, edges and embeddings (in-batch body).
+
+        Callers hold an open ``storage.transaction()``; the retraction's
+        undo entries ride that batch, so a failure later in the same batch
+        resurrects the footprint.
+        """
         graph = self.storage.graph
         table_node = table_uri(dataset_name, table_name)
         column_nodes = [
             column_uri(p.dataset_name, p.table_name, p.column_name)
             for p in profile.column_profiles
         ]
-        with graph.write_batch():
-            for node in [table_node] + column_nodes:
-                for triple, graph_name in list(graph.match(subject=node, graph=DATASET_GRAPH)):
-                    graph.remove(triple.subject, triple.predicate, triple.object, graph=graph_name)
-                for triple, graph_name in list(graph.match(obj=node, graph=DATASET_GRAPH)):
-                    graph.remove(triple.subject, triple.predicate, triple.object, graph=graph_name)
-                for triple, graph_name in list(
-                    graph.match_quoted(inner_subject=node, graph=DATASET_GRAPH)
-                ):
-                    graph.remove(triple.subject, triple.predicate, triple.object, graph=graph_name)
-                for triple, graph_name in list(
-                    graph.match_quoted(inner_object=node, graph=DATASET_GRAPH)
-                ):
-                    graph.remove(triple.subject, triple.predicate, triple.object, graph=graph_name)
-            self.storage.embeddings.remove("table", str(table_node))
-            for column_node in column_nodes:
-                self.storage.embeddings.remove("column", str(column_node))
-        return True
+        for node in [table_node] + column_nodes:
+            for triple, graph_name in list(graph.match(subject=node, graph=DATASET_GRAPH)):
+                graph.remove(triple.subject, triple.predicate, triple.object, graph=graph_name)
+            for triple, graph_name in list(graph.match(obj=node, graph=DATASET_GRAPH)):
+                graph.remove(triple.subject, triple.predicate, triple.object, graph=graph_name)
+            for triple, graph_name in list(
+                graph.match_quoted(inner_subject=node, graph=DATASET_GRAPH)
+            ):
+                graph.remove(triple.subject, triple.predicate, triple.object, graph=graph_name)
+            for triple, graph_name in list(
+                graph.match_quoted(inner_object=node, graph=DATASET_GRAPH)
+            ):
+                graph.remove(triple.subject, triple.predicate, triple.object, graph=graph_name)
+        self.storage.embeddings.remove("table", str(table_node))
+        for column_node in column_nodes:
+            self.storage.embeddings.remove("column", str(column_node))
 
     # ------------------------------------------------------------ persistence
     def save(self, directory: PathLike) -> Path:
@@ -572,7 +670,11 @@ class KGGovernor:
         return governor
 
     def close(self) -> None:
-        """Flush and release the storage bundle (required for sqlite backends)."""
+        """Flush and release the storage bundle (required for sqlite backends).
+
+        Idempotent: double-close and close-after-a-failed-batch are no-ops
+        (a failed batch already rolled back; there is nothing to flush).
+        """
         self.storage.close()
 
     # ----------------------------------------------------------------- lookups

@@ -27,9 +27,11 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from repro.kg.errors import GovernanceError, PoisonTableError, TransientError
 from repro.kg.governor import GovernorReport, KGGovernor
 from repro.pipelines.abstraction import PipelineScript
 from repro.tabular import DataLake, Table
@@ -191,15 +193,40 @@ class GovernorService:
         self._resume.set()
         self._stats_lock = threading.Lock()
         #: Telemetry: submissions accepted / resolved / failed, scheduler
-        #: batches executed, and submissions that rode along in a batch
-        #: beyond the first (``coalesced``).
+        #: batches executed, submissions that rode along in a batch beyond
+        #: the first (``coalesced``), transient ``retries``, and submissions
+        #: refused because their key is ``quarantined``.
         self.stats: Dict[str, int] = {
             "submitted": 0,
             "completed": 0,
             "failed": 0,
             "batches": 0,
             "coalesced": 0,
+            "retries": 0,
+            "quarantined": 0,
         }
+        #: How many times a :class:`TransientError` is retried (with capped
+        #: exponential backoff) before the ticket fails.
+        self.max_transient_retries = 3
+        #: Base / cap of the retry backoff, in seconds.
+        self.retry_backoff = 0.05
+        self.retry_backoff_cap = 1.0
+        #: Consecutive failures of one submission key before it is
+        #: quarantined (further submissions fail fast with
+        #: :class:`PoisonTableError` instead of wedging the queue).
+        self.quarantine_after = 3
+        #: key -> consecutive failure count (reset on success).
+        self._failure_counts: Dict[Any, int] = {}
+        #: key -> last error that tipped it into quarantine.
+        self._quarantined_keys: Dict[Any, BaseException] = {}
+        #: Set when the scheduler thread dies unexpectedly: submissions are
+        #: refused (their tickets could never resolve).
+        self._scheduler_dead = False
+        #: The batch currently executing on the scheduler thread.  Tracked so
+        #: the death safety net can fail *in-flight* tickets too — without it
+        #: a scheduler bug would leave the batch it was executing (and any
+        #: carried coalescing stopper) waiting forever.
+        self._inflight: List["_Submission"] = []
         governor._service = self
         self._thread = threading.Thread(
             target=self._run, name="governor-scheduler", daemon=True
@@ -275,6 +302,11 @@ class GovernorService:
         with self._submit_lock:
             if self._closed:
                 raise RuntimeError("GovernorService is closed")
+            if self._scheduler_dead:
+                raise GovernanceError(
+                    "GovernorService scheduler thread has died; the service "
+                    "must be closed and rebuilt"
+                )
             self._queue.put(_Submission(kind, payload, ticket), timeout=timeout)
         with self._stats_lock:
             self.stats["submitted"] += 1
@@ -320,7 +352,11 @@ class GovernorService:
         """Stop accepting work, drain the queue, and stop the scheduler.
 
         Every ticket already accepted resolves before the scheduler exits
-        (the shutdown sentinel queues FIFO behind them).  The underlying
+        (the shutdown sentinel queues FIFO behind them).  Tickets queued
+        behind a poisoned batch *fail* rather than hang: batch execution is
+        always finite (transient retries are bounded, quarantined keys fail
+        fast), and if the scheduler thread ever dies, the remaining queue is
+        drained with every ticket failed.  The underlying
         governor is *not* closed — it simply returns to direct synchronous
         operation.  When ``timeout`` expires before the scheduler drains,
         :class:`TimeoutError` is raised and the governor stays attached to
@@ -352,19 +388,127 @@ class GovernorService:
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
 
+    # ------------------------------------------------------------- quarantine
+    @property
+    def quarantined(self) -> List[Any]:
+        """Keys currently refused fast (see :class:`PoisonTableError`)."""
+        return list(self._quarantined_keys)
+
+    def clear_quarantine(self, key: Optional[Any] = None) -> None:
+        """Lift the quarantine of one key (or all keys) and reset its count."""
+        if key is None:
+            self._quarantined_keys.clear()
+            self._failure_counts.clear()
+            return
+        self._quarantined_keys.pop(key, None)
+        self._failure_counts.pop(key, None)
+
+    @staticmethod
+    def _submission_keys(submission: _Submission) -> FrozenSet[Any]:
+        """Stable identities of what a submission touches (quarantine keys)."""
+        if submission.kind == "tables":
+            return frozenset(
+                ("table", dataset_name, table.name)
+                for dataset_name, table in submission.payload
+            )
+        if submission.kind == "refresh":
+            dataset_name, table = submission.payload
+            dataset_name = dataset_name or table.dataset or "default"
+            return frozenset([("table", dataset_name, table.name)])
+        if submission.kind == "retract":
+            dataset_name, table_name = submission.payload
+            return frozenset([("table", dataset_name, table_name)])
+        return frozenset(
+            ("pipeline", script.pipeline_id) for script in submission.payload
+        )
+
+    def _quarantine_error(self, submission: _Submission) -> Optional[PoisonTableError]:
+        for key in self._submission_keys(submission):
+            error = self._quarantined_keys.get(key)
+            if error is not None:
+                return PoisonTableError(
+                    key, self._failure_counts.get(key, self.quarantine_after), error
+                )
+        return None
+
+    def _record_failure(self, submission: _Submission, error: BaseException) -> None:
+        for key in self._submission_keys(submission):
+            count = self._failure_counts.get(key, 0) + 1
+            self._failure_counts[key] = count
+            if count >= self.quarantine_after:
+                self._quarantined_keys[key] = error
+
+    def _record_success(self, submission: _Submission) -> None:
+        # A success clears the slate: only *consecutive* failures quarantine.
+        for key in self._submission_keys(submission):
+            self._failure_counts.pop(key, None)
+
+    def _run_with_retry(self, work):
+        """Run ``work``, retrying :class:`TransientError` with capped backoff."""
+        delay = self.retry_backoff
+        attempt = 0
+        while True:
+            try:
+                return work()
+            except TransientError:
+                attempt += 1
+                if attempt > self.max_transient_retries:
+                    raise
+                with self._stats_lock:
+                    self.stats["retries"] += 1
+                time.sleep(min(delay, self.retry_backoff_cap))
+                delay *= 2
+
     # -------------------------------------------------------------- scheduler
     def _run(self) -> None:
+        try:
+            while True:
+                item = self._carry if self._carry is not None else self._queue.get()
+                self._carry = None
+                if item is _SHUTDOWN:
+                    self._queue.task_done()
+                    return
+                self._resume.wait()
+                batch = self._coalesce(item)
+                self._inflight = batch
+                self._execute(item.kind, batch)
+                self._inflight = []
+                for _ in batch:
+                    self._queue.task_done()
+        finally:
+            # Safety net: if the loop exits for *any* reason (orderly
+            # shutdown leaves the queue empty and nothing in flight, so this
+            # is a no-op then), every unresolved ticket — in the batch being
+            # executed, carried out of coalescing, or still queued — fails
+            # instead of hanging forever behind a dead scheduler.
+            self._scheduler_dead = True
+            error = GovernanceError(
+                "GovernorService scheduler stopped before this ticket ran"
+            )
+            for submission in self._inflight:
+                if not submission.ticket.done():
+                    submission.ticket._fail(error)
+                    with self._stats_lock:
+                        self.stats["failed"] += 1
+            self._inflight = []
+            carry, self._carry = self._carry, None
+            if carry is not None and carry is not _SHUTDOWN:
+                carry.ticket._fail(error)
+                with self._stats_lock:
+                    self.stats["failed"] += 1
+            self._fail_pending(error)
+
+    def _fail_pending(self, error: BaseException) -> None:
         while True:
-            item = self._carry if self._carry is not None else self._queue.get()
-            self._carry = None
-            if item is _SHUTDOWN:
-                self._queue.task_done()
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
                 return
-            self._resume.wait()
-            batch = self._coalesce(item)
-            self._execute(item.kind, batch)
-            for _ in batch:
-                self._queue.task_done()
+            if item is not _SHUTDOWN:
+                item.ticket._fail(error)
+                with self._stats_lock:
+                    self.stats["failed"] += 1
+            self._queue.task_done()
 
     def _coalesce(self, first: _Submission) -> List[_Submission]:
         """Drain immediately-available same-kind submissions behind ``first``.
@@ -402,36 +546,82 @@ class GovernorService:
             # Per-submission execution: each ticket gets its own report and
             # its own failure, so one broken refresh cannot poison the rest.
             for submission in batch:
-                submission.ticket._mark_running()
-                try:
-                    report = self._execute_one(submission)
-                except BaseException as error:
-                    submission.ticket._fail(error)
-                    with self._stats_lock:
-                        self.stats["failed"] += 1
-                else:
-                    submission.ticket._resolve(report)
-                    with self._stats_lock:
-                        self.stats["completed"] += 1
+                self._execute_guarded(submission, lambda s=submission: self._execute_one(s))
             return
+        # Quarantined submissions fail fast up front; the rest run as one
+        # coalesced batch.
+        live: List[_Submission] = []
         for submission in batch:
+            poison = self._quarantine_error(submission)
+            if poison is not None:
+                submission.ticket._mark_running()
+                submission.ticket._fail(poison)
+                with self._stats_lock:
+                    self.stats["failed"] += 1
+                    self.stats["quarantined"] += 1
+            else:
+                live.append(submission)
+        if not live:
+            return
+        for submission in live:
             submission.ticket._mark_running()
         try:
-            if kind == "tables":
-                report = self.governor.add_data_lake(self._merge_lake(batch))
-            else:
-                scripts = [script for s in batch for script in s.payload]
-                report = self.governor.add_pipelines(scripts)
+            report = self._run_with_retry(lambda: self._execute_batch(kind, live))
         except BaseException as error:
-            for submission in batch:
-                submission.ticket._fail(error)
-            with self._stats_lock:
-                self.stats["failed"] += len(batch)
+            if len(live) > 1:
+                # The merged batch failed (and rolled back).  Split it and
+                # run each submission alone: one poison table then fails
+                # only its own ticket instead of the whole batch, and the
+                # healthy submissions still land.
+                for submission in live:
+                    self._execute_guarded(
+                        submission,
+                        lambda s=submission: self._execute_batch(kind, [s]),
+                        mark_running=False,
+                    )
+            else:
+                self._record_failure(live[0], error)
+                live[0].ticket._fail(error)
+                with self._stats_lock:
+                    self.stats["failed"] += 1
         else:
-            for submission in batch:
+            for submission in live:
+                self._record_success(submission)
                 submission.ticket._resolve(report)
             with self._stats_lock:
-                self.stats["completed"] += len(batch)
+                self.stats["completed"] += len(live)
+
+    def _execute_guarded(
+        self, submission: _Submission, work, mark_running: bool = True
+    ) -> None:
+        """Run one submission's work with quarantine + retry + bookkeeping."""
+        if mark_running:
+            submission.ticket._mark_running()
+        poison = self._quarantine_error(submission)
+        if poison is not None:
+            submission.ticket._fail(poison)
+            with self._stats_lock:
+                self.stats["failed"] += 1
+                self.stats["quarantined"] += 1
+            return
+        try:
+            report = self._run_with_retry(work)
+        except BaseException as error:
+            self._record_failure(submission, error)
+            submission.ticket._fail(error)
+            with self._stats_lock:
+                self.stats["failed"] += 1
+        else:
+            self._record_success(submission)
+            submission.ticket._resolve(report)
+            with self._stats_lock:
+                self.stats["completed"] += 1
+
+    def _execute_batch(self, kind: str, batch: List[_Submission]) -> GovernorReport:
+        if kind == "tables":
+            return self.governor.add_data_lake(self._merge_lake(batch))
+        scripts = [script for s in batch for script in s.payload]
+        return self.governor.add_pipelines(scripts)
 
     def _execute_one(self, submission: _Submission) -> GovernorReport:
         if submission.kind == "refresh":

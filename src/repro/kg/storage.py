@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Any, Dict, List, Optional
 
 from repro.embeddings.store import EmbeddingStore
@@ -27,12 +28,39 @@ class KGLiDSStorage:
         #: The LiDS graph; pass ``QuadStore.sqlite(path)`` for a durable lake.
         self.graph = graph if graph is not None else QuadStore()
         self.embeddings = embeddings if embeddings is not None else EmbeddingStore()
+        # One gate governs all of KGLiDS Storage: embedding reads/writes
+        # synchronize with graph commit batches, so recommenders can never
+        # observe an embedding batch mid-apply (or mid-rollback).
+        self.embeddings.attach_gate(self.graph.gate)
         self._models: Dict[str, Any] = {}
         self._engine: Optional[SPARQLEngine] = None
 
     def close(self) -> None:
-        """Flush and release the graph backend (no-op for in-memory stores)."""
+        """Flush and release the graph backend (no-op for in-memory stores).
+
+        Idempotent: closing twice (or after a failed batch) is a no-op.
+        """
         self.graph.close()
+
+    @contextmanager
+    def transaction(self):
+        """One atomic commit across the quad store *and* the embedding store.
+
+        Opens a graph ``write_batch`` and enlists the embedding store in it:
+        embedding mutations record undo entries, and the graph batch's
+        rollback/commit callbacks unwind or seal them together with the
+        quads.  Nests like ``write_batch`` — an inner ``transaction`` joins
+        the outer one rather than opening a second embedding batch.
+        """
+        with self.graph.write_batch():
+            if (
+                getattr(self.graph, "undo_enabled", False)
+                and not self.embeddings.in_batch
+            ):
+                self.embeddings.begin_batch()
+                self.graph.on_rollback(self.embeddings.rollback_batch)
+                self.graph.on_commit(self.embeddings.commit_batch)
+            yield self
 
     # ---------------------------------------------------------------- SPARQL
     @property

@@ -17,6 +17,12 @@ from repro.rdf.backend import (
     QuadStoreBackend,
     SqliteBackend,
 )
+from repro.rdf.faults import (
+    FaultInjectingBackend,
+    FaultPlan,
+    InjectedCrash,
+    InjectedFault,
+)
 from repro.rdf.gate import ReadView, ReadWriteGate
 from repro.rdf.graph_index import GraphIndex, IdTriple, PredicateStats
 from repro.rdf.namespace import (
@@ -57,6 +63,10 @@ __all__ = [
     "PredicateStats",
     "ReadWriteGate",
     "ReadView",
+    "FaultInjectingBackend",
+    "FaultPlan",
+    "InjectedFault",
+    "InjectedCrash",
     "TermDictionary",
     "PersistentTermDictionary",
     "DEFAULT_GRAPH",

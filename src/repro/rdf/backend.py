@@ -37,9 +37,11 @@ from __future__ import annotations
 
 import sqlite3
 import threading
+import time
 from abc import ABC, abstractmethod
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.rdf.graph_index import GraphIndex, IdTriple
 from repro.rdf.terms import TermDictionary, URIRef, parse_term, term_n3
@@ -134,6 +136,62 @@ class QuadStoreBackend(ABC):
     def unpin_residency(self) -> None:
         """Release one :meth:`pin_residency` level (enforces the cap at 0)."""
 
+    # ------------------------------------------------------------ transactions
+    def begin_batch(self) -> None:
+        """Open one atomic commit batch (caller holds the store's write gate).
+
+        Everything mutated until :meth:`commit_batch` either lands as one
+        durable commit or is wound back entirely by :meth:`rollback_batch`.
+        The default implementation only marks the term dictionary so an
+        aborted batch cannot leak interned ids (which would change the ids —
+        and therefore the durable byte layout — of later terms).
+        """
+        self._dictionary_mark = self.dictionary.mark()
+
+    def commit_batch(self, commit_version: int) -> None:
+        """Make the open batch durable, stamped with ``commit_version``."""
+        self.note_commit_version(commit_version)
+        self.flush()
+
+    def rollback_batch(self) -> None:
+        """Discard the open batch's durable writes and dictionary entries.
+
+        The store has already replayed its undo log against the resident
+        indexes; this only unwinds backend-owned state (buffered rows, the
+        sqlite transaction, terms interned during the batch).
+        """
+        self.dictionary.rollback_to(self._dictionary_mark)
+
+    def resident_index(self, graph: URIRef) -> Optional[GraphIndex]:
+        """The graph's index only if it is already in memory (no load).
+
+        Undo replay targets exactly the state a failed batch touched: an
+        index evicted (or never loaded) during the batch is rebuilt from
+        durable storage on next touch, which the backend rollback already
+        restored — replaying into a fresh load would double-revert.
+        """
+        return self.get_index(graph)
+
+    def drop_graph_for_undo(self, graph: URIRef) -> Optional[Any]:
+        """Drop a graph, returning an opaque token that can restore it.
+
+        ``None`` means the graph did not exist (nothing to undo).  The token
+        is only valid within the current batch, passed to
+        :meth:`restore_graph` during rollback.
+        """
+        raise NotImplementedError
+
+    def restore_graph(self, graph: URIRef, token: Any) -> None:
+        """Reinstate a graph dropped via :meth:`drop_graph_for_undo`."""
+        raise NotImplementedError
+
+    def committed_version(self) -> int:
+        """The last durably committed commit version (0 for volatile stores)."""
+        return 0
+
+    def note_commit_version(self, commit_version: int) -> None:
+        """Record the store's commit version for the next durable commit."""
+
 
 class InMemoryBackend(QuadStoreBackend):
     """The seed storage: a dict of :class:`GraphIndex` per named graph."""
@@ -143,6 +201,7 @@ class InMemoryBackend(QuadStoreBackend):
     def __init__(self):
         self.dictionary = TermDictionary()
         self._graphs: Dict[URIRef, GraphIndex] = {}
+        self._batch_created: Optional[Dict[URIRef, GraphIndex]] = None
 
     def graph_names(self) -> List[URIRef]:
         return list(self._graphs.keys())
@@ -154,6 +213,8 @@ class InMemoryBackend(QuadStoreBackend):
         index = self._graphs.get(graph)
         if index is None:
             index = self._graphs[graph] = GraphIndex(self.dictionary)
+            if self._batch_created is not None:
+                self._batch_created.setdefault(graph, index)
         return index
 
     def drop_graph(self, graph: URIRef) -> bool:
@@ -161,6 +222,31 @@ class InMemoryBackend(QuadStoreBackend):
 
     def items(self) -> Iterable[Tuple[URIRef, GraphIndex]]:
         return list(self._graphs.items())
+
+    # ------------------------------------------------------------ transactions
+    def begin_batch(self) -> None:
+        super().begin_batch()
+        self._batch_created = {}
+
+    def commit_batch(self, commit_version: int) -> None:
+        self._batch_created = None
+        super().commit_batch(commit_version)
+
+    def rollback_batch(self) -> None:
+        created, self._batch_created = self._batch_created, None
+        for graph, index in (created or {}).items():
+            # Identity guard: a graph dropped and re-created during the batch
+            # may by now hold a *restored* pre-batch index (undo replay runs
+            # before this) — only discard the index this batch created.
+            if self._graphs.get(graph) is index:
+                del self._graphs[graph]
+        super().rollback_batch()
+
+    def drop_graph_for_undo(self, graph: URIRef) -> Optional[GraphIndex]:
+        return self._graphs.pop(graph, None)
+
+    def restore_graph(self, graph: URIRef, token: GraphIndex) -> None:
+        self._graphs[graph] = token
 
 
 class PersistentTermDictionary(TermDictionary):
@@ -198,6 +284,31 @@ class PersistentTermDictionary(TermDictionary):
         """New ``(id, n3)`` rows awaiting persistence (clears the queue)."""
         pending, self._pending = self._pending, []
         return pending
+
+    def has_pending(self) -> bool:
+        return bool(self._pending)
+
+    def rollback_to(self, mark: int) -> None:
+        """Forget every term interned at or after ``mark``.
+
+        Unlike the volatile base, several live term objects can alias one
+        persisted id (``"5"`` and ``Literal("5")`` share an n3 spelling), so
+        ``_term_to_id`` is filter-rebuilt rather than popped per id; pending
+        rows for unwound ids are dropped so they never reach sqlite.
+        """
+        for term_id in range(mark, self._next_id):
+            text = self._id_to_text.pop(term_id, None)
+            if text is not None:
+                self._text_to_id.pop(text, None)
+            self._id_to_term.pop(term_id, None)
+            parts = self._quoted_parts.pop(term_id, None)
+            if parts is not None:
+                self._quoted_by_parts.pop(parts, None)
+        self._term_to_id = {
+            term: term_id for term, term_id in self._term_to_id.items() if term_id < mark
+        }
+        self._pending = [(term_id, text) for term_id, text in self._pending if term_id < mark]
+        self._next_id = mark
 
     def __len__(self) -> int:
         return len(self._id_to_text)
@@ -339,9 +450,21 @@ class SqliteBackend(QuadStoreBackend):
         #: not otherwise thread-safe, so all cursor work happens under this
         #: lock (reentrant: ``flush`` runs inside other locked sections).
         self._db_lock = threading.RLock()
-        self._connection = sqlite3.connect(str(self.path), check_same_thread=False)
+        # ``isolation_level=None`` turns off the sqlite3 module's implicit
+        # transaction management: every commit boundary below is an explicit
+        # BEGIN IMMEDIATE / COMMIT, so DDL (shard creation, drops) rides the
+        # same journaled transaction as the row writes it belongs with and a
+        # crash mid-flush rolls the whole commit back on reopen.
+        self._connection = sqlite3.connect(
+            str(self.path), check_same_thread=False, isolation_level=None
+        )
         self._connection.execute("PRAGMA journal_mode=WAL")
         self._connection.execute("PRAGMA synchronous=NORMAL")
+        self._in_batch = False
+        self._batch_created: Dict[URIRef, int] = {}
+        self._shards_snapshot: Optional[Dict[URIRef, int]] = None
+        self._crashed = False
+        self._txn_begin()
         self._connection.execute(
             "CREATE TABLE IF NOT EXISTS graphs ("
             " id INTEGER PRIMARY KEY AUTOINCREMENT,"
@@ -352,7 +475,22 @@ class SqliteBackend(QuadStoreBackend):
             " id INTEGER PRIMARY KEY,"
             " n3 TEXT UNIQUE NOT NULL)"
         )
-        self._connection.commit()
+        self._connection.execute(
+            "CREATE TABLE IF NOT EXISTS meta ("
+            " key TEXT PRIMARY KEY,"
+            " value INTEGER NOT NULL)"
+        )
+        self._connection.execute(
+            "INSERT OR IGNORE INTO meta (key, value) VALUES ('commit_version', 0)"
+        )
+        self._txn_commit()
+        #: The commit version of the last durable commit (the recovery marker).
+        self._durable_version = int(
+            self._connection.execute(
+                "SELECT value FROM meta WHERE key = 'commit_version'"
+            ).fetchone()[0]
+        )
+        self._noted_version: Optional[int] = None
         self.dictionary = PersistentTermDictionary()
         self.dictionary.load_rows(self._connection.execute("SELECT id, n3 FROM terms"))
         #: graph name -> shard id, in catalog order (deterministic reopen).
@@ -371,6 +509,8 @@ class SqliteBackend(QuadStoreBackend):
         #: Re-entrant residency-pin depth (evictions paused while > 0).
         self._pin_depth = 0
         self._closed = False
+        #: What :meth:`_recover` found and repaired on open (see that method).
+        self.recovery: Dict[str, Any] = self._recover()
 
     # ----------------------------------------------------------------- graphs
     def graph_names(self) -> List[URIRef]:
@@ -397,15 +537,19 @@ class SqliteBackend(QuadStoreBackend):
         if index is None:
             # Publish the catalog/index entries under the same lock as the
             # DDL so a concurrent reader can never see the shard id without
-            # its table (or vice versa).
+            # its table (or vice versa).  Inside a batch the DDL rides the
+            # batch transaction (sqlite DDL is transactional), so a rollback
+            # removes the catalog row and the shard table together.
             with self._db_lock:
-                cursor = self._connection.execute(
-                    "INSERT INTO graphs (name) VALUES (?)", (str(graph),)
-                )
-                shard_id = int(cursor.lastrowid)
-                self._create_shard_table(shard_id)
-                self._connection.commit()
+                with self._autocommit():
+                    cursor = self._execute_retry(
+                        "INSERT INTO graphs (name) VALUES (?)", (str(graph),)
+                    )
+                    shard_id = int(cursor.lastrowid)
+                    self._create_shard_table(shard_id)
                 self._shards[graph] = shard_id
+                if self._in_batch:
+                    self._batch_created[graph] = shard_id
                 index = self._indexes[graph] = GraphIndex(self.dictionary)
             self._enforce_residency(keep=graph)
         return index
@@ -420,10 +564,12 @@ class SqliteBackend(QuadStoreBackend):
             # gone; rebuilding the buffer under the lock keeps a concurrent
             # reader-triggered flush from re-running ops it already drained.
             self._pending = [op for op in self._pending if op[1] != shard_id]
-            self._flush_terms()
-            self._connection.execute(f"DROP TABLE IF EXISTS quads_{shard_id}")
-            self._connection.execute("DELETE FROM graphs WHERE id = ?", (shard_id,))
-            self._connection.commit()
+            with self._autocommit():
+                self._flush_term_rows()
+                self._connection.execute(f"DROP TABLE IF EXISTS quads_{shard_id}")
+                self._connection.execute(
+                    "DELETE FROM graphs WHERE id = ?", (shard_id,)
+                )
         return True
 
     def items(self) -> Iterable[Tuple[URIRef, GraphIndex]]:
@@ -480,11 +626,11 @@ class SqliteBackend(QuadStoreBackend):
         # overtake queued ops from other shards sharing the connection.
         with self._db_lock:
             self.flush()
-            cursor = self._connection.execute(
-                self._STATEMENTS["delete_predicate"].format(shard=shard_id),
-                (predicate_id,),
-            )
-            self._connection.commit()
+            with self._autocommit():
+                cursor = self._execute_retry(
+                    self._STATEMENTS["delete_predicate"].format(shard=shard_id),
+                    (predicate_id,),
+                )
         removed = int(cursor.rowcount)
         if removed:
             # The mutation happened while no index was resident; advance the
@@ -497,27 +643,47 @@ class SqliteBackend(QuadStoreBackend):
 
     def flush(self) -> None:
         with self._db_lock:
-            flushed = self._flush_terms(commit=False)
-            if self._pending:
-                flushed = True
-                pending, self._pending = self._pending, []
-                position = 0
-                while position < len(pending):
-                    op, shard_id, _ = pending[position]
-                    batch_end = position
-                    while (
-                        batch_end < len(pending)
-                        and pending[batch_end][0] == op
-                        and pending[batch_end][1] == shard_id
-                    ):
-                        batch_end += 1
-                    rows = [params for _, _, params in pending[position:batch_end]]
-                    self._connection.executemany(
-                        self._STATEMENTS[op].format(shard=shard_id), rows
-                    )
-                    position = batch_end
-            if flushed:
-                self._connection.commit()
+            if self._closed:
+                # A crashed/closed backend buffers nothing; nothing to lose.
+                return
+            dirty = (
+                bool(self._pending)
+                or self.dictionary.has_pending()
+                or self._meta_dirty()
+            )
+            if not dirty:
+                return
+            if self._in_batch:
+                # Ride the open batch transaction; commit_batch owns the
+                # COMMIT (and the meta marker) so a mid-batch flush — e.g.
+                # the buffer hitting ``flush_threshold`` — stays atomic with
+                # the rest of the batch.
+                self._flush_rows()
+            else:
+                with self._autocommit():
+                    self._flush_rows()
+                    self._write_meta()
+
+    def _flush_rows(self) -> None:
+        """Write buffered term and quad rows (no transaction control)."""
+        self._flush_term_rows()
+        if self._pending:
+            pending, self._pending = self._pending, []
+            position = 0
+            while position < len(pending):
+                op, shard_id, _ = pending[position]
+                batch_end = position
+                while (
+                    batch_end < len(pending)
+                    and pending[batch_end][0] == op
+                    and pending[batch_end][1] == shard_id
+                ):
+                    batch_end += 1
+                rows = [params for _, _, params in pending[position:batch_end]]
+                self._executemany_retry(
+                    self._STATEMENTS[op].format(shard=shard_id), rows
+                )
+                position = batch_end
 
     def close(self) -> None:
         with self._db_lock:
@@ -526,6 +692,237 @@ class SqliteBackend(QuadStoreBackend):
             self.flush()
             self._connection.close()
             self._closed = True
+
+    # ------------------------------------------------------------ transactions
+    def begin_batch(self) -> None:
+        with self._db_lock:
+            # Writes buffered *before* the batch belong to earlier commits;
+            # flush them in their own committed transaction first so rolling
+            # this batch back cannot take them along.
+            self.flush()
+            super().begin_batch()
+            self._shards_snapshot = dict(self._shards)
+            self._batch_created = {}
+            self._txn_begin()
+            self._in_batch = True
+
+    def commit_batch(self, commit_version: int) -> None:
+        with self._db_lock:
+            self._noted_version = commit_version
+            self._flush_rows()
+            self._write_meta()
+            self._txn_commit()
+            self._in_batch = False
+            self._batch_created = {}
+            self._shards_snapshot = None
+
+    def rollback_batch(self) -> None:
+        with self._db_lock:
+            if not self._in_batch:
+                return
+            self._in_batch = False
+            self._pending.clear()
+            self.dictionary.rollback_to(self._dictionary_mark)
+            if not self._closed:
+                try:
+                    self._connection.execute("ROLLBACK")
+                except sqlite3.OperationalError:
+                    # No transaction open — an injected "crash" already tore
+                    # it down; the journal rollback happens on reopen.
+                    pass
+            for graph in self._batch_created:
+                # Discard indexes of graphs created by the aborted batch —
+                # unless the graph pre-existed (drop-then-recreate), in which
+                # case undo replay restored the pre-batch index and it must
+                # stay resident.
+                if self._shards_snapshot is None or graph not in self._shards_snapshot:
+                    self._indexes.pop(graph, None)
+            if self._shards_snapshot is not None:
+                self._shards = dict(self._shards_snapshot)
+            self._batch_created = {}
+            self._shards_snapshot = None
+            self._noted_version = None
+
+    def resident_index(self, graph: URIRef) -> Optional[GraphIndex]:
+        index = self._indexes.get(graph)
+        if index is not None:
+            self._touch(graph)
+        return index
+
+    def drop_graph_for_undo(self, graph: URIRef) -> Optional[Tuple[int, Optional[GraphIndex]]]:
+        with self._db_lock:
+            shard_id = self._shards.get(graph)
+            if shard_id is None:
+                return None
+            index = self._indexes.get(graph)
+            self.drop_graph(graph)
+            return (shard_id, index)
+
+    def restore_graph(self, graph: URIRef, token: Tuple[int, Optional[GraphIndex]]) -> None:
+        shard_id, index = token
+        with self._db_lock:
+            # The sqlite ROLLBACK resurrects the shard table and catalog row;
+            # only the in-memory mappings need reinstating here.
+            self._shards[graph] = shard_id
+            if index is not None:
+                self._indexes[graph] = index
+
+    def committed_version(self) -> int:
+        return self._durable_version
+
+    def note_commit_version(self, commit_version: int) -> None:
+        self._noted_version = commit_version
+
+    def crash(self) -> None:
+        """Simulate abrupt process death (fault-injection hook).
+
+        Buffered writes are dropped and the connection is severed with the
+        current transaction uncommitted — exactly what a ``kill -9`` would
+        leave behind.  Reopening the path recovers to the last committed
+        ``commit_version`` via the sqlite journal.
+        """
+        with self._db_lock:
+            if self._closed:
+                return
+            self._pending.clear()
+            try:
+                self._connection.close()
+            except sqlite3.Error:
+                pass
+            self._closed = True
+            self._crashed = True
+
+    def _meta_dirty(self) -> bool:
+        return (
+            self._noted_version is not None
+            and self._noted_version != self._durable_version
+        )
+
+    def _write_meta(self) -> None:
+        """Stamp the commit-version marker (inside the caller's transaction)."""
+        if not self._meta_dirty():
+            return
+        self._connection.execute(
+            "UPDATE meta SET value = ? WHERE key = 'commit_version'",
+            (self._noted_version,),
+        )
+        self._durable_version = self._noted_version
+
+    def _txn_begin(self) -> None:
+        # IMMEDIATE takes the write lock up front so a later writer conflict
+        # surfaces here (where the bounded retry handles it) rather than at
+        # COMMIT, where rolling back would lose the batch.
+        self._execute_retry("BEGIN IMMEDIATE")
+
+    def _txn_commit(self) -> None:
+        self._execute_retry("COMMIT")
+
+    def _txn_rollback(self) -> None:
+        try:
+            self._connection.execute("ROLLBACK")
+        except sqlite3.OperationalError:
+            pass
+
+    #: Bounded-backoff policy for transient ``database is locked`` errors.
+    lock_retries = 6
+    lock_retry_delay = 0.01
+
+    def _execute_retry(self, sql: str, params: Tuple = ()) -> sqlite3.Cursor:
+        """``execute`` with bounded backoff on transient lock contention.
+
+        WAL mode plus the internal connection lock makes contention rare,
+        but an external process holding the database (e.g. a snapshot copy
+        or a second governor) surfaces as ``database is locked`` /
+        ``database is busy`` — transient conditions worth a few short sleeps
+        before giving up.
+        """
+        delay = self.lock_retry_delay
+        for attempt in range(self.lock_retries):
+            try:
+                return self._connection.execute(sql, params)
+            except sqlite3.OperationalError as error:
+                message = str(error).lower()
+                if "locked" not in message and "busy" not in message:
+                    raise
+                if attempt == self.lock_retries - 1:
+                    raise
+                time.sleep(delay)
+                delay = min(delay * 2, 0.25)
+        raise AssertionError("unreachable")
+
+    def _executemany_retry(self, sql: str, rows: List[Tuple]) -> sqlite3.Cursor:
+        delay = self.lock_retry_delay
+        for attempt in range(self.lock_retries):
+            try:
+                return self._connection.executemany(sql, rows)
+            except sqlite3.OperationalError as error:
+                message = str(error).lower()
+                if "locked" not in message and "busy" not in message:
+                    raise
+                if attempt == self.lock_retries - 1:
+                    raise
+                time.sleep(delay)
+                delay = min(delay * 2, 0.25)
+        raise AssertionError("unreachable")
+
+    @contextmanager
+    def _autocommit(self):
+        """One explicit transaction — unless a batch transaction is open.
+
+        Inside a batch the statements simply ride the batch's transaction
+        (committed or rolled back wholesale by ``commit_batch`` /
+        ``rollback_batch``); outside one they get their own journaled
+        BEGIN IMMEDIATE / COMMIT.
+        """
+        if self._in_batch:
+            yield
+            return
+        self._txn_begin()
+        try:
+            yield
+        except BaseException:
+            self._txn_rollback()
+            raise
+        else:
+            self._txn_commit()
+
+    def _recover(self) -> Dict[str, Any]:
+        """Verify the on-disk layout against the committed marker on open.
+
+        With journaled transactions a crash cannot tear a commit, but a
+        database written by older code (or meddled with externally) may hold
+        catalog rows without shard tables or orphan shard tables without
+        catalog rows.  Both are discarded — the catalog is the source of
+        truth for what the last commit contained.
+        """
+        existing = {
+            name
+            for (name,) in self._connection.execute(
+                "SELECT name FROM sqlite_master"
+                " WHERE type = 'table' AND name LIKE 'quads_%'"
+            )
+        }
+        torn = [
+            graph
+            for graph, shard_id in self._shards.items()
+            if f"quads_{shard_id}" not in existing
+        ]
+        catalog = {f"quads_{shard_id}" for shard_id in self._shards.values()}
+        orphans = sorted(existing - catalog)
+        if torn or orphans:
+            with self._db_lock, self._autocommit():
+                for graph in torn:
+                    shard_id = self._shards.pop(graph)
+                    self._connection.execute(
+                        "DELETE FROM graphs WHERE id = ?", (shard_id,)
+                    )
+                for table in orphans:
+                    self._connection.execute(f"DROP TABLE IF EXISTS {table}")
+        return {
+            "commit_version": self._durable_version,
+            "discarded_shards": [str(graph) for graph in torn],
+            "dropped_orphan_tables": orphans,
+        }
 
     # -------------------------------------------------------------- internals
     _STATEMENTS = {
@@ -548,17 +945,17 @@ class SqliteBackend(QuadStoreBackend):
             f" ON quads_{shard_id} (p)"
         )
 
-    def _flush_terms(self, commit: bool = True) -> bool:
-        """Persist newly interned dictionary rows (always ahead of quad rows)."""
+    def _flush_term_rows(self) -> bool:
+        """Persist newly interned dictionary rows (always ahead of quad rows).
+
+        No transaction control: the caller owns the commit boundary."""
         with self._db_lock:
             rows = self.dictionary.drain_pending()
             if not rows:
                 return False
-            self._connection.executemany(
+            self._executemany_retry(
                 "INSERT OR IGNORE INTO terms (id, n3) VALUES (?, ?)", rows
             )
-            if commit:
-                self._connection.commit()
         return True
 
     def _queue(self, op: str, shard_id: int, params: Tuple[int, ...]) -> None:

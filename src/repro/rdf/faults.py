@@ -1,0 +1,193 @@
+"""Fault injection for the storage layer: prove rollback, not just hope.
+
+:class:`FaultInjectingBackend` wraps any :class:`QuadStoreBackend` and
+counts *fault points* — mutation hooks, flushes, batch commits.  A
+:class:`FaultPlan` arms one point: when the counter reaches it, the wrapper
+either raises (:class:`InjectedFault` — an "application" failure the undo
+log must roll back) or severs the inner backend mid-write
+(:class:`InjectedCrash` — buffered writes dropped, the open sqlite
+transaction left uncommitted, as a ``kill -9`` would).
+
+The crash-point sweep tests drive a governed ingestion once per fault
+point and assert the store afterwards is byte-identical to one that never
+saw the failed batch — at *every* point, which is what makes the batch
+"all-or-nothing" rather than "usually fine".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Tuple
+
+from repro.rdf.backend import QuadStoreBackend
+from repro.rdf.graph_index import GraphIndex, IdTriple
+from repro.rdf.terms import TermDictionary, URIRef
+
+
+class InjectedFault(RuntimeError):
+    """An injected in-process failure (the batch body observes it raising)."""
+
+
+class InjectedCrash(RuntimeError):
+    """An injected process death: the inner backend was severed mid-write.
+
+    After this raises the backend is unusable; recovery is reopening the
+    durable path, which rolls back to the last committed ``commit_version``
+    via the sqlite journal.
+    """
+
+
+@dataclass
+class FaultPlan:
+    """Arm one fault point.
+
+    ``at`` is the 1-based fault-point count to fire on; ``kind`` is
+    ``"raise"`` (recoverable in-process error) or ``"crash"`` (sever the
+    backend as a process kill would).  One-shot by default: the plan disarms
+    after firing so the rolled-back batch can be retried; ``sticky`` keeps
+    it armed (every retry fails at the same point — the poison-table case).
+    """
+
+    at: int
+    kind: str = "raise"
+    sticky: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("raise", "crash"):
+            raise ValueError(f"unknown fault kind: {self.kind!r}")
+        if self.at < 1:
+            raise ValueError("fault point counts are 1-based")
+
+
+class FaultInjectingBackend(QuadStoreBackend):
+    """A delegating backend that fails on command (see module docstring).
+
+    Fault points tick on every mutation hook (``quad_added`` /
+    ``quad_removed`` / ``predicate_removed`` / ``delete_predicate_unloaded``
+    / graph drops) and on every durability boundary (``flush`` /
+    ``commit_batch``) — *before* the inner backend sees the operation, so a
+    fired fault models dying during the op.  ``op_count`` keeps counting
+    with no plan armed; a sweep first runs fault-free to learn how many
+    points one workload has, then replays it once per point.
+    """
+
+    def __init__(self, inner: QuadStoreBackend, plan: Optional[FaultPlan] = None):
+        self._inner = inner
+        self.plan = plan
+        #: Total fault points seen (keeps counting after the plan fires).
+        self.op_count = 0
+        #: ``(operation, count)`` of the last fired fault, if any.
+        self.fired: Optional[Tuple[str, int]] = None
+
+    # ------------------------------------------------------------ fault engine
+    def _tick(self, operation: str) -> None:
+        self.op_count += 1
+        plan = self.plan
+        if plan is None or self.op_count != plan.at:
+            return
+        if not plan.sticky:
+            self.plan = None
+        self.fired = (operation, self.op_count)
+        if plan.kind == "crash":
+            crash = getattr(self._inner, "crash", None)
+            if crash is not None:
+                crash()
+            raise InjectedCrash(f"injected crash at {operation} #{self.op_count}")
+        raise InjectedFault(f"injected fault at {operation} #{self.op_count}")
+
+    # -------------------------------------------------------------- delegation
+    @property
+    def persistent(self) -> bool:  # type: ignore[override]
+        return self._inner.persistent
+
+    @property
+    def dictionary(self) -> TermDictionary:  # type: ignore[override]
+        return self._inner.dictionary
+
+    @property
+    def inner(self) -> QuadStoreBackend:
+        """The wrapped backend (e.g. to reach ``SqliteBackend.path``)."""
+        return self._inner
+
+    def graph_names(self) -> List[URIRef]:
+        return self._inner.graph_names()
+
+    def get_index(self, graph: URIRef) -> Optional[GraphIndex]:
+        return self._inner.get_index(graph)
+
+    def ensure_index(self, graph: URIRef) -> GraphIndex:
+        return self._inner.ensure_index(graph)
+
+    def items(self) -> Iterable[Tuple[URIRef, GraphIndex]]:
+        return self._inner.items()
+
+    def triple_count(self, graph: URIRef) -> int:
+        return self._inner.triple_count(graph)
+
+    def pin_residency(self) -> None:
+        self._inner.pin_residency()
+
+    def unpin_residency(self) -> None:
+        self._inner.unpin_residency()
+
+    def close(self) -> None:
+        self._inner.close()
+
+    # ------------------------------------------- faulting mutation delegation
+    def quad_added(self, graph: URIRef, triple: IdTriple) -> None:
+        self._tick("quad_added")
+        self._inner.quad_added(graph, triple)
+
+    def quad_removed(self, graph: URIRef, triple: IdTriple) -> None:
+        self._tick("quad_removed")
+        self._inner.quad_removed(graph, triple)
+
+    def predicate_removed(self, graph: URIRef, predicate_id: int) -> None:
+        self._tick("predicate_removed")
+        self._inner.predicate_removed(graph, predicate_id)
+
+    def delete_predicate_unloaded(
+        self, graph: URIRef, predicate_id: int
+    ) -> Optional[int]:
+        self._tick("delete_predicate_unloaded")
+        return self._inner.delete_predicate_unloaded(graph, predicate_id)
+
+    def drop_graph(self, graph: URIRef) -> bool:
+        self._tick("drop_graph")
+        return self._inner.drop_graph(graph)
+
+    def drop_graph_for_undo(self, graph: URIRef) -> Optional[Any]:
+        self._tick("drop_graph")
+        return self._inner.drop_graph_for_undo(graph)
+
+    def restore_graph(self, graph: URIRef, token: Any) -> None:
+        # Undo replay must never fault: a failed rollback is corruption.
+        self._inner.restore_graph(graph, token)
+
+    def flush(self) -> None:
+        self._tick("flush")
+        self._inner.flush()
+
+    # ---------------------------------------------------- transaction protocol
+    def begin_batch(self) -> None:
+        self._inner.begin_batch()
+
+    def commit_batch(self, commit_version: int) -> None:
+        self._tick("commit_batch")
+        self._inner.commit_batch(commit_version)
+
+    def rollback_batch(self) -> None:
+        self._inner.rollback_batch()
+
+    def resident_index(self, graph: URIRef) -> Optional[GraphIndex]:
+        return self._inner.resident_index(graph)
+
+    def committed_version(self) -> int:
+        return self._inner.committed_version()
+
+    def note_commit_version(self, commit_version: int) -> None:
+        self._inner.note_commit_version(commit_version)
+
+    @property
+    def recovery(self) -> Any:
+        return getattr(self._inner, "recovery", {})

@@ -51,8 +51,21 @@ class QuadStore:
         #: Readers-writer gate making writes batch-atomic w.r.t. read views.
         self._gate = ReadWriteGate()
         #: Monotonic count of committed write batches (standalone mutations
-        #: count as single-op batches).  Read views pin this number.
-        self._commit_version = 0
+        #: count as single-op batches).  Read views pin this number.  Durable
+        #: backends resume it from their committed marker so a reopened
+        #: store's versions continue where the last durable commit ended.
+        self._commit_version = self._backend.committed_version()
+        #: Whether :meth:`write_batch` keeps an undo log (rollback support).
+        #: Disable only to measure the log's overhead — with it off a raising
+        #: batch body falls back to the legacy flush-and-advance behaviour.
+        self.undo_enabled = True
+        #: The open batch's undo log (``None`` outside a batch / when disabled).
+        self._undo: Optional[List[Tuple[str, URIRef, Any]]] = None
+        self._in_batch = False
+        self._version_mark = 0
+        self._rollback_callbacks: List[Any] = []
+        self._commit_callbacks: List[Any] = []
+        self._closed = False
 
     @classmethod
     def sqlite(
@@ -83,6 +96,7 @@ class QuadStore:
 
     def flush(self) -> None:
         """Make all buffered backend writes durable (no-op when in-memory)."""
+        self._backend.note_commit_version(self._commit_version)
         self._backend.flush()
 
     def pin_residency(self) -> None:
@@ -137,32 +151,148 @@ class QuadStore:
 
         While the batch is open the calling thread holds the store
         exclusively: concurrent read views wait and then observe either none
-        or all of the batch's writes.  On exit the backend is flushed (one
-        durable commit per batch on sqlite) and the commit version advances
-        by one regardless of how many triples changed.  Batches nest — only
-        the outermost one flushes and bumps the version.  Starting a batch
-        while holding only a read view raises instead of deadlocking.
+        or all of the batch's writes.  On successful exit the backend commits
+        (one durable, journaled transaction per batch on sqlite) and the
+        commit version advances by one regardless of how many triples
+        changed.  Batches nest — only the outermost one commits.  Starting a
+        batch while holding only a read view raises instead of deadlocking.
 
-        Atomicity is isolation, not rollback: if the batch *body* raises,
-        writes already issued stay applied (there is no undo log) and become
-        visible — still as one unit, still under a fresh commit version so
-        version-keyed caches cannot serve the pre-batch state as current.
-        The exception propagates for the caller to handle (the governor
-        service fails the batch's tickets with it).
+        Atomicity includes rollback: every mutation records its inverse in
+        an undo log, and if the batch *body* raises, the resident graph
+        indexes, the term dictionary and the durable backend are all wound
+        back to the pre-batch state before the gate releases — the commit
+        version does not advance and readers (and version-keyed caches)
+        never observe the aborted writes.  The exception then propagates for
+        the caller to handle (the governor service fails the batch's tickets
+        with it and retries transient errors).  Set :attr:`undo_enabled` to
+        ``False`` to skip the log (benchmark mode): a raising body then
+        falls back to the legacy flush-and-advance behaviour.
         """
         depth = self._gate.acquire_write()
+        if depth == 1:
+            try:
+                self._begin_batch()
+            except BaseException:
+                self._gate.release_write()
+                raise
         try:
             yield self
-        finally:
+        except BaseException:
             if depth == 1:
-                # Flush on failure too: durable state must mirror the
-                # resident indexes, not trail them by a partial batch that
-                # would otherwise ride along with a later unrelated commit.
                 try:
-                    self._backend.flush()
+                    self._abort_batch()
                 finally:
-                    self._commit_version += 1
-            self._gate.release_write()
+                    self._gate.release_write()
+            else:
+                self._gate.release_write()
+            raise
+        else:
+            if depth == 1:
+                try:
+                    self._commit_batch()
+                finally:
+                    self._gate.release_write()
+            else:
+                self._gate.release_write()
+
+    def _begin_batch(self) -> None:
+        self._undo = [] if self.undo_enabled else None
+        self._version_mark = self._version
+        self._rollback_callbacks = []
+        self._commit_callbacks = []
+        self._backend.begin_batch()
+        self._in_batch = True
+
+    def _commit_batch(self) -> None:
+        try:
+            self._backend.commit_batch(self._commit_version + 1)
+        except BaseException:
+            # The commit itself failed (e.g. disk full, injected fault):
+            # treat it exactly like a raising batch body.
+            self._abort_batch()
+            raise
+        self._in_batch = False
+        self._commit_version += 1
+        callbacks = self._commit_callbacks
+        self._undo = None
+        self._rollback_callbacks = []
+        self._commit_callbacks = []
+        for callback in callbacks:
+            callback()
+
+    def _abort_batch(self) -> None:
+        self._in_batch = False
+        undo, self._undo = self._undo, None
+        if undo is None:
+            # Undo disabled: preserve the legacy behaviour — flush what was
+            # written and advance the version so durable state keeps
+            # mirroring the resident indexes (partial, but consistent).
+            try:
+                self._backend.commit_batch(self._commit_version + 1)
+            finally:
+                self._commit_version += 1
+                self._rollback_callbacks = []
+                self._commit_callbacks = []
+            return
+        # Replay inverses newest-first against *resident* indexes only: an
+        # index evicted (or never loaded) during the batch re-materializes
+        # from durable storage, which the backend rollback below restores —
+        # replaying into a fresh load would double-revert.  Index replay
+        # must run before the backend rollback because removing a quoted
+        # triple consults the dictionary's quoted-part maps, which the
+        # backend rollback unwinds.
+        for kind, graph, payload in reversed(undo):
+            if kind == "drop":
+                self._backend.restore_graph(graph, payload)
+                continue
+            index = self._backend.resident_index(graph)
+            if index is None:
+                continue
+            if kind == "add":
+                index.remove(payload)
+            else:  # "remove"
+                index.add(payload)
+        self._version = self._version_mark
+        self._backend.rollback_batch()
+        callbacks = self._rollback_callbacks
+        self._rollback_callbacks = []
+        self._commit_callbacks = []
+        for callback in reversed(callbacks):
+            callback()
+
+    def on_rollback(self, callback) -> None:
+        """Run ``callback`` if the open batch rolls back (LIFO order).
+
+        Companion stores (embeddings, governor profile registries) register
+        their own inverse operations here so one raising batch body unwinds
+        *all* state mutated under the batch, not just quads.  Raises when no
+        batch is open — there is nothing to attach the callback to.
+        """
+        if not self._in_batch:
+            raise RuntimeError("on_rollback requires an open write batch")
+        if self._undo is not None:
+            self._rollback_callbacks.append(callback)
+
+    def on_commit(self, callback) -> None:
+        """Run ``callback`` after the open batch commits (FIFO order)."""
+        if not self._in_batch:
+            raise RuntimeError("on_commit requires an open write batch")
+        self._commit_callbacks.append(callback)
+
+    @property
+    def in_write_batch(self) -> bool:
+        """Whether a write batch is currently open (any thread)."""
+        return self._in_batch
+
+    @property
+    def gate(self) -> ReadWriteGate:
+        """The store's readers-writer gate (shared with companion stores)."""
+        return self._gate
+
+    @property
+    def recovery(self) -> Dict[str, Any]:
+        """What the backend verified/repaired on open (empty when volatile)."""
+        return getattr(self._backend, "recovery", {})
 
     def _begin_write(self) -> int:
         """Gate one standalone mutation (reentrant under an open batch)."""
@@ -171,14 +301,21 @@ class QuadStore:
     def _end_write(self, depth: int) -> None:
         # A standalone op (no surrounding batch) is its own micro-commit:
         # bump the commit version, but skip the flush — buffered-backend
-        # write batching must not degrade to one fsync per triple.
+        # write batching must not degrade to one fsync per triple.  The
+        # backend notes the new version so the next durable commit stamps
+        # its recovery marker with it.
         if depth == 1:
             self._commit_version += 1
+            self._backend.note_commit_version(self._commit_version)
         self._gate.release_write()
 
     def close(self) -> None:
-        """Flush and release the backend; the store must not be used after."""
+        """Flush and release the backend; idempotent (double-close is a no-op)."""
+        if self._closed:
+            return
+        self._backend.note_commit_version(self._commit_version)
         self._backend.close()
+        self._closed = True
 
     @property
     def version(self) -> int:
@@ -226,6 +363,8 @@ class QuadStore:
             triple = self._backend.dictionary.encode_triple(subject, predicate, obj)
             inserted = self._backend.ensure_index(graph).add(triple)
             if inserted:
+                if self._undo is not None:
+                    self._undo.append(("add", graph, triple))
                 self._version += 1
                 self._backend.quad_added(graph, triple)
             return inserted
@@ -287,6 +426,8 @@ class QuadStore:
             triple = (subject_id, predicate_id, object_id)
             removed = index.remove(triple)
             if removed:
+                if self._undo is not None:
+                    self._undo.append(("remove", graph, triple))
                 self._version += 1
                 self._backend.quad_removed(graph, triple)
             return removed
@@ -297,7 +438,13 @@ class QuadStore:
         """Drop an entire named graph (one shard delete on durable backends)."""
         depth = self._begin_write()
         try:
-            dropped = self._backend.drop_graph(graph)
+            if self._undo is not None:
+                token = self._backend.drop_graph_for_undo(graph)
+                dropped = token is not None
+                if dropped:
+                    self._undo.append(("drop", graph, token))
+            else:
+                dropped = self._backend.drop_graph(graph)
             if dropped:
                 self._version += 1
             return dropped
@@ -344,6 +491,8 @@ class QuadStore:
                 continue
             for triple in victims:
                 index.remove(triple)
+                if self._undo is not None:
+                    self._undo.append(("remove", graph_name, triple))
             self._backend.predicate_removed(graph_name, predicate_id)
             removed += len(victims)
         if removed:

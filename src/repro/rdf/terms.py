@@ -337,6 +337,33 @@ class TermDictionary:
         self._id_to_term[term_id] = term
         return term_id
 
+    # ---------------------------------------------------------------- undo
+    def mark(self) -> int:
+        """A rollback point: the next id that would be assigned.
+
+        ``QuadStore.write_batch`` takes a mark when the outermost batch
+        opens; :meth:`rollback_to` discards every id interned since, so an
+        aborted batch cannot leak dictionary entries (which would make the
+        ids of later terms — and therefore the durable byte layout — depend
+        on batches that never committed).
+        """
+        return self._next_id
+
+    def rollback_to(self, mark: int) -> None:
+        """Forget every term interned at or after ``mark``.
+
+        Safe only while the caller holds the store's write gate and after
+        the triples referencing those ids have been rolled back.
+        """
+        for term_id in range(mark, self._next_id):
+            term = self._id_to_term.pop(term_id, None)
+            if term is not None:
+                self._term_to_id.pop(term, None)
+            parts = self._quoted_parts.pop(term_id, None)
+            if parts is not None:
+                self._quoted_by_parts.pop(parts, None)
+        self._next_id = mark
+
     # --------------------------------------------------------------- lookups
     def lookup(self, term: Any) -> Optional[int]:
         """The term's id without interning; ``None`` for unknown terms."""
