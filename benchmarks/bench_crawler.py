@@ -1,0 +1,320 @@
+"""Benchmark — the lake crawler: continuous ingestion under chaos.
+
+Models the workload the crawler subsystem exists for: a directory lake
+that keeps *drifting* (tables mutate, arrive and vanish between scan
+passes) while the crawler discovers the changes, diffs them against what
+it already governed, and feeds the governor service.
+
+Two runs of the identical drift script are timed:
+
+* **clean** — a plain :class:`DirectorySource`; every load succeeds.
+* **chaos** — the same source wrapped in :class:`ChaosSource` firing the
+  full fault matrix at low, seeded rates (truncated reads, permission
+  errors, malformed rows, slow reads, source flaps, phantom deletes).
+  Faults cost retries, backoff waits and breaker trips; the headline
+  question is how much crawl throughput survives.
+
+Reported metrics:
+
+* ``clean_tables_per_min`` / ``chaos_tables_per_min`` — governed table
+  events (submit + refresh + retract) per minute of crawl time;
+* ``chaos_throughput_ratio`` — chaos / clean (informational: not named
+  ``*speedup*`` on purpose, the gated form is the boolean below);
+* ``chaos_within_tolerance`` — ratio >= 0.75, the ISSUE acceptance bound
+  (chaos throughput within 25% of fault-free);
+* ``graphs_identical_clean`` / ``graphs_identical_chaos`` — each run's
+  final governed graph is byte-identical to a clean one-shot
+  ``KGGovernor.add_data_lake`` of the end-state directory, i.e. neither
+  incremental crawling nor injected faults leave any residue.
+
+Both booleans are gated by ``check_regressions.py``.  Results are written
+to ``benchmarks/BENCH_crawler.json``.  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_crawler.py --tables 24
+
+or as a pytest smoke test (small sizes, used by ``run_all.py``)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_crawler.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import shutil
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.crawler import ChaosConfig, ChaosSource, DirectorySource, LakeCrawler
+from repro.datagen import generate_discovery_benchmark
+from repro.eval import format_report_table
+from repro.kg import GovernorService, KGGovernor
+from repro.rdf.serialize import serialize_nquads
+from repro.tabular import DataLake, Table, write_csv
+
+RESULT_PATH = Path(__file__).parent / "BENCH_crawler.json"
+
+# Low per-fault rates: chaos should *stress* the crawl, not drown it —
+# the acceptance bound is throughput within 25% of fault-free.
+CHAOS_RATES = dict(
+    truncate_rate=0.02,
+    permission_rate=0.02,
+    malformed_rate=0.02,
+    slow_rate=0.03,
+    flap_rate=0.02,
+    delete_rate=0.02,
+    slow_seconds=0.01,
+)
+
+
+def _bench_tables(num_tables: int, rows: int, seed: int) -> List[Table]:
+    """Deterministic overlapping-schema tables from the datagen benchmark."""
+    partitions = 4 if num_tables >= 16 else 2
+    base_tables = (num_tables + partitions - 1) // partitions
+    benchmark = generate_discovery_benchmark(
+        "tus_small", seed=seed, base_tables=base_tables, partitions=partitions, rows=rows
+    )
+    return benchmark.lake.tables()[:num_tables]
+
+
+def _write_initial_lake(root: Path, tables: List[Table]) -> None:
+    for table in tables:
+        write_csv(table, root / (table.dataset or "loose") / f"{table.name}.csv")
+
+
+def _drift_round(root: Path, rng: random.Random, round_index: int, extras: List[Table]) -> int:
+    """Mutate / add / delete files; returns the number of events applied."""
+    files = sorted(root.rglob("*.csv"))
+    events = 0
+    # Mutate: append one deterministic row to a few tables.
+    for path in rng.sample(files, k=min(3, len(files))):
+        with path.open("r", encoding="utf-8") as handle:
+            width = len(handle.readline().rstrip("\n").split(","))
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write(",".join([f"{round_index}.5"] * width) + "\n")
+        events += 1
+    # Add: bring one reserved table into the lake.
+    if extras:
+        table = extras.pop()
+        write_csv(
+            table, root / (table.dataset or "loose") / f"{table.name}_r{round_index}.csv"
+        )
+        events += 1
+    # Delete: one table leaves (not on the first round — keep the lake big).
+    files = sorted(root.rglob("*.csv"))
+    if round_index > 0 and len(files) > 4:
+        files[rng.randrange(len(files))].unlink()
+        events += 1
+    return events
+
+
+def _crawl_scenario(
+    root: Path,
+    tables: List[Table],
+    extras: List[Table],
+    drift_rounds: int,
+    drift_seed: int,
+    chaos: bool,
+    chaos_seed: int,
+) -> Dict:
+    """Run the drift script against a fresh crawler; time the crawl work."""
+    _write_initial_lake(root, [table.copy() for table in tables])
+    source = DirectorySource(root, name="bench")
+    chaos_source = None
+    if chaos:
+        chaos_source = ChaosSource(source, ChaosConfig(seed=chaos_seed, **CHAOS_RATES))
+        source = chaos_source
+    service = GovernorService()
+    crawler = LakeCrawler(
+        service,
+        [source],
+        scan_interval=0.01,
+        load_timeout=5.0,
+        scan_timeout=5.0,
+        max_load_retries=3,
+        backoff_base=0.005,
+        backoff_cap=0.05,
+        backoff_seed=chaos_seed,
+        breaker_threshold=4,
+        breaker_reset=0.02,
+        poison_after=10_000,  # chaos faults are transient, never poison
+    )
+    rng = random.Random(drift_seed)
+
+    def crawl_until_idle(max_passes: int = 200) -> None:
+        for _ in range(max_passes):
+            crawler.scan_once()
+            if crawler.stats()["idle"]:
+                return
+
+    started = time.perf_counter()
+    crawl_until_idle()
+    for round_index in range(drift_rounds):
+        _drift_round(root, rng, round_index, extras)
+        crawl_until_idle()
+    if chaos_source is not None:
+        chaos_source.calm()
+    crawl_until_idle()
+    elapsed = time.perf_counter() - started
+
+    stats = crawler.stats()
+    totals = stats["totals"]
+    events = totals["submitted"] + totals["refreshed"] + totals["retracted"]
+    crawled_graph = serialize_nquads(service.governor.storage.graph)
+    crawler.close()
+    service.close()
+
+    one_shot = KGGovernor()
+    one_shot.add_data_lake(DataLake.from_directory(root))
+    graphs_identical = crawled_graph == serialize_nquads(one_shot.storage.graph)
+    one_shot.close()
+    service.governor.close()
+
+    return {
+        "seconds": elapsed,
+        "events": events,
+        "tables_per_min": (events / elapsed * 60.0) if elapsed > 0 else 0.0,
+        "passes": stats["passes"],
+        "graphs_identical": graphs_identical,
+        "totals": totals,
+        "breaker_trips": sum(
+            entry["breaker_trips"] for entry in stats["sources"].values()
+        ),
+        "chaos_fired": dict(chaos_source.stats.fired) if chaos_source else {},
+    }
+
+
+def run_benchmark(
+    num_tables: int, rows: int, drift_rounds: int, seed: int = 7
+) -> Dict:
+    tables = _bench_tables(num_tables + drift_rounds, rows, seed)
+    initial, extras = tables[:num_tables], tables[num_tables:]
+    # Warm process-wide caches (word vectors, NER) off the clock.
+    KGGovernor().add_data_lake(_as_lake(tables[:2]))
+
+    runs = {}
+    for label, with_chaos in (("clean", False), ("chaos", True)):
+        workdir = Path(tempfile.mkdtemp(prefix=f"bench_crawler_{label}_"))
+        try:
+            runs[label] = _crawl_scenario(
+                workdir / "lake",
+                initial,
+                list(extras),
+                drift_rounds,
+                drift_seed=seed,
+                chaos=with_chaos,
+                chaos_seed=seed + 1,
+            )
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    clean, chaos = runs["clean"], runs["chaos"]
+    ratio = (
+        chaos["tables_per_min"] / clean["tables_per_min"]
+        if clean["tables_per_min"] > 0
+        else 0.0
+    )
+    return {
+        "config": {
+            "num_tables": num_tables,
+            "rows": rows,
+            "drift_rounds": drift_rounds,
+            "seed": seed,
+            "chaos_rates": CHAOS_RATES,
+            "cpu_count": os.cpu_count(),
+        },
+        "clean_seconds": round(clean["seconds"], 4),
+        "chaos_seconds": round(chaos["seconds"], 4),
+        "clean_tables_per_min": round(clean["tables_per_min"], 2),
+        "chaos_tables_per_min": round(chaos["tables_per_min"], 2),
+        "clean_events": clean["events"],
+        "chaos_events": chaos["events"],
+        "chaos_throughput_ratio": round(ratio, 3),
+        "chaos_within_tolerance": ratio >= 0.75,
+        "graphs_identical_clean": clean["graphs_identical"],
+        "graphs_identical_chaos": chaos["graphs_identical"],
+        "chaos_detail": {
+            "passes": chaos["passes"],
+            "breaker_trips": chaos["breaker_trips"],
+            "retries": chaos["totals"]["retries"],
+            "load_failures": chaos["totals"]["load_failures"],
+            "faults_fired": chaos["chaos_fired"],
+        },
+    }
+
+
+def _as_lake(tables: List[Table]) -> DataLake:
+    lake = DataLake("bench_crawler_warm")
+    for table in tables:
+        lake.add_table(table.dataset, table.copy())
+    return lake
+
+
+def print_report(report: Dict) -> None:
+    config = report["config"]
+    detail = report["chaos_detail"]
+    rows = [
+        ["clean crawl (s)", report["clean_seconds"], ""],
+        ["chaos crawl (s)", report["chaos_seconds"], ""],
+        ["clean tables/min", report["clean_tables_per_min"], ""],
+        [
+            "chaos tables/min",
+            report["chaos_tables_per_min"],
+            report["chaos_throughput_ratio"],
+        ],
+        ["chaos retries", detail["retries"], ""],
+        ["chaos breaker trips", detail["breaker_trips"], ""],
+    ]
+    print(
+        format_report_table(
+            ["metric", "value", "ratio"],
+            rows,
+            title=f"Lake crawler bench ({config['num_tables']} tables, "
+            f"{config['drift_rounds']} drift rounds)",
+        )
+    )
+    print(
+        f"chaos throughput ratio {report['chaos_throughput_ratio']} "
+        f"(within 25% tolerance: {report['chaos_within_tolerance']}); "
+        f"graphs identical clean/chaos: {report['graphs_identical_clean']}/"
+        f"{report['graphs_identical_chaos']}; faults fired: {detail['faults_fired']}"
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tables", type=int, default=24)
+    parser.add_argument("--rows", type=int, default=50)
+    parser.add_argument("--drift-rounds", type=int, default=3)
+    parser.add_argument("--output", type=Path, default=RESULT_PATH)
+    args = parser.parse_args()
+    if args.tables < 4:
+        parser.error("--tables must be >= 4 (drift deletes need slack)")
+    report = run_benchmark(args.tables, args.rows, args.drift_rounds)
+    print_report(report)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+
+# ------------------------------------------------------------ pytest smoke
+def test_crawler_smoke():
+    """Smoke configuration: the crawl must stay correct; throughput bars are
+    held by the committed full-size BENCH_crawler.json via
+    check_regressions.py (booleans), not by this noise-prone small run.
+    """
+    num_tables = 6 if os.environ.get("REPRO_BENCH_SMOKE") else 10
+    report = run_benchmark(num_tables=num_tables, rows=30, drift_rounds=2)
+    assert report["graphs_identical_clean"]
+    assert report["graphs_identical_chaos"]
+    assert report["clean_events"] >= num_tables
+    assert report["chaos_events"] >= num_tables
+    # Loose smoke floor: chaos at these rates must not halve throughput.
+    assert report["chaos_throughput_ratio"] >= 0.5
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Continuous lake ingestion: the crawler front-end of the KG Governor.
+
+The governor and its service wait to be handed
+:class:`~repro.tabular.Table` objects; a production lake is a living,
+partially-broken thing.  This package turns governance into a
+continuously-running daemon over such a lake:
+
+* :mod:`repro.crawler.sources` — the :class:`Source` protocol
+  (``scan`` → :class:`TableRef`\\ s, ``load`` → ``Table``) and
+  :class:`DirectorySource` for local CSV/JSON trees;
+* :mod:`repro.crawler.robustness` — :class:`TokenBucket` rate limiting,
+  capped+jittered :class:`Backoff`, and the :class:`CircuitBreaker`
+  state machine;
+* :mod:`repro.crawler.chaos` — :class:`ChaosSource`, a fault-injecting
+  wrapper (truncated / unreadable / malformed / slow files, flapping
+  sources, mid-crawl deletes) for proving the daemon survives a
+  misbehaving lake;
+* :mod:`repro.crawler.crawler` — :class:`LakeCrawler`, the daemon:
+  discover, diff, prioritize, rate-limit, retry, quarantine, submit.
+"""
+
+from repro.crawler.chaos import ChaosConfig, ChaosSource
+from repro.crawler.crawler import LakeCrawler
+from repro.crawler.robustness import Backoff, CircuitBreaker, TokenBucket
+from repro.crawler.sources import DirectorySource, Source, TableRef
+
+__all__ = [
+    "LakeCrawler",
+    "Source",
+    "TableRef",
+    "DirectorySource",
+    "ChaosSource",
+    "ChaosConfig",
+    "TokenBucket",
+    "Backoff",
+    "CircuitBreaker",
+]

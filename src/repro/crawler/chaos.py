@@ -1,0 +1,167 @@
+"""ChaosSource: a fault-injecting wrapper for crawler sources.
+
+In the spirit of :mod:`repro.rdf.faults` (which proves storage rollback by
+injecting failures at every fault point), this wrapper proves *crawler*
+robustness by making a source misbehave the way real lakes do:
+
+========== =============================================================
+fault      behaviour
+========== =============================================================
+truncate   the file was cut off mid-read → :class:`TableReadError`
+permission the file is unreadable → :class:`TableReadError`
+           (chained ``PermissionError``)
+malformed  the bytes do not parse as CSV/JSON → :class:`TableReadError`
+slow       the read stalls for ``slow_seconds`` before completing —
+           long stalls trip the crawler's load timeout (a hung read)
+flap       the whole source is briefly unavailable →
+           :class:`SourceUnavailableError` from scan *or* load
+delete     the file vanished between scan and load →
+           ``FileNotFoundError``
+========== =============================================================
+
+Faults that *fail* do so loudly — a chaos-truncated read never silently
+returns half a table, so a crawl under chaos converges to exactly the
+clean-crawl graph once the faults stop (the acceptance property the chaos
+matrix test pins).
+
+Faults fire two ways, composable:
+
+* **rates** — each fault has a probability per opportunity, drawn from a
+  seeded RNG (:class:`ChaosConfig`); deterministic given the seed and the
+  operation sequence.
+* **injections** — :meth:`ChaosSource.inject` queues named one-shot faults
+  consumed in order by the next matching operations; tests use this to
+  script exact scenarios ("the second load hits a truncated file").
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from repro.crawler.sources import Source, TableRef
+from repro.kg.errors import SourceUnavailableError, TableReadError
+from repro.tabular import Table
+
+__all__ = ["ChaosConfig", "ChaosSource", "LOAD_FAULTS", "SCAN_FAULTS"]
+
+#: Fault kinds applicable to ``load`` / ``scan`` opportunities.
+LOAD_FAULTS = ("truncate", "permission", "malformed", "slow", "flap", "delete")
+SCAN_FAULTS = ("flap",)
+
+
+@dataclass
+class ChaosConfig:
+    """Per-opportunity fault probabilities (all default to off)."""
+
+    truncate_rate: float = 0.0
+    permission_rate: float = 0.0
+    malformed_rate: float = 0.0
+    slow_rate: float = 0.0
+    flap_rate: float = 0.0
+    delete_rate: float = 0.0
+    #: How long a ``slow`` fault stalls the read.
+    slow_seconds: float = 0.05
+    seed: int = 0
+
+    def rate(self, fault: str) -> float:
+        return float(getattr(self, f"{fault}_rate"))
+
+    @classmethod
+    def single(cls, fault: str, rate: float = 0.3, **kwargs) -> "ChaosConfig":
+        """A config exercising exactly one fault kind (chaos-matrix helper)."""
+        if fault not in LOAD_FAULTS:
+            raise ValueError(f"unknown fault {fault!r}; known: {LOAD_FAULTS}")
+        return cls(**{f"{fault}_rate": rate}, **kwargs)
+
+
+@dataclass
+class ChaosStats:
+    """How often each fault actually fired (telemetry for tests/benches)."""
+
+    fired: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, fault: str) -> None:
+        self.fired[fault] = self.fired.get(fault, 0) + 1
+
+
+class ChaosSource:
+    """Wrap any :class:`Source` and make it misbehave on schedule."""
+
+    def __init__(self, inner: Source, config: Optional[ChaosConfig] = None):
+        self.inner = inner
+        self.name = getattr(inner, "name", "chaos")
+        self.config = config or ChaosConfig()
+        self.stats = ChaosStats()
+        self._rng = random.Random(self.config.seed)
+        self._injected: Deque[str] = deque()
+
+    # ------------------------------------------------------------- scripting
+    def inject(self, *faults: str) -> None:
+        """Queue one-shot faults consumed (in order) by matching operations."""
+        for fault in faults:
+            if fault not in LOAD_FAULTS:
+                raise ValueError(f"unknown fault {fault!r}; known: {LOAD_FAULTS}")
+            self._injected.append(fault)
+
+    def calm(self) -> None:
+        """Drop queued injections and zero every rate: behave from now on."""
+        self._injected.clear()
+        for fault in LOAD_FAULTS:
+            setattr(self.config, f"{fault}_rate", 0.0)
+
+    # ---------------------------------------------------------- fault engine
+    def _next_fault(self, applicable: tuple) -> Optional[str]:
+        if self._injected and self._injected[0] in applicable:
+            return self._injected.popleft()
+        for fault in applicable:
+            if self.config.rate(fault) > 0 and self._rng.random() < self.config.rate(fault):
+                return fault
+        return None
+
+    def _fire(self, fault: str, ref: Optional[TableRef]) -> None:
+        self.stats.record(fault)
+        path = ref.path if ref is not None else None
+        if fault == "flap":
+            raise SourceUnavailableError(
+                f"chaos: source {self.name!r} is flapping (unavailable)"
+            )
+        if fault == "delete":
+            raise FileNotFoundError(f"chaos: {path} deleted mid-crawl")
+        if fault == "truncate":
+            raise TableReadError(
+                path, "chaos: file truncated mid-read", cause=EOFError("truncated")
+            )
+        if fault == "permission":
+            raise TableReadError(
+                path,
+                "chaos: permission denied",
+                cause=PermissionError(13, "Permission denied", str(path)),
+            )
+        if fault == "malformed":
+            raise TableReadError(
+                path, "chaos: malformed CSV payload", cause=ValueError("bad csv")
+            )
+        if fault == "slow":  # a hung read: stall, then proceed normally
+            time.sleep(self.config.slow_seconds)
+            return
+        raise AssertionError(f"unhandled fault {fault!r}")  # pragma: no cover
+
+    # ----------------------------------------------------------- Source API
+    def scan(self) -> List[TableRef]:
+        fault = self._next_fault(SCAN_FAULTS)
+        if fault is not None:
+            self._fire(fault, None)
+        return self.inner.scan()
+
+    def load(self, ref: TableRef) -> Table:
+        fault = self._next_fault(LOAD_FAULTS)
+        if fault is not None:
+            self._fire(fault, ref)  # "slow" returns and falls through
+        return self.inner.load(ref)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"ChaosSource(inner={self.inner!r})"

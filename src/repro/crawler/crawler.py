@@ -1,0 +1,543 @@
+"""LakeCrawler: continuous governed ingestion over a living, breaking lake.
+
+The paper's governor "creates, maintains and synchronizes" the LiDS graph —
+but it waits to be handed :class:`~repro.tabular.Table` objects.  The
+crawler closes that gap: a daemon that watches one or more
+:class:`~repro.crawler.sources.Source`\\ s, discovers new / changed /
+deleted tables, and feeds the
+:class:`~repro.kg.service.GovernorService` queue, so governance becomes a
+long-running process over a lake that is allowed to misbehave.
+
+One scan pass per source:
+
+1. **Breaker gate** — a source whose circuit breaker is open is skipped
+   entirely; after ``breaker_reset`` seconds one probe scan is allowed
+   through (half-open) and its outcome closes or re-opens the breaker.
+2. **Scan** — enumerate :class:`TableRef`\\ s (with a timeout).  Scan
+   failures are source-level: they feed the breaker, not any table.
+3. **Diff** — refs are compared against the crawler's governed state:
+   unchanged file versions (same mtime + size as last fingerprinted) are
+   skipped without touching contents; known keys missing from the scan
+   become retractions.
+4. **Prioritize** — changed tables sort before new ones (stale knowledge
+   is worse than missing knowledge), smaller files before larger within
+   each class, so cheap updates land first.
+5. **Load + submit** — each load takes a token from the source's rate
+   bucket, runs under a read timeout, and retries transient failures with
+   capped, jittered exponential backoff.  An unreadable table
+   (:class:`TableReadError`) is counted per table and quarantined through
+   the service's ledger after ``poison_after`` consecutive failures —
+   poison isolation: the scan loop keeps moving.  A successful load is
+   fingerprinted (:meth:`Table.content_fingerprint` — streamed and cached
+   for file-backed tables) and, if it changed, submitted as
+   ``submit_table`` / ``submit_refresh``; deletions go through
+   ``submit_retract``.
+
+Every ticket the crawler creates is resolved *within the pass* that
+created it (success, failure, or timeout-counted-as-failure): pause /
+drain / close can therefore never leak in-flight work.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.crawler.robustness import Backoff, CircuitBreaker, TokenBucket
+from repro.crawler.sources import Source, TableRef
+from repro.kg.errors import (
+    GovernanceError,
+    PoisonTableError,
+    SourceUnavailableError,
+    TableReadError,
+    TransientError,
+)
+from repro.kg.service import GovernorService
+from repro.tabular import Table
+
+__all__ = ["LakeCrawler", "CrawlerSourceState"]
+
+TableKey = Tuple[str, str]
+
+#: Per-source counters exposed by :meth:`LakeCrawler.stats`.
+_COUNTERS = (
+    "scans",
+    "scan_failures",
+    "skipped_scans",
+    "loads",
+    "load_failures",
+    "retries",
+    "vanished",
+    "submitted",
+    "refreshed",
+    "retracted",
+    "quarantined",
+)
+
+
+def _call_with_timeout(work, timeout: Optional[float], description: str):
+    """Run ``work`` with a wall-clock deadline.
+
+    A read that exceeds the deadline raises :class:`TransientError` (worth
+    retrying — slow reads usually clear).  The worker thread is a daemon:
+    a truly hung read leaks one thread, never the crawler loop.
+    """
+    if timeout is None:
+        return work()
+    outcome: Dict[str, Any] = {}
+    done = threading.Event()
+
+    def runner() -> None:
+        try:
+            outcome["value"] = work()
+        except BaseException as error:  # noqa: BLE001 - re-raised below
+            outcome["error"] = error
+        finally:
+            done.set()
+
+    thread = threading.Thread(target=runner, name="crawler-read", daemon=True)
+    thread.start()
+    if not done.wait(timeout):
+        raise TransientError(f"{description} timed out after {timeout}s")
+    if "error" in outcome:
+        raise outcome["error"]
+    return outcome["value"]
+
+
+class CrawlerSourceState:
+    """Everything the crawler tracks about one source."""
+
+    def __init__(
+        self,
+        source: Source,
+        breaker: CircuitBreaker,
+        bucket: TokenBucket,
+        backoff: Backoff,
+    ):
+        self.source = source
+        self.name = getattr(source, "name", repr(source))
+        self.breaker = breaker
+        self.bucket = bucket
+        self.backoff = backoff
+        #: key -> content fingerprint of the version the governor holds.
+        self.governed: Dict[TableKey, str] = {}
+        #: key -> (mtime_ns, size) of the file version last fingerprinted —
+        #: lets an unchanged file be skipped on a pure ``stat`` basis.
+        self.seen_version: Dict[TableKey, Tuple[int, int]] = {}
+        #: key -> consecutive load/ingest failures (poison counting).
+        self.failures: Dict[TableKey, int] = {}
+        self.counters: Dict[str, int] = {name: 0 for name in _COUNTERS}
+        self.last_error: Optional[str] = None
+        self.last_scan_seconds: float = 0.0
+        #: Keys seen by the last scan but not governed (and not quarantined)
+        #: when the pass ended — the source's backlog.
+        self.lag: int = 0
+
+
+class LakeCrawler:
+    """A continuously-running ingestion daemon over one or more sources.
+
+    ``service`` is the :class:`GovernorService` fed by the crawl;
+    ``sources`` anything implementing the
+    :class:`~repro.crawler.sources.Source` protocol.  The crawler never
+    closes the service — the caller owns it.
+
+    Knobs (all per crawler, breaker/bucket instantiated per source):
+
+    * ``scan_interval`` — seconds between passes when running as a daemon;
+    * ``rate_limit`` / ``burst`` — token-bucket loads/second per source
+      (``None`` disables);
+    * ``load_timeout`` / ``scan_timeout`` — read deadlines (hung-read
+      protection);
+    * ``max_load_retries`` + ``backoff_base`` / ``backoff_cap`` — transient
+      retry policy;
+    * ``breaker_threshold`` / ``breaker_reset`` — circuit-breaker trip
+      count and open-state probe schedule;
+    * ``poison_after`` — consecutive per-table failures before the key is
+      quarantined through the service ledger;
+    * ``ingest_timeout`` — how long to wait for a submitted ticket before
+      counting the attempt failed.
+
+    Use as a daemon (``start()`` / ``close()``, or as a context manager) or
+    drive passes synchronously with :meth:`scan_once` — tests and the
+    chaos matrix use the latter for determinism.
+    """
+
+    def __init__(
+        self,
+        service: GovernorService,
+        sources: Sequence[Source],
+        *,
+        scan_interval: float = 1.0,
+        rate_limit: Optional[float] = None,
+        burst: Optional[float] = None,
+        load_timeout: Optional[float] = 30.0,
+        scan_timeout: Optional[float] = 30.0,
+        max_load_retries: int = 3,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        backoff_seed: Optional[int] = None,
+        breaker_threshold: int = 5,
+        breaker_reset: float = 5.0,
+        poison_after: int = 3,
+        ingest_timeout: Optional[float] = 60.0,
+    ):
+        if service.closed:
+            raise GovernanceError("cannot crawl into a closed GovernorService")
+        self.service = service
+        self.scan_interval = scan_interval
+        self.load_timeout = load_timeout
+        self.scan_timeout = scan_timeout
+        self.max_load_retries = max(0, int(max_load_retries))
+        self.poison_after = max(1, int(poison_after))
+        self.ingest_timeout = ingest_timeout
+        self._sources: List[CrawlerSourceState] = []
+        for index, source in enumerate(sources):
+            self._sources.append(
+                CrawlerSourceState(
+                    source,
+                    CircuitBreaker(breaker_threshold, breaker_reset),
+                    TokenBucket(rate_limit, burst),
+                    Backoff(
+                        backoff_base,
+                        backoff_cap,
+                        seed=None if backoff_seed is None else backoff_seed + index,
+                    ),
+                )
+            )
+        if len({state.name for state in self._sources}) != len(self._sources):
+            raise ValueError("crawler sources must have unique names")
+        #: Serializes scan passes: the daemon loop and direct scan_once()
+        #: calls never interleave half-passes.
+        self._pass_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._resume = threading.Event()
+        self._resume.set()
+        #: Set while no backlog is outstanding (see :meth:`wait_until_idle`).
+        self._idle = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+        self.passes = 0
+
+    # -------------------------------------------------------------- lifecycle
+    def start(self) -> "LakeCrawler":
+        """Start the daemon thread (idempotent)."""
+        if self._closed:
+            raise GovernanceError("LakeCrawler is closed")
+        if self._thread is None or not self._thread.is_alive():
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="lake-crawler", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def pause(self) -> None:
+        """Stop starting new passes (the current pass completes)."""
+        self._resume.clear()
+
+    def resume(self) -> None:
+        self._resume.set()
+
+    def drain(self) -> None:
+        """Block until the in-flight pass (if any) and its tickets resolve.
+
+        Taking the pass lock waits out a running pass — whose tickets are
+        resolved inline — then ``service.drain()`` flushes anything other
+        producers queued.  Nothing of the crawler's is left in flight.
+        """
+        with self._pass_lock:
+            pass
+        self.service.drain()
+
+    def close(self, timeout: Optional[float] = 30.0) -> None:
+        """Stop the daemon and settle in-flight work (idempotent).
+
+        The loop is signalled, the thread joined, and the last pass's
+        tickets are — as for every pass — already resolved inline, so no
+        ticket outlives the crawler.  The service stays open (caller-owned).
+        """
+        self._stop.set()
+        self._resume.set()  # a paused crawler must still be closeable
+        thread = self._thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout)
+            if thread.is_alive():  # pragma: no cover - requires a hung read
+                raise TimeoutError(f"crawler still mid-pass after {timeout}s")
+        self._thread = None
+        self._closed = True
+
+    def __enter__(self) -> "LakeCrawler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self._resume.wait()
+            if self._stop.is_set():
+                return
+            try:
+                self.scan_once()
+            except Exception:  # noqa: BLE001 - the daemon must never die
+                # scan_once already attributes failures to sources; anything
+                # escaping is a crawler bug — swallowed so the daemon lives,
+                # visible through per-source last_error/stats.
+                pass
+            self._stop.wait(self.scan_interval)
+
+    def wait_until_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until a pass finds nothing to do (``False`` on timeout).
+
+        "Idle" means: every source scanned successfully with a closed
+        breaker, no loads/submissions/retractions were needed, and no
+        table is backlogged or mid-retry.  With sources that keep
+        misbehaving this may never happen — hence the timeout.
+        """
+        return self._idle.wait(timeout)
+
+    # ------------------------------------------------------------------ stats
+    def stats(self) -> Dict[str, Any]:
+        """A health snapshot: per-source counters, breaker state, lag."""
+        sources: Dict[str, Any] = {}
+        totals = {name: 0 for name in _COUNTERS}
+        total_lag = 0
+        for state in self._sources:
+            entry = dict(state.counters)
+            entry["breaker"] = state.breaker.state
+            entry["breaker_trips"] = state.breaker.trips
+            entry["governed_tables"] = len(state.governed)
+            entry["lag"] = state.lag
+            entry["last_error"] = state.last_error
+            entry["last_scan_seconds"] = round(state.last_scan_seconds, 4)
+            sources[state.name] = entry
+            total_lag += state.lag
+            for name in _COUNTERS:
+                totals[name] += state.counters[name]
+        totals["lag"] = total_lag
+        return {
+            "passes": self.passes,
+            "running": self.running,
+            "idle": self._idle.is_set(),
+            "sources": sources,
+            "totals": totals,
+            "quarantined": [list(map(str, key)) for key in self.service.quarantined],
+        }
+
+    # ------------------------------------------------------------- scan pass
+    def scan_once(self) -> int:
+        """Run one full pass over every source; returns actions performed.
+
+        An *action* is a submission, refresh, retraction or counted
+        failure — 0 means the pass found the lake fully governed (idle).
+        Safe to call directly (without :meth:`start`) and from tests; the
+        daemon loop calls exactly this.
+        """
+        if self._closed:
+            raise GovernanceError("LakeCrawler is closed")
+        with self._pass_lock:
+            actions = 0
+            settled = True
+            for state in self._sources:
+                pass_actions, pass_settled = self._scan_source(state)
+                actions += pass_actions
+                settled = settled and pass_settled
+            self.passes += 1
+            if actions == 0 and settled:
+                self._idle.set()
+            else:
+                self._idle.clear()
+            return actions
+
+    def _scan_source(self, state: CrawlerSourceState) -> Tuple[int, bool]:
+        """One source pass; returns ``(actions, settled)``."""
+        if not state.breaker.allow():
+            state.counters["skipped_scans"] += 1
+            return 0, False
+        started = time.perf_counter()
+        try:
+            refs = _call_with_timeout(
+                state.source.scan, self.scan_timeout, f"scan of {state.name!r}"
+            )
+        except Exception as error:  # noqa: BLE001 - any scan failure is source-level
+            state.counters["scan_failures"] += 1
+            state.breaker.record_failure()
+            state.last_error = f"scan: {type(error).__name__}: {error}"
+            state.last_scan_seconds = time.perf_counter() - started
+            return 1, False
+        state.counters["scans"] += 1
+        # A successful scan is a good probe: it closes a half-open breaker
+        # (and resets the consecutive-failure count while the source is up).
+        state.breaker.record_success()
+
+        # ------------------------------------------------------- diff + plan
+        current: Dict[TableKey, TableRef] = {ref.key: ref for ref in refs}
+        deleted = [key for key in state.governed if key not in current]
+        changed: List[TableRef] = []
+        fresh: List[TableRef] = []
+        for ref in refs:
+            if self._is_quarantined(ref.key):
+                continue
+            version = (ref.mtime_ns, ref.size)
+            if state.seen_version.get(ref.key) == version:
+                continue
+            (changed if ref.key in state.governed else fresh).append(ref)
+        # Changed before new (stale knowledge beats missing knowledge),
+        # small before large within each class: cheap updates land first.
+        changed.sort(key=lambda ref: (ref.size, ref.key))
+        fresh.sort(key=lambda ref: (ref.size, ref.key))
+        worklist = changed + fresh
+
+        actions = 0
+        source_healthy = True
+
+        # -------------------------------------------------------- retractions
+        for key in sorted(deleted):
+            actions += 1
+            if self._retract(state, key):
+                state.counters["retracted"] += 1
+            # A failed retraction stays in ``governed``; retried next pass.
+
+        # ------------------------------------------------------------- loads
+        for ref in worklist:
+            if self._stop.is_set():
+                # close() was requested mid-pass: stop starting new loads;
+                # everything already submitted has resolved inline above.
+                source_healthy = False
+                break
+            if not state.breaker.allow():
+                # The source went down mid-pass: stop hammering it.
+                source_healthy = False
+                break
+            state.bucket.acquire()
+            outcome = self._load_and_submit(state, ref)
+            actions += outcome
+        state.last_scan_seconds = time.perf_counter() - started
+        state.lag = sum(
+            1
+            for key in current
+            if key not in state.governed and not self._is_quarantined(key)
+        )
+        settled = source_healthy and state.lag == 0 and not deleted
+        return actions, settled
+
+    # ----------------------------------------------------------- table paths
+    def _load_and_submit(self, state: CrawlerSourceState, ref: TableRef) -> int:
+        """Load one ref (retrying transients) and submit it if changed.
+
+        Returns 1 when the table caused an action (submission or failure),
+        0 when it turned out unchanged.
+        """
+        try:
+            table = self._load_with_retry(state, ref)
+        except FileNotFoundError:
+            # Vanished between scan and load: the next scan retracts it.
+            state.counters["vanished"] += 1
+            return 1
+        except SourceUnavailableError as error:
+            state.counters["load_failures"] += 1
+            state.breaker.record_failure()
+            state.last_error = f"load {ref.key}: {error}"
+            return 1
+        except Exception as error:  # noqa: BLE001 - poison isolation
+            self._record_table_failure(state, ref.key, error)
+            return 1
+        state.counters["loads"] += 1
+        state.breaker.record_success()
+        fingerprint = table.content_fingerprint()
+        version = (ref.mtime_ns, ref.size)
+        if state.governed.get(ref.key) == fingerprint:
+            # Touched but unchanged (or provenance round-trip): nothing to
+            # govern, just remember this file version as fingerprinted.
+            state.seen_version[ref.key] = version
+            state.failures.pop(ref.key, None)
+            return 0
+        refresh = ref.key in state.governed
+        try:
+            if refresh:
+                ticket = self.service.submit_refresh(table, ref.dataset)
+            else:
+                ticket = self.service.submit_table(table, ref.dataset)
+            ticket.result(timeout=self.ingest_timeout)
+        except PoisonTableError as error:
+            # The service's ledger already holds the key; mirror the count.
+            state.counters["quarantined"] += 1
+            state.last_error = f"ingest {ref.key}: {error}"
+            return 1
+        except TimeoutError as error:
+            # The ticket may still resolve later; treat as a transient
+            # failure — the next pass re-fingerprints and resubmits, which
+            # the governor dedupes if the first ticket landed meanwhile.
+            state.counters["load_failures"] += 1
+            state.last_error = f"ingest {ref.key}: {error}"
+            return 1
+        except Exception as error:  # noqa: BLE001 - poison isolation
+            self._record_table_failure(state, ref.key, error)
+            return 1
+        state.governed[ref.key] = fingerprint
+        state.seen_version[ref.key] = version
+        state.failures.pop(ref.key, None)
+        state.counters["refreshed" if refresh else "submitted"] += 1
+        return 1
+
+    def _load_with_retry(self, state: CrawlerSourceState, ref: TableRef) -> Table:
+        attempt = 0
+        while True:
+            try:
+                return _call_with_timeout(
+                    lambda: state.source.load(ref),
+                    self.load_timeout,
+                    f"load of {ref.key} from {state.name!r}",
+                )
+            except TransientError:
+                attempt += 1
+                if attempt > self.max_load_retries:
+                    raise
+                state.counters["retries"] += 1
+                time.sleep(self.backoff_delay(state, attempt))
+
+    def backoff_delay(self, state: CrawlerSourceState, attempt: int) -> float:
+        return state.backoff.delay(attempt)
+
+    def _record_table_failure(
+        self, state: CrawlerSourceState, key: TableKey, error: BaseException
+    ) -> None:
+        state.counters["load_failures"] += 1
+        state.last_error = f"load {key}: {type(error).__name__}: {error}"
+        count = state.failures.get(key, 0) + 1
+        state.failures[key] = count
+        if count >= self.poison_after:
+            # Extend the service's quarantine machinery: the crawler's
+            # repeat offenders land in the same ledger ingestion failures
+            # do, visible through service/client ``quarantine_reasons`` and
+            # lifted the same way (``clear_quarantine``).
+            self.service.quarantine(("table",) + key, error)
+            state.counters["quarantined"] += 1
+            state.failures.pop(key, None)
+
+    def _is_quarantined(self, key: TableKey) -> bool:
+        return ("table",) + key in self.service.quarantine_reasons
+
+    def _retract(self, state: CrawlerSourceState, key: TableKey) -> bool:
+        dataset, name = key
+        try:
+            ticket = self.service.submit_retract(dataset, name)
+            ticket.result(timeout=self.ingest_timeout)
+        except Exception as error:  # noqa: BLE001 - retried next pass
+            state.last_error = f"retract {key}: {type(error).__name__}: {error}"
+            state.counters["load_failures"] += 1
+            return False
+        state.governed.pop(key, None)
+        state.seen_version.pop(key, None)
+        state.failures.pop(key, None)
+        return True

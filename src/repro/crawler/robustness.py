@@ -1,0 +1,201 @@
+"""Robustness primitives for the lake crawler.
+
+Three small, independently-testable mechanisms the scan loop composes:
+
+* :class:`TokenBucket` — per-source rate limiting: loads cost one token,
+  tokens refill at ``rate`` per second up to ``capacity``, so a scan burst
+  cannot hammer one source however many tables changed at once.
+* :class:`Backoff` — capped exponential delays with deterministic jitter,
+  for retrying transient failures without synchronizing retries into
+  thundering herds.
+* :class:`CircuitBreaker` — the classic closed → open → half-open state
+  machine: after ``failure_threshold`` consecutive source-level failures
+  the breaker *opens* (the crawler stops touching the source entirely),
+  and after ``reset_timeout`` seconds it *half-opens*, letting a single
+  probe through; the probe's outcome closes it again or re-opens it.
+
+All three take an injectable ``clock`` (default ``time.monotonic``) so
+tests exercise timing behaviour without sleeping.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable, Optional
+
+__all__ = ["TokenBucket", "Backoff", "CircuitBreaker"]
+
+
+class TokenBucket:
+    """A thread-safe token bucket: ``rate`` tokens/second, burst ``capacity``.
+
+    ``rate=None`` disables limiting (every acquire succeeds immediately) so
+    callers need no conditional around the hot path.
+    """
+
+    def __init__(
+        self,
+        rate: Optional[float],
+        capacity: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be positive (or None to disable)")
+        self.rate = rate
+        self.capacity = float(capacity if capacity is not None else (rate or 1.0))
+        self._tokens = self.capacity
+        self._clock = clock
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._updated)
+        self._updated = now
+        self._tokens = min(self.capacity, self._tokens + elapsed * (self.rate or 0.0))
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available right now; never blocks."""
+        if self.rate is None:
+            return True
+        with self._lock:
+            self._refill()
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    def wait_time(self, tokens: float = 1.0) -> float:
+        """Seconds until ``tokens`` will be available (0 when they are)."""
+        if self.rate is None:
+            return 0.0
+        with self._lock:
+            self._refill()
+            missing = tokens - self._tokens
+            return 0.0 if missing <= 0 else missing / self.rate
+
+    def acquire(self, tokens: float = 1.0, timeout: Optional[float] = None) -> bool:
+        """Block (sleeping) until ``tokens`` are available; ``False`` on timeout."""
+        deadline = None if timeout is None else self._clock() + timeout
+        while True:
+            if self.try_acquire(tokens):
+                return True
+            delay = self.wait_time(tokens)
+            if deadline is not None:
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    return False
+                delay = min(delay, remaining)
+            time.sleep(max(delay, 1e-4))
+
+
+class Backoff:
+    """Capped exponential backoff with deterministic jitter.
+
+    ``delay(attempt)`` for attempt 1, 2, 3, … is ``base * 2**(attempt-1)``
+    capped at ``cap``, scaled by a jitter factor drawn uniformly from
+    ``[1-jitter, 1+jitter]`` from a seeded RNG — reproducible in tests,
+    decorrelated across instances in production (seed defaults to the
+    instance id).
+    """
+
+    def __init__(
+        self,
+        base: float = 0.05,
+        cap: float = 2.0,
+        jitter: float = 0.25,
+        seed: Optional[int] = None,
+    ):
+        self.base = base
+        self.cap = cap
+        self.jitter = jitter
+        self._rng = random.Random(seed if seed is not None else id(self))
+
+    def delay(self, attempt: int) -> float:
+        raw = min(self.cap, self.base * (2 ** max(0, attempt - 1)))
+        if not self.jitter:
+            return raw
+        return raw * self._rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+
+
+class CircuitBreaker:
+    """Closed → open → half-open breaker guarding one flaky dependency.
+
+    * **closed** — normal operation; consecutive failures count up, any
+      success resets the count, ``failure_threshold`` consecutive failures
+      *trip* the breaker.
+    * **open** — :meth:`allow` returns ``False`` (callers skip the
+      dependency) until ``reset_timeout`` has elapsed since the trip.
+    * **half-open** — one probe call is allowed through; its success closes
+      the breaker (counters reset), its failure re-opens it for another
+      ``reset_timeout``.
+
+    Thread-safe; ``trips`` counts how often the breaker opened (telemetry).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_outstanding = False
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"`` or ``"half_open"`` (time-aware)."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        if self._state == "open" and (
+            self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = "half_open"
+            self._probe_outstanding = False
+
+    def allow(self) -> bool:
+        """Whether a call may proceed now (half-open grants one probe)."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == "closed":
+                return True
+            if self._state == "half_open" and not self._probe_outstanding:
+                self._probe_outstanding = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = "closed"
+            self._failures = 0
+            self._probe_outstanding = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == "half_open":
+                # The probe failed: straight back to open, full timeout.
+                self._state = "open"
+                self._opened_at = self._clock()
+                self.trips += 1
+                self._probe_outstanding = False
+                return
+            self._failures += 1
+            if self._state == "closed" and self._failures >= self.failure_threshold:
+                self._state = "open"
+                self._opened_at = self._clock()
+                self.trips += 1

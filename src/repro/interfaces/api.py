@@ -488,6 +488,40 @@ class LiDSClient(KGLiDS):
             return []
         return self.service.quarantined
 
+    @property
+    def quarantine_reasons(self) -> Dict[Any, BaseException]:
+        """``key -> last error`` for every quarantined key (see service)."""
+        if self.service is None:
+            return {}
+        return self.service.quarantine_reasons
+
+    def crawl(self, *roots: Union[str, Path], start: bool = True, **crawler_kwargs):
+        """Continuously govern one or more lake directories.
+
+        Builds a :class:`~repro.crawler.DirectorySource` per root (the
+        layout rule of :meth:`DataLake.from_directory`), wires them into a
+        :class:`~repro.crawler.LakeCrawler` feeding this client's service,
+        and starts the daemon (pass ``start=False`` to drive
+        ``scan_once()`` manually).  Keyword arguments go to the crawler
+        (``scan_interval``, ``rate_limit``, breaker/backoff knobs, ...).
+
+        The returned crawler is caller-owned: ``crawler.close()`` stops
+        it without touching the service.  Requires a live service — a
+        plain or read-only governor has no ingestion queue to feed.
+        """
+        from repro.crawler import DirectorySource, LakeCrawler
+
+        if self.service is None or self.service.closed:
+            raise RuntimeError(
+                "crawl() needs a live GovernorService (open or wrap one; a "
+                "plain/read-only governor has no ingestion queue)"
+            )
+        if not roots:
+            raise ValueError("crawl() needs at least one root directory")
+        sources = [DirectorySource(root) for root in roots]
+        crawler = LakeCrawler(self.service, sources, **crawler_kwargs)
+        return crawler.start() if start else crawler
+
     def clear_quarantine(self, key: Optional[Any] = None) -> None:
         """Lift the service's quarantine for one key (or all of them).
 

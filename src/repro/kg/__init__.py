@@ -22,7 +22,13 @@ abstracted pipelines into the LiDS graph.
 """
 
 from repro.kg.dataset_graph import DataGlobalSchemaBuilder, SimilarityThresholds
-from repro.kg.errors import GovernanceError, PoisonTableError, TransientError
+from repro.kg.errors import (
+    GovernanceError,
+    PoisonTableError,
+    SourceUnavailableError,
+    TableReadError,
+    TransientError,
+)
 from repro.kg.governor import GovernorReport, KGGovernor
 from repro.kg.linker import GlobalGraphLinker
 from repro.kg.ontology import LiDSOntology, column_uri, dataset_uri, pipeline_graph_uri, table_uri
@@ -48,4 +54,6 @@ __all__ = [
     "GovernanceError",
     "TransientError",
     "PoisonTableError",
+    "SourceUnavailableError",
+    "TableReadError",
 ]

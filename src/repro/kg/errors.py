@@ -20,7 +20,13 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
-__all__ = ["GovernanceError", "TransientError", "PoisonTableError"]
+__all__ = [
+    "GovernanceError",
+    "TransientError",
+    "PoisonTableError",
+    "SourceUnavailableError",
+    "TableReadError",
+]
 
 
 class GovernanceError(RuntimeError):
@@ -34,6 +40,33 @@ class TransientError(GovernanceError):
     failure is expected to clear on retry; anything else is treated as a
     hard failure and surfaces on the ticket unchanged.
     """
+
+
+class SourceUnavailableError(TransientError):
+    """A lake source is (presumably briefly) unreachable.
+
+    Raised by crawler sources when a whole source flaps — the directory is
+    unlistable, the share unmounted, the endpoint down.  Transient by
+    definition: the crawler backs off and counts it toward the source's
+    circuit breaker rather than failing individual tables.
+    """
+
+
+class TableReadError(GovernanceError):
+    """One table could not be read into memory (truncated, malformed, denied).
+
+    Deliberately *not* transient: a broken file stays broken until someone
+    rewrites it, so retrying in a tight loop is wasted work.  The crawler
+    counts these per table and quarantines repeat offenders instead of
+    stalling its scan loop.  ``path`` locates the offender; the underlying
+    parser/OS error is chained as ``__cause__``.
+    """
+
+    def __init__(self, path: Any, message: str, cause: Optional[BaseException] = None):
+        self.path = path
+        super().__init__(f"cannot read table at {path}: {message}")
+        if cause is not None:
+            self.__cause__ = cause
 
 
 class PoisonTableError(GovernanceError):

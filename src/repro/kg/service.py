@@ -394,6 +394,31 @@ class GovernorService:
         """Keys currently refused fast (see :class:`PoisonTableError`)."""
         return list(self._quarantined_keys)
 
+    @property
+    def quarantine_reasons(self) -> Dict[Any, BaseException]:
+        """``key -> last error`` for every quarantined key.
+
+        The *reason* a table is refused matters operationally: "permission
+        denied" and "profiler crashed" call for different fixes.  The
+        returned dict is a snapshot — mutating it does not lift anything;
+        use :meth:`clear_quarantine` for that.
+        """
+        return dict(self._quarantined_keys)
+
+    def quarantine(self, key: Any, error: BaseException) -> None:
+        """Quarantine ``key`` directly (external failure evidence).
+
+        The scheduler quarantines keys after repeated *ingestion* failures;
+        upstream components observing failures of their own — the lake
+        crawler's repeatedly-unreadable files — register them here so one
+        ledger answers "what is being refused and why" for the whole
+        pipeline.  Lifted like any other entry via :meth:`clear_quarantine`.
+        """
+        self._failure_counts[key] = max(
+            self._failure_counts.get(key, 0), self.quarantine_after
+        )
+        self._quarantined_keys[key] = error
+
     def clear_quarantine(self, key: Optional[Any] = None) -> None:
         """Lift the quarantine of one key (or all keys) and reset its count."""
         if key is None:

@@ -8,6 +8,7 @@ objects, and each source owns the tables of one dataset.
 
 from __future__ import annotations
 
+import csv
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
@@ -69,6 +70,10 @@ class DataLake:
     def __init__(self, name: str = "data_lake", datasets: Optional[Iterable[DatasetSource]] = None):
         self.name = str(name)
         self._datasets: Dict[str, DatasetSource] = {}
+        #: ``(path, error message)`` of files :meth:`from_directory` could
+        #: not read — reported here and skipped, never raised: one vanished
+        #: or unreadable file must not take the whole lake load down.
+        self.load_errors: List[Tuple[str, str]] = []
         for dataset in datasets or []:
             self.add_dataset(dataset)
 
@@ -85,23 +90,39 @@ class DataLake:
         self._datasets[dataset_name].add_table(table)
 
     @classmethod
-    def from_directory(cls, root: PathLike, name: Optional[str] = None) -> "DataLake":
+    def from_directory(
+        cls, root: PathLike, name: Optional[str] = None, *, on_error: str = "skip"
+    ) -> "DataLake":
         """Load a lake from a directory tree ``root/<dataset>/<table>.{csv,json}``.
 
         Files placed directly under ``root`` are grouped into a dataset named
         after the root directory.
+
+        A living lake always contains a few broken files; by default a table
+        that cannot be read (vanished between listing and open, permission
+        denied, malformed JSON, undecodable bytes) is recorded in
+        ``lake.load_errors`` and skipped rather than failing the whole load.
+        Pass ``on_error="raise"`` for the strict pre-crawler behaviour.
         """
+        if on_error not in ("skip", "raise"):
+            raise ValueError(f"on_error must be 'skip' or 'raise', got {on_error!r}")
         root = Path(root)
         lake = cls(name or root.name)
         for path in sorted(root.rglob("*")):
-            if path.suffix.lower() not in (".csv", ".json") or not path.is_file():
+            try:
+                if path.suffix.lower() not in (".csv", ".json") or not path.is_file():
+                    continue
+                relative = path.relative_to(root)
+                dataset_name = relative.parts[0] if len(relative.parts) > 1 else root.name
+                if path.suffix.lower() == ".csv":
+                    table = read_csv(path, dataset=dataset_name)
+                else:
+                    table = read_json_records(path, dataset=dataset_name)
+            except (OSError, ValueError, UnicodeError, csv.Error) as error:
+                if on_error == "raise":
+                    raise
+                lake.load_errors.append((str(path), f"{type(error).__name__}: {error}"))
                 continue
-            relative = path.relative_to(root)
-            dataset_name = relative.parts[0] if len(relative.parts) > 1 else root.name
-            if path.suffix.lower() == ".csv":
-                table = read_csv(path, dataset=dataset_name)
-            else:
-                table = read_json_records(path, dataset=dataset_name)
             lake.add_table(dataset_name, table)
         return lake
 

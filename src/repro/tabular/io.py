@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import csv
 import json
+import os
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Union
 
@@ -11,6 +12,26 @@ from repro.tabular.table import Table
 from repro.tabular.values import is_missing
 
 PathLike = Union[str, Path]
+
+
+def _record_source(table: Table, path: Path, before: os.stat_result) -> Table:
+    """Attach file provenance to a loaded table (for streamed fingerprints).
+
+    The file is stat'ed before the read and re-stat'ed after; provenance is
+    recorded only when both agree, so a file mutated *mid-read* never gets a
+    fingerprint claiming the parsed values match the on-disk bytes — the
+    table simply falls back to value-based hashing.
+    """
+    try:
+        after = os.stat(path)
+    except OSError:
+        return table
+    if (
+        after.st_mtime_ns == before.st_mtime_ns
+        and after.st_size == before.st_size
+    ):
+        table.record_source(path, after.st_mtime_ns, after.st_size)
+    return table
 
 
 def read_csv(
@@ -26,15 +47,17 @@ def read_csv(
     values unless ``parse`` is ``False``.
     """
     path = Path(path)
+    stat_before = os.stat(path)
     with path.open(newline="", encoding="utf-8") as handle:
         reader = csv.reader(handle, delimiter=delimiter)
         rows = list(reader)
     if not rows:
-        return Table(name or path.stem, dataset=dataset)
+        return _record_source(Table(name or path.stem, dataset=dataset), path, stat_before)
     header, data_rows = rows[0], rows[1:]
-    return Table.from_rows(
+    table = Table.from_rows(
         name or path.stem, header, data_rows, dataset=dataset, parse=parse
     )
+    return _record_source(table, path, stat_before)
 
 
 def write_csv(table: Table, path: PathLike, delimiter: str = ",") -> Path:
@@ -60,11 +83,13 @@ def read_json_records(
     how semi-structured JSON data lands in a data lake.
     """
     path = Path(path)
+    stat_before = os.stat(path)
     with path.open(encoding="utf-8") as handle:
         records = json.load(handle)
     if not isinstance(records, list):
         raise ValueError(f"{path} does not contain a JSON array of records")
-    return table_from_records(name or path.stem, records, dataset=dataset)
+    table = table_from_records(name or path.stem, records, dataset=dataset)
+    return _record_source(table, path, stat_before)
 
 
 def table_from_records(

@@ -3,13 +3,26 @@
 from __future__ import annotations
 
 import hashlib
+import os
 import random
+import threading
+from collections import OrderedDict
+from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.tabular.column import Column
 from repro.tabular.values import coerce_float, is_missing
+
+#: Process-wide cache of file-content digests keyed by
+#: ``(resolved path, mtime_ns, size)`` — a changed file gets a new key, so
+#: stale entries can never be returned; they just age out of the LRU.
+_FINGERPRINT_CACHE: "OrderedDict[Tuple[str, int, int], str]" = OrderedDict()
+_FINGERPRINT_CACHE_LOCK = threading.Lock()
+_FINGERPRINT_CACHE_MAX = 4096
+#: Chunk size for streaming file fingerprints (bounded memory on any table).
+_FINGERPRINT_CHUNK = 1 << 16
 
 
 class Table:
@@ -29,6 +42,14 @@ class Table:
         self.name = str(name)
         #: Name of the dataset (data-lake folder) this table belongs to.
         self.dataset = dataset
+        #: When the table was parsed from a file, the loaders record where
+        #: it came from and the file's ``(mtime_ns, size)`` at load time.
+        #: :meth:`content_fingerprint` then streams the file (bounded
+        #: memory) instead of hashing every parsed value, as long as the
+        #: file still matches this snapshot.
+        self.source_path: Optional[Path] = None
+        self.source_mtime_ns: Optional[int] = None
+        self.source_size: Optional[int] = None
         self._columns: Dict[str, Column] = {}
         for column in columns or []:
             self.add_column(column)
@@ -206,21 +227,52 @@ class Table:
 
     def copy(self, name: Optional[str] = None) -> "Table":
         """Deep-enough copy of the table."""
-        return Table(
+        copied = Table(
             name or self.name,
             [column.copy() for column in self.columns],
             dataset=self.dataset,
         )
+        # A copy holds the same contents, so it was "parsed from" the same
+        # file snapshot; derived tables (select/take_rows/...) do not
+        # inherit the provenance because their contents differ.
+        copied.source_path = self.source_path
+        copied.source_mtime_ns = self.source_mtime_ns
+        copied.source_size = self.source_size
+        return copied
+
+    def record_source(self, path: Path, mtime_ns: int, size: int) -> None:
+        """Record the file snapshot this table was parsed from (see loaders)."""
+        self.source_path = Path(path)
+        self.source_mtime_ns = int(mtime_ns)
+        self.source_size = int(size)
 
     def content_fingerprint(self) -> str:
-        """SHA-1 over column names and values, independent of table identity.
+        """Digest identifying the table contents, independent of identity.
 
         The KG Governor records this when it profiles a table so that
         re-adding the same ``(dataset, table)`` key can distinguish an
         unchanged re-add (idempotent skip) from changed contents (routed
-        through the refresh path).  The digest is order-sensitive in both
-        columns and rows, matching what the profiler actually sees.
+        through the refresh path), and the lake crawler calls it on every
+        scan to dedupe unchanged files.
+
+        File-backed tables (loaded via :func:`~repro.tabular.io.read_csv` /
+        ``read_json_records``) are fingerprinted by *streaming the source
+        file in chunks* — bounded memory however large the table — as long
+        as the file still matches the ``(mtime_ns, size)`` captured at load
+        time; digests are cached process-wide keyed by ``(path, mtime_ns,
+        size)``, so rescanning an unchanged lake costs one ``stat`` per
+        file instead of a hash pass.  When the file has changed or vanished
+        since the load (the in-memory values no longer describe it), the
+        digest falls back to hashing the parsed values, which is also the
+        path for tables built in memory.  The two schemes never collide in
+        a way that *hides* a change: a key is always compared against
+        digests produced from the same provenance, and a provenance switch
+        at worst triggers one redundant (idempotent) refresh.
         """
+        if self.source_path is not None:
+            file_digest = self._file_fingerprint()
+            if file_digest is not None:
+                return file_digest
         digest = hashlib.sha1()
         for column in self.columns:
             digest.update(column.name.encode("utf-8", "replace"))
@@ -230,6 +282,41 @@ class Table:
                 digest.update(b"\x1e")
             digest.update(b"\x1d")
         return digest.hexdigest()
+
+    def _file_fingerprint(self) -> Optional[str]:
+        """Streamed digest of the source file, or ``None`` when stale/gone."""
+        try:
+            stat = os.stat(self.source_path)
+        except OSError:
+            return None
+        if (
+            stat.st_mtime_ns != self.source_mtime_ns
+            or stat.st_size != self.source_size
+        ):
+            return None
+        key = (str(self.source_path), stat.st_mtime_ns, stat.st_size)
+        with _FINGERPRINT_CACHE_LOCK:
+            cached = _FINGERPRINT_CACHE.get(key)
+            if cached is not None:
+                _FINGERPRINT_CACHE.move_to_end(key)
+                return cached
+        digest = hashlib.sha1(b"file-content\x00")
+        try:
+            with open(self.source_path, "rb") as handle:
+                while True:
+                    chunk = handle.read(_FINGERPRINT_CHUNK)
+                    if not chunk:
+                        break
+                    digest.update(chunk)
+        except OSError:
+            return None
+        value = digest.hexdigest()
+        with _FINGERPRINT_CACHE_LOCK:
+            _FINGERPRINT_CACHE[key] = value
+            _FINGERPRINT_CACHE.move_to_end(key)
+            while len(_FINGERPRINT_CACHE) > _FINGERPRINT_CACHE_MAX:
+                _FINGERPRINT_CACHE.popitem(last=False)
+        return value
 
     # ------------------------------------------------------------- numeric ML
     def numeric_column_names(self) -> List[str]:

@@ -1,0 +1,728 @@
+"""The lake crawler: continuous ingestion that survives a misbehaving lake.
+
+Pins the robustness contracts of the crawler subsystem:
+
+* the primitives — token bucket, jittered capped backoff, circuit breaker
+  state machine — behave deterministically under an injected clock;
+* ``DirectorySource`` discovers the same layout ``DataLake.from_directory``
+  loads, and speaks the failure taxonomy (source-level vs table-level);
+* ``ChaosSource`` injects every fault kind, scripted or rate-driven;
+* the ``LakeCrawler`` daemon discovers new / changed / deleted tables,
+  prioritizes changed-then-small, skips unchanged files on a pure stat
+  basis, isolates poison tables through the service quarantine ledger,
+  trips and recovers per-source circuit breakers, and survives the full
+  chaos matrix — converging to a graph byte-identical to a clean one-shot
+  govern of the same end-state lake;
+* lifecycle: pause / resume / drain / close never leak in-flight work.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.crawler import (
+    Backoff,
+    ChaosConfig,
+    ChaosSource,
+    CircuitBreaker,
+    DirectorySource,
+    LakeCrawler,
+    TableRef,
+    TokenBucket,
+)
+from repro.crawler.chaos import LOAD_FAULTS
+from repro.interfaces import LiDSClient
+from repro.kg import GovernorService, KGGovernor
+from repro.kg.errors import SourceUnavailableError, TableReadError, TransientError
+from repro.rdf.serialize import serialize_nquads
+from repro.tabular import DataLake, Table, write_csv
+
+
+# --------------------------------------------------------------------- helpers
+class FakeClock:
+    """A manually-advanced monotonic clock for timing-sensitive tests."""
+
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_table(name: str, salt: int = 0, rows: int = 4) -> Table:
+    return Table.from_dict(
+        name,
+        {
+            "amount": [float(10 * salt + i) for i in range(rows)],
+            "quantity": [salt + i for i in range(rows)],
+            "region": ["north", "south", "east", "west"][:rows],
+        },
+    )
+
+
+def write_lake(root: Path, datasets=("sales", "hr"), tables_per=2, salt=0) -> None:
+    for dataset in datasets:
+        directory = root / dataset
+        directory.mkdir(parents=True, exist_ok=True)
+        for index in range(tables_per):
+            write_csv(make_table(f"t{index}", salt=salt + index), directory / f"t{index}.csv")
+
+
+def clean_graph_of(root: Path) -> str:
+    """The graph a clean one-shot govern of the directory's state produces."""
+    governor = KGGovernor()
+    governor.add_data_lake(DataLake.from_directory(root))
+    try:
+        return serialize_nquads(governor.storage.graph)
+    finally:
+        governor.close()
+
+
+def crawl_until_idle(crawler: LakeCrawler, max_passes: int = 60, sleep: float = 0.01) -> bool:
+    for _ in range(max_passes):
+        crawler.scan_once()
+        if crawler.stats()["idle"]:
+            return True
+        time.sleep(sleep)
+    return False
+
+
+def make_crawler(service: GovernorService, source, **overrides) -> LakeCrawler:
+    """A crawler with test-friendly (fast) robustness knobs."""
+    options = dict(
+        scan_interval=0.02,
+        load_timeout=2.0,
+        scan_timeout=2.0,
+        max_load_retries=2,
+        backoff_base=0.005,
+        backoff_cap=0.02,
+        backoff_seed=0,
+        breaker_threshold=3,
+        breaker_reset=0.05,
+        poison_after=3,
+        ingest_timeout=60.0,
+    )
+    options.update(overrides)
+    return LakeCrawler(service, [source], **options)
+
+
+# ------------------------------------------------------------------ primitives
+class TestTokenBucket:
+    def test_disabled_bucket_always_grants(self):
+        bucket = TokenBucket(None)
+        assert all(bucket.try_acquire() for _ in range(1000))
+        assert bucket.wait_time() == 0.0
+
+    def test_burst_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, capacity=2.0, clock=clock)
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()  # burst exhausted
+        assert bucket.wait_time() == pytest.approx(0.1, abs=0.02)
+        clock.advance(0.1)  # one token refills
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_tokens_cap_at_capacity(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, capacity=3.0, clock=clock)
+        clock.advance(1000.0)
+        grants = sum(1 for _ in range(10) if bucket.try_acquire())
+        assert grants == 3
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0)
+
+
+class TestBackoff:
+    def test_exponential_capped_and_jittered(self):
+        backoff = Backoff(base=0.1, cap=0.5, jitter=0.25, seed=7)
+        delays = [backoff.delay(attempt) for attempt in (1, 2, 3, 4, 5)]
+        raw = [0.1, 0.2, 0.4, 0.5, 0.5]
+        for observed, expected in zip(delays, raw):
+            assert expected * 0.75 <= observed <= expected * 1.25
+
+    def test_seeded_backoff_reproducible(self):
+        a = [Backoff(seed=3).delay(n) for n in (1, 2, 3)]
+        b = [Backoff(seed=3).delay(n) for n in (1, 2, 3)]
+        assert a == b
+
+    def test_no_jitter_is_exact(self):
+        backoff = Backoff(base=0.1, cap=10.0, jitter=0.0)
+        assert backoff.delay(3) == pytest.approx(0.4)
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout=5.0, clock=clock)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_grants_single_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=5.0, clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(5.0)
+        assert breaker.state == "half_open"
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # only one probe
+        breaker.record_success()
+        assert breaker.state == "closed" and breaker.allow()
+
+    def test_failed_probe_reopens_for_full_timeout(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=5.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()  # probe failed
+        assert breaker.state == "open" and not breaker.allow()
+        assert breaker.trips == 2
+        clock.advance(4.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.allow()
+
+
+# ------------------------------------------------------------ directory source
+class TestDirectorySource:
+    def test_scan_matches_from_directory_layout(self, tmp_path):
+        root = tmp_path / "lake"
+        write_lake(root)
+        write_csv(make_table("loose"), root / "loose.csv")
+        refs = DirectorySource(root).scan()
+        keys = {ref.key for ref in refs}
+        lake = DataLake.from_directory(root)
+        assert keys == {(t.dataset, t.name) for t in lake.tables()}
+        assert all(ref.size > 0 and ref.mtime_ns > 0 for ref in refs)
+
+    def test_unlistable_root_is_source_unavailable(self, tmp_path):
+        with pytest.raises(SourceUnavailableError):
+            DirectorySource(tmp_path / "absent").scan()
+
+    def test_load_round_trips_table(self, tmp_path):
+        root = tmp_path / "lake"
+        write_lake(root, datasets=("sales",), tables_per=1)
+        source = DirectorySource(root)
+        ref = source.scan()[0]
+        table = source.load(ref)
+        assert table.name == "t0" and table.dataset == "sales"
+        assert table.num_rows == 4
+
+    def test_load_of_vanished_file_raises_file_not_found(self, tmp_path):
+        root = tmp_path / "lake"
+        write_lake(root, datasets=("sales",), tables_per=1)
+        source = DirectorySource(root)
+        ref = source.scan()[0]
+        ref.path.unlink()
+        with pytest.raises(FileNotFoundError):
+            source.load(ref)
+
+    def test_load_of_malformed_file_is_table_read_error(self, tmp_path):
+        root = tmp_path / "lake"
+        (root / "sales").mkdir(parents=True)
+        (root / "sales" / "bad.json").write_text('{"not": "a list"}')
+        source = DirectorySource(root)
+        ref = source.scan()[0]
+        with pytest.raises(TableReadError) as excinfo:
+            source.load(ref)
+        assert "bad.json" in str(excinfo.value)
+
+    def test_scan_skips_files_that_fail_stat(self, tmp_path, monkeypatch):
+        root = tmp_path / "lake"
+        write_lake(root, datasets=("sales",), tables_per=2)
+        import repro.crawler.sources as sources_module
+
+        real_stat = sources_module.os.stat
+        victim = str(root / "sales" / "t0.csv")
+
+        def flaky_stat(path, *args, **kwargs):
+            if str(path) == victim:
+                raise FileNotFoundError(victim)
+            return real_stat(path, *args, **kwargs)
+
+        monkeypatch.setattr(sources_module.os, "stat", flaky_stat)
+        refs = DirectorySource(root).scan()
+        assert {ref.name for ref in refs} == {"t1"}
+
+
+# ------------------------------------------------------------------ chaos source
+class TestChaosSource:
+    def test_injected_faults_fire_in_order(self, tmp_path):
+        root = tmp_path / "lake"
+        write_lake(root, datasets=("sales",), tables_per=1)
+        chaos = ChaosSource(DirectorySource(root))
+        ref = chaos.scan()[0]
+        chaos.inject("truncate", "permission", "delete")
+        with pytest.raises(TableReadError):
+            chaos.load(ref)
+        with pytest.raises(TableReadError) as excinfo:
+            chaos.load(ref)
+        assert isinstance(excinfo.value.__cause__, PermissionError)
+        with pytest.raises(FileNotFoundError):
+            chaos.load(ref)
+        assert chaos.load(ref).name == "t0"  # injections consumed
+        assert chaos.stats.fired == {"truncate": 1, "permission": 1, "delete": 1}
+
+    def test_flap_hits_scan_and_load(self, tmp_path):
+        root = tmp_path / "lake"
+        write_lake(root, datasets=("sales",), tables_per=1)
+        chaos = ChaosSource(DirectorySource(root))
+        ref = DirectorySource(root).scan()[0]
+        chaos.inject("flap", "flap")
+        with pytest.raises(SourceUnavailableError):
+            chaos.scan()
+        with pytest.raises(SourceUnavailableError):
+            chaos.load(ref)
+
+    def test_slow_fault_stalls_then_succeeds(self, tmp_path):
+        root = tmp_path / "lake"
+        write_lake(root, datasets=("sales",), tables_per=1)
+        chaos = ChaosSource(
+            DirectorySource(root), ChaosConfig(slow_seconds=0.05)
+        )
+        chaos.inject("slow")
+        ref = chaos.scan()[0]
+        started = time.perf_counter()
+        table = chaos.load(ref)
+        assert time.perf_counter() - started >= 0.05
+        assert table.name == "t0"
+
+    def test_rates_are_deterministic_under_seed(self, tmp_path):
+        root = tmp_path / "lake"
+        write_lake(root, datasets=("sales",), tables_per=1)
+
+        def outcomes(seed):
+            chaos = ChaosSource(
+                DirectorySource(root),
+                ChaosConfig(truncate_rate=0.5, seed=seed),
+            )
+            ref = DirectorySource(root).scan()[0]
+            results = []
+            for _ in range(12):
+                try:
+                    chaos.load(ref)
+                    results.append("ok")
+                except TableReadError:
+                    results.append("fault")
+            return results
+
+        assert outcomes(3) == outcomes(3)
+        assert "fault" in outcomes(3) and "ok" in outcomes(3)
+
+    def test_calm_stops_all_faults(self, tmp_path):
+        root = tmp_path / "lake"
+        write_lake(root, datasets=("sales",), tables_per=1)
+        chaos = ChaosSource(
+            DirectorySource(root), ChaosConfig(truncate_rate=1.0, seed=0)
+        )
+        ref = DirectorySource(root).scan()[0]
+        with pytest.raises(TableReadError):
+            chaos.load(ref)
+        chaos.inject("permission")
+        chaos.calm()
+        assert chaos.load(ref).name == "t0"
+
+    def test_unknown_fault_rejected(self, tmp_path):
+        chaos = ChaosSource(DirectorySource(tmp_path))
+        with pytest.raises(ValueError):
+            chaos.inject("meteor")
+
+
+# ----------------------------------------------------------------- crawler core
+class TestLakeCrawler:
+    def test_initial_crawl_matches_one_shot_govern(self, tmp_path):
+        root = tmp_path / "lake"
+        write_lake(root)
+        service = GovernorService()
+        crawler = make_crawler(service, DirectorySource(root))
+        assert crawl_until_idle(crawler)
+        crawled = serialize_nquads(service.governor.storage.graph)
+        crawler.close()
+        service.close()
+        assert crawled == clean_graph_of(root)
+        service.governor.close()
+
+    def test_new_changed_deleted_converge(self, tmp_path):
+        root = tmp_path / "lake"
+        write_lake(root)
+        service = GovernorService()
+        crawler = make_crawler(service, DirectorySource(root))
+        assert crawl_until_idle(crawler)
+        # new table, changed table, deleted table — one event of each kind.
+        write_csv(make_table("t9", salt=9), root / "sales" / "t9.csv")
+        write_csv(make_table("t0", salt=77), root / "hr" / "t0.csv")
+        (root / "sales" / "t1.csv").unlink()
+        assert crawl_until_idle(crawler)
+        totals = crawler.stats()["totals"]
+        assert totals["refreshed"] >= 1
+        assert totals["retracted"] >= 1
+        crawled = serialize_nquads(service.governor.storage.graph)
+        crawler.close()
+        service.close()
+        assert crawled == clean_graph_of(root)
+        service.governor.close()
+
+    def test_unchanged_files_skipped_on_stat_alone(self, tmp_path):
+        root = tmp_path / "lake"
+        write_lake(root)
+        service = GovernorService()
+        crawler = make_crawler(service, DirectorySource(root))
+        assert crawl_until_idle(crawler)
+        loads_after_first = crawler.stats()["totals"]["loads"]
+        for _ in range(3):
+            crawler.scan_once()
+        assert crawler.stats()["totals"]["loads"] == loads_after_first
+        crawler.close()
+        service.close()
+        service.governor.close()
+
+    def test_changed_tables_load_before_new_small_before_large(self, tmp_path):
+        root = tmp_path / "lake"
+        write_lake(root, datasets=("sales",), tables_per=2)
+        service = GovernorService()
+        order = []
+
+        class RecordingSource(DirectorySource):
+            def load(self, ref):
+                order.append(ref.name)
+                return super().load(ref)
+
+        crawler = make_crawler(service, RecordingSource(root))
+        assert crawl_until_idle(crawler)
+        order.clear()
+        # t1 becomes *changed*; two new tables arrive: big (many rows) and
+        # tiny.  Expected load order: changed first, then new small→large.
+        write_csv(make_table("t1", salt=50), root / "sales" / "t1.csv")
+        write_csv(make_table("zz_big", salt=1, rows=4), root / "sales" / "zz_big.csv")
+        write_csv(
+            Table.from_dict("aa_tiny", {"amount": [1.0]}), root / "sales" / "aa_tiny.csv"
+        )
+        crawler.scan_once()
+        assert order[0] == "t1"
+        assert order[1:] == ["aa_tiny", "zz_big"]
+        crawler.close()
+        service.close()
+        service.governor.close()
+
+    def test_poison_table_is_isolated_and_quarantined(self, tmp_path):
+        root = tmp_path / "lake"
+        write_lake(root, datasets=("sales",), tables_per=2)
+        (root / "sales" / "poison.json").write_text('{"never": "a list"}')
+        service = GovernorService()
+        crawler = make_crawler(service, DirectorySource(root), poison_after=2)
+        for _ in range(4):
+            crawler.scan_once()
+        stats = crawler.stats()
+        # The scan loop kept moving: the healthy tables are governed...
+        assert stats["totals"]["submitted"] == 2
+        # ...and the repeat offender landed in the service ledger with its
+        # reason, visible through the client surface too.
+        key = ("table", "sales", "poison")
+        assert key in service.quarantine_reasons
+        assert isinstance(service.quarantine_reasons[key], TableReadError)
+        client = LiDSClient(service)
+        assert key in client.quarantine_reasons
+        assert stats["totals"]["quarantined"] >= 1
+        # Quarantined keys are skipped without loads, and the pass is idle.
+        loads = crawler.stats()["totals"]["loads"]
+        crawler.scan_once()
+        assert crawler.stats()["totals"]["loads"] == loads
+        assert crawler.stats()["idle"]
+        # Fixing the file + lifting the quarantine governs it.
+        (root / "sales" / "poison.json").write_text(
+            '[{"amount": 1.5, "region": "north"}, {"amount": 2.5, "region": "south"}]'
+        )
+        client.clear_quarantine(key)
+        assert crawl_until_idle(crawler)
+        crawled = serialize_nquads(service.governor.storage.graph)
+        crawler.close()
+        service.close()
+        assert crawled == clean_graph_of(root)
+        service.governor.close()
+
+    def test_breaker_trips_on_flapping_source_and_recovers(self, tmp_path):
+        root = tmp_path / "lake"
+        write_lake(root, datasets=("sales",), tables_per=2)
+        chaos = ChaosSource(DirectorySource(root))
+        service = GovernorService()
+        crawler = make_crawler(
+            service, chaos, breaker_threshold=2, breaker_reset=0.05
+        )
+        chaos.inject("flap", "flap", "flap", "flap")
+        crawler.scan_once()
+        crawler.scan_once()
+        stats = crawler.stats()["sources"]["lake"]
+        assert stats["breaker"] == "open"
+        assert stats["breaker_trips"] == 1
+        assert stats["scan_failures"] == 2
+        # Open breaker: scans are skipped, not attempted.
+        crawler.scan_once()
+        assert crawler.stats()["sources"]["lake"]["skipped_scans"] >= 1
+        # After the reset timeout the half-open probe (two injections left)
+        # fails and re-opens; once the injections run out the next probe
+        # closes the breaker and the crawl completes.
+        assert crawl_until_idle(crawler, max_passes=80, sleep=0.02)
+        final = crawler.stats()["sources"]["lake"]
+        assert final["breaker"] == "closed"
+        assert final["breaker_trips"] >= 2
+        crawled = serialize_nquads(service.governor.storage.graph)
+        crawler.close()
+        service.close()
+        assert crawled == clean_graph_of(root)
+        service.governor.close()
+
+    def test_hung_read_times_out_retries_then_succeeds(self, tmp_path):
+        root = tmp_path / "lake"
+        write_lake(root, datasets=("sales",), tables_per=1)
+        chaos = ChaosSource(
+            DirectorySource(root), ChaosConfig(slow_seconds=0.5)
+        )
+        chaos.inject("slow")  # one hung read, then clean
+        service = GovernorService()
+        crawler = make_crawler(service, chaos, load_timeout=0.05)
+        assert crawl_until_idle(crawler)
+        stats = crawler.stats()["totals"]
+        assert stats["retries"] >= 1
+        crawled = serialize_nquads(service.governor.storage.graph)
+        crawler.close()
+        service.close()
+        assert crawled == clean_graph_of(root)
+        service.governor.close()
+
+    def test_rate_limit_paces_loads(self, tmp_path):
+        root = tmp_path / "lake"
+        write_lake(root, datasets=("sales",), tables_per=3)
+        service = GovernorService()
+        crawler = make_crawler(
+            service, DirectorySource(root), rate_limit=40.0, burst=1.0
+        )
+        started = time.perf_counter()
+        crawler.scan_once()
+        elapsed = time.perf_counter() - started
+        # 3 loads through a 40/s bucket with burst 1 → >= ~2 refill waits.
+        assert elapsed >= 0.04
+        crawler.close()
+        service.close()
+        service.governor.close()
+
+    def test_stats_shape(self, tmp_path):
+        root = tmp_path / "lake"
+        write_lake(root, datasets=("sales",), tables_per=1)
+        service = GovernorService()
+        crawler = make_crawler(service, DirectorySource(root))
+        crawler.scan_once()
+        stats = crawler.stats()
+        assert stats["passes"] == 1
+        assert stats["running"] is False
+        entry = stats["sources"]["lake"]
+        for counter in ("scans", "loads", "submitted", "breaker", "lag", "last_scan_seconds"):
+            assert counter in entry
+        assert entry["governed_tables"] == 1
+        assert stats["totals"]["submitted"] == 1
+        crawler.close()
+        service.close()
+        service.governor.close()
+
+
+# ------------------------------------------------------------------- lifecycle
+class TestCrawlerLifecycle:
+    def test_daemon_crawls_and_pause_resume(self, tmp_path):
+        root = tmp_path / "lake"
+        write_lake(root, datasets=("sales",), tables_per=2)
+        service = GovernorService()
+        crawler = make_crawler(service, DirectorySource(root))
+        crawler.start()
+        assert crawler.running
+        assert crawler.wait_until_idle(timeout=30.0)
+        crawler.pause()
+        passes_when_paused = crawler.stats()["passes"]
+        write_csv(make_table("late", salt=4), root / "sales" / "late.csv")
+        time.sleep(0.15)
+        # Paused: at most the in-flight pass completed; the new table waits.
+        assert crawler.stats()["passes"] <= passes_when_paused + 1
+        crawler.resume()
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if ("sales", "late") in crawler._sources[0].governed:
+                break
+            time.sleep(0.02)
+        crawler.drain()
+        crawled = serialize_nquads(service.governor.storage.graph)
+        crawler.close()
+        service.close()
+        assert crawled == clean_graph_of(root)
+        service.governor.close()
+
+    def test_close_is_idempotent_and_blocks_reuse(self, tmp_path):
+        root = tmp_path / "lake"
+        write_lake(root, datasets=("sales",), tables_per=1)
+        service = GovernorService()
+        crawler = make_crawler(service, DirectorySource(root))
+        crawler.start()
+        crawler.close()
+        crawler.close()
+        assert not crawler.running and crawler.closed
+        from repro.kg.errors import GovernanceError
+
+        with pytest.raises(GovernanceError):
+            crawler.scan_once()
+        with pytest.raises(GovernanceError):
+            crawler.start()
+        service.close()
+        service.governor.close()
+
+    def test_context_manager_form(self, tmp_path):
+        root = tmp_path / "lake"
+        write_lake(root, datasets=("sales",), tables_per=1)
+        with GovernorService() as service:
+            with make_crawler(service, DirectorySource(root)) as crawler:
+                assert crawler.wait_until_idle(timeout=30.0)
+            assert crawler.closed
+        service.governor.close()
+
+    def test_crawler_rejects_closed_service(self, tmp_path):
+        service = GovernorService()
+        service.close()
+        from repro.kg.errors import GovernanceError
+
+        with pytest.raises(GovernanceError):
+            make_crawler(service, DirectorySource(tmp_path))
+        service.governor.close()
+
+    def test_client_crawl_convenience(self, tmp_path):
+        root = tmp_path / "lake"
+        write_lake(root, datasets=("sales",), tables_per=2)
+        service = GovernorService()
+        client = LiDSClient(service)
+        crawler = client.crawl(root, scan_interval=0.02)
+        try:
+            assert crawler.running
+            assert crawler.wait_until_idle(timeout=30.0)
+            result = client.search_keywords(["t0"])
+            assert result.num_rows >= 1
+        finally:
+            crawler.close()
+            service.close()
+            client.close()
+
+    def test_client_crawl_requires_live_service(self, tmp_path):
+        governor = KGGovernor()
+        client = LiDSClient(governor)
+        with pytest.raises(RuntimeError):
+            client.crawl(tmp_path)
+        client.close()
+
+
+# ---------------------------------------------------------------- chaos matrix
+class TestChaosMatrix:
+    """Every fault kind × every table event: never dies, always converges."""
+
+    @pytest.mark.parametrize("fault", LOAD_FAULTS)
+    @pytest.mark.parametrize("event", ["new", "changed", "deleted"])
+    def test_fault_by_event_converges_byte_identical(self, tmp_path, fault, event):
+        root = tmp_path / "lake"
+        write_lake(root, datasets=("sales",), tables_per=3)
+        config = ChaosConfig.single(
+            fault,
+            rate=0.35,
+            seed=hash((fault, event)) % 1000,
+            slow_seconds=0.02,
+        )
+        chaos = ChaosSource(DirectorySource(root), config)
+        service = GovernorService()
+        crawler = make_crawler(
+            service,
+            chaos,
+            load_timeout=0.2,
+            breaker_threshold=3,
+            breaker_reset=0.03,
+            poison_after=10_000,  # chaos faults are transient: never poison
+        )
+        # Phase 1: initial crawl under chaos (bounded passes; chaos may
+        # legitimately keep it busy — the invariant is it never *dies*).
+        crawl_until_idle(crawler, max_passes=30)
+        # Phase 2: the table event lands while chaos keeps firing.
+        if event == "new":
+            write_csv(make_table("arrival", salt=9), root / "sales" / "arrival.csv")
+        elif event == "changed":
+            write_csv(make_table("t0", salt=99), root / "sales" / "t0.csv")
+        else:
+            (root / "sales" / "t1.csv").unlink()
+        crawl_until_idle(crawler, max_passes=30)
+        # Phase 3: the lake calms down; the crawl must fully converge.
+        chaos.calm()
+        assert crawl_until_idle(crawler, max_passes=60), (
+            f"crawler did not converge after {fault} × {event}"
+        )
+        crawled = serialize_nquads(service.governor.storage.graph)
+        stats = crawler.stats()
+        crawler.close()
+        service.close()
+        assert crawled == clean_graph_of(root), (
+            f"graph diverged after {fault} × {event}; stats: {stats['totals']}"
+        )
+        assert service.quarantined == []
+        service.governor.close()
+
+    def test_sustained_mixed_chaos_with_drift_converges(self, tmp_path):
+        """All faults at once while the lake drifts — the worst day on call."""
+        root = tmp_path / "lake"
+        write_lake(root, datasets=("sales", "hr"), tables_per=2)
+        config = ChaosConfig(
+            truncate_rate=0.1,
+            permission_rate=0.1,
+            malformed_rate=0.1,
+            slow_rate=0.1,
+            flap_rate=0.1,
+            delete_rate=0.1,
+            slow_seconds=0.02,
+            seed=42,
+        )
+        chaos = ChaosSource(DirectorySource(root), config)
+        service = GovernorService()
+        crawler = make_crawler(
+            service,
+            chaos,
+            load_timeout=0.2,
+            breaker_threshold=4,
+            breaker_reset=0.03,
+            poison_after=10_000,
+        )
+        for round_index in range(3):
+            write_csv(
+                make_table(f"drift{round_index}", salt=round_index),
+                root / "hr" / f"drift{round_index}.csv",
+            )
+            write_csv(make_table("t0", salt=70 + round_index), root / "sales" / "t0.csv")
+            if round_index == 1:
+                (root / "hr" / "t1.csv").unlink()
+            crawl_until_idle(crawler, max_passes=15)
+        chaos.calm()
+        assert crawl_until_idle(crawler, max_passes=80)
+        crawled = serialize_nquads(service.governor.storage.graph)
+        crawler.close()
+        service.close()
+        assert crawled == clean_graph_of(root)
+        service.governor.close()

@@ -98,3 +98,122 @@ class TestDataLake:
         lake = DataLake.from_directory(tmp_path / "lake")
         assert lake.num_tables == 1
         assert lake.table("titanic", "train").num_rows == titanic_table.num_rows
+
+
+class TestSourceProvenanceAndFingerprint:
+    """Streamed content fingerprints: cached by (path, mtime, size)."""
+
+    def test_read_csv_records_provenance(self, tmp_path, titanic_table):
+        path = tmp_path / "train.csv"
+        write_csv(titanic_table, path)
+        table = read_csv(path)
+        stat = path.stat()
+        assert table.source_path == path
+        assert table.source_mtime_ns == stat.st_mtime_ns
+        assert table.source_size == stat.st_size
+
+    def test_identical_files_share_streamed_digest(self, tmp_path, titanic_table):
+        path_a = tmp_path / "a.csv"
+        path_b = tmp_path / "b.csv"
+        write_csv(titanic_table, path_a)
+        write_csv(titanic_table, path_b)
+        assert read_csv(path_a).content_fingerprint() == read_csv(path_b).content_fingerprint()
+
+    def test_rewritten_file_changes_fingerprint(self, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(Table.from_dict("t", {"x": [1.0, 2.0]}), path)
+        before = read_csv(path).content_fingerprint()
+        write_csv(Table.from_dict("t", {"x": [1.0, 3.0]}), path)
+        after = read_csv(path).content_fingerprint()
+        assert before != after
+
+    def test_streamed_digest_lands_in_cache(self, tmp_path, titanic_table):
+        from repro.tabular.table import _FINGERPRINT_CACHE
+
+        path = tmp_path / "cached.csv"
+        write_csv(titanic_table, path)
+        table = read_csv(path)
+        digest = table.content_fingerprint()
+        key = (str(path), table.source_mtime_ns, table.source_size)
+        assert _FINGERPRINT_CACHE.get(key) == digest
+        # Second call (fresh Table, same file) is a pure cache hit.
+        assert read_csv(path).content_fingerprint() == digest
+
+    def test_stale_provenance_falls_back_to_value_digest(self, tmp_path, titanic_table):
+        path = tmp_path / "stale.csv"
+        write_csv(titanic_table, path)
+        table = read_csv(path)
+        # The file changes under us after the read: the recorded
+        # (mtime, size) no longer matches, so the streamed digest is
+        # refused and the value-based digest takes over — same as a
+        # table that never had provenance.
+        path.write_text(path.read_text() + "\n99,extra,rows,9,9,9,9\n")
+        bare = titanic_table.copy()
+        assert table.content_fingerprint() == bare.content_fingerprint()
+
+    def test_copy_preserves_provenance(self, tmp_path, titanic_table):
+        path = tmp_path / "c.csv"
+        write_csv(titanic_table, path)
+        table = read_csv(path)
+        clone = table.copy()
+        assert clone.source_path == table.source_path
+        assert clone.content_fingerprint() == table.content_fingerprint()
+
+
+class TestFromDirectoryRobustness:
+    """from_directory skips and reports broken files instead of raising."""
+
+    def _broken_lake(self, tmp_path, titanic_table):
+        root = tmp_path / "lake"
+        good = root / "titanic"
+        good.mkdir(parents=True)
+        write_csv(titanic_table, good / "train.csv")
+        bad = root / "broken"
+        bad.mkdir()
+        (bad / "notalist.json").write_text('{"not": "a list"}')
+        (bad / "mojibake.csv").write_bytes(b"a,b\n\xff\xfe\x00garbage")
+        return root
+
+    def test_broken_files_skipped_and_reported(self, tmp_path, titanic_table):
+        root = self._broken_lake(tmp_path, titanic_table)
+        lake = DataLake.from_directory(root)
+        assert lake.num_tables == 1
+        assert lake.table("titanic", "train").num_rows > 0
+        failed = {entry[0] for entry in lake.load_errors}
+        assert str(root / "broken" / "notalist.json") in failed
+        assert str(root / "broken" / "mojibake.csv") in failed
+        for _, message in lake.load_errors:
+            assert ":" in message  # "ErrorType: details"
+
+    def test_on_error_raise_restores_old_behavior(self, tmp_path, titanic_table):
+        root = self._broken_lake(tmp_path, titanic_table)
+        with pytest.raises((ValueError, UnicodeError)):
+            DataLake.from_directory(root, on_error="raise")
+
+    def test_clean_lake_reports_no_errors(self, tmp_path, titanic_table):
+        root = tmp_path / "lake" / "titanic"
+        root.mkdir(parents=True)
+        write_csv(titanic_table, root / "train.csv")
+        lake = DataLake.from_directory(tmp_path / "lake")
+        assert lake.load_errors == []
+
+    def test_vanished_file_mid_walk_is_skipped(self, tmp_path, titanic_table, monkeypatch):
+        root = tmp_path / "lake"
+        target = root / "titanic"
+        target.mkdir(parents=True)
+        write_csv(titanic_table, target / "train.csv")
+        write_csv(titanic_table, target / "gone.csv")
+        import repro.tabular.datalake as datalake_module
+        import repro.tabular.io as io_module
+
+        real_read = io_module.read_csv
+
+        def vanishing_read(path, *args, **kwargs):
+            if str(path).endswith("gone.csv"):
+                raise FileNotFoundError(path)
+            return real_read(path, *args, **kwargs)
+
+        monkeypatch.setattr(datalake_module, "read_csv", vanishing_read)
+        lake = DataLake.from_directory(root)
+        assert lake.num_tables == 1
+        assert any("gone.csv" in path for path, _ in lake.load_errors)

@@ -766,6 +766,92 @@ class TestServiceResilience:
             service.governor.__dict__.pop("add_data_lake", None)
             service.close()
 
+    def test_quarantine_reasons_expose_last_error_per_key(self):
+        service = GovernorService(max_batch_tables=4)
+        try:
+            service.retry_backoff = 0.001
+            service.quarantine_after = 2
+            boom = ValueError("disk ate the table")
+
+            def poisoned(lake, **kwargs):
+                raise boom
+
+            service.governor.add_data_lake = poisoned
+            table = Table.from_dict("bad", {"x": [1, 2]})
+            for _ in range(service.quarantine_after):
+                service.submit_table(table, "dsr").exception(timeout=120)
+
+            reasons = service.quarantine_reasons
+            assert reasons == {("table", "dsr", "bad"): boom}
+            # The property hands back a snapshot, not the live ledger.
+            reasons.clear()
+            assert ("table", "dsr", "bad") in service.quarantine_reasons
+        finally:
+            service.governor.__dict__.pop("add_data_lake", None)
+            service.close()
+
+    def test_external_quarantine_fast_fails_and_clears(self):
+        # Callers (the lake crawler) can quarantine a key they failed to
+        # even load, without the governor ever seeing the table.
+        service = GovernorService(max_batch_tables=4)
+        try:
+            cause = OSError("short read")
+            service.quarantine(("table", "dse", "hurt"), cause)
+            assert service.quarantine_reasons[("table", "dse", "hurt")] is cause
+
+            table = Table.from_dict("hurt", {"x": [1.0]})
+            error = service.submit_table(table, "dse").exception(timeout=120)
+            assert isinstance(error, PoisonTableError)
+            assert error.cause is cause
+
+            service.clear_quarantine(("table", "dse", "hurt"))
+            report = service.submit_table(table, "dse").result(timeout=120)
+            assert report.num_tables_profiled == 1
+        finally:
+            service.close()
+
+    def test_clear_all_quarantines_resets_failure_counters(self):
+        # clear_quarantine(None) lifts every key AND zeroes the strike
+        # counters: a cleared table gets a full fresh allowance before it
+        # can be quarantined again.
+        service = GovernorService(max_batch_tables=4)
+        try:
+            service.retry_backoff = 0.001
+            service.quarantine_after = 2
+            boom = ValueError("poison")
+
+            def poisoned(lake, **kwargs):
+                raise boom
+
+            service.governor.add_data_lake = poisoned
+            table_a = Table.from_dict("a", {"x": [1]})
+            table_b = Table.from_dict("b", {"y": [2]})
+            for table in (table_a, table_b):
+                for _ in range(service.quarantine_after):
+                    service.submit_table(table, "dsc").exception(timeout=120)
+            assert len(service.quarantined) == 2
+
+            service.clear_quarantine()
+            assert service.quarantined == []
+            assert service.quarantine_reasons == {}
+
+            # Still broken: one more failure must NOT re-quarantine —
+            # the counter restarted from zero.
+            service.submit_table(table_a, "dsc").exception(timeout=120)
+            assert service.quarantined == []
+            # The second strike after the reset does.
+            service.submit_table(table_a, "dsc").exception(timeout=120)
+            assert ("table", "dsc", "a") in service.quarantined
+
+            # Fixed tables resubmit cleanly after a clear.
+            service.governor.__dict__.pop("add_data_lake", None)
+            service.clear_quarantine(("table", "dsc", "a"))
+            report = service.submit_table(table_a, "dsc").result(timeout=120)
+            assert report.num_tables_profiled == 1
+        finally:
+            service.governor.__dict__.pop("add_data_lake", None)
+            service.close()
+
     def test_one_poison_table_does_not_quarantine_batch_mates(self):
         service = GovernorService(max_batch_tables=8)
         try:
