@@ -91,6 +91,18 @@ class QuadStoreBackend(ABC):
         index = self.get_index(graph)
         return len(index.triples) if index is not None else 0
 
+    def indexes_for(self, graph: Optional[URIRef]) -> List[GraphIndex]:
+        """The indexes a quad pattern over ``graph`` must consult.
+
+        One index for a named graph (empty when absent), every index for the
+        default-graph wildcard.  The SPARQL planner's single entry point for
+        resolving a pattern's graph scope to concrete indexes.
+        """
+        if graph is not None:
+            index = self.get_index(graph)
+            return [index] if index is not None else []
+        return [index for _, index in self.items()]
+
     # ------------------------------------------------------ persistence hooks
     def quad_added(self, graph: URIRef, triple: IdTriple) -> None:
         """Called after an id-triple was inserted into the graph's index."""
@@ -279,6 +291,7 @@ class PersistentTermDictionary(TermDictionary):
             self._id_to_text[term_id] = text
             if term_id >= self._next_id:
                 self._next_id = term_id + 1
+        self._quoted_columns = None
 
     def drain_pending(self) -> List[Tuple[int, str]]:
         """New ``(id, n3)`` rows awaiting persistence (clears the queue)."""
@@ -304,6 +317,7 @@ class PersistentTermDictionary(TermDictionary):
             parts = self._quoted_parts.pop(term_id, None)
             if parts is not None:
                 self._quoted_by_parts.pop(parts, None)
+        self._quoted_columns = None
         self._term_to_id = {
             term: term_id for term, term_id in self._term_to_id.items() if term_id < mark
         }
@@ -369,6 +383,7 @@ class PersistentTermDictionary(TermDictionary):
             )
             self._quoted_parts[term_id] = parts
             self._quoted_by_parts[parts] = term_id
+            self._quoted_columns = None
         return parts
 
     def quoted_id(self, parts: Tuple[int, int, int]) -> Optional[int]:
@@ -384,7 +399,21 @@ class PersistentTermDictionary(TermDictionary):
             if term_id is not None:
                 self._quoted_parts[term_id] = parts
                 self._quoted_by_parts[parts] = term_id
+                self._quoted_columns = None
         return term_id
+
+    def _materialize_quoted(self) -> None:
+        """Decode every persisted-but-untouched quoted spelling so the
+        columnar snapshot covers the full quoted population (the maps here
+        fill lazily, one id per :meth:`quoted_parts` probe)."""
+        quoted_parts = self._quoted_parts
+        pending = [
+            term_id
+            for term_id, text in self._id_to_text.items()
+            if text.startswith("<<") and term_id not in quoted_parts
+        ]
+        for term_id in pending:
+            self.quoted_parts(term_id)
 
     def _spelling(self, term_id: int) -> str:
         text = self._id_to_text.get(term_id)

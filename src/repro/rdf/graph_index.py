@@ -23,6 +23,8 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, Iterator, Optional, Set, Tuple
 
+import numpy as np
+
 from repro.rdf.terms import TermDictionary
 
 #: An id-encoded triple: ``(subject_id, predicate_id, object_id)``.
@@ -30,6 +32,117 @@ IdTriple = Tuple[int, int, int]
 
 #: Shared empty candidate set so missing index entries cost no allocation.
 _EMPTY_TRIPLES: Set[IdTriple] = frozenset()  # type: ignore[assignment]
+
+
+class TripleColumns:
+    """A graph's id-triples as parallel int64 arrays — the vectorized scan feed.
+
+    Snapshots the triple set into subject / predicate / object columns so the
+    SPARQL engine's scan-mode joins select candidates with numpy masks instead
+    of per-triple Python comparisons.  Row order is exactly the triple set's
+    iteration order at snapshot time, and per-predicate row blocks
+    (:meth:`predicate_rows`) preserve the predicate bucket's own iteration
+    order — so executors fed from arrays see candidates in the same order as
+    executors iterating the sets, keeping row-order-sensitive results (e.g.
+    left-to-right float SUMs) byte-identical across paths.
+    """
+
+    __slots__ = ("subjects", "predicates", "objects", "_predicate_rows", "_quoted_rows")
+
+    def __init__(self, index: "GraphIndex"):
+        count = len(index.triples)
+        flat = np.fromiter(
+            (part for triple in index.triples for part in triple),
+            np.int64,
+            3 * count,
+        )
+        matrix = flat.reshape(count, 3)
+        self.subjects = matrix[:, 0]
+        self.predicates = matrix[:, 1]
+        self.objects = matrix[:, 2]
+        #: Per-predicate (subject, object) column pairs, built lazily from the
+        #: predicate bucket set to preserve its iteration order.
+        self._predicate_rows: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        #: Per-candidate-bucket quoted-scan rows, keyed by the bucket's
+        #: identity key — see :meth:`quoted_rows`.
+        self._quoted_rows: Dict[tuple, tuple] = {}
+
+    def __len__(self) -> int:
+        return len(self.subjects)
+
+    def predicate_rows(self, predicate_id: int, index: "GraphIndex") -> Tuple[np.ndarray, np.ndarray]:
+        """``(subjects, objects)`` of the predicate's triples, bucket-ordered."""
+        cached = self._predicate_rows.get(predicate_id)
+        if cached is None:
+            bucket = index.by_predicate.get(predicate_id, _EMPTY_TRIPLES)
+            count = len(bucket)
+            flat = np.fromiter(
+                (triple[position] for triple in bucket for position in (0, 2)),
+                np.int64,
+                2 * count,
+            )
+            pair = flat.reshape(count, 2)
+            cached = self._predicate_rows[predicate_id] = (pair[:, 0], pair[:, 1])
+        return cached
+
+    def quoted_rows(self, key: tuple, candidates, dictionary) -> tuple:
+        """Quoted-scan columns for one candidate bucket, cached per bucket.
+
+        Returns ``(positional s/p/o columns, inner s/p/o part columns,
+        quoted-subject validity mask)`` in the bucket's own iteration order.
+        ``key`` identifies the bucket within this snapshot (e.g. ``("p",
+        predicate_id)`` for a predicate bucket) so repeated annotation scans
+        and probes — the dashboard pattern — skip the array rebuild and the
+        ``searchsorted`` part resolution entirely.  Safe for the snapshot's
+        lifetime: bucket membership only changes with a graph-version bump
+        (which discards this snapshot), and a quoted term id's inner parts
+        are immutable once encoded.  Callers must not mutate the returned
+        arrays — mask with non-inplace operators.
+        """
+        cached = self._quoted_rows.get(key)
+        if cached is not None:
+            return cached
+        count = len(candidates)
+        flat = np.fromiter(
+            (part for triple in candidates for part in triple),
+            np.int64,
+            3 * count,
+        ).reshape(count, 3)
+        positional = (flat[:, 0], flat[:, 1], flat[:, 2])
+        subjects = positional[0]
+        quoted_ids, inner_s, inner_p, inner_o = dictionary.quoted_columns()
+        if len(quoted_ids):
+            positions = np.searchsorted(quoted_ids, subjects).clip(
+                0, len(quoted_ids) - 1
+            )
+            valid = quoted_ids[positions] == subjects
+            parts = (inner_s[positions], inner_p[positions], inner_o[positions])
+        else:
+            valid = np.zeros(count, dtype=bool)
+            parts = (subjects, subjects, subjects)
+        cached = self._quoted_rows[key] = (positional, parts, valid)
+        return cached
+
+    def match_rows(
+        self,
+        subject: Optional[int] = None,
+        predicate: Optional[int] = None,
+        obj: Optional[int] = None,
+    ) -> np.ndarray:
+        """Row positions matching the pattern (``None`` is a wildcard)."""
+        mask: Optional[np.ndarray] = None
+        for value, column in (
+            (subject, self.subjects),
+            (predicate, self.predicates),
+            (obj, self.objects),
+        ):
+            if value is None:
+                continue
+            hits = column == value
+            mask = hits if mask is None else mask & hits
+        if mask is None:
+            return np.arange(len(self.subjects))
+        return np.nonzero(mask)[0]
 
 
 class PredicateStats:
@@ -101,6 +214,7 @@ class GraphIndex:
         "by_quoted_object",
         "predicate_stats",
         "version",
+        "_columnar",
     )
 
     def __init__(self, dictionary: TermDictionary):
@@ -116,6 +230,8 @@ class GraphIndex:
         self.predicate_stats: Dict[int, PredicateStats] = {}
         #: Per-graph mutation counter (bumps on every insert/remove).
         self.version = 0
+        #: ``(version, TripleColumns)`` snapshot cache for vectorized scans.
+        self._columnar: Optional[Tuple[int, TripleColumns]] = None
 
     def add(self, triple: IdTriple) -> bool:
         if triple in self.triples:
@@ -188,6 +304,41 @@ class GraphIndex:
             if obj is not None and triple[2] != obj:
                 continue
             yield triple
+
+    def columnar(self) -> TripleColumns:
+        """The graph's triples as numpy id columns, cached per version.
+
+        The snapshot is invalidated by any mutation (the per-graph
+        ``version`` counter bumps on every add/remove), so readers always
+        see columns consistent with the sets — and repeated scans within one
+        query, or across queries over a quiescent graph, pay the conversion
+        once.
+        """
+        cached = self._columnar
+        if cached is not None and cached[0] == self.version:
+            return cached[1]
+        columns = TripleColumns(self)
+        self._columnar = (self.version, columns)
+        return columns
+
+    def match_id_arrays(
+        self,
+        subject: Optional[int] = None,
+        predicate: Optional[int] = None,
+        obj: Optional[int] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Id-array :meth:`match`: matching triples as three parallel arrays.
+
+        The vectorized executor's scan feed — candidates arrive as int64
+        columns ready for numpy key-hashing instead of per-triple tuples.
+        """
+        columns = self.columnar()
+        rows = columns.match_rows(subject, predicate, obj)
+        return (
+            columns.subjects[rows],
+            columns.predicates[rows],
+            columns.objects[rows],
+        )
 
     def estimate(
         self,

@@ -22,6 +22,8 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
+import numpy as np
+
 from repro.rdf.backend import InMemoryBackend, PathLike, QuadStoreBackend, SqliteBackend
 from repro.rdf.gate import ReadView, ReadWriteGate
 from repro.rdf.graph_index import IdTriple
@@ -545,6 +547,34 @@ class QuadStore:
         for graph_name, index in self._backend.items():
             for triple in index.match(subject_id, predicate_id, object_id):
                 yield triple, graph_name
+
+    def match_id_arrays(
+        self,
+        subject_id: Optional[int] = None,
+        predicate_id: Optional[int] = None,
+        object_id: Optional[int] = None,
+        graph: Optional[URIRef] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Array-level :meth:`match_ids`: matches as three parallel id columns.
+
+        Concatenates the per-graph column snapshots when the graph is a
+        wildcard; the vectorized SPARQL scan path consumes these directly.
+        """
+        parts = [
+            index.match_id_arrays(subject_id, predicate_id, object_id)
+            for index in self._backend.indexes_for(graph)
+        ]
+        parts = [part for part in parts if len(part[0])]
+        if not parts:
+            empty = np.empty(0, np.int64)
+            return empty, empty, empty
+        if len(parts) == 1:
+            return parts[0]
+        return (
+            np.concatenate([part[0] for part in parts]),
+            np.concatenate([part[1] for part in parts]),
+            np.concatenate([part[2] for part in parts]),
+        )
 
     def estimate_matches(
         self,

@@ -290,6 +290,7 @@ class TermDictionary:
         "_id_to_term",
         "_quoted_parts",
         "_quoted_by_parts",
+        "_quoted_columns",
         "_next_id",
     )
 
@@ -300,6 +301,9 @@ class TermDictionary:
         self._quoted_parts: dict = {}
         #: Inverse of ``_quoted_parts`` for O(1) quoted-term lookups by parts.
         self._quoted_by_parts: dict = {}
+        #: Cached :meth:`quoted_columns` arrays; ``None`` after any mutation
+        #: of the quoted-part maps.
+        self._quoted_columns = None
         self._next_id: int = 1
 
     def __len__(self) -> int:
@@ -322,6 +326,7 @@ class TermDictionary:
                 term_id = self._assign(term)
                 self._quoted_parts[term_id] = parts
                 self._quoted_by_parts[parts] = term_id
+                self._quoted_columns = None
             else:
                 self._term_to_id[term] = term_id
             return term_id
@@ -362,6 +367,7 @@ class TermDictionary:
             parts = self._quoted_parts.pop(term_id, None)
             if parts is not None:
                 self._quoted_by_parts.pop(parts, None)
+        self._quoted_columns = None
         self._next_id = mark
 
     # --------------------------------------------------------------- lookups
@@ -388,3 +394,41 @@ class TermDictionary:
     def quoted_id(self, parts: "tuple[int, int, int]") -> Optional[int]:
         """The id of the quoted triple with these inner ids, if interned."""
         return self._quoted_by_parts.get(parts)
+
+    def quoted_columns(self):
+        """Every quoted triple as four parallel int64 arrays, sorted by id:
+        ``(quoted ids, inner subjects, inner predicates, inner objects)``.
+
+        The vectorized annotation scan resolves a whole candidate column of
+        quoted-subject ids with one ``searchsorted`` against these arrays
+        instead of a dict probe per row.  The snapshot is cached until any
+        quoted-part mutation (intern, rollback, lazy persistent decode)
+        clears it.
+        """
+        cached = self._quoted_columns
+        if cached is not None:
+            return cached
+        import numpy as np
+
+        self._materialize_quoted()
+        count = len(self._quoted_parts)
+        ids = np.fromiter(self._quoted_parts.keys(), np.int64, count)
+        parts = np.fromiter(
+            (part for triple in self._quoted_parts.values() for part in triple),
+            np.int64,
+            3 * count,
+        ).reshape(count, 3)
+        order = np.argsort(ids, kind="stable")
+        cached = (
+            ids[order],
+            np.ascontiguousarray(parts[order, 0]),
+            np.ascontiguousarray(parts[order, 1]),
+            np.ascontiguousarray(parts[order, 2]),
+        )
+        self._quoted_columns = cached
+        return cached
+
+    def _materialize_quoted(self) -> None:
+        """Hook for subclasses whose quoted-part maps fill lazily: ensure
+        ``_quoted_parts`` covers every interned quoted triple before a
+        columnar snapshot is taken."""

@@ -130,3 +130,27 @@ class SelectQuery:
 
     def has_aggregates(self) -> bool:
         return any(isinstance(item, Aggregate) for item in self.variables)
+
+
+# ------------------------------------------------------------------ analysis
+def expression_variables(expression: Expression) -> set:
+    """The set of variable names an expression reads.
+
+    Shared by the engine's FILTER planning (single-variable predicates are
+    eligible for pushdown below joins) and its decode-only-what-is-referenced
+    FILTER / BIND evaluation.
+    """
+    names: set = set()
+    stack = [expression]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, VarExpr):
+            names.add(str(node.variable))
+        elif isinstance(node, (Comparison, BooleanExpr)):
+            stack.append(node.left)
+            stack.append(node.right)
+        elif isinstance(node, NotExpr):
+            stack.append(node.operand)
+        elif isinstance(node, FunctionCall):
+            stack.extend(node.arguments)
+    return names

@@ -20,10 +20,45 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.rdf.terms import TermDictionary
 
 #: Cell value marking an unbound variable slot (OPTIONAL padding).
 UNBOUND = None
+
+#: Sentinel id for unbound cells in numpy columns.  Safe because the store
+#: dictionary assigns ids starting at 1 and query-local ids are negative, so
+#: 0 never denotes a term in either id space.
+UNBOUND_ID = 0
+
+
+def column_ids(rows: Sequence[tuple], slot: int) -> np.ndarray:
+    """One relation column as an int64 array (:data:`UNBOUND` -> 0).
+
+    The bridge from tuple rows into vectorized collation: unbound cells map
+    to :data:`UNBOUND_ID`, which no term id can collide with.
+    """
+    return np.fromiter(
+        (row[slot] or UNBOUND_ID for row in rows), np.int64, len(rows)
+    )
+
+
+def row_codes(columns: Sequence[np.ndarray], length: int) -> np.ndarray:
+    """Dense per-row codes: equal rows (over ``columns``) share one code.
+
+    Mixed-radix combination with densification after every column keeps the
+    intermediate codes bounded by the row count, so the combine never
+    overflows int64 regardless of id magnitudes or column count.
+    """
+    if not columns:
+        return np.zeros(length, np.int64)
+    _, combined = np.unique(columns[0], return_inverse=True)
+    for column in columns[1:]:
+        distinct, inverse = np.unique(column, return_inverse=True)
+        combined = combined * np.int64(len(distinct)) + inverse
+        _, combined = np.unique(combined, return_inverse=True)
+    return combined
 
 
 class QueryEncoder:
@@ -141,12 +176,84 @@ class Relation:
             if relation.variables == layout:
                 rows.extend(relation.rows)
                 continue
+            if relation.variables == layout[: len(relation.variables)]:
+                # Aligned-prefix fast path: group evaluation only ever
+                # appends slots, so UNION branches that grew the same
+                # variables in the same order need pure tail padding — no
+                # per-cell re-pick loop.
+                padding = (UNBOUND,) * (len(layout) - len(relation.variables))
+                rows.extend(row + padding for row in relation.rows)
+                continue
             slots = [relation.slot(name) for name in layout]
             for row in relation.rows:
                 rows.append(
                     tuple(row[slot] if slot is not None else UNBOUND for slot in slots)
                 )
         return Relation(layout, rows)
+
+
+class ColumnRelation:
+    """A columnar numpy view over a :class:`Relation`.
+
+    The vectorized collation tail (GROUP BY / ORDER BY / DISTINCT / SELECT
+    ``*``) works on int64 id columns instead of per-row tuples: each column
+    is materialized lazily on first access (only variables the query's
+    collation actually reads are ever converted) and cached, with
+    :data:`UNBOUND_ID` standing in for unbound cells.  ``take`` / ``select``
+    reorder or filter the underlying rows while re-using already-gathered
+    columns, so a multi-key ORDER BY builds each key column exactly once.
+    """
+
+    __slots__ = ("relation", "_columns")
+
+    def __init__(self, relation: Relation):
+        self.relation = relation
+        self._columns: Dict[int, np.ndarray] = {}
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        return self.relation.variables
+
+    @property
+    def rows(self) -> List[tuple]:
+        return self.relation.rows
+
+    def slot(self, name: str) -> Optional[int]:
+        return self.relation.slot(name)
+
+    def __len__(self) -> int:
+        return len(self.relation.rows)
+
+    def column(self, slot: int) -> np.ndarray:
+        """The slot's id column (unbound cells as :data:`UNBOUND_ID`), cached."""
+        column = self._columns.get(slot)
+        if column is None:
+            column = self._columns[slot] = column_ids(self.relation.rows, slot)
+        return column
+
+    def take(self, order: np.ndarray) -> "ColumnRelation":
+        """Rows picked by position, carrying gathered columns along."""
+        rows = self.relation.rows
+        taken = ColumnRelation(
+            Relation(self.relation.variables, [rows[i] for i in order.tolist()])
+        )
+        taken._columns = {slot: column[order] for slot, column in self._columns.items()}
+        return taken
+
+    def select(self, keep: np.ndarray) -> "ColumnRelation":
+        """Rows surviving a boolean mask, carrying gathered columns along."""
+        from itertools import compress
+
+        selected = ColumnRelation(
+            Relation(
+                self.relation.variables,
+                list(compress(self.relation.rows, keep.tolist())),
+            )
+        )
+        selected._columns = {
+            slot: column[keep] for slot, column in self._columns.items()
+        }
+        return selected
 
 
 class BoundedMemo:

@@ -32,7 +32,7 @@ from repro.rdf import (
 )
 from repro.rdf.serialize import serialize_nquads
 from repro.sparql import SPARQLEngine
-from repro.sparql.columnar import BoundedMemo
+from repro.sparql.columnar import UNBOUND, BoundedMemo, Relation
 
 EX = "http://example.org/"
 
@@ -119,6 +119,44 @@ QUERY_SHAPES = [
     f"SELECT DISTINCT ?a WHERE {{ ?a <{EX}p0> ?b . ?b <{EX}p1> ?c . }}",
     # multi-variable distinct over a duplicate-producing join
     f"SELECT DISTINCT ?a ?c WHERE {{ ?a <{EX}p0> ?b . ?b <{EX}p1> ?c . }}",
+    # --- shapes added with the vectorized collation tail ---
+    # multi-aggregate GROUP BY with DISTINCT counting, ordered by an alias
+    # (?b is a name literal so MIN/MAX compare homogeneous strings)
+    f"""SELECT ?a (COUNT(DISTINCT ?b) AS ?n) (MIN(?b) AS ?lo) (MAX(?b) AS ?hi)
+        WHERE {{ ?a <{EX}p0> ?x . ?x <{EX}name> ?b . }} GROUP BY ?a ORDER BY DESC(?n) ?a""",
+    # SUM / AVG over float annotation values (order-sensitive float adds)
+    f"""SELECT ?a (SUM(?v) AS ?total) (AVG(?v) AS ?mean) WHERE {{
+        << ?a <{EX}p0> ?b >> <{EX}certainty> ?v .
+    }} GROUP BY ?a ORDER BY ?a""",
+    # ORDER BY with a sometimes-unbound (OPTIONAL) sort key
+    f"""SELECT ?s ?n ?x WHERE {{
+        ?s <{EX}name> ?n . OPTIONAL {{ ?s <{EX}p3> ?x . }}
+    }} ORDER BY ?x DESC(?n)""",
+    # pushdown-eligible single-variable FILTER below a join
+    f"SELECT ?a ?c WHERE {{ ?a <{EX}p0> ?b . ?b <{EX}p1> ?c . FILTER(?c <= 4) }}",
+    # FILTER written before the pattern that binds its variable
+    f"SELECT ?s ?o WHERE {{ FILTER(?o > 2) ?s <{EX}p1> ?o . }}",
+    # pushed filter over a variable an OPTIONAL leaves unbound mid-group
+    f"""SELECT ?s ?x ?y WHERE {{
+        ?s <{EX}name> ?n . OPTIONAL {{ ?s <{EX}p3> ?x . }}
+        FILTER(?x >= 0) ?x <{EX}p1> ?y .
+    }}""",
+    # three-branch UNION over identical layouts (aligned-prefix concat)
+    f"""SELECT ?s ?o WHERE {{
+        {{ ?s <{EX}p0> ?o . }} UNION {{ ?s <{EX}p1> ?o . }} UNION {{ ?s <{EX}p2> ?o . }}
+    }}""",
+    # UNION branches growing different variables, collated by ORDER BY
+    f"""SELECT ?s ?o ?n WHERE {{
+        {{ ?s <{EX}p2> ?o . }} UNION {{ ?s <{EX}name> ?n . }}
+    }} ORDER BY ?s ?o ?n""",
+    # aggregate over an empty match (no GROUP BY -> one all-empty group)
+    f"""SELECT (COUNT(?x) AS ?n) (SUM(?o) AS ?total) WHERE {{
+        ?s <{EX}p9> ?o . ?s <{EX}p0> ?x .
+    }}""",
+    # GROUP BY over an empty match (zero groups)
+    f"SELECT ?s (COUNT(?o) AS ?n) WHERE {{ ?s <{EX}p9> ?o . }} GROUP BY ?s",
+    # SELECT * with an OPTIONAL tail
+    f"SELECT * WHERE {{ ?s <{EX}p2> ?o . OPTIONAL {{ ?o <{EX}name> ?n . }} }}",
 ]
 
 
@@ -136,9 +174,11 @@ class TestRandomizedParity:
     def test_batched_matches_seed_semantics(self, seed, shape):
         store = make_random_store(seed)
         query = QUERY_SHAPES[shape]
-        batched = SPARQLEngine(store).select(query)
+        vectorized = SPARQLEngine(store).select(query)
+        batched = SPARQLEngine(store, vectorized=False).select(query)
         tuple_engine = SPARQLEngine(store, batched=False).select(query)
         seed_engine = SPARQLEngine(store, optimize=False).select(query)
+        assert rows_key(vectorized) == rows_key(seed_engine)
         assert rows_key(batched) == rows_key(seed_engine)
         assert rows_key(tuple_engine) == rows_key(seed_engine)
 
@@ -151,6 +191,10 @@ class TestRandomizedParity:
             expected = rows_key(SPARQLEngine(memory_store, optimize=False).select(query))
             assert rows_key(SPARQLEngine(sqlite_store).select(query)) == expected
             assert rows_key(SPARQLEngine(memory_store).select(query)) == expected
+            assert (
+                rows_key(SPARQLEngine(sqlite_store, vectorized=False).select(query))
+                == expected
+            )
         sqlite_store.close()
 
     @pytest.mark.parametrize("seed", [5])
@@ -171,10 +215,9 @@ class TestRandomizedParity:
     def test_explain_stable_across_executors(self):
         store = make_random_store(3)
         query = QUERY_SHAPES[0]
-        assert (
-            SPARQLEngine(store).explain(query)
-            == SPARQLEngine(store, batched=False).explain(query)
-        )
+        plan = SPARQLEngine(store).explain(query)
+        assert plan == SPARQLEngine(store, batched=False).explain(query)
+        assert plan == SPARQLEngine(store, vectorized=False).explain(query)
 
 
 class TestDictionaryAwareDistinct:
@@ -432,3 +475,216 @@ class TestBoundedMemo:
         cramped = SPARQLEngine(store, memo_capacity=1)
         for query in QUERY_SHAPES:
             assert rows_key(cramped.select(query)) == rows_key(roomy.select(query))
+
+
+class TestGroupKeyTyping:
+    """GROUP BY keys on decoded typed values, not their string forms."""
+
+    GROUP_QUERY = f"SELECT ?o (COUNT(?s) AS ?n) WHERE {{ ?s <{EX}p> ?o . }} GROUP BY ?o"
+
+    def _store(self, *objects):
+        store = QuadStore()
+        for position, obj in enumerate(objects):
+            store.add(_uri(f"s{position}"), _uri("p"), obj)
+        return store
+
+    def _engines(self, store):
+        return [
+            SPARQLEngine(store),
+            SPARQLEngine(store, vectorized=False),
+            SPARQLEngine(store, batched=False),
+        ]
+
+    def test_int_and_string_literals_group_separately(self):
+        """Literal(5) and Literal("5") must not collide into one group (the
+        old ``str()`` group key collapsed them)."""
+        store = self._store(Literal(5), Literal("5"))
+        for engine in self._engines(store):
+            result = engine.select(self.GROUP_QUERY)
+            assert len(result) == 2
+            assert sorted(row["n"] for row in result.rows) == [1, 1]
+
+    def test_equal_numeric_values_share_a_group(self):
+        """5 and 5.0 are the same value under dict-key equality — one group."""
+        store = self._store(Literal(5), Literal(5.0))
+        for engine in self._engines(store):
+            result = engine.select(self.GROUP_QUERY)
+            assert len(result) == 1
+            assert result.rows[0]["n"] == 2
+
+    def test_nan_values_form_one_group(self):
+        """NaN != NaN would split every NaN row into its own group; the
+        shared NaN sentinel keeps them together in both collation paths."""
+        store = self._store(Literal(float("nan")), Literal(float("nan")))
+        for engine in self._engines(store):
+            result = engine.select(self.GROUP_QUERY)
+            assert len(result) == 1
+            assert result.rows[0]["n"] == 2
+
+
+class TestFilterPushdown:
+    """Single-variable FILTERs run below the join with memoized verdicts."""
+
+    FILTER_QUERY = (
+        f"SELECT ?a ?c WHERE {{ ?a <{EX}p0> ?b . ?b <{EX}p1> ?c . FILTER(?c <= 4) }}"
+    )
+
+    def test_pushdown_parity_and_memo_counters(self):
+        store = make_random_store(11)
+        engine = SPARQLEngine(store)
+        result = engine.select(self.FILTER_QUERY)
+        baseline = SPARQLEngine(store, vectorized=False).select(self.FILTER_QUERY)
+        assert rows_key(result) == rows_key(baseline)
+        stats = engine.stats()
+        assert stats["filter_memo"]["misses"] > 0
+        # The group-end re-check of already-pushed rows is pure memo hits.
+        assert stats["filter_memo"]["hits"] > 0
+        assert engine.filter_memo_counters() == stats["filter_memo"]
+        assert stats["pattern_memo"] == engine.memo_counters()
+
+    def test_explain_annotates_pushdown(self):
+        store = make_random_store(3)
+        plan = SPARQLEngine(store).explain(self.FILTER_QUERY)
+        assert "FilterClause [pushdown ?c]" in plan
+        assert "pushdown" not in SPARQLEngine(store, vectorized=False).explain(
+            self.FILTER_QUERY
+        )
+
+    def test_multi_variable_filters_are_not_pushed(self):
+        query = f"SELECT ?a ?b WHERE {{ ?a <{EX}p1> ?b . FILTER(?a != ?b) }}"
+        store = make_random_store(7)
+        engine = SPARQLEngine(store)
+        assert "pushdown" not in engine.explain(query)
+        expected = SPARQLEngine(store, optimize=False).select(query)
+        assert rows_key(engine.select(query)) == rows_key(expected)
+
+    def test_counters_reset_per_snapshot_not_per_query(self):
+        store = make_random_store(11)
+        engine = SPARQLEngine(store)
+        engine.select(self.FILTER_QUERY)
+        first = engine.filter_memo_counters()["misses"]
+        engine.select(self.FILTER_QUERY)
+        assert engine.filter_memo_counters()["misses"] >= first
+
+
+class TestConcatFastPath:
+    """UNION concat pads aligned-prefix layouts without per-cell re-picks."""
+
+    def test_aligned_prefix_padding(self):
+        base = Relation(("a", "b"), [(1, 2), (3, 4)])
+        grown = Relation(("a", "b", "c"), [(5, 6, 7)])
+        merged = Relation.concat([grown, base])
+        assert merged.variables == ("a", "b", "c")
+        assert merged.rows == [(5, 6, 7), (1, 2, UNBOUND), (3, 4, UNBOUND)]
+
+    def test_misaligned_layouts_fall_back_to_slot_pick(self):
+        left = Relation(("a", "b"), [(1, 2)])
+        right = Relation(("b", "c"), [(8, 9)])
+        merged = Relation.concat([left, right])
+        assert merged.variables == ("a", "b", "c")
+        assert merged.rows == [(1, 2, UNBOUND), (UNBOUND, 8, 9)]
+
+    def test_empty_input(self):
+        merged = Relation.concat([])
+        assert merged.variables == ()
+        assert merged.rows == []
+
+
+class TestVectorizedCollation:
+    """Ordered results match the tuple executor row-for-row, not just as sets."""
+
+    ORDER_QUERY = f"""SELECT ?s ?n ?x WHERE {{
+        ?s <{EX}name> ?n . OPTIONAL {{ ?s <{EX}p3> ?x . }}
+    }} ORDER BY ?x DESC(?n)"""
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_order_by_rows_identical_across_executors(self, seed):
+        store = make_random_store(seed)
+        vectorized = SPARQLEngine(store).select(self.ORDER_QUERY)
+        batched = SPARQLEngine(store, vectorized=False).select(self.ORDER_QUERY)
+        tuple_rows = SPARQLEngine(store, batched=False).select(self.ORDER_QUERY)
+        assert vectorized.rows == batched.rows == tuple_rows.rows
+
+    def test_sort_ranks_respect_value_collisions(self):
+        """Distinct ids with equal values must share a sort rank (5 vs 5.0),
+        and numbers still sort ahead of strings."""
+        store = QuadStore()
+        objects = [Literal("5"), Literal(5), Literal(7), Literal(5.0), Literal("10")]
+        for position, obj in enumerate(objects):
+            store.add(_uri(f"s{position}"), _uri("p"), obj)
+        query = f"SELECT ?s ?o WHERE {{ ?s <{EX}p> ?o . }} ORDER BY ?o ?s"
+        vectorized = SPARQLEngine(store).select(query)
+        tuple_rows = SPARQLEngine(store, batched=False).select(query)
+        assert vectorized.rows == tuple_rows.rows
+        assert [str(row["o"]) for row in vectorized.rows] == ["5", "5.0", "7", "10", "5"]
+
+    def test_vectorized_distinct_preserves_first_seen_order(self):
+        """Above the >64-row threshold the id-space dedup kicks in; it must
+        keep first-occurrence order exactly like the value-level loop."""
+        store = QuadStore()
+        for position in range(100):
+            store.add(_uri(f"s{position:03d}"), _uri("p"), Literal(position % 7))
+        query = f"SELECT DISTINCT ?o WHERE {{ ?s <{EX}p> ?o . }}"
+        vectorized = SPARQLEngine(store).select(query)
+        batched = SPARQLEngine(store, vectorized=False).select(query)
+        tuple_rows = SPARQLEngine(store, batched=False).select(query)
+        assert vectorized.rows == batched.rows == tuple_rows.rows
+        assert len(vectorized) == 7
+
+
+class TestIdArrayScans:
+    """The storage layer's columnar snapshots agree with the triple sets."""
+
+    def _expected(self, store, predicate_id=None, graph=None):
+        return sorted(
+            triple
+            for index in store.backend.indexes_for(graph)
+            for triple in index.triples
+            if predicate_id is None or triple[1] == predicate_id
+        )
+
+    def test_match_id_arrays_agrees_with_index_sets(self):
+        store = make_random_store(5)
+        p0 = store.dictionary.lookup(_uri("p0"))
+        for predicate_id, graph in [
+            (None, None),
+            (p0, None),
+            (None, _uri("g1")),
+            (p0, _uri("g2")),
+        ]:
+            subjects, predicates, objects = store.match_id_arrays(
+                None, predicate_id, None, graph=graph
+            )
+            got = sorted(zip(subjects.tolist(), predicates.tolist(), objects.tolist()))
+            assert got == self._expected(store, predicate_id, graph)
+
+    def test_bound_subject_and_object_masks(self):
+        store = make_random_store(5)
+        some_triple = next(iter(store.backend.indexes_for(None)[0].triples))
+        subject_id, predicate_id, object_id = some_triple
+        subjects, predicates, objects = store.match_id_arrays(
+            subject_id, predicate_id, object_id
+        )
+        assert len(subjects) >= 1
+        assert set(zip(subjects.tolist(), predicates.tolist(), objects.tolist())) == {
+            triple
+            for index in store.backend.indexes_for(None)
+            for triple in index.triples
+            if triple == some_triple
+        }
+
+    def test_columnar_snapshot_tracks_graph_version(self):
+        store = QuadStore()
+        store.add(_uri("a"), _uri("p"), _uri("b"))
+        index = store.backend.indexes_for(None)[0]
+        first = index.columnar()
+        assert index.columnar() is first  # cached while the version holds
+        store.add(_uri("a"), _uri("p"), _uri("c"))
+        second = index.columnar()
+        assert second is not first
+        assert len(second.subjects) == len(index.triples)
+
+    def test_empty_store_yields_empty_arrays(self):
+        store = QuadStore()
+        subjects, predicates, objects = store.match_id_arrays()
+        assert len(subjects) == len(predicates) == len(objects) == 0
