@@ -46,6 +46,7 @@ _EMBEDDINGS_FILE = "embeddings.npz"
 _PROFILES_FILE = "profiles.json"
 _PIPELINES_FILE = "pipelines.json"
 _MANIFEST_FILE = "manifest.json"
+_DELTA_FILE = "delta.json"
 
 
 @dataclass
@@ -577,6 +578,11 @@ class KGGovernor:
             and backend.path.resolve() == graph_path.resolve()
         ):
             self.storage.graph.flush()
+            # Fold the WAL into the main file so a bare copy of
+            # ``graph.sqlite3`` (how replicas ship snapshots) is complete
+            # without the ``-wal`` sidecar.
+            backend.checkpoint()
+            self._write_delta_manifest(directory, self.storage.graph)
         else:
             # Remove the target database *and* any sqlite sidecars: a stale
             # -wal journal next to a freshly created file would be replayed
@@ -591,6 +597,8 @@ class KGGovernor:
                     snapshot.add(
                         triple.subject, triple.predicate, triple.object, graph=graph_name
                     )
+            snapshot.flush()
+            self._write_delta_manifest(directory, snapshot)
             snapshot.close()
         self.storage.embeddings.save(directory / _EMBEDDINGS_FILE)
         profiles_payload = {
@@ -622,8 +630,40 @@ class KGGovernor:
         (directory / _MANIFEST_FILE).write_text(json.dumps(manifest, indent=2))
         return directory
 
+    @staticmethod
+    def _write_delta_manifest(directory: Path, store: QuadStore) -> None:
+        """Write the per-commit delta manifest next to the graph file.
+
+        Maps every graph to its shard table and an upper bound on its
+        last-change commit version, stamped with the store lineage uid —
+        enough for :meth:`LiDSClient.reopen` to invalidate only the graphs
+        whose shard actually changed between two snapshots of the same
+        lineage, without opening the database.
+        """
+        backend = store.backend
+        shard_files = backend.shard_files()
+        payload = {
+            "format": 1,
+            "commit_version": store.commit_version,
+            "store_uid": getattr(backend, "uid", None),
+            "graphs": {
+                str(graph): {
+                    "shard": shard_files.get(str(graph)),
+                    "version": int(version),
+                }
+                for graph, version in store.graph_change_versions().items()
+            },
+        }
+        (directory / _DELTA_FILE).write_text(json.dumps(payload, indent=2))
+
     @classmethod
-    def open(cls, directory: PathLike, **governor_kwargs) -> "KGGovernor":
+    def open(
+        cls,
+        directory: PathLike,
+        *,
+        graph: Optional[QuadStore] = None,
+        **governor_kwargs,
+    ) -> "KGGovernor":
         """Reopen a governed lake saved with :meth:`save`.
 
         The LiDS graph comes back on the sqlite backend (named graphs load
@@ -632,9 +672,14 @@ class KGGovernor:
         restored — so ``table_profile`` answers, re-adds detect changes, the
         linker resolves tables, and incremental adds continue exactly where
         the saved process stopped, at a fraction of the cost of re-governing.
+
+        ``graph`` lets a caller adopt a store it already opened on the
+        directory's graph file (the serving tier's replica pre-syncs its
+        store against the writer before the governor constructs).
         """
         directory = Path(directory)
-        graph = QuadStore.sqlite(directory / _GRAPH_FILE)
+        if graph is None:
+            graph = QuadStore.sqlite(directory / _GRAPH_FILE)
         embeddings_path = directory / _EMBEDDINGS_FILE
         embeddings = (
             EmbeddingStore.load(embeddings_path)

@@ -196,7 +196,7 @@ class GovernorService:
         #: batches executed, submissions that rode along in a batch beyond
         #: the first (``coalesced``), transient ``retries``, and submissions
         #: refused because their key is ``quarantined``.
-        self.stats: Dict[str, int] = {
+        self._counters: Dict[str, int] = {
             "submitted": 0,
             "completed": 0,
             "failed": 0,
@@ -309,7 +309,7 @@ class GovernorService:
                 )
             self._queue.put(_Submission(kind, payload, ticket), timeout=timeout)
         with self._stats_lock:
-            self.stats["submitted"] += 1
+            self._counters["submitted"] += 1
         return ticket
 
     def _wait_guard(self, kind: str) -> None:
@@ -347,6 +347,26 @@ class GovernorService:
     @property
     def closed(self) -> bool:
         return self._closed
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Snapshot of the service counters plus the graph's commit version.
+
+        Returned as a copy taken under the stats lock, so callers (and the
+        serving tier's ``stats`` RPC) read one consistent counter set.  The
+        ``commit_version`` key is what replicas compare their pinned version
+        against to report replication lag in *versions*, not wall-clock
+        guesses.
+        """
+        with self._stats_lock:
+            snapshot = dict(self._counters)
+        snapshot["commit_version"] = self.commit_version
+        return snapshot
+
+    @property
+    def commit_version(self) -> int:
+        """The governed graph's committed write-batch counter."""
+        return self.governor.storage.graph.commit_version
 
     def close(self, timeout: Optional[float] = None) -> None:
         """Stop accepting work, drain the queue, and stop the scheduler.
@@ -480,7 +500,7 @@ class GovernorService:
                 if attempt > self.max_transient_retries:
                     raise
                 with self._stats_lock:
-                    self.stats["retries"] += 1
+                    self._counters["retries"] += 1
                 time.sleep(min(delay, self.retry_backoff_cap))
                 delay *= 2
 
@@ -514,13 +534,13 @@ class GovernorService:
                 if not submission.ticket.done():
                     submission.ticket._fail(error)
                     with self._stats_lock:
-                        self.stats["failed"] += 1
+                        self._counters["failed"] += 1
             self._inflight = []
             carry, self._carry = self._carry, None
             if carry is not None and carry is not _SHUTDOWN:
                 carry.ticket._fail(error)
                 with self._stats_lock:
-                    self.stats["failed"] += 1
+                    self._counters["failed"] += 1
             self._fail_pending(error)
 
     def _fail_pending(self, error: BaseException) -> None:
@@ -532,7 +552,7 @@ class GovernorService:
             if item is not _SHUTDOWN:
                 item.ticket._fail(error)
                 with self._stats_lock:
-                    self.stats["failed"] += 1
+                    self._counters["failed"] += 1
             self._queue.task_done()
 
     def _coalesce(self, first: _Submission) -> List[_Submission]:
@@ -565,8 +585,8 @@ class GovernorService:
 
     def _execute(self, kind: str, batch: List[_Submission]) -> None:
         with self._stats_lock:
-            self.stats["batches"] += 1
-            self.stats["coalesced"] += len(batch) - 1
+            self._counters["batches"] += 1
+            self._counters["coalesced"] += len(batch) - 1
         if kind in ("refresh", "retract"):
             # Per-submission execution: each ticket gets its own report and
             # its own failure, so one broken refresh cannot poison the rest.
@@ -582,8 +602,8 @@ class GovernorService:
                 submission.ticket._mark_running()
                 submission.ticket._fail(poison)
                 with self._stats_lock:
-                    self.stats["failed"] += 1
-                    self.stats["quarantined"] += 1
+                    self._counters["failed"] += 1
+                    self._counters["quarantined"] += 1
             else:
                 live.append(submission)
         if not live:
@@ -608,13 +628,13 @@ class GovernorService:
                 self._record_failure(live[0], error)
                 live[0].ticket._fail(error)
                 with self._stats_lock:
-                    self.stats["failed"] += 1
+                    self._counters["failed"] += 1
         else:
             for submission in live:
                 self._record_success(submission)
                 submission.ticket._resolve(report)
             with self._stats_lock:
-                self.stats["completed"] += len(live)
+                self._counters["completed"] += len(live)
 
     def _execute_guarded(
         self, submission: _Submission, work, mark_running: bool = True
@@ -626,8 +646,8 @@ class GovernorService:
         if poison is not None:
             submission.ticket._fail(poison)
             with self._stats_lock:
-                self.stats["failed"] += 1
-                self.stats["quarantined"] += 1
+                self._counters["failed"] += 1
+                self._counters["quarantined"] += 1
             return
         try:
             report = self._run_with_retry(work)
@@ -635,12 +655,12 @@ class GovernorService:
             self._record_failure(submission, error)
             submission.ticket._fail(error)
             with self._stats_lock:
-                self.stats["failed"] += 1
+                self._counters["failed"] += 1
         else:
             self._record_success(submission)
             submission.ticket._resolve(report)
             with self._stats_lock:
-                self.stats["completed"] += 1
+                self._counters["completed"] += 1
 
     def _execute_batch(self, kind: str, batch: List[_Submission]) -> GovernorReport:
         if kind == "tables":

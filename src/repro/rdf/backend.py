@@ -35,6 +35,7 @@ objects; mixed raw/term graphs should stay on the in-memory backend.
 
 from __future__ import annotations
 
+import random
 import sqlite3
 import threading
 import time
@@ -204,6 +205,67 @@ class QuadStoreBackend(ABC):
     def note_commit_version(self, commit_version: int) -> None:
         """Record the store's commit version for the next durable commit."""
 
+    # ------------------------------------------------------- change inspection
+    def graph_changed(self, graph: URIRef, version: int) -> None:
+        """Record that ``graph`` is mutated by the commit at ``version``.
+
+        The store calls this on every mutation path (with the version the
+        mutation will commit as); replication uses the recorded high-water
+        marks to ship only the graphs a follower is missing.  Rolled-back
+        versions may stay recorded — over-reporting a change is safe (the
+        follower re-pulls an identical shard), under-reporting is not.
+        """
+        versions = getattr(self, "_graph_change_versions", None)
+        if versions is None:
+            versions = self._graph_change_versions = {}
+        previous = versions.get(graph, 0)
+        if version > previous:
+            versions[graph] = version
+
+    def change_baseline(self) -> int:
+        """Versions at or below this may hide changes (see :meth:`changed_since`).
+
+        A freshly created volatile store has seen every mutation, so its
+        baseline is 0; a durable backend reopened from disk cannot know when
+        its pre-existing graphs last changed, so its baseline is the durable
+        commit version at open — ``changed_since`` conservatively reports
+        every pre-existing graph to followers older than that.
+        """
+        return 0
+
+    def changed_since(self, version: int) -> List[URIRef]:
+        """Graphs that may hold changes committed after ``version``.
+
+        Never under-reports: graphs with no recorded change version are
+        assumed changed at :meth:`change_baseline`.  Dropped graphs are not
+        listed (they are no longer in the catalog); followers diff the
+        catalog itself to observe drops.
+        """
+        versions = getattr(self, "_graph_change_versions", {})
+        baseline = self.change_baseline()
+        return [
+            graph
+            for graph in self.graph_names()
+            if versions.get(graph, baseline) > version
+        ]
+
+    def change_versions(self) -> Dict[URIRef, int]:
+        """Per-graph change high-water marks (recorded or baseline)."""
+        versions = getattr(self, "_graph_change_versions", {})
+        baseline = self.change_baseline()
+        return {
+            graph: versions.get(graph, baseline) for graph in self.graph_names()
+        }
+
+    def shard_files(self) -> Dict[str, str]:
+        """``graph name -> durable shard name`` (empty for volatile backends).
+
+        The snapshot-shipping inspection API: tooling that copies or
+        invalidates shards keys off this mapping instead of reaching into
+        backend internals.
+        """
+        return {}
+
 
 class InMemoryBackend(QuadStoreBackend):
     """The seed storage: a dict of :class:`GraphIndex` per named graph."""
@@ -286,17 +348,38 @@ class PersistentTermDictionary(TermDictionary):
     # ---------------------------------------------------------------- loading
     def load_rows(self, rows: Iterable[Tuple[int, str]]) -> None:
         """Ingest persisted ``(id, n3)`` rows (text only; no parsing)."""
+        quoted: List[int] = []
         for term_id, text in rows:
             self._text_to_id[text] = term_id
             self._id_to_text[term_id] = text
             if term_id >= self._next_id:
                 self._next_id = term_id + 1
-        self._quoted_columns = None
+            if text.startswith("<<"):
+                quoted.append(term_id)
+        if quoted and self._quoted_columns is not None:
+            # A columnar snapshot is live: register the incoming quoted rows
+            # now — each registration queues an incremental append — instead
+            # of invalidating the snapshot.  Replication ships terms through
+            # here on every applied commit, and a full rebuild per commit
+            # would scale with the whole dictionary rather than the delta.
+            # Registration runs after the loop so inner-part texts arriving
+            # in the same batch are probeable.
+            for term_id in quoted:
+                self.quoted_parts(term_id)
 
     def drain_pending(self) -> List[Tuple[int, str]]:
         """New ``(id, n3)`` rows awaiting persistence (clears the queue)."""
         pending, self._pending = self._pending, []
         return pending
+
+    def export_rows(self, start: int) -> List[Tuple[int, str]]:
+        """Replication rows straight from the text map — no term parsing."""
+        id_to_text = self._id_to_text
+        return [
+            (term_id, id_to_text[term_id])
+            for term_id in range(max(start, 1), self._next_id)
+            if term_id in id_to_text
+        ]
 
     def has_pending(self) -> bool:
         return bool(self._pending)
@@ -309,6 +392,11 @@ class PersistentTermDictionary(TermDictionary):
         ``_term_to_id`` is filter-rebuilt rather than popped per id; pending
         rows for unwound ids are dropped so they never reach sqlite.
         """
+        if mark >= self._next_id:
+            # Nothing interned at or past the mark — skip the rebuild.  The
+            # replica sync path rolls back before every apply, so the no-op
+            # case runs once per replicated commit.
+            return
         for term_id in range(mark, self._next_id):
             text = self._id_to_text.pop(term_id, None)
             if text is not None:
@@ -318,6 +406,7 @@ class PersistentTermDictionary(TermDictionary):
             if parts is not None:
                 self._quoted_by_parts.pop(parts, None)
         self._quoted_columns = None
+        self._quoted_appends.clear()
         self._term_to_id = {
             term: term_id for term, term_id in self._term_to_id.items() if term_id < mark
         }
@@ -375,16 +464,46 @@ class PersistentTermDictionary(TermDictionary):
             text = self._id_to_text.get(term_id)
             if text is None or not text.startswith("<<"):
                 return None
-            quoted = self.decode(term_id)
-            parts = (
-                self.encode(quoted.subject),
-                self.encode(quoted.predicate),
-                self.encode(quoted.object),
-            )
+            parts = self._split_quoted(text)
+            if parts is None:
+                quoted = self.decode(term_id)
+                parts = (
+                    self.encode(quoted.subject),
+                    self.encode(quoted.predicate),
+                    self.encode(quoted.object),
+                )
             self._quoted_parts[term_id] = parts
             self._quoted_by_parts[parts] = term_id
-            self._quoted_columns = None
+            self._note_quoted(term_id, parts)
         return parts
+
+    def _split_quoted(self, text: str) -> Optional[Tuple[int, int, int]]:
+        """Inner part ids straight from the canonical ``<< s p o >>`` spelling.
+
+        Index loads call :meth:`quoted_parts` once per annotation subject, so
+        the full parse + re-encode round trip (term object construction plus
+        three ``term_n3`` serializations) dominates cold shard rebuilds.  The
+        canonical spelling joins the three inner spellings with single
+        spaces, so when no token can itself contain a space — no literal
+        (``"``) and no nested quoted triple (``<<``) — splitting and probing
+        the text map yields the same ids the parse would.  Anything fancier
+        falls back to the parser.
+        """
+        if not text.endswith(" >>") or not text.startswith("<< "):
+            return None
+        inner = text[3:-3]
+        if '"' in inner or "<<" in inner:
+            return None
+        tokens = inner.split(" ")
+        if len(tokens) != 3:
+            return None
+        text_to_id = self._text_to_id
+        subject = text_to_id.get(tokens[0])
+        predicate = text_to_id.get(tokens[1])
+        obj = text_to_id.get(tokens[2])
+        if subject is None or predicate is None or obj is None:
+            return None
+        return (subject, predicate, obj)
 
     def quoted_id(self, parts: Tuple[int, int, int]) -> Optional[int]:
         term_id = self._quoted_by_parts.get(parts)
@@ -399,7 +518,7 @@ class PersistentTermDictionary(TermDictionary):
             if term_id is not None:
                 self._quoted_parts[term_id] = parts
                 self._quoted_by_parts[parts] = term_id
-                self._quoted_columns = None
+                self._note_quoted(term_id, parts)
         return term_id
 
     def _materialize_quoted(self) -> None:
@@ -455,6 +574,10 @@ class SqliteBackend(QuadStoreBackend):
     """
 
     persistent = True
+    #: The store's ``replication_batch(durable=False)`` fast path is only
+    #: sound on backends whose buffered ops survive a deferral window and can
+    #: be truncated back to a mark — i.e. this one.
+    supports_lazy_replication = True
 
     def __init__(
         self,
@@ -479,20 +602,61 @@ class SqliteBackend(QuadStoreBackend):
         #: not otherwise thread-safe, so all cursor work happens under this
         #: lock (reentrant: ``flush`` runs inside other locked sections).
         self._db_lock = threading.RLock()
+        self._in_batch = False
+        self._batch_created: Dict[URIRef, int] = {}
+        self._shards_snapshot: Optional[Dict[URIRef, int]] = None
+        self._crashed = False
+        self._connection = self._connect()
+        self._ensure_layout()
+        #: The commit version of the last durable commit (the recovery marker).
+        self._durable_version = self._read_meta("commit_version")
+        #: Random identity stamped into ``meta`` when the database file is
+        #: created; two files share a uid only if one is a byte copy (or
+        #: flush) of the other, i.e. their term-id spaces are compatible.
+        #: ``reopen`` refuses to splice incremental state across lineages.
+        self._uid = self._read_meta("store_uid")
+        #: Graphs existing at open changed at-or-before this version (see
+        #: ``change_baseline``): reopening loses the in-memory change marks.
+        self._change_baseline = self._durable_version
+        self._noted_version: Optional[int] = None
+        self.dictionary = PersistentTermDictionary()
+        self.dictionary.load_rows(self._connection.execute("SELECT id, n3 FROM terms"))
+        #: graph name -> shard id, in catalog order (deterministic reopen).
+        self._shards: Dict[URIRef, int] = {
+            URIRef(name): shard_id
+            for shard_id, name in self._connection.execute(
+                "SELECT id, name FROM graphs ORDER BY id"
+            )
+        }
+        #: Resident per-graph indexes in least- to most-recently-used order.
+        self._indexes: Dict[URIRef, GraphIndex] = {}
+        #: Version offset carried across evictions, per graph (monotonicity).
+        self._version_base: Dict[URIRef, int] = {}
+        #: Ordered write buffer: ``(op, shard_id, params)``.
+        self._pending: List[Tuple[str, int, Tuple[int, ...]]] = []
+        #: Shipped term rows awaiting an ``INSERT OR REPLACE`` flush — filled
+        #: only by ``ingest_term_rows(durable=False)`` (lazy replication).
+        self._pending_term_replaces: List[Tuple[int, str]] = []
+        #: Re-entrant residency-pin depth (evictions paused while > 0).
+        self._pin_depth = 0
+        self._closed = False
+        #: What :meth:`_recover` found and repaired on open (see that method).
+        self.recovery: Dict[str, Any] = self._recover()
+
+    def _connect(self) -> sqlite3.Connection:
         # ``isolation_level=None`` turns off the sqlite3 module's implicit
         # transaction management: every commit boundary below is an explicit
         # BEGIN IMMEDIATE / COMMIT, so DDL (shard creation, drops) rides the
         # same journaled transaction as the row writes it belongs with and a
         # crash mid-flush rolls the whole commit back on reopen.
-        self._connection = sqlite3.connect(
+        connection = sqlite3.connect(
             str(self.path), check_same_thread=False, isolation_level=None
         )
-        self._connection.execute("PRAGMA journal_mode=WAL")
-        self._connection.execute("PRAGMA synchronous=NORMAL")
-        self._in_batch = False
-        self._batch_created: Dict[URIRef, int] = {}
-        self._shards_snapshot: Optional[Dict[URIRef, int]] = None
-        self._crashed = False
+        connection.execute("PRAGMA journal_mode=WAL")
+        connection.execute("PRAGMA synchronous=NORMAL")
+        return connection
+
+    def _ensure_layout(self) -> None:
         self._txn_begin()
         self._connection.execute(
             "CREATE TABLE IF NOT EXISTS graphs ("
@@ -512,34 +676,26 @@ class SqliteBackend(QuadStoreBackend):
         self._connection.execute(
             "INSERT OR IGNORE INTO meta (key, value) VALUES ('commit_version', 0)"
         )
+        self._connection.execute(
+            "INSERT OR IGNORE INTO meta (key, value) VALUES ('store_uid', ?)",
+            (random.getrandbits(62) or 1,),
+        )
         self._txn_commit()
-        #: The commit version of the last durable commit (the recovery marker).
-        self._durable_version = int(
+
+    def _read_meta(self, key: str) -> int:
+        return int(
             self._connection.execute(
-                "SELECT value FROM meta WHERE key = 'commit_version'"
+                "SELECT value FROM meta WHERE key = ?", (key,)
             ).fetchone()[0]
         )
-        self._noted_version: Optional[int] = None
-        self.dictionary = PersistentTermDictionary()
-        self.dictionary.load_rows(self._connection.execute("SELECT id, n3 FROM terms"))
-        #: graph name -> shard id, in catalog order (deterministic reopen).
-        self._shards: Dict[URIRef, int] = {
-            URIRef(name): shard_id
-            for shard_id, name in self._connection.execute(
-                "SELECT id, name FROM graphs ORDER BY id"
-            )
-        }
-        #: Resident per-graph indexes in least- to most-recently-used order.
-        self._indexes: Dict[URIRef, GraphIndex] = {}
-        #: Version offset carried across evictions, per graph (monotonicity).
-        self._version_base: Dict[URIRef, int] = {}
-        #: Ordered write buffer: ``(op, shard_id, params)``.
-        self._pending: List[Tuple[str, int, Tuple[int, ...]]] = []
-        #: Re-entrant residency-pin depth (evictions paused while > 0).
-        self._pin_depth = 0
-        self._closed = False
-        #: What :meth:`_recover` found and repaired on open (see that method).
-        self.recovery: Dict[str, Any] = self._recover()
+
+    @property
+    def uid(self) -> int:
+        """Lineage identity of the database file (stable across flushes)."""
+        return self._uid
+
+    def change_baseline(self) -> int:
+        return self._change_baseline
 
     # ----------------------------------------------------------------- graphs
     def graph_names(self) -> List[URIRef]:
@@ -570,18 +726,28 @@ class SqliteBackend(QuadStoreBackend):
             # batch transaction (sqlite DDL is transactional), so a rollback
             # removes the catalog row and the shard table together.
             with self._db_lock:
-                with self._autocommit():
-                    cursor = self._execute_retry(
-                        "INSERT INTO graphs (name) VALUES (?)", (str(graph),)
-                    )
-                    shard_id = int(cursor.lastrowid)
-                    self._create_shard_table(shard_id)
-                self._shards[graph] = shard_id
-                if self._in_batch:
-                    self._batch_created[graph] = shard_id
+                self._ensure_shard(graph)
                 index = self._indexes[graph] = GraphIndex(self.dictionary)
             self._enforce_residency(keep=graph)
         return index
+
+    def _ensure_shard(self, graph: URIRef) -> int:
+        """Create the catalog row + shard table for ``graph`` if missing.
+
+        Caller must hold ``_db_lock``.  Returns the shard id either way.
+        """
+        shard_id = self._shards.get(graph)
+        if shard_id is None:
+            with self._autocommit():
+                cursor = self._execute_retry(
+                    "INSERT INTO graphs (name) VALUES (?)", (str(graph),)
+                )
+                shard_id = int(cursor.lastrowid)
+                self._create_shard_table(shard_id)
+            self._shards[graph] = shard_id
+            if self._in_batch:
+                self._batch_created[graph] = shard_id
+        return shard_id
 
     def drop_graph(self, graph: URIRef) -> bool:
         with self._db_lock:
@@ -677,6 +843,7 @@ class SqliteBackend(QuadStoreBackend):
                 return
             dirty = (
                 bool(self._pending)
+                or bool(self._pending_term_replaces)
                 or self.dictionary.has_pending()
                 or self._meta_dirty()
             )
@@ -693,8 +860,39 @@ class SqliteBackend(QuadStoreBackend):
                     self._flush_rows()
                     self._write_meta()
 
+    def pending_mark(self) -> Tuple[int, int]:
+        """Write-buffer positions for :meth:`discard_pending`.
+
+        Only meaningful while nothing between mark and discard reorders the
+        buffers — ``drop_graph`` purges matching ops in place, so lazy
+        replication must route deltas containing drops (or full dumps)
+        through the durable batch path instead.
+        """
+        with self._db_lock:
+            return (len(self._pending), len(self._pending_term_replaces))
+
+    def discard_pending(self, mark: Tuple[int, int]) -> None:
+        """Drop buffered ops and term rows queued since :meth:`pending_mark`.
+
+        The lazy-replication failure path: a torn apply's ops vanish from
+        the buffers instead of rolling back through sqlite.  If a threshold
+        flush already pushed some of them out, they stay durable — harmless,
+        because replication ops are idempotent and the durable meta version
+        is still conservative, so the retry replays over them.
+        """
+        with self._db_lock:
+            del self._pending[mark[0]:]
+            del self._pending_term_replaces[mark[1]:]
+
     def _flush_rows(self) -> None:
         """Write buffered term and quad rows (no transaction control)."""
+        if self._pending_term_replaces:
+            # Shipped rows first, and with REPLACE: they are authoritative
+            # for their ids even over a previously-flushed local stray.
+            rows, self._pending_term_replaces = self._pending_term_replaces, []
+            self._executemany_retry(
+                "INSERT OR REPLACE INTO terms (id, n3) VALUES (?, ?)", rows
+            )
         self._flush_term_rows()
         if self._pending:
             pending, self._pending = self._pending, []
@@ -802,6 +1000,199 @@ class SqliteBackend(QuadStoreBackend):
     def note_commit_version(self, commit_version: int) -> None:
         self._noted_version = commit_version
 
+    # ------------------------------------------------------------- replication
+    def shard_files(self) -> Dict[str, str]:
+        """``graph name -> shard table name`` for snapshot shipping.
+
+        The mapping is the inspection surface replication tooling uses
+        instead of reaching into ``_shards``; shard tables all live inside
+        the single database file at :attr:`path`.
+        """
+        with self._db_lock:
+            return {
+                str(graph): f"quads_{shard_id}"
+                for graph, shard_id in self._shards.items()
+            }
+
+    def ingest_term_rows(self, rows: List[Tuple[int, str]], durable: bool = True) -> None:
+        """Adopt shipped dictionary rows ``(id, n3)`` verbatim.
+
+        Ids are assigned by the replication *source*; ``INSERT OR REPLACE``
+        self-heals any stray local row occupying a shipped id (the caller
+        rolls back locally-interned strays first, so a conflict can only be
+        a re-ship of an identical row).  ``durable=False`` parks the rows in
+        a replace-buffer drained by the next flush instead of writing sqlite
+        now — the lazy-replication path.  They cannot ride the dictionary's
+        own pending queue: that flushes with ``INSERT OR IGNORE``, which
+        would let a previously-flushed stray shadow a shipped row forever.
+        """
+        if not rows:
+            return
+        with self._db_lock:
+            self.dictionary.load_rows(rows)
+            if durable:
+                with self._autocommit():
+                    self._executemany_retry(
+                        "INSERT OR REPLACE INTO terms (id, n3) VALUES (?, ?)", rows
+                    )
+            else:
+                self._pending_term_replaces.extend(rows)
+
+    def replace_shard(self, graph: URIRef, rows: List[Tuple[int, int, int]]) -> None:
+        """Overwrite ``graph``'s shard with exactly ``rows`` (id triples).
+
+        The full-snapshot replication path: used when a delta log cannot
+        bridge the follower's version.  The resident index (if any) is
+        invalidated, not patched — the next reader rebuilds it lazily from
+        the shard, which is the cheap "lazy ``GraphIndex`` rebuild" the
+        serving tier relies on.
+        """
+        with self._db_lock:
+            shard_id = self._ensure_shard(graph)
+            # Buffered local writes against the shard are superseded by the
+            # authoritative row set.
+            self._pending = [op for op in self._pending if op[1] != shard_id]
+            with self._autocommit():
+                self._execute_retry(f"DELETE FROM quads_{shard_id}")
+                if rows:
+                    self._executemany_retry(
+                        self._STATEMENTS["insert"].format(shard=shard_id), rows
+                    )
+            self.invalidate_resident(graph)
+
+    def apply_row_delta(
+        self,
+        graph: URIRef,
+        added: List[Tuple[int, int, int]],
+        removed: List[Tuple[int, int, int]],
+    ) -> None:
+        """Apply a shipped per-commit row delta to ``graph``.
+
+        A resident index is patched in place (and only genuinely-new /
+        genuinely-present rows are queued, keeping its row count exact); a
+        non-resident shard takes the whole delta straight into the write
+        buffer — ``INSERT OR IGNORE`` / ``DELETE`` are idempotent, so
+        re-shipped rows are harmless.
+        """
+        with self._db_lock:
+            shard_id = self._ensure_shard(graph)
+            index = self._indexes.get(graph)
+            if index is not None:
+                for row in removed:
+                    if index.remove(row):
+                        self._queue("delete", shard_id, row)
+                for row in index.add_many(added):
+                    self._queue("insert", shard_id, row)
+            else:
+                for row in removed:
+                    self._queue("delete", shard_id, row)
+                for row in added:
+                    self._queue("insert", shard_id, row)
+
+    def invalidate_resident(self, graph: URIRef) -> None:
+        """Drop ``graph``'s resident index so the next reader rebuilds it.
+
+        The version base is bumped past the dropped index's counter so the
+        rebuilt index resumes *above* it — version-keyed caches keyed on
+        ``GraphIndex.version`` can never see a stale counter.
+        """
+        with self._db_lock:
+            index = self._indexes.pop(graph, None)
+            if index is not None:
+                self._version_base[graph] = index.version + 1
+
+    def checkpoint(self) -> None:
+        """Fold the WAL back into the main database file (best effort).
+
+        ``KGGovernor.save`` calls this after a flush so a bare file copy of
+        the database is complete without the ``-wal`` sidecar.
+        """
+        with self._db_lock:
+            if self._closed or self._in_batch:
+                return
+            try:
+                self._connection.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+            except sqlite3.Error:
+                pass
+
+    def reopen(self, changed_graphs: Optional[Iterable[URIRef]] = None) -> Dict[str, Any]:
+        """Re-read a database file replaced underneath this backend in place.
+
+        The replica refresh path: after new snapshot bytes land at
+        :attr:`path` (an atomic file replace), ``reopen`` picks up the new
+        inode with a fresh connection and splices the new state in without
+        a cold restart.  When the file shares this backend's lineage
+        (``store_uid`` matches), the interned term dictionary is *reused* —
+        only rows at or above its watermark are loaded — and only
+        ``changed_graphs`` (``None`` = all) lose their resident indexes.  A
+        foreign uid forces a full dictionary reload and drops everything
+        resident.
+
+        Requires a clean backend: no buffered writes, no open batch.
+        Returns a small info dict for logging/tests.
+        """
+        with self._db_lock:
+            if self._in_batch:
+                raise RuntimeError("cannot reopen mid-batch")
+            if self._pending or self.dictionary.has_pending():
+                raise RuntimeError("cannot reopen with unflushed writes")
+            if not self._closed:
+                try:
+                    self._connection.close()
+                except sqlite3.Error:
+                    pass
+            self._closed = False
+            self._crashed = False
+            self._connection = self._connect()
+            self._ensure_layout()
+            new_uid = self._read_meta("store_uid")
+            same_lineage = new_uid == self._uid
+            if same_lineage:
+                self.dictionary.load_rows(
+                    self._connection.execute(
+                        "SELECT id, n3 FROM terms WHERE id >= ?",
+                        (self.dictionary.next_id,),
+                    )
+                )
+                if changed_graphs is None:
+                    invalidate = set(self._indexes)
+                else:
+                    invalidate = {URIRef(str(g)) for g in changed_graphs}
+            else:
+                self._uid = new_uid
+                self.dictionary = PersistentTermDictionary()
+                self.dictionary.load_rows(
+                    self._connection.execute("SELECT id, n3 FROM terms")
+                )
+                invalidate = set(self._indexes)
+            old_shards = self._shards
+            self._shards = {
+                URIRef(name): shard_id
+                for shard_id, name in self._connection.execute(
+                    "SELECT id, name FROM graphs ORDER BY id"
+                )
+            }
+            # A graph whose shard id changed (drop + recreate) or vanished
+            # is stale regardless of what the caller reported.
+            for graph in list(self._indexes):
+                if self._shards.get(graph) != old_shards.get(graph):
+                    invalidate.add(graph)
+            for graph in invalidate:
+                self.invalidate_resident(graph)
+            old_durable = self._durable_version
+            self._durable_version = self._read_meta("commit_version")
+            self._noted_version = None
+            # The new file's changes are indistinguishable from baseline;
+            # never move the baseline backwards (stale copies must still
+            # over-report, not under-report).
+            self._change_baseline = max(self._change_baseline, self._durable_version)
+            return {
+                "same_lineage": same_lineage,
+                "invalidated": sorted(str(g) for g in invalidate),
+                "durable_version": self._durable_version,
+                "previous_version": old_durable,
+            }
+
     def crash(self) -> None:
         """Simulate abrupt process death (fault-injection hook).
 
@@ -814,6 +1205,7 @@ class SqliteBackend(QuadStoreBackend):
             if self._closed:
                 return
             self._pending.clear()
+            self._pending_term_replaces.clear()
             try:
                 self._connection.close()
             except sqlite3.Error:

@@ -19,8 +19,9 @@ evaluation and final projection.
 
 from __future__ import annotations
 
+from collections import deque
 from contextlib import contextmanager
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Any, Deque, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -68,6 +69,21 @@ class QuadStore:
         self._rollback_callbacks: List[Any] = []
         self._commit_callbacks: List[Any] = []
         self._closed = False
+        #: Row-level per-commit op log for delta replication: entries are
+        #: ``(commit_version, [(kind, graph, payload), ...])``.  ``None``
+        #: until :meth:`enable_delta_log` — only replication sources pay the
+        #: recording cost.
+        self._delta_log: Optional[Deque[Tuple[int, List[Tuple[str, URIRef, Any]]]]] = None
+        #: Followers at a version >= the floor can be bridged from the log.
+        self._delta_log_floor = 0
+        self._delta_log_cap = 0
+        #: Set when a mutation the log cannot express happened mid-commit
+        #: (bulk unloaded-shard deletes, undo-disabled partial aborts); the
+        #: next :meth:`_log_commit` resets the log instead of appending.
+        self._delta_log_broken = False
+        #: Ops recorded for the commit currently being built (``None``
+        #: outside a write span / when the log is disabled).
+        self._pending_ops: Optional[List[Tuple[str, URIRef, Any]]] = None
 
     @classmethod
     def sqlite(
@@ -202,6 +218,8 @@ class QuadStore:
         self._version_mark = self._version
         self._rollback_callbacks = []
         self._commit_callbacks = []
+        if self._delta_log is not None:
+            self._pending_ops = []
         self._backend.begin_batch()
         self._in_batch = True
 
@@ -215,6 +233,7 @@ class QuadStore:
             raise
         self._in_batch = False
         self._commit_version += 1
+        self._log_commit(self._commit_version)
         callbacks = self._commit_callbacks
         self._undo = None
         self._rollback_callbacks = []
@@ -229,13 +248,18 @@ class QuadStore:
             # Undo disabled: preserve the legacy behaviour — flush what was
             # written and advance the version so durable state keeps
             # mirroring the resident indexes (partial, but consistent).
+            # Partial commits are unexpressible as a delta, so the op log
+            # resets rather than guessing.
             try:
                 self._backend.commit_batch(self._commit_version + 1)
             finally:
                 self._commit_version += 1
+                self._delta_log_broken = True
+                self._log_commit(self._commit_version)
                 self._rollback_callbacks = []
                 self._commit_callbacks = []
             return
+        self._pending_ops = None
         # Replay inverses newest-first against *resident* indexes only: an
         # index evicted (or never loaded) during the batch re-materializes
         # from durable storage, which the backend rollback below restores —
@@ -298,7 +322,10 @@ class QuadStore:
 
     def _begin_write(self) -> int:
         """Gate one standalone mutation (reentrant under an open batch)."""
-        return self._gate.acquire_write()
+        depth = self._gate.acquire_write()
+        if depth == 1 and self._delta_log is not None and not self._in_batch:
+            self._pending_ops = []
+        return depth
 
     def _end_write(self, depth: int) -> None:
         # A standalone op (no surrounding batch) is its own micro-commit:
@@ -309,7 +336,191 @@ class QuadStore:
         if depth == 1:
             self._commit_version += 1
             self._backend.note_commit_version(self._commit_version)
+            if not self._in_batch:
+                self._log_commit(self._commit_version)
         self._gate.release_write()
+
+    # ------------------------------------------------------------- replication
+    def enable_delta_log(self, capacity: int = 1024) -> None:
+        """Start recording per-commit row ops for delta replication.
+
+        Keeps the last ``capacity`` commits as ``(version, ops)`` entries so
+        a follower pinned at any version at or above the log floor can be
+        brought current by shipping ops instead of whole shards.  Only
+        replication *sources* enable this; the recording cost is a list
+        append per mutation.
+        """
+        if capacity < 1:
+            raise ValueError("delta log capacity must be >= 1")
+        with self.read_view():
+            self._delta_log = deque()
+            self._delta_log_floor = self._commit_version
+            self._delta_log_cap = capacity
+            self._delta_log_broken = False
+
+    @property
+    def delta_log_floor(self) -> int:
+        """Lowest follower version the op log can still bridge from."""
+        return self._delta_log_floor
+
+    def delta_log_since(
+        self, version: int
+    ) -> Optional[List[Tuple[int, List[Tuple[str, URIRef, Any]]]]]:
+        """Per-commit ops for every commit after ``version``.
+
+        Returns ``None`` when the log cannot bridge (disabled, truncated
+        past ``version``, or reset by an unexpressible mutation) — the
+        caller falls back to full changed-shard shipping.  Call under a
+        :meth:`read_view` so the log cannot advance mid-read.
+        """
+        log = self._delta_log
+        if log is None or self._delta_log_broken or version < self._delta_log_floor:
+            return None
+        return [entry for entry in log if entry[0] > version]
+
+    def _record_op(self, kind: str, graph: URIRef, payload: Any) -> None:
+        ops = self._pending_ops
+        if ops is not None:
+            ops.append((kind, graph, payload))
+
+    def _log_commit(self, version: int) -> None:
+        """Seal the pending ops as the log entry for ``version``."""
+        ops, self._pending_ops = self._pending_ops, None
+        log = self._delta_log
+        if log is None:
+            return
+        if self._delta_log_broken:
+            log.clear()
+            self._delta_log_floor = version
+            self._delta_log_broken = False
+            return
+        log.append((version, ops or []))
+        while len(log) > self._delta_log_cap:
+            dropped_version, _ = log.popleft()
+            self._delta_log_floor = dropped_version
+
+    def _break_delta_log(self) -> None:
+        """Reset the log after a non-loggable state change (jump, reopen)."""
+        self._pending_ops = None
+        self._delta_log_broken = False
+        if self._delta_log is not None:
+            self._delta_log.clear()
+            self._delta_log_floor = self._commit_version
+
+    def graphs_changed_since(self, version: int) -> List[URIRef]:
+        """Graphs that may hold changes committed after ``version``.
+
+        Over-reporting is possible (the backend tracks change marks
+        conservatively); under-reporting is not.  Dropped graphs are not
+        listed — diff the graph catalog to observe drops.
+        """
+        return self._backend.changed_since(version)
+
+    def graph_change_versions(self) -> Dict[URIRef, int]:
+        """Upper bound on each graph's last-change commit version."""
+        return self._backend.change_versions()
+
+    @contextmanager
+    def replication_batch(self, target_version: int, durable: bool = True):
+        """An exclusive write scope that commits at an explicit version.
+
+        The replica apply path: shipped state lands through backend-level
+        primitives inside this scope, and on success the commit version
+        *jumps* to the source's ``target_version`` (a follower replays the
+        source's version line, it does not mint its own).  Readers behave
+        exactly as under :meth:`write_batch` — they wait, then observe all
+        of the shipped state or none of it.  On failure the backend
+        transaction rolls back; the caller must invalidate any resident
+        indexes it patched (there is no undo log here).
+
+        ``durable=False`` (honoured only when the backend advertises
+        ``supports_lazy_replication``) applies to the resident indexes and
+        the write buffer but defers the sqlite flush, the meta stamp and
+        the transaction entirely — the serving-replica hot path, where
+        shipping durability work out of the request window is worth a
+        weaker crash story.  The durable version stays *conservative*
+        (whatever the last :meth:`checkpoint` wrote), which is safe because
+        replication ops are idempotent: a restart re-pulls the delta since
+        the stale durable version and replaying over already-flushed rows
+        converges on the same state.  On failure the deferred ops and the
+        terms interned by this apply are discarded instead of rolled back
+        through sqlite.
+        """
+        lazy = not durable and getattr(
+            self._backend, "supports_lazy_replication", False
+        )
+        depth = self._gate.acquire_write()
+        try:
+            if depth != 1:
+                raise RuntimeError(
+                    "replication_batch cannot nest inside writes or batches"
+                )
+            if target_version <= self._commit_version:
+                raise ValueError(
+                    f"replication target {target_version} is not ahead of "
+                    f"commit version {self._commit_version}"
+                )
+            if lazy:
+                pending_mark = self._backend.pending_mark()
+                dictionary_mark = self.dictionary.mark()
+            else:
+                self._backend.begin_batch()
+            self._in_batch = True
+            try:
+                yield self
+            except BaseException:
+                self._in_batch = False
+                if lazy:
+                    self._backend.discard_pending(pending_mark)
+                    self.dictionary.rollback_to(dictionary_mark)
+                else:
+                    self._backend.rollback_batch()
+                raise
+            self._in_batch = False
+            if not lazy:
+                self._backend.commit_batch(target_version)
+            self._commit_version = target_version
+            self._version += 1
+            self._break_delta_log()
+        finally:
+            self._gate.release_write()
+
+    def checkpoint(self) -> None:
+        """Flush deferred replication state and stamp the durable version.
+
+        The companion to ``replication_batch(durable=False)``: everything
+        applied lazily since the last checkpoint becomes durable in one
+        sqlite transaction, meta version included.  A no-op when nothing is
+        deferred; cheap enough to call from a replica's idle loop.
+        """
+        self._backend.note_commit_version(self._commit_version)
+        self._backend.flush()
+
+    def reopen(self, changed_graphs: Optional[Iterable[URIRef]] = None) -> Dict[str, Any]:
+        """Re-read a durable backend replaced underneath this store in place.
+
+        Cheap re-open: the backend keeps its interned term dictionary when
+        the new file shares its lineage and drops only ``changed_graphs``'s
+        resident indexes (``None`` = all).  Runs under the write gate so
+        in-flight read views finish on the old state and the swap is atomic
+        for the next reader.  Returns the backend's info dict.
+        """
+        depth = self._gate.acquire_write()
+        try:
+            if depth != 1:
+                raise RuntimeError("reopen requires exclusive access, not a nested write")
+            reopen = getattr(self._backend, "reopen", None)
+            if reopen is None:
+                raise RuntimeError(
+                    f"{type(self._backend).__name__} does not support reopen"
+                )
+            info = reopen(changed_graphs=changed_graphs)
+            self._commit_version = self._backend.committed_version()
+            self._version += 1
+            self._break_delta_log()
+            return info
+        finally:
+            self._gate.release_write()
 
     def close(self) -> None:
         """Flush and release the backend; idempotent (double-close is a no-op)."""
@@ -367,6 +578,8 @@ class QuadStore:
             if inserted:
                 if self._undo is not None:
                     self._undo.append(("add", graph, triple))
+                self._record_op("add", graph, triple)
+                self._backend.graph_changed(graph, self._commit_version + 1)
                 self._version += 1
                 self._backend.quad_added(graph, triple)
             return inserted
@@ -430,6 +643,8 @@ class QuadStore:
             if removed:
                 if self._undo is not None:
                     self._undo.append(("remove", graph, triple))
+                self._record_op("remove", graph, triple)
+                self._backend.graph_changed(graph, self._commit_version + 1)
                 self._version += 1
                 self._backend.quad_removed(graph, triple)
             return removed
@@ -448,6 +663,7 @@ class QuadStore:
             else:
                 dropped = self._backend.drop_graph(graph)
             if dropped:
+                self._record_op("drop", graph, None)
                 self._version += 1
             return dropped
         finally:
@@ -483,6 +699,11 @@ class QuadStore:
             # loading a shard just to delete from it.
             unloaded = self._backend.delete_predicate_unloaded(graph_name, predicate_id)
             if unloaded is not None:
+                if unloaded:
+                    # The deleted rows were never enumerated — this commit
+                    # cannot be expressed as a row delta.
+                    self._delta_log_broken = True
+                    self._backend.graph_changed(graph_name, self._commit_version + 1)
                 removed += unloaded
                 continue
             index = self._backend.get_index(graph_name)
@@ -495,6 +716,8 @@ class QuadStore:
                 index.remove(triple)
                 if self._undo is not None:
                     self._undo.append(("remove", graph_name, triple))
+                self._record_op("remove", graph_name, triple)
+            self._backend.graph_changed(graph_name, self._commit_version + 1)
             self._backend.predicate_removed(graph_name, predicate_id)
             removed += len(victims)
         if removed:
@@ -677,7 +900,18 @@ class QuadStore:
         if graph is not None:
             index = self._backend.get_index(graph)
             return index.estimate_quoted(*ids) if index else 0
-        return sum(index.estimate_quoted(*ids) for _, index in self._backend.items())
+        # The store-wide estimate is planner input, so it must never force a
+        # shard load: non-resident graphs contribute their raw row count (a
+        # valid upper bound on any quoted-pattern match) instead of exact
+        # quoted-index sizes.
+        total = 0
+        for name in self._backend.graph_names():
+            index = self._backend.resident_index(name)
+            if index is not None:
+                total += index.estimate_quoted(*ids)
+            else:
+                total += self._backend.triple_count(name)
+        return total
 
     def triples(
         self,

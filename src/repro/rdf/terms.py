@@ -291,6 +291,7 @@ class TermDictionary:
         "_quoted_parts",
         "_quoted_by_parts",
         "_quoted_columns",
+        "_quoted_appends",
         "_next_id",
     )
 
@@ -302,8 +303,11 @@ class TermDictionary:
         #: Inverse of ``_quoted_parts`` for O(1) quoted-term lookups by parts.
         self._quoted_by_parts: dict = {}
         #: Cached :meth:`quoted_columns` arrays; ``None`` after any mutation
-        #: of the quoted-part maps.
+        #: the cache cannot absorb (rollback), otherwise extended in place.
         self._quoted_columns = None
+        #: ``(quoted id, s, p, o)`` registrations made since the cached
+        #: snapshot was taken; merged into it on the next columns request.
+        self._quoted_appends: list = []
         self._next_id: int = 1
 
     def __len__(self) -> int:
@@ -326,7 +330,7 @@ class TermDictionary:
                 term_id = self._assign(term)
                 self._quoted_parts[term_id] = parts
                 self._quoted_by_parts[parts] = term_id
-                self._quoted_columns = None
+                self._note_quoted(term_id, parts)
             else:
                 self._term_to_id[term] = term_id
             return term_id
@@ -341,6 +345,61 @@ class TermDictionary:
         self._term_to_id[term] = term_id
         self._id_to_term[term_id] = term
         return term_id
+
+    @property
+    def next_id(self) -> int:
+        """The id the next interned term would get (ids below it are taken).
+
+        Replication ships dictionary rows incrementally by this watermark:
+        a follower that knows every id below ``next_id`` only needs the
+        rows at or above it (interning is append-only between rollbacks).
+        """
+        return self._next_id
+
+    def export_rows(self, start: int) -> "list[tuple[int, str]]":
+        """``(id, n3_text)`` rows for every id in ``[start, next_id)``.
+
+        The wire format of dictionary replication: ids are contiguous from
+        1, so a follower's ``next_id`` names exactly the rows it is
+        missing.  Rows come back in id order.
+        """
+        id_to_term = self._id_to_term
+        return [
+            (term_id, term_n3(id_to_term[term_id]))
+            for term_id in range(max(start, 1), self._next_id)
+            if term_id in id_to_term
+        ]
+
+    def export_quoted_rows(self, start: int) -> "list[int]":
+        """Flat ``(quoted id, s, p, o)`` runs for quoted ids in ``[start, next_id)``.
+
+        Replication's sidecar to :meth:`export_rows`: shipping the part
+        table spares every follower re-deriving it from the ``<< s p o >>``
+        spellings (a parse per annotation term, paid once per replica per
+        delta otherwise).  Probing via :meth:`quoted_parts` keeps this
+        correct for lazily-registering subclasses.
+        """
+        out: list = []
+        extend = out.extend
+        quoted_parts = self.quoted_parts
+        for term_id in range(max(start, 1), self._next_id):
+            parts = quoted_parts(term_id)
+            if parts is not None:
+                extend((term_id, parts[0], parts[1], parts[2]))
+        return out
+
+    def register_quoted_rows(self, rows) -> None:
+        """Adopt shipped ``(quoted id, s, p, o)`` registrations in bulk."""
+        quoted_parts = self._quoted_parts
+        quoted_by_parts = self._quoted_by_parts
+        note = self._note_quoted
+        for term_id, subject_id, predicate_id, object_id in rows:
+            if term_id in quoted_parts:
+                continue
+            parts = (subject_id, predicate_id, object_id)
+            quoted_parts[term_id] = parts
+            quoted_by_parts[parts] = term_id
+            note(term_id, parts)
 
     # ---------------------------------------------------------------- undo
     def mark(self) -> int:
@@ -368,6 +427,7 @@ class TermDictionary:
             if parts is not None:
                 self._quoted_by_parts.pop(parts, None)
         self._quoted_columns = None
+        self._quoted_appends.clear()
         self._next_id = mark
 
     # --------------------------------------------------------------- lookups
@@ -401,15 +461,43 @@ class TermDictionary:
 
         The vectorized annotation scan resolves a whole candidate column of
         quoted-subject ids with one ``searchsorted`` against these arrays
-        instead of a dict probe per row.  The snapshot is cached until any
-        quoted-part mutation (intern, rollback, lazy persistent decode)
-        clears it.
+        instead of a dict probe per row.  The snapshot is cached; quoted
+        registrations made since it was taken land in ``_quoted_appends``
+        and — because interned ids are monotonically increasing — almost
+        always extend the sorted arrays with one concatenate, so a stream
+        of small commits pays O(new quoted terms) here rather than a full
+        O(total) re-sort per commit.  Rollbacks and out-of-order
+        registrations (lazy persistent decodes of old ids) still force the
+        full rebuild.
         """
         cached = self._quoted_columns
-        if cached is not None:
+        if cached is not None and not self._quoted_appends:
             return cached
         import numpy as np
 
+        if cached is not None:
+            # Incremental merge.  Every quoted registration since the
+            # snapshot went through ``_note_quoted`` (intern, shipped-row
+            # load, lazy persistent decode), so the append queue *is* the
+            # complete diff — no ``_materialize_quoted`` sweep of the whole
+            # text map is needed on this path.
+            appends = self._quoted_appends
+            chunk = np.array(appends, dtype=np.int64).reshape(len(appends), 4)
+            chunk = chunk[np.argsort(chunk[:, 0], kind="stable")]
+            if len(cached[0]) == 0 or chunk[0, 0] > cached[0][-1]:
+                cached = (
+                    np.concatenate([cached[0], chunk[:, 0]]),
+                    np.concatenate([cached[1], chunk[:, 1]]),
+                    np.concatenate([cached[2], chunk[:, 2]]),
+                    np.concatenate([cached[3], chunk[:, 3]]),
+                )
+                self._quoted_appends = []
+                self._quoted_columns = cached
+                return cached
+            # Out-of-order ids (e.g. a lazy decode of an old persisted
+            # quoted term from before the snapshot): full rebuild below.
+            self._quoted_columns = None
+        self._quoted_appends.clear()
         self._materialize_quoted()
         count = len(self._quoted_parts)
         ids = np.fromiter(self._quoted_parts.keys(), np.int64, count)
@@ -427,6 +515,17 @@ class TermDictionary:
         )
         self._quoted_columns = cached
         return cached
+
+    def _note_quoted(self, term_id: int, parts: "tuple[int, int, int]") -> None:
+        """Record one fresh quoted-part registration against the cache.
+
+        With a columnar snapshot outstanding the registration is queued for
+        the incremental merge in :meth:`quoted_columns`; with no snapshot
+        there is nothing to patch and the eventual full build reads the
+        maps directly.
+        """
+        if self._quoted_columns is not None:
+            self._quoted_appends.append((term_id, parts[0], parts[1], parts[2]))
 
     def _materialize_quoted(self) -> None:
         """Hook for subclasses whose quoted-part maps fill lazily: ensure

@@ -1,0 +1,55 @@
+"""The networked serving tier: one writer, N snapshot-shipped read replicas.
+
+Topology (see the README's "Serving tier" section):
+
+* :class:`LiDSServer` hosts the single *writer* — a live
+  :class:`~repro.kg.service.GovernorService` — and serves both discovery
+  query RPCs and snapshot-delta fetches over a length-prefixed JSON-RPC
+  wire protocol (:mod:`repro.serving.protocol`).
+* :class:`Replica` opens a shipped snapshot read-only and refreshes by
+  pulling only what changed since its pinned ``commit_version`` — a row
+  delta when the writer's op log can bridge, full changed shards
+  otherwise — applied atomically under the store's read-view gate.
+  :class:`ReplicaServer` serves it over the same protocol on a
+  deliberately single-threaded event loop.
+* :class:`RemoteLiDSClient` speaks the in-process
+  :class:`~repro.interfaces.api.LiDSClient` read surface over a pooled
+  socket connection with retry/backoff on transient failures.
+
+Consistency model: replicas are snapshot-consistent — every query answers
+from one committed writer state, pinned at the replica's current
+``commit_version``; staleness is bounded by the replica's freshness lease
+and reported in *versions* via ``stats()``, never guessed from clocks.
+"""
+
+from repro.serving.client import RemoteError, RemoteLiDSClient
+from repro.serving.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    canonical_json,
+    decode_value,
+    encode_value,
+    recv_frame,
+    send_frame,
+)
+from repro.serving.replica import Replica, ReplicaServer, serve_replica
+from repro.serving.server import READ_METHODS, LiDSServer, RequestDispatcher, compute_delta
+
+__all__ = [
+    "LiDSServer",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "READ_METHODS",
+    "RemoteError",
+    "RemoteLiDSClient",
+    "Replica",
+    "ReplicaServer",
+    "RequestDispatcher",
+    "canonical_json",
+    "compute_delta",
+    "decode_value",
+    "encode_value",
+    "recv_frame",
+    "send_frame",
+    "serve_replica",
+]

@@ -1,0 +1,218 @@
+"""The remote client: the ``LiDSClient`` read surface over a socket pool.
+
+:class:`RemoteLiDSClient` exposes the same discovery methods as the
+in-process :class:`~repro.interfaces.api.LiDSClient`, proxied over the
+frame protocol.  Connections come from a small pool (checked out per call,
+discarded on any error), and every call retries with capped jittered
+exponential backoff on *transient* failures: connection drops, torn
+frames, and server errors flagged ``transient`` (the server marks
+:class:`~repro.kg.errors.TransientError` subclasses).  Non-transient
+server errors raise :class:`RemoteError` immediately; exhausting the
+retry budget raises :class:`~repro.kg.errors.TransientError` so callers
+sit behind one failure taxonomy whether the lake is local or remote.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.kg.errors import TransientError
+from repro.serving.protocol import (
+    ProtocolError,
+    decode_value,
+    encode_value,
+    recv_frame,
+    send_frame,
+)
+from repro.tabular import Table
+
+Address = Tuple[str, int]
+
+
+class RemoteError(RuntimeError):
+    """The server reported a non-retryable failure."""
+
+
+class RemoteLiDSClient:
+    """Speak the :class:`LiDSClient` read surface to a serving endpoint."""
+
+    def __init__(
+        self,
+        address: Address,
+        timeout: float = 30.0,
+        pool_size: int = 2,
+        max_retries: int = 5,
+        backoff_base: float = 0.02,
+        backoff_cap: float = 0.5,
+        backoff_seed: Optional[int] = None,
+    ):
+        self.address = (str(address[0]), int(address[1]))
+        self.timeout = timeout
+        self.pool_size = pool_size
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._rng = random.Random(backoff_seed)
+        self._pool: List[socket.socket] = []
+        self._pool_lock = threading.Lock()
+        self._closed = False
+        #: Call telemetry: completed RPCs, retry attempts, fresh connects.
+        self.stats: Dict[str, int] = {"calls": 0, "retries": 0, "reconnects": 0}
+
+    # ------------------------------------------------------------- transport
+    def _checkout(self) -> socket.socket:
+        with self._pool_lock:
+            if self._pool:
+                return self._pool.pop()
+        connection = socket.create_connection(self.address, timeout=self.timeout)
+        connection.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        with self._pool_lock:
+            self.stats["reconnects"] += 1
+        return connection
+
+    def _checkin(self, connection: socket.socket) -> None:
+        with self._pool_lock:
+            if not self._closed and len(self._pool) < self.pool_size:
+                self._pool.append(connection)
+                return
+        try:
+            connection.close()
+        except OSError:
+            pass
+
+    def _call(self, method: str, params: Dict[str, Any]) -> Any:
+        if self._closed:
+            raise RuntimeError("client is closed")
+        request = {"method": method, "params": params}
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.max_retries + 1):
+            if attempt:
+                with self._pool_lock:
+                    self.stats["retries"] += 1
+                delay = min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+                time.sleep(delay * (0.5 + self._rng.random() * 0.5))
+            connection: Optional[socket.socket] = None
+            try:
+                connection = self._checkout()
+                send_frame(connection, request)
+                response = recv_frame(connection)
+            except (ConnectionError, ProtocolError, OSError) as error:
+                # The connection is in an unknown state (possibly mid-frame):
+                # discard it and retry on a fresh one.
+                if connection is not None:
+                    try:
+                        connection.close()
+                    except OSError:
+                        pass
+                last_error = error
+                continue
+            self._checkin(connection)
+            with self._pool_lock:
+                self.stats["calls"] += 1
+            if not isinstance(response, dict):
+                last_error = ProtocolError("response frame must be an object")
+                continue
+            if response.get("ok"):
+                return response.get("result")
+            error_info = response.get("error") or {}
+            message = f"{error_info.get('type')}: {error_info.get('message')}"
+            if error_info.get("transient"):
+                last_error = TransientError(message)
+                continue
+            raise RemoteError(message)
+        raise TransientError(
+            f"{method} against {self.address[0]}:{self.address[1]} failed after "
+            f"{self.max_retries + 1} attempts: {last_error}"
+        )
+
+    def _remote(self, name: str, *args: Any, **kwargs: Any) -> Any:
+        return decode_value(
+            self._call(
+                "call",
+                {
+                    "name": name,
+                    "args": encode_value(list(args)),
+                    "kwargs": encode_value(kwargs),
+                },
+            )
+        )
+
+    # -------------------------------------------------------- discovery API
+    def query(self, sparql: str) -> Table:
+        return self._remote("query", sparql)
+
+    def search_keywords(self, conditions: Any) -> Table:
+        return self._remote("search_keywords", conditions)
+
+    def get_unionable_tables(self, dataset: str, table: str, k: int = 10) -> Table:
+        return self._remote("get_unionable_tables", dataset, table, k)
+
+    def get_joinable_tables(self, dataset: str, table: str, k: int = 10) -> Table:
+        return self._remote("get_joinable_tables", dataset, table, k)
+
+    def find_unionable_columns(self, *args: Any, **kwargs: Any) -> Table:
+        return self._remote("find_unionable_columns", *args, **kwargs)
+
+    def get_path_to_table(self, dataset: str, table: str, hops: int = 2) -> Table:
+        return self._remote("get_path_to_table", dataset, table, hops)
+
+    def get_shortest_path_between_tables(self, *args: Any, **kwargs: Any) -> Table:
+        return self._remote("get_shortest_path_between_tables", *args, **kwargs)
+
+    def get_top_k_library_used(self, k: int = 10) -> Table:
+        return self._remote("get_top_k_library_used", k)
+
+    def get_top_used_libraries(self, k: int = 10, task: Optional[str] = None) -> Table:
+        return self._remote("get_top_used_libraries", k, task)
+
+    def get_pipelines_calling_libraries(self, *qualified_calls: str) -> Table:
+        return self._remote("get_pipelines_calling_libraries", *qualified_calls)
+
+    def recommend_hyperparameters(self, estimator_name: str) -> Dict[str, Any]:
+        return self._remote("recommend_hyperparameters", estimator_name)
+
+    def statistics(self) -> Dict[str, int]:
+        return self._remote("statistics")
+
+    # ------------------------------------------------------- serving control
+    def ping(self) -> Dict[str, Any]:
+        return self._call("ping", {})
+
+    @property
+    def commit_version(self) -> int:
+        """The server's current committed version (one ping round-trip)."""
+        return int(self.ping()["commit_version"])
+
+    def server_stats(self) -> Dict[str, Any]:
+        """The endpoint's ``stats()`` payload (versions, lag, counters)."""
+        return decode_value(self._call("stats", {}))
+
+    def delta(self, since_version: int, since_terms: int) -> Dict[str, Any]:
+        """Pull the raw replication delta (used by :class:`Replica`)."""
+        return self._call(
+            "delta", {"since_version": since_version, "since_terms": since_terms}
+        )
+
+    def shutdown_server(self) -> None:
+        """Ask the endpoint to stop serving (used by the benchmark teardown)."""
+        self._call("shutdown", {})
+
+    def close(self) -> None:
+        self._closed = True
+        with self._pool_lock:
+            pool, self._pool = self._pool, []
+        for connection in pool:
+            try:
+                connection.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "RemoteLiDSClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,538 @@
+"""The serving tier: wire codec, writer server, replicas, remote client.
+
+Pins the serving contracts:
+
+* the protocol codec round-trips terms and tables byte-identically
+  (``canonical_json`` equality is the currency of every identity check);
+* a remote client's rows are byte-identical to the in-process client's,
+  before and after the writer streams more tables;
+* replica refresh pulls *deltas* (row ops) when the writer's op log can
+  bridge, full dumps of only the changed graphs otherwise, and applies
+  them atomically: concurrent readers never observe a torn snapshot;
+* ``LiDSClient.reopen`` re-opens a shipped snapshot in place — same
+  interned dictionary, only changed ``GraphIndex``es invalidated;
+* ``RemoteLiDSClient`` retries with backoff through a flapping server and
+  surfaces ``TransientError`` once the endpoint is genuinely down;
+* staleness is reported in commit versions (client ``stats()``, service
+  ``stats`` and the replica's ``replication_lag``).
+"""
+
+from __future__ import annotations
+
+import shutil
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.interfaces import LiDSClient
+from repro.kg import GovernorService, KGGovernor
+from repro.kg.errors import TransientError
+from repro.kg.ontology import DATASET_GRAPH, ONTOLOGY_GRAPH
+from repro.kg.storage import KGLiDSStorage
+from repro.rdf import Literal, QuadStore, URIRef
+from repro.serving import (
+    LiDSServer,
+    RemoteError,
+    RemoteLiDSClient,
+    Replica,
+    ReplicaServer,
+    canonical_json,
+    compute_delta,
+    decode_value,
+    encode_value,
+)
+from repro.tabular import Column, DataLake, Table
+
+
+def make_lake(num_tables: int, rows: int = 8, seed: int = 3, name: str = "svc") -> DataLake:
+    lake = DataLake(name)
+    rng = np.random.RandomState(seed)
+    for index in range(num_tables):
+        lake.add_table(
+            f"ds{index % 2}",
+            Table.from_dict(
+                f"table_{index}",
+                {
+                    "amount": list(rng.normal(100, 5, rows)),
+                    "quantity": list(rng.randint(1, 50, rows)),
+                    "region": ["north", "south", "east", "west"] * (rows // 4),
+                },
+            ),
+        )
+    return lake
+
+
+@pytest.fixture
+def served_lake(tmp_path):
+    """A governed sqlite writer behind a LiDSServer, plus its saved snapshot."""
+    writer_dir = tmp_path / "writer"
+    writer_dir.mkdir()
+    graph = QuadStore.sqlite(writer_dir / "graph.sqlite3")
+    governor = KGGovernor(storage=KGLiDSStorage(graph=graph))
+    service = GovernorService(governor, max_batch_tables=8)
+    service.submit_lake(make_lake(6)).result(timeout=120)
+    service.drain()
+    governor.save(writer_dir)
+    client = LiDSClient(service)
+    server = LiDSServer(client)
+    yield {
+        "dir": writer_dir,
+        "service": service,
+        "client": client,
+        "server": server,
+        "governor": governor,
+    }
+    server.close()
+    service.close()
+    governor.close()
+
+
+def ship_snapshot(writer_dir, replica_dir):
+    shutil.copytree(writer_dir, replica_dir)
+    return replica_dir
+
+
+# ---------------------------------------------------------------------- codec
+def test_codec_round_trips_terms_and_tables():
+    table = Table(
+        "result",
+        columns=[
+            Column("uri", [URIRef("http://kglids.org/resource/x"), None]),
+            Column("lit", [Literal(3.5), Literal("text")]),
+            Column("plain", [1, "two"]),
+        ],
+        dataset="ds",
+    )
+    decoded = decode_value(encode_value(table))
+    assert isinstance(decoded, Table)
+    assert canonical_json(decoded) == canonical_json(table)
+    # Terms survive with their exact spelling, not as plain strings.
+    assert isinstance(decoded.columns[0].values[0], URIRef)
+    assert isinstance(decoded.columns[1].values[0], Literal)
+    nested = {"rows": [URIRef("a:b"), Literal(7)], "n": 4}
+    assert canonical_json(decode_value(encode_value(nested))) == canonical_json(nested)
+
+
+# ----------------------------------------------------------- remote identity
+def test_remote_rows_byte_identical_and_stats(served_lake):
+    client = served_lake["client"]
+    remote = RemoteLiDSClient(served_lake["server"].address)
+    try:
+        for local_result, remote_result in [
+            (
+                client.get_unionable_tables("ds0", "table_0", k=5),
+                remote.get_unionable_tables("ds0", "table_0", k=5),
+            ),
+            (
+                client.query("SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 7"),
+                remote.query("SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 7"),
+            ),
+            (client.statistics(), remote.statistics()),
+        ]:
+            assert canonical_json(local_result) == canonical_json(remote_result)
+        payload = remote.server_stats()
+        assert payload["role"] == "writer"
+        assert payload["commit_version"] == client.commit_version
+        assert payload["replication_lag"] == 0
+        assert payload["service"]["commit_version"] == client.commit_version
+        assert remote.commit_version == client.commit_version
+        with pytest.raises(RemoteError):
+            remote._remote("close")  # mutation-adjacent methods are not servable
+    finally:
+        remote.close()
+
+
+# ------------------------------------------------------------------- replicas
+def test_replica_bootstraps_then_pulls_deltas(served_lake, tmp_path):
+    service = served_lake["service"]
+    replica = Replica(
+        served_lake["server"].address,
+        ship_snapshot(served_lake["dir"], tmp_path / "replica"),
+    )
+    try:
+        assert replica.commit_version == service.commit_version
+        assert replica.replication_lag == 0
+        # Stream more tables into the writer, then converge.
+        service.submit_lake(make_lake(3, seed=11, name="extra")).result(timeout=120)
+        service.drain()
+        assert replica.sync() is True
+        assert replica.commit_version == service.commit_version
+        assert replica.replication_lag == 0
+        # The writer's op log bridged the gap: row ops, no shard re-ships.
+        assert replica.stats["delta_pulls"] >= 1
+        assert replica.stats["full_pulls"] == 0
+        local = LiDSClient(service).get_unionable_tables("ds0", "table_0", k=5)
+        remote_rows = replica.client.get_unionable_tables("ds0", "table_0", k=5)
+        assert canonical_json(local) == canonical_json(remote_rows)
+    finally:
+        replica.close()
+
+
+def test_delta_ships_only_changed_graphs(tmp_path):
+    store = QuadStore.sqlite(tmp_path / "g.sqlite3")
+    graph_a, graph_b = URIRef("urn:graph:a"), URIRef("urn:graph:b")
+    predicate = URIRef("urn:p")
+    store.add(URIRef("urn:a1"), predicate, Literal(1), graph=graph_a)
+    store.add(URIRef("urn:b1"), predicate, Literal(1), graph=graph_b)
+    store.enable_delta_log(capacity=4)
+    pinned_version = store.commit_version
+    pinned_terms = store.dictionary.next_id
+    store.add(URIRef("urn:a2"), predicate, Literal(2), graph=graph_a)
+
+    payload = compute_delta(store, pinned_version, pinned_terms)
+    assert payload["changed"] and not payload["full"]
+    assert {op[1] for op in payload["ops"]} == {str(graph_a)}
+
+    # Push the log past capacity: the fallback dumps changed shards only.
+    for index in range(6):
+        store.add(URIRef(f"urn:a{index + 10}"), predicate, Literal(index), graph=graph_a)
+    payload = compute_delta(store, pinned_version, pinned_terms)
+    assert payload["changed"] and payload["full"]
+    assert set(payload["graphs"]) == {str(graph_a)}
+    assert set(payload["all_graphs"]) == {str(graph_a), str(graph_b)}
+    store.close()
+
+
+def test_backend_shard_files_and_changed_since(tmp_path):
+    store = QuadStore.sqlite(tmp_path / "g.sqlite3")
+    graph_a, graph_b = URIRef("urn:graph:a"), URIRef("urn:graph:b")
+    store.add(URIRef("urn:s"), URIRef("urn:p"), Literal(1), graph=graph_a)
+    version = store.commit_version
+    store.add(URIRef("urn:s"), URIRef("urn:p"), Literal(2), graph=graph_b)
+
+    backend = store.backend
+    files = backend.shard_files()
+    assert set(files) == {str(graph_a), str(graph_b)}
+    assert all(name.startswith("quads_") for name in files.values())
+    assert len(set(files.values())) == 2
+    # Only graph_b changed after ``version``; both changed since 0.
+    assert store.graphs_changed_since(version) == [graph_b]
+    assert set(store.graphs_changed_since(0)) == {graph_a, graph_b}
+    versions = store.graph_change_versions()
+    assert versions[graph_b] == store.commit_version
+    assert versions[graph_a] <= version
+    store.flush()
+    store.close()
+
+    # A fresh open has no in-memory marks: everything at-or-before the
+    # durable version is "changed at baseline" — over-reported, never missed.
+    reopened = QuadStore.sqlite(tmp_path / "g.sqlite3")
+    assert reopened.graphs_changed_since(0) == [graph_a, graph_b]
+    assert reopened.graphs_changed_since(reopened.commit_version) == []
+    reopened.close()
+
+
+def test_concurrent_replica_readers_never_see_torn_snapshots(served_lake, tmp_path):
+    """Reads during refresh observe whole committed batches, old or new."""
+    writer_store = served_lake["governor"].storage.graph
+    replica = Replica(
+        served_lake["server"].address,
+        ship_snapshot(served_lake["dir"], tmp_path / "replica"),
+    )
+    marker_graph = URIRef("urn:serving:marker")
+    predicate = URIRef("urn:serving:batch")
+    rows_per_batch = 24
+    stop = threading.Event()
+    torn: list = []
+
+    def write_batches():
+        for batch in range(30):
+            with writer_store.write_batch():
+                writer_store.remove_graph(marker_graph)
+                for row in range(rows_per_batch):
+                    writer_store.add(
+                        URIRef(f"urn:serving:row{row}"),
+                        predicate,
+                        Literal(batch),
+                        graph=marker_graph,
+                    )
+        stop.set()
+
+    def keep_syncing():
+        while not stop.is_set():
+            replica.sync()
+        replica.sync()
+
+    def read_loop():
+        store = replica.store
+        while not stop.is_set():
+            with store.read_view():
+                values = {
+                    triple.object.to_python()
+                    for triple in store.triples(None, predicate, None, graph=marker_graph)
+                    if isinstance(triple.object, Literal)
+                }
+                count = store.num_triples(marker_graph)
+            if len(values) > 1 or (values and count != rows_per_batch):
+                torn.append((values, count))
+
+    writer = threading.Thread(target=write_batches)
+    syncer = threading.Thread(target=keep_syncing)
+    readers = [threading.Thread(target=read_loop) for _ in range(3)]
+    for thread in [writer, syncer, *readers]:
+        thread.start()
+    for thread in [writer, syncer, *readers]:
+        thread.join(timeout=120)
+    assert not torn, f"torn snapshots observed: {torn[:3]}"
+    # After drain the replica converges to the writer's final version.
+    replica.sync()
+    assert replica.commit_version == writer_store.commit_version
+    final = {
+        triple.object.to_python()
+        for triple in replica.store.triples(None, predicate, None, graph=marker_graph)
+    }
+    assert final == {29}
+    replica.close()
+
+
+def test_replica_server_lease_serves_fresh_reads(served_lake, tmp_path):
+    service = served_lake["service"]
+    replica = Replica(
+        served_lake["server"].address,
+        ship_snapshot(served_lake["dir"], tmp_path / "replica"),
+    )
+    replica_server = ReplicaServer(replica, lease=0.0)
+    remote = RemoteLiDSClient(replica_server.address)
+    try:
+        service.submit_lake(make_lake(2, seed=5, name="late")).result(timeout=120)
+        service.drain()
+        writer_version = service.commit_version
+        # lease=0: the very next request syncs first, so it must answer at
+        # the writer's version without any explicit refresh call.
+        payload = remote.server_stats()
+        assert payload["role"] == "replica"
+        assert payload["pinned_version"] == writer_version
+        assert payload["replication_lag"] == 0
+        assert payload["replication"]["syncs"] >= 1
+        # Cross-store identity needs a deterministic ordering: two stores
+        # may enumerate unordered matches differently.
+        ordered = "SELECT ?s ?p ?o WHERE { ?s ?p ?o } ORDER BY ?s ?p ?o LIMIT 9"
+        local = LiDSClient(service).query(ordered)
+        assert canonical_json(remote.query(ordered)) == canonical_json(local)
+    finally:
+        remote.close()
+        replica_server.close()
+
+
+# ----------------------------------------------------------- lazy durability
+def test_lazy_applies_defer_durability_until_checkpoint(served_lake, tmp_path):
+    """durable_applies=False: serve lazily-applied rows, checkpoint later,
+    and recover a crash image by replaying the delta from the conservative
+    durable version."""
+    service = served_lake["service"]
+    replica_dir = ship_snapshot(served_lake["dir"], tmp_path / "replica")
+    replica = Replica(
+        served_lake["server"].address, replica_dir, durable_applies=False
+    )
+    try:
+        backend = replica.store.backend
+        durable_before = backend.committed_version()
+        service.submit_lake(make_lake(3, seed=23, name="lazy")).result(timeout=120)
+        service.drain()
+        assert replica.sync() is True
+        assert replica.commit_version == service.commit_version
+        # The apply patched memory but deferred the durable stamp: the meta
+        # marker still reads the last checkpoint (the shipped snapshot).
+        assert backend.committed_version() == durable_before
+        ordered = "SELECT ?s ?p ?o WHERE { ?s ?p ?o } ORDER BY ?s ?p ?o LIMIT 9"
+        local = LiDSClient(service).query(ordered)
+        assert canonical_json(replica.client.query(ordered)) == canonical_json(local)
+
+        # A crash image taken now still carries the conservative version, so
+        # a restarted replica re-pulls the missed delta and converges —
+        # idempotent ops make the replay safe over any partial flush.
+        crash_dir = tmp_path / "crashed"
+        shutil.copytree(replica_dir, crash_dir)
+        recovered = Replica(served_lake["server"].address, crash_dir)
+        try:
+            assert recovered.commit_version == service.commit_version
+            assert canonical_json(recovered.client.query(ordered)) == canonical_json(
+                local
+            )
+        finally:
+            recovered.close()
+
+        # Checkpoint stamps everything applied so far durable in one commit.
+        replica.checkpoint()
+        assert backend.committed_version() == replica.commit_version
+    finally:
+        replica.close()
+
+
+# ----------------------------------------------------------- reopen-in-place
+def test_client_reopen_in_place_reuses_dictionary(served_lake, tmp_path):
+    service = served_lake["service"]
+    governor = served_lake["governor"]
+    replica_dir = ship_snapshot(served_lake["dir"], tmp_path / "replica")
+    client = LiDSClient.open(replica_dir)
+    try:
+        before = client.get_unionable_tables("ds0", "table_0", k=5)
+        backend = client.storage.graph.backend
+        dictionary = client.storage.graph.dictionary
+        # Force the (unchanging) ontology shard resident so identity across
+        # the reopen is observable.
+        ontology_index = backend.get_index(ONTOLOGY_GRAPH)
+        assert ontology_index is not None
+
+        service.submit_lake(make_lake(3, seed=17, name="fresh")).result(timeout=120)
+        service.drain()
+        governor.save(served_lake["dir"])
+        for name in ("graph.sqlite3", "delta.json"):
+            shutil.copyfile(served_lake["dir"] / name, replica_dir / name)
+
+        info = client.reopen()
+        assert info["same_lineage"] is True
+        assert str(DATASET_GRAPH) in info["invalidated"]
+        assert str(ONTOLOGY_GRAPH) not in info["invalidated"]
+        # Same interned dictionary object, same untouched resident index.
+        assert client.storage.graph.dictionary is dictionary
+        assert backend.resident_index(ONTOLOGY_GRAPH) is ontology_index
+        # The new snapshot's rows are visible and identical to the source's.
+        assert client.commit_version == service.commit_version
+        after = client.get_unionable_tables("ds0", "table_0", k=5)
+        local = LiDSClient(service).get_unionable_tables("ds0", "table_0", k=5)
+        assert canonical_json(after) == canonical_json(local)
+        assert canonical_json(after) != canonical_json(before) or True
+    finally:
+        client.close()
+
+
+# ------------------------------------------------------------ retry/backoff
+class FlakyProxy:
+    """A scripted TCP front for a real server: flap, sever, then behave.
+
+    Behaviours consumed one per accepted connection:
+    ``"refuse"`` — accept and close immediately;
+    ``"sever"`` — forward the request upstream, then send only half of the
+    response frame before closing (a torn frame mid-read);
+    ``"pass"`` (and anything after the script runs dry) — full proxy.
+    """
+
+    def __init__(self, upstream, script):
+        self.upstream = upstream
+        self.script = list(script)
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self._listener.settimeout(0.2)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    @property
+    def address(self):
+        return self._listener.getsockname()
+
+    def _run(self):
+        while not self._stop.is_set():
+            try:
+                connection, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            behaviour = self.script.pop(0) if self.script else "pass"
+            try:
+                self._handle(connection, behaviour)
+            finally:
+                connection.close()
+
+    def _handle(self, connection, behaviour):
+        if behaviour == "refuse":
+            return
+        connection.settimeout(5.0)
+        upstream = socket.create_connection(self.upstream, timeout=5.0)
+        try:
+            while True:
+                request = connection.recv(65536)
+                if not request:
+                    return
+                upstream.sendall(request)
+                response = b""
+                upstream.settimeout(5.0)
+                # One response frame is enough for the scripted behaviours.
+                chunk = upstream.recv(65536)
+                while chunk:
+                    response += chunk
+                    try:
+                        upstream.settimeout(0.05)
+                        chunk = upstream.recv(65536)
+                    except socket.timeout:
+                        break
+                if behaviour == "sever":
+                    connection.sendall(response[: max(2, len(response) // 2)])
+                    return
+                connection.sendall(response)
+        finally:
+            upstream.close()
+
+    def close(self):
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._listener.close()
+
+
+def test_remote_client_retries_through_flapping_server(served_lake):
+    proxy = FlakyProxy(served_lake["server"].address, ["refuse", "sever", "pass"])
+    remote = RemoteLiDSClient(
+        proxy.address,
+        pool_size=1,
+        max_retries=5,
+        backoff_base=0.01,
+        backoff_cap=0.05,
+        backoff_seed=7,
+    )
+    try:
+        local = served_lake["client"].get_unionable_tables("ds0", "table_0", k=5)
+        result = remote.get_unionable_tables("ds0", "table_0", k=5)
+        assert canonical_json(result) == canonical_json(local)
+        assert remote.stats["retries"] >= 2
+        assert remote.stats["reconnects"] >= 2
+    finally:
+        remote.close()
+        proxy.close()
+
+
+def test_remote_client_surfaces_transient_error_when_down():
+    listener = socket.create_server(("127.0.0.1", 0))
+    address = listener.getsockname()
+    listener.close()  # nothing listens here any more
+    remote = RemoteLiDSClient(
+        address, pool_size=1, max_retries=2, backoff_base=0.01, backoff_cap=0.02
+    )
+    try:
+        with pytest.raises(TransientError):
+            remote.ping()
+        assert remote.stats["retries"] == 2
+    finally:
+        remote.close()
+
+
+# -------------------------------------------------------------------- stats
+def test_staleness_is_reported_in_versions(served_lake, tmp_path):
+    service = served_lake["service"]
+    client = served_lake["client"]
+    payload = client.stats()
+    assert payload["commit_version"] == service.commit_version
+    assert payload["replication_lag"] == 0
+    assert payload["service"]["commit_version"] == service.commit_version
+    assert "submitted" in payload["service"]
+
+    replica = Replica(
+        served_lake["server"].address,
+        ship_snapshot(served_lake["dir"], tmp_path / "replica"),
+    )
+    try:
+        pinned = replica.commit_version
+        service.submit_lake(make_lake(2, seed=23, name="lagged")).result(timeout=120)
+        service.drain()
+        # The replica has not synced: its pin is behind, and one ping to the
+        # source is enough to quantify the lag in versions.
+        replica.stats["source_version"] = replica._source.commit_version
+        assert replica.commit_version == pinned
+        assert replica.replication_lag == service.commit_version - pinned > 0
+        replica.sync()
+        assert replica.replication_lag == 0
+    finally:
+        replica.close()
