@@ -1,0 +1,322 @@
+"""Benchmark — evolutionary AutoML with KG priors vs budgeted random search.
+
+Scenario: a lake is governed end-to-end (tables + a Kaggle-style pipeline
+corpus), a :class:`LiDSClient` fronts the resulting graph, and for every
+held-out AutoML dataset two searches run at the **same evaluation budget**
+(in full-evaluation cost units; the evolutionary loop charges subsample
+screens at their fraction and is hard-capped so it can never outspend the
+baseline):
+
+* ``evolution`` — the GOLEM-style pipeline-graph optimizer seeded and biased
+  by SPARQL-harvested KG priors (the default ``LiDSClient.automl`` strategy);
+* ``random`` — the deduped budgeted random search over bare estimator
+  configurations (``strategy="random"``).
+
+Reported gates (all booleans are regression-checked):
+
+* ``evolution_matches_or_beats_random`` — mean best-F1 parity-or-win at the
+  equal budget;
+* ``priors_informed`` — the prior book actually harvested usage evidence
+  from the governed pipeline graph;
+* ``equal_budget_respected`` — neither strategy overdrew the budget;
+* ``deterministic.identical_across_runs`` / ``identical_across_backends`` —
+  the same seed yields byte-identical best genome and score on repeat runs
+  and across the serial / threads / processes executor backends.
+
+Fitness-cache hit counters and multi-fidelity promotion stats are reported
+alongside.  Results go to ``benchmarks/BENCH_automl.json`` (gated against
+``baselines/BENCH_automl.json`` by ``check_regressions.py``).  Run
+standalone::
+
+    PYTHONPATH=src python benchmarks/bench_automl_evolution.py --tables 200
+
+or as a pytest smoke test (small sizes, used by ``run_all.py --smoke``)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_automl_evolution.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+from repro.automl import KGpipAutoML
+from repro.datagen import (
+    generate_discovery_benchmark,
+    generate_pipeline_corpus,
+    generate_transformation_datasets,
+)
+from repro.eval import format_report_table
+from repro.interfaces import LiDSClient
+from repro.kg.governor import KGGovernor
+from repro.parallel import JobExecutor
+
+RESULT_PATH = Path(__file__).parent / "BENCH_automl.json"
+
+#: Mean-F1 slack under which "matches or beats" holds (two searches tying
+#: within a point of F1 are a tie, not a loss).
+PARITY_SLACK = 0.01
+
+
+def govern_lake(num_tables: int, rows: int, seed: int) -> LiDSClient:
+    """A LiDSClient over a governed lake: tables plus a pipeline corpus."""
+    partitions = 5 if num_tables >= 25 else 3
+    base_tables = (num_tables + partitions - 1) // partitions
+    benchmark = generate_discovery_benchmark(
+        "tus_small", seed=seed, base_tables=base_tables, partitions=partitions, rows=rows
+    )
+    corpus = generate_pipeline_corpus(
+        benchmark.lake, pipelines_per_table=2, seed=seed + 1
+    )
+    governor = KGGovernor()
+    governor.bootstrap(lake=benchmark.lake, scripts=corpus)
+    return LiDSClient(governor)
+
+
+def _search(
+    client: LiDSClient,
+    dataset,
+    strategy: str,
+    budget: int,
+    cv: int,
+    seed: int,
+    executor: JobExecutor = None,
+):
+    searcher = KGpipAutoML(
+        storage=client.storage,
+        profiler=client.governor.profiler,
+        colr_models=client.governor.colr_models,
+        use_lids_priors=True,
+        random_state=seed,
+        executor=executor or JobExecutor(),
+    )
+    return searcher.search(
+        dataset.table,
+        dataset.target,
+        time_budget_seconds=None,
+        max_evaluations=budget,
+        cv=cv,
+        strategy=strategy,
+    )
+
+
+def compare_strategies(
+    client: LiDSClient, datasets: List, budget: int, cv: int, seed: int
+) -> Dict:
+    """Evolution-with-priors vs deduped random at one shared budget."""
+    rows = []
+    differences = []
+    budget_ok = True
+    cache_totals = {"hits": 0, "misses": 0, "entries": 0}
+    fidelity_totals = {"screen_evaluations": 0, "full_evaluations": 0, "promotions": 0}
+    duplicates_skipped = 0
+    for dataset in datasets:
+        evolution = _search(client, dataset, "evolution", budget, cv, seed)
+        random_baseline = _search(client, dataset, "random", budget, cv, seed)
+        difference = evolution.best_score - random_baseline.best_score
+        differences.append(difference)
+        budget_ok &= evolution.evaluations_spent <= budget + 1e-9
+        budget_ok &= random_baseline.evaluations_spent <= budget + 1e-9
+        for key in cache_totals:
+            cache_totals[key] += evolution.cache_stats.get(key, 0)
+        for key in fidelity_totals:
+            fidelity_totals[key] += evolution.fidelity_stats.get(key, 0)
+        duplicates_skipped += random_baseline.duplicate_samples
+        rows.append(
+            {
+                "dataset": f"{dataset.dataset_id} - {dataset.name}",
+                "task": dataset.task,
+                "evolution_f1": round(evolution.best_score, 4),
+                "random_f1": round(random_baseline.best_score, 4),
+                "difference": round(difference, 4),
+                "evolution_spent": evolution.evaluations_spent,
+                "random_spent": random_baseline.evaluations_spent,
+                "generations": evolution.generations_run,
+                "stopped_because": evolution.stopped_because,
+                "best_estimator": (evolution.best_estimator_name or "").split(".")[-1],
+                "best_genome": evolution.best_genome,
+            }
+        )
+    evolution_mean = float(np.mean([row["evolution_f1"] for row in rows]))
+    random_mean = float(np.mean([row["random_f1"] for row in rows]))
+    wins_or_ties = sum(1 for diff in differences if diff >= -PARITY_SLACK)
+    return {
+        "datasets": rows,
+        "evolution_mean_f1": round(evolution_mean, 4),
+        "random_mean_f1": round(random_mean, 4),
+        "mean_difference": round(evolution_mean - random_mean, 4),
+        "wins_or_ties": wins_or_ties,
+        "evolution_matches_or_beats_random": bool(
+            evolution_mean >= random_mean - PARITY_SLACK
+        ),
+        "equal_budget_respected": bool(budget_ok),
+        "cache": cache_totals,
+        "fidelity": fidelity_totals,
+        "random_duplicates_skipped": duplicates_skipped,
+    }
+
+
+def check_determinism(
+    client: LiDSClient, dataset, budget: int, cv: int, seed: int
+) -> Dict:
+    """Same seed ⇒ identical best genome/score across runs and backends."""
+    reference = _search(client, dataset, "evolution", budget, cv, seed)
+    repeat = _search(client, dataset, "evolution", budget, cv, seed)
+    identical_runs = (
+        reference.best_genome == repeat.best_genome
+        and reference.best_score == repeat.best_score
+    )
+    identical_backends = True
+    for backend in ("threads", "processes"):
+        executor = JobExecutor(backend=backend, max_workers=4)
+        result = _search(client, dataset, "evolution", budget, cv, seed, executor)
+        identical_backends &= (
+            result.best_genome == reference.best_genome
+            and result.best_score == reference.best_score
+        )
+    return {
+        "identical_across_runs": bool(identical_runs),
+        "identical_across_backends": bool(identical_backends),
+        "best_score": round(reference.best_score, 6),
+        "best_genome": reference.best_genome,
+    }
+
+
+# --------------------------------------------------------------------- main
+def run_benchmark(
+    num_tables: int,
+    rows: int,
+    num_datasets: int,
+    dataset_rows: int,
+    budget: int,
+    cv: int,
+    seed: int = 11,
+) -> Dict:
+    started = time.perf_counter()
+    client = govern_lake(num_tables, rows, seed)
+    # Skew + scale-spread datasets: the regime where searching pipeline
+    # *structure* (imputer / scaler / feature nodes), not just estimator
+    # configurations, actually moves F1.
+    datasets = generate_transformation_datasets(count=num_datasets, base_rows=dataset_rows)
+    book = client.kgpip.prior_book()
+    report = {
+        "config": {
+            "num_tables": num_tables,
+            "rows": rows,
+            "num_datasets": num_datasets,
+            "dataset_rows": dataset_rows,
+            "budget": budget,
+            "cv": cv,
+            "seed": seed,
+        },
+        "priors_informed": bool(book.informed),
+        "prior_estimator_ranking": book.estimator_ranking()[:5],
+    }
+    report.update(compare_strategies(client, datasets, budget, cv, seed))
+    report["deterministic"] = check_determinism(client, datasets[0], budget, cv, seed)
+    report["elapsed_seconds"] = round(time.perf_counter() - started, 2)
+    client.close()
+    return report
+
+
+def print_report(report: Dict) -> None:
+    rows = [
+        [
+            entry["dataset"],
+            entry["task"],
+            entry["evolution_f1"],
+            entry["random_f1"],
+            entry["difference"],
+            entry["generations"],
+            entry["best_estimator"],
+        ]
+        for entry in report["datasets"]
+    ]
+    rows.append(
+        [
+            "mean",
+            "-",
+            report["evolution_mean_f1"],
+            report["random_mean_f1"],
+            report["mean_difference"],
+            "-",
+            "-",
+        ]
+    )
+    print(
+        format_report_table(
+            ["dataset", "task", "evolution F1", "random F1", "diff", "gens", "best estimator"],
+            rows,
+            title=(
+                f"Evolutionary AutoML vs random at budget "
+                f"{report['config']['budget']} ({report['config']['num_tables']}-table lake)"
+            ),
+        )
+    )
+    cache, fidelity = report["cache"], report["fidelity"]
+    print(
+        f"priors informed: {report['priors_informed']} "
+        f"(top estimators: {', '.join(n.split('.')[-1] for n in report['prior_estimator_ranking'][:3])})"
+    )
+    print(
+        f"fitness cache: {cache['hits']} hits / {cache['misses']} misses "
+        f"({cache['entries']} entries); multi-fidelity: "
+        f"{fidelity['screen_evaluations']} screens, {fidelity['full_evaluations']} fulls, "
+        f"{fidelity['promotions']} promotions; random dedup skipped "
+        f"{report['random_duplicates_skipped']} duplicate samples"
+    )
+    deterministic = report["deterministic"]
+    print(
+        f"deterministic: runs={deterministic['identical_across_runs']} "
+        f"backends={deterministic['identical_across_backends']}; "
+        f"equal budget respected: {report['equal_budget_respected']}"
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tables", type=int, default=200)
+    parser.add_argument("--rows", type=int, default=40)
+    parser.add_argument("--datasets", type=int, default=6)
+    parser.add_argument("--dataset-rows", type=int, default=140)
+    parser.add_argument("--budget", type=int, default=10)
+    parser.add_argument("--cv", type=int, default=3)
+    parser.add_argument("--output", type=Path, default=RESULT_PATH)
+    args = parser.parse_args()
+    report = run_benchmark(
+        args.tables, args.rows, args.datasets, args.dataset_rows, args.budget, args.cv
+    )
+    print_report(report)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+
+# ------------------------------------------------------------ pytest smoke
+def test_automl_evolution_smoke():
+    """Smoke configuration: every boolean gate must hold at toy sizes."""
+    num_tables = 10 if os.environ.get("REPRO_BENCH_SMOKE") else 16
+    report = run_benchmark(
+        num_tables=num_tables,
+        rows=30,
+        num_datasets=3,
+        dataset_rows=110,
+        budget=8,
+        cv=2,
+    )
+    assert report["priors_informed"]
+    assert report["evolution_matches_or_beats_random"]
+    assert report["equal_budget_respected"]
+    assert report["deterministic"]["identical_across_runs"]
+    assert report["deterministic"]["identical_across_backends"]
+    assert report["cache"]["hits"] > 0
+    assert report["fidelity"]["promotions"] > 0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,58 +1,54 @@
 """AutoML with the revised KGpip pipeline (Section 4.4 / Figure 9).
 
-The LiDS graph records which estimators (and which hyperparameter values)
-top-voted pipelines used on each dataset.  The AutoML component recommends a
-classifier for an unseen dataset from the most similar table in the graph and
-seeds its hyperparameter search with the recorded values (``Pip_LiDS``); the
-uninformed variant (``Pip_G4C``) searches the same space blindly under the
-same budget.
+The LiDS graph records which operations (and which hyperparameter values)
+top-voted pipelines used on each dataset.  ``LiDSClient.automl`` turns that
+into a GOLEM-style evolutionary search over pipeline *graphs* — imputer /
+scaler / feature nodes feeding one estimator — seeded and biased by priors
+harvested from the governed graph by plain SPARQL.  The budgeted random
+baseline of the original KGpip survives as ``strategy="random"`` and shares
+the same memoized fitness cache, so the two strategies are comparable at an
+equal evaluation budget.
 """
 
-from repro.automl import KGpipAutoML
 from repro.datagen import (
-    generate_automl_datasets,
     generate_discovery_benchmark,
     generate_pipeline_corpus,
+    generate_transformation_datasets,
 )
-from repro.interfaces import KGLiDS
+from repro.interfaces import KGLiDS, LiDSClient
 
 
 def main() -> None:
     benchmark = generate_discovery_benchmark("tus_small", seed=9, base_tables=4, partitions=3, rows=80)
     scripts = generate_pipeline_corpus(benchmark.lake, pipelines_per_table=3, seed=9)
     platform = KGLiDS.bootstrap(lake=benchmark.lake, scripts=scripts, train_models=False)
+    client = LiDSClient(platform.governor)
 
-    datasets = generate_automl_datasets(count=4, base_rows=120)
-    print("dataset           task        Pip_LiDS   Pip_G4C   best estimator (LiDS)")
+    book = client.kgpip.prior_book()
+    top = [name.split(".")[-1] for name in book.estimator_ranking()[:3]]
+    print(f"priors harvested from the graph (informed={book.informed}); top estimators: {', '.join(top)}")
+
+    datasets = generate_transformation_datasets(count=4, base_rows=120)
+    print()
+    print("dataset           task        evolution   random   best genome (evolution)")
     for dataset in datasets:
-        informed = KGpipAutoML(
-            storage=platform.storage,
-            profiler=platform.governor.profiler,
-            colr_models=platform.governor.colr_models,
-            use_lids_priors=True,
-            random_state=1,
+        evolved = client.automl(
+            dataset.table, dataset.target, max_evaluations=8, cv=2, time_budget_seconds=None
         )
-        uninformed = KGpipAutoML(
-            storage=platform.storage,
-            profiler=platform.governor.profiler,
-            colr_models=platform.governor.colr_models,
-            use_lids_priors=False,
-            random_state=1,
+        random_baseline = client.automl(
+            dataset.table, dataset.target, strategy="random",
+            max_evaluations=8, cv=2, time_budget_seconds=None,
         )
-        recommendation = informed.recommend_ml_models(dataset.table, k=3)
-        lids_result = informed.search(
-            dataset.table, dataset.target, time_budget_seconds=8.0, max_evaluations=4, cv=2
-        )
-        g4c_result = uninformed.search(
-            dataset.table, dataset.target, time_budget_seconds=8.0, max_evaluations=4, cv=2
-        )
-        best = lids_result.best_estimator_name.split(".")[-1]
         print(
-            f"{dataset.name:16s}  {dataset.task:10s}  {lids_result.best_score:8.3f}  "
-            f"{g4c_result.best_score:8.3f}   {best}"
+            f"{dataset.name:16s}  {dataset.task:10s}  {evolved.best_score:9.3f}  "
+            f"{random_baseline.best_score:7.3f}   {evolved.best_genome}"
         )
-        if recommendation and recommendation[0].hyperparameter_priors:
-            print(f"    hyperparameter priors from the LiDS graph: {recommendation[0].hyperparameter_priors}")
+    print()
+    print(
+        f"last run: spent {evolved.evaluations_spent} of 8.0 budget units in "
+        f"{evolved.generations_run} generations ({evolved.stopped_because}); "
+        f"cache {evolved.cache_stats}; fidelity {evolved.fidelity_stats}"
+    )
 
 
 if __name__ == "__main__":

@@ -1,14 +1,22 @@
 """AutoML support: the revised KGpip pipeline (Sections 4.4 and 6.3.3).
 
 KGpip recommends an ML estimator for an unseen dataset by graph similarity
-against datasets seen in the knowledge graph, then runs a budgeted
-hyperparameter search.  KGLiDS improves it in two ways that this package
+against datasets seen in the knowledge graph, then spends a budget searching
+pipeline space.  KGLiDS improves it in two ways that this package
 reproduces: the LiDS graph is already restricted to data-science semantics
 (no graph filtration needed), and it records the hyperparameter name/value
-pairs used by real pipelines, which seed and prune the search space.
+pairs used by real pipelines, which seed and prune the search space.  The
+default search is the GOLEM-style evolutionary pipeline-graph optimizer in
+:mod:`repro.automl.evolution`; the budgeted random baseline survives as
+``strategy="random"``.
 """
 
-from repro.automl.kgpip import AutoMLResult, KGpipAutoML
+from repro.automl.kgpip import (
+    SEARCH_STRATEGIES,
+    AutoMLResult,
+    EstimatorRecommendation,
+    KGpipAutoML,
+)
 from repro.automl.search_space import (
     ESTIMATOR_REGISTRY,
     HYPERPARAMETER_SPACES,
@@ -19,6 +27,8 @@ from repro.automl.search_space import (
 __all__ = [
     "KGpipAutoML",
     "AutoMLResult",
+    "EstimatorRecommendation",
+    "SEARCH_STRATEGIES",
     "ESTIMATOR_REGISTRY",
     "HYPERPARAMETER_SPACES",
     "instantiate_estimator",

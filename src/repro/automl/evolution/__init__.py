@@ -1,0 +1,81 @@
+"""Evolutionary pipeline-graph optimizer: GOLEM-style search with KG priors.
+
+The subsystem decomposes into:
+
+* :mod:`~repro.automl.evolution.genome` — DAG-shaped pipeline genomes with a
+  canonical cached identity (``genome_hash``);
+* :mod:`~repro.automl.evolution.operators` — seeded mutations and stage-splice
+  crossover under an adaptive :class:`OperatorPool`;
+* :mod:`~repro.automl.evolution.priors` — :class:`PriorBook` mined from the
+  governed pipeline graph by SPARQL, seeding populations and biasing draws;
+* :mod:`~repro.automl.evolution.fitness` — memoized, multi-fidelity, parallel
+  fitness evaluation over :class:`~repro.parallel.JobExecutor`;
+* :mod:`~repro.automl.evolution.evolve` — the generational loop with
+  tournament selection, elitism, budgets and early stopping.
+"""
+
+from repro.automl.evolution.evolve import (
+    EvolutionConfig,
+    EvolutionResult,
+    EvolutionarySearch,
+)
+from repro.automl.evolution.fitness import (
+    FULL,
+    SCREEN,
+    FidelityStats,
+    FitnessCache,
+    FitnessEvaluator,
+    GenomePipeline,
+    genome_seed,
+)
+from repro.automl.evolution.genome import (
+    INPUT_NODE,
+    MAX_NODES,
+    OPERATION_REGISTRY,
+    STAGES,
+    GenomeValidityError,
+    OperationSpec,
+    PipelineGenome,
+    operations_for_stage,
+)
+from repro.automl.evolution.operators import (
+    MUTATION_OPERATORS,
+    OperatorPool,
+    apply_mutation,
+    crossover_stage_splice,
+    mutate_add_node,
+    mutate_perturb_param,
+    mutate_remove_node,
+    mutate_replace_node,
+)
+from repro.automl.evolution.priors import PriorBook
+
+__all__ = [
+    "EvolutionConfig",
+    "EvolutionResult",
+    "EvolutionarySearch",
+    "FULL",
+    "SCREEN",
+    "FidelityStats",
+    "FitnessCache",
+    "FitnessEvaluator",
+    "GenomePipeline",
+    "genome_seed",
+    "INPUT_NODE",
+    "MAX_NODES",
+    "OPERATION_REGISTRY",
+    "STAGES",
+    "GenomeValidityError",
+    "OperationSpec",
+    "PipelineGenome",
+    "operations_for_stage",
+    "MUTATION_OPERATORS",
+    "OperatorPool",
+    "apply_mutation",
+    "crossover_stage_splice",
+    "mutate_add_node",
+    "mutate_perturb_param",
+    "mutate_remove_node",
+    "mutate_replace_node",
+    "PriorBook",
+]

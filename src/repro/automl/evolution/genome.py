@@ -1,0 +1,416 @@
+"""DAG-shaped pipeline genomes for the evolutionary AutoML search.
+
+A genome is a small directed acyclic graph of ML operations — imputation,
+preprocessing (scaling), unary feature transforms and exactly one estimator —
+rooted at a pseudo ``input`` node and sinking into the estimator.  Data flows
+along the edges: a transformer node consumes the (column-wise concatenated)
+outputs of its parents and emits a transformed matrix; the estimator trains
+on the concatenation of its parents, so parallel transformer branches widen
+the feature space.
+
+Two ideas are borrowed from GOLEM's ``GraphDelegate``:
+
+* every structural mutation goes through a method decorated with
+  :func:`_resets_descriptive_id`, which invalidates the cached canonical
+  identity — computing it is the expensive part, so it is memoized until the
+  graph actually changes;
+* the canonical identity (:attr:`PipelineGenome.descriptive_id`) is built
+  recursively from the sink with *sorted* parent sub-identities, so two
+  genomes that differ only in node insertion order or node ids hash
+  identically.  :attr:`PipelineGenome.genome_hash` (sha256 of the descriptive
+  id) keys the fitness cache.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.automl.search_space import ESTIMATOR_REGISTRY, HYPERPARAMETER_SPACES
+
+#: The pseudo-node every genome draws its raw feature matrix from.
+INPUT_NODE = "input"
+
+#: Stage ordering along every path: imputation happens before scaling, which
+#: happens before unary feature ops, which happen before the estimator.
+STAGES: Tuple[str, ...] = ("imputation", "preprocessing", "feature", "estimator")
+STAGE_ORDER: Dict[str, int] = {stage: index for index, stage in enumerate(STAGES)}
+
+#: How many nodes of each stage one genome may carry.  Transformer stages
+#: allow two nodes so the DAG can branch (e.g. scaled features concatenated
+#: with a log-transformed copy); the estimator is always unique.
+STAGE_CAPACITY: Dict[str, int] = {
+    "imputation": 1,
+    "preprocessing": 2,
+    "feature": 2,
+    "estimator": 1,
+}
+
+#: Hard cap on genome size (excluding the input pseudo-node).
+MAX_NODES = 6
+
+
+@dataclass(frozen=True)
+class OperationSpec:
+    """One operation the genome may carry: its stage and hyperparameter space.
+
+    ``params`` maps each typed hyperparameter to its *ordered* candidate list;
+    perturbation mutations step to neighbouring candidates, so the order is
+    meaningful (numeric candidates are sorted ascending).
+    """
+
+    name: str
+    stage: str
+    params: Dict[str, Tuple[Any, ...]] = field(default_factory=dict)
+
+    def default_params(self) -> Dict[str, Any]:
+        return {key: candidates[0] for key, candidates in self.params.items()}
+
+
+def _estimator_specs() -> Dict[str, OperationSpec]:
+    specs = {}
+    for name in ESTIMATOR_REGISTRY:
+        space = HYPERPARAMETER_SPACES.get(name, {})
+        specs[name] = OperationSpec(
+            name=name,
+            stage="estimator",
+            params={key: tuple(candidates) for key, candidates in space.items()},
+        )
+    return specs
+
+
+#: Every operation the search may place in a genome, keyed by the qualified
+#: callable name recorded in the LiDS pipeline graph — the same names the
+#: synthetic Kaggle corpus calls, so KG priors line up without translation.
+OPERATION_REGISTRY: Dict[str, OperationSpec] = {
+    "sklearn.impute.SimpleImputer": OperationSpec(
+        "sklearn.impute.SimpleImputer",
+        "imputation",
+        {"strategy": ("mean", "median", "most_frequent")},
+    ),
+    "sklearn.impute.KNNImputer": OperationSpec(
+        "sklearn.impute.KNNImputer", "imputation", {"n_neighbors": (2, 3, 5, 7)}
+    ),
+    "sklearn.impute.IterativeImputer": OperationSpec(
+        "sklearn.impute.IterativeImputer", "imputation", {"max_iter": (2, 3, 5)}
+    ),
+    "sklearn.preprocessing.StandardScaler": OperationSpec(
+        "sklearn.preprocessing.StandardScaler", "preprocessing"
+    ),
+    "sklearn.preprocessing.MinMaxScaler": OperationSpec(
+        "sklearn.preprocessing.MinMaxScaler", "preprocessing"
+    ),
+    "sklearn.preprocessing.RobustScaler": OperationSpec(
+        "sklearn.preprocessing.RobustScaler", "preprocessing"
+    ),
+    "numpy.log1p": OperationSpec("numpy.log1p", "feature"),
+    "numpy.sqrt": OperationSpec("numpy.sqrt", "feature"),
+    **_estimator_specs(),
+}
+
+
+def operations_for_stage(stage: str) -> List[str]:
+    """Names of every registered operation of one stage (stable order)."""
+    return [name for name, spec in OPERATION_REGISTRY.items() if spec.stage == stage]
+
+
+def _resets_descriptive_id(method):
+    """Invalidate the cached canonical id around any structural mutation.
+
+    The GOLEM ``GraphDelegate`` pattern: the descriptive id is expensive to
+    recompute and cheap to cache, so every mutating method funnels through
+    this decorator instead of recomputing eagerly.
+    """
+
+    def wrapper(self, *args, **kwargs):
+        self._descriptive_id = None
+        return method(self, *args, **kwargs)
+
+    wrapper.__name__ = method.__name__
+    wrapper.__doc__ = method.__doc__
+    return wrapper
+
+
+@dataclass
+class GenomeNode:
+    """One operation instance in a genome: its name and concrete parameters."""
+
+    node_id: str
+    operation: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def spec(self) -> OperationSpec:
+        return OPERATION_REGISTRY[self.operation]
+
+    @property
+    def stage(self) -> str:
+        return self.spec.stage
+
+
+class GenomeValidityError(ValueError):
+    """Raised when a genome violates the pipeline-shape rules."""
+
+
+class PipelineGenome:
+    """A mutable DAG of ML operations with a canonical, cached identity."""
+
+    def __init__(self):
+        self.nodes: Dict[str, GenomeNode] = {}
+        #: ``node_id -> ordered parent ids`` (parents may include ``input``).
+        self.parents: Dict[str, List[str]] = {}
+        self._counter = 0
+        self._descriptive_id: Optional[str] = None
+
+    # ------------------------------------------------------------- construction
+    @_resets_descriptive_id
+    def add_node(
+        self,
+        operation: str,
+        params: Optional[Dict[str, Any]] = None,
+        parents: Optional[Sequence[str]] = None,
+    ) -> str:
+        """Add one operation node; returns its id.
+
+        ``parents`` defaults to the input pseudo-node.  Edges to children are
+        wired separately via :meth:`connect`.
+        """
+        if operation not in OPERATION_REGISTRY:
+            raise GenomeValidityError(f"unknown operation {operation!r}")
+        node_id = f"n{self._counter}"
+        self._counter += 1
+        spec = OPERATION_REGISTRY[operation]
+        merged = spec.default_params()
+        merged.update(params or {})
+        self.nodes[node_id] = GenomeNode(node_id, operation, merged)
+        self.parents[node_id] = list(parents) if parents else [INPUT_NODE]
+        return node_id
+
+    @_resets_descriptive_id
+    def connect(self, parent_id: str, child_id: str) -> None:
+        """Add an edge; no-op when it already exists."""
+        if parent_id not in self.parents and parent_id != INPUT_NODE:
+            raise GenomeValidityError(f"unknown parent {parent_id!r}")
+        if child_id not in self.parents:
+            raise GenomeValidityError(f"unknown child {child_id!r}")
+        if parent_id not in self.parents[child_id]:
+            self.parents[child_id].append(parent_id)
+
+    @_resets_descriptive_id
+    def remove_node(self, node_id: str) -> None:
+        """Remove a node, splicing its parents into its children.
+
+        The single-reconnect rule of GOLEM's ``delete_node``: children inherit
+        the removed node's parents so no branch is orphaned.
+        """
+        if node_id not in self.nodes:
+            raise GenomeValidityError(f"unknown node {node_id!r}")
+        removed_parents = self.parents.pop(node_id)
+        self.nodes.pop(node_id)
+        for child_id, child_parents in self.parents.items():
+            if node_id in child_parents:
+                child_parents.remove(node_id)
+                for parent in removed_parents:
+                    if parent not in child_parents:
+                        child_parents.append(parent)
+
+    @_resets_descriptive_id
+    def replace_operation(
+        self, node_id: str, operation: str, params: Optional[Dict[str, Any]] = None
+    ) -> None:
+        """Swap a node's operation for another of the *same* stage."""
+        node = self.nodes[node_id]
+        new_spec = OPERATION_REGISTRY[operation]
+        if new_spec.stage != node.stage:
+            raise GenomeValidityError(
+                f"cannot replace {node.operation} ({node.stage}) with "
+                f"{operation} ({new_spec.stage})"
+            )
+        merged = new_spec.default_params()
+        merged.update(params or {})
+        self.nodes[node_id] = GenomeNode(node_id, operation, merged)
+
+    @_resets_descriptive_id
+    def set_param(self, node_id: str, param: str, value: Any) -> None:
+        """Set one typed hyperparameter of a node."""
+        node = self.nodes[node_id]
+        if param not in node.spec.params:
+            raise GenomeValidityError(f"{node.operation} has no parameter {param!r}")
+        node.params[param] = value
+
+    # ------------------------------------------------------------------ queries
+    @property
+    def estimator_node(self) -> Optional[GenomeNode]:
+        for node in self.nodes.values():
+            if node.stage == "estimator":
+                return node
+        return None
+
+    def children(self, node_id: str) -> List[str]:
+        return [child for child, parents in self.parents.items() if node_id in parents]
+
+    def nodes_of_stage(self, stage: str) -> List[GenomeNode]:
+        return [node for node in self.nodes.values() if node.stage == stage]
+
+    def topological_order(self) -> List[str]:
+        """Node ids in dependency order (raises on cycles)."""
+        order: List[str] = []
+        state: Dict[str, int] = {}
+
+        def visit(node_id: str) -> None:
+            if node_id == INPUT_NODE or state.get(node_id) == 2:
+                return
+            if state.get(node_id) == 1:
+                raise GenomeValidityError("genome contains a cycle")
+            state[node_id] = 1
+            for parent in self.parents[node_id]:
+                visit(parent)
+            state[node_id] = 2
+            order.append(node_id)
+
+        for node_id in sorted(self.nodes):
+            visit(node_id)
+        return order
+
+    # ----------------------------------------------------------------- validity
+    def validity_errors(self) -> List[str]:
+        """Every rule the genome currently violates (empty = valid)."""
+        errors: List[str] = []
+        estimators = self.nodes_of_stage("estimator")
+        if len(estimators) != 1:
+            errors.append(f"expected exactly one estimator, found {len(estimators)}")
+        if len(self.nodes) > MAX_NODES:
+            errors.append(f"genome carries {len(self.nodes)} nodes (max {MAX_NODES})")
+        for stage, capacity in STAGE_CAPACITY.items():
+            count = len(self.nodes_of_stage(stage))
+            if count > capacity:
+                errors.append(f"stage {stage} carries {count} nodes (max {capacity})")
+        try:
+            self.topological_order()
+        except GenomeValidityError as error:
+            errors.append(str(error))
+            return errors
+        # Stage order must be monotone along every edge.
+        for child_id, parent_ids in self.parents.items():
+            child_stage = STAGE_ORDER[self.nodes[child_id].stage]
+            for parent_id in parent_ids:
+                if parent_id == INPUT_NODE:
+                    continue
+                if STAGE_ORDER[self.nodes[parent_id].stage] >= child_stage:
+                    errors.append(
+                        f"edge {parent_id}->{child_id} goes backwards in stage order"
+                    )
+        # The estimator is the unique sink; every other node must reach it.
+        if estimators:
+            sink = estimators[0].node_id
+            if self.children(sink):
+                errors.append("estimator must be the sink (it has children)")
+            reaches_sink = {sink}
+            changed = True
+            while changed:
+                changed = False
+                for node_id in self.nodes:
+                    if node_id in reaches_sink:
+                        continue
+                    if any(child in reaches_sink for child in self.children(node_id)):
+                        reaches_sink.add(node_id)
+                        changed = True
+            for node_id in self.nodes:
+                if node_id not in reaches_sink:
+                    errors.append(f"node {node_id} never reaches the estimator")
+        return errors
+
+    def is_valid(self) -> bool:
+        return not self.validity_errors()
+
+    def validate(self) -> None:
+        errors = self.validity_errors()
+        if errors:
+            raise GenomeValidityError("; ".join(errors))
+
+    # ----------------------------------------------------------------- identity
+    @property
+    def descriptive_id(self) -> str:
+        """Canonical, insertion-order-independent identity (GOLEM-style).
+
+        Cached until the next structural mutation; node ids never appear in
+        it, so structurally identical genomes built differently agree.
+        """
+        if self._descriptive_id is None:
+            estimator = self.estimator_node
+            if estimator is None:
+                raise GenomeValidityError("genome has no estimator to root its id")
+            memo: Dict[str, str] = {}
+            self._descriptive_id = self._describe(estimator.node_id, memo)
+        return self._descriptive_id
+
+    def _describe(self, node_id: str, memo: Dict[str, str]) -> str:
+        if node_id == INPUT_NODE:
+            return INPUT_NODE
+        if node_id in memo:
+            return memo[node_id]
+        node = self.nodes[node_id]
+        parent_ids = sorted(self._describe(parent, memo) for parent in self.parents[node_id])
+        params = ",".join(f"{key}={node.params[key]!r}" for key in sorted(node.params))
+        description = f"({'|'.join(parent_ids)})->{node.operation}[{params}]"
+        memo[node_id] = description
+        return description
+
+    @property
+    def genome_hash(self) -> str:
+        """sha256 of the descriptive id — the fitness-cache key."""
+        return hashlib.sha256(self.descriptive_id.encode("utf-8")).hexdigest()
+
+    # --------------------------------------------------------------- conversion
+    def copy(self) -> "PipelineGenome":
+        clone = PipelineGenome()
+        clone.nodes = {
+            node_id: GenomeNode(node_id, node.operation, copy.deepcopy(node.params))
+            for node_id, node in self.nodes.items()
+        }
+        clone.parents = {node_id: list(parents) for node_id, parents in self.parents.items()}
+        clone._counter = self._counter
+        clone._descriptive_id = self._descriptive_id
+        return clone
+
+    def to_plan(self) -> Dict[str, Any]:
+        """A plain-dict, picklable rendering executed by the fitness worker."""
+        return {
+            "nodes": {
+                node_id: {"operation": node.operation, "params": dict(node.params)}
+                for node_id, node in self.nodes.items()
+            },
+            "parents": {node_id: list(parents) for node_id, parents in self.parents.items()},
+            "order": self.topological_order(),
+        }
+
+    @classmethod
+    def from_plan(cls, plan: Dict[str, Any]) -> "PipelineGenome":
+        genome = cls()
+        for node_id, payload in plan["nodes"].items():
+            genome.nodes[node_id] = GenomeNode(
+                node_id, payload["operation"], dict(payload["params"])
+            )
+            genome.parents[node_id] = list(plan["parents"][node_id])
+        numbers = [int(node_id[1:]) for node_id in genome.nodes if node_id[1:].isdigit()]
+        genome._counter = max(numbers) + 1 if numbers else 0
+        return genome
+
+    @classmethod
+    def single_estimator(
+        cls, estimator_name: str, params: Optional[Dict[str, Any]] = None
+    ) -> "PipelineGenome":
+        """The degenerate genome the budgeted random search evaluates.
+
+        Routing random-search samples through this constructor makes both
+        strategies share one fitness cache: a random sample and an evolved
+        bare-estimator genome with the same configuration hash identically.
+        """
+        genome = cls()
+        genome.add_node(estimator_name, params=params, parents=[INPUT_NODE])
+        return genome
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"PipelineGenome({self.descriptive_id})"

@@ -1,0 +1,302 @@
+"""Seeded variation operators over pipeline genomes, with adaptive selection.
+
+Four mutations (add / remove / replace a node, perturb one hyperparameter)
+and a stage-splice crossover.  Every operator is a pure function
+``(genome, rng, priors) -> Optional[PipelineGenome]``: it works on a copy,
+consults the :class:`~repro.automl.evolution.priors.PriorBook` for any
+operation or hyperparameter draw, and returns ``None`` when it is not
+applicable to the given genome (e.g. removing from a bare-estimator genome).
+Returned offspring are always valid — operators validate before handing back.
+
+Operator *selection* is adaptive, mirroring GOLEM's agent-driven mutation
+choice: :class:`OperatorPool` keeps an exponentially smoothed success rate
+per operator (success = the offspring improved on its parent) and draws the
+next operator proportionally to ``floor + rate``, so productive operators
+are favoured while unproductive ones keep a nonzero exploration floor.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.automl.evolution.genome import (
+    INPUT_NODE,
+    MAX_NODES,
+    STAGE_CAPACITY,
+    STAGE_ORDER,
+    STAGES,
+    GenomeValidityError,
+    PipelineGenome,
+    operations_for_stage,
+)
+from repro.automl.evolution.priors import PriorBook
+
+MutationFn = Callable[[PipelineGenome, np.random.RandomState, PriorBook], Optional[PipelineGenome]]
+
+
+def _stage_rank(genome: PipelineGenome, node_id: str) -> int:
+    if node_id == INPUT_NODE:
+        return -1
+    return STAGE_ORDER[genome.nodes[node_id].stage]
+
+
+def _edges(genome: PipelineGenome) -> List[Tuple[str, str]]:
+    """Every ``(parent, child)`` edge, input pseudo-edges included."""
+    return [
+        (parent, child)
+        for child, parents in sorted(genome.parents.items())
+        for parent in parents
+    ]
+
+
+def mutate_add_node(
+    genome: PipelineGenome, rng: np.random.RandomState, priors: PriorBook
+) -> Optional[PipelineGenome]:
+    """Insert one transformer node onto an existing edge.
+
+    Picks a transformer stage with spare capacity, an edge the stage legally
+    fits on, then either *splices* (the new node replaces the edge) or
+    *branches* (the edge stays and the child additionally concatenates the
+    new node's output).
+    """
+    open_stages = [
+        stage
+        for stage in STAGES[:-1]
+        if len(genome.nodes_of_stage(stage)) < STAGE_CAPACITY[stage]
+    ]
+    if not open_stages or len(genome.nodes) >= MAX_NODES:
+        return None
+    rng.shuffle(open_stages)
+    for stage in open_stages:
+        rank = STAGE_ORDER[stage]
+        slots = [
+            (parent, child)
+            for parent, child in _edges(genome)
+            if _stage_rank(genome, parent) < rank < _stage_rank(genome, child)
+        ]
+        if not slots:
+            continue
+        parent, child = slots[rng.randint(len(slots))]
+        operation = priors.choose_operation(rng, stage)
+        offspring = genome.copy()
+        node_id = offspring.add_node(
+            operation, params=priors.sample_params(rng, operation), parents=[parent]
+        )
+        if rng.rand() < 0.5:  # splice: the new node takes over the edge
+            offspring.parents[child].remove(parent)
+            offspring._descriptive_id = None
+        offspring.connect(node_id, child)
+        if offspring.is_valid():
+            return offspring
+    return None
+
+
+def mutate_remove_node(
+    genome: PipelineGenome, rng: np.random.RandomState, priors: PriorBook
+) -> Optional[PipelineGenome]:
+    """Drop one transformer node, splicing its parents into its children."""
+    candidates = sorted(
+        node_id for node_id, node in genome.nodes.items() if node.stage != "estimator"
+    )
+    if not candidates:
+        return None
+    offspring = genome.copy()
+    offspring.remove_node(candidates[rng.randint(len(candidates))])
+    return offspring if offspring.is_valid() else None
+
+
+def mutate_replace_node(
+    genome: PipelineGenome, rng: np.random.RandomState, priors: PriorBook
+) -> Optional[PipelineGenome]:
+    """Swap one node's operation for a prior-weighted same-stage alternative."""
+    candidates = sorted(
+        node_id
+        for node_id, node in genome.nodes.items()
+        if len(operations_for_stage(node.stage)) > 1
+    )
+    if not candidates:
+        return None
+    node_id = candidates[rng.randint(len(candidates))]
+    stage = genome.nodes[node_id].stage
+    current = genome.nodes[node_id].operation
+    for _ in range(8):
+        operation = priors.choose_operation(rng, stage)
+        if operation != current:
+            break
+    else:
+        options = [name for name in operations_for_stage(stage) if name != current]
+        operation = options[rng.randint(len(options))]
+    offspring = genome.copy()
+    offspring.replace_operation(
+        node_id, operation, params=priors.sample_params(rng, operation)
+    )
+    return offspring if offspring.is_valid() else None
+
+
+def mutate_perturb_param(
+    genome: PipelineGenome, rng: np.random.RandomState, priors: PriorBook
+) -> Optional[PipelineGenome]:
+    """Step one typed hyperparameter to a neighbouring candidate value.
+
+    Candidate lists are ordered (numerics ascending), so a ±1 step is a local
+    move in hyperparameter space; values off the recorded grid snap to a
+    uniform draw.
+    """
+    slots = [
+        (node_id, param)
+        for node_id, node in sorted(genome.nodes.items())
+        for param, candidates in node.spec.params.items()
+        if len(candidates) > 1
+    ]
+    if not slots:
+        return None
+    node_id, param = slots[rng.randint(len(slots))]
+    node = genome.nodes[node_id]
+    candidates = list(node.spec.params[param])
+    current = node.params.get(param)
+    if current in candidates:
+        index = candidates.index(current)
+        step = -1 if (index == len(candidates) - 1 or (index > 0 and rng.rand() < 0.5)) else 1
+        value = candidates[index + step]
+    else:
+        value = priors.choose_param_value(rng, node.operation, param)
+        if value == current:
+            value = candidates[rng.randint(len(candidates))]
+    if value == current:
+        return None
+    offspring = genome.copy()
+    offspring.set_param(node_id, param, value)
+    return offspring if offspring.is_valid() else None
+
+
+def _stage_layers(genome: PipelineGenome) -> Dict[str, List[Tuple[str, Dict[str, Any]]]]:
+    """The genome flattened to ``stage -> [(operation, params), ...]``."""
+    layers: Dict[str, List[Tuple[str, Dict[str, Any]]]] = {stage: [] for stage in STAGES}
+    for node_id in sorted(genome.nodes):
+        node = genome.nodes[node_id]
+        layers[node.stage].append((node.operation, dict(node.params)))
+    return layers
+
+
+def _rebuild_layered(layers: Dict[str, List[Tuple[str, Dict[str, Any]]]]) -> PipelineGenome:
+    """A valid genome from stage layers: each layer feeds the next non-empty one."""
+    genome = PipelineGenome()
+    previous = [INPUT_NODE]
+    for stage in STAGES:
+        entries = layers.get(stage, [])
+        if not entries:
+            continue
+        current = [
+            genome.add_node(operation, params=params, parents=list(previous))
+            for operation, params in entries
+        ]
+        previous = current
+    return genome
+
+
+def crossover_stage_splice(
+    first: PipelineGenome,
+    second: PipelineGenome,
+    rng: np.random.RandomState,
+) -> Optional[PipelineGenome]:
+    """One-point crossover over the stage axis.
+
+    Flattens both parents into stage layers, cuts at a random stage boundary,
+    and rebuilds the offspring layered (each stage concatenating into the
+    next), so the child is valid by construction: transformer prefix from one
+    parent, estimator suffix from the other.
+    """
+    layers_a, layers_b = _stage_layers(first), _stage_layers(second)
+    cut = 1 + rng.randint(len(STAGES) - 1)  # boundary in {1, 2, 3}
+    child_layers = {
+        stage: (layers_a if STAGE_ORDER[stage] < cut else layers_b)[stage]
+        for stage in STAGES
+    }
+    offspring = _rebuild_layered(child_layers)
+    try:
+        offspring.validate()
+    except GenomeValidityError:  # pragma: no cover - layered rebuild is valid
+        return None
+    return offspring
+
+
+#: The mutation repertoire, in the order the pool reports it.
+MUTATION_OPERATORS: List[Tuple[str, MutationFn]] = [
+    ("add_node", mutate_add_node),
+    ("remove_node", mutate_remove_node),
+    ("replace_node", mutate_replace_node),
+    ("perturb_param", mutate_perturb_param),
+]
+
+
+class OperatorPool:
+    """Adaptive operator selection: smoothed success rates with a floor.
+
+    ``reward(name, improved)`` folds each application's outcome into an
+    exponentially smoothed success rate; ``select`` draws proportionally to
+    ``floor + rate``.  The floor keeps every operator alive (a cold operator
+    may become productive once the population shifts), the smoothing makes
+    the pool track the *current* search phase rather than all of history.
+    """
+
+    def __init__(
+        self,
+        operators: Optional[List[Tuple[str, MutationFn]]] = None,
+        smoothing: float = 0.25,
+        floor: float = 0.1,
+    ):
+        self.operators = list(operators or MUTATION_OPERATORS)
+        self.smoothing = smoothing
+        self.floor = floor
+        self.rates: Dict[str, float] = {name: 0.5 for name, _ in self.operators}
+        self.attempts: Dict[str, int] = {name: 0 for name, _ in self.operators}
+        self.successes: Dict[str, int] = {name: 0 for name, _ in self.operators}
+
+    def selection_probabilities(self) -> Dict[str, float]:
+        raw = {name: self.floor + self.rates[name] for name, _ in self.operators}
+        total = sum(raw.values())
+        return {name: weight / total for name, weight in raw.items()}
+
+    def select(self, rng: np.random.RandomState) -> Tuple[str, MutationFn]:
+        probabilities = self.selection_probabilities()
+        names = [name for name, _ in self.operators]
+        weights = np.array([probabilities[name] for name in names], dtype=float)
+        index = int(rng.choice(len(names), p=weights))
+        return self.operators[index]
+
+    def reward(self, name: str, improved: bool) -> None:
+        self.attempts[name] += 1
+        if improved:
+            self.successes[name] += 1
+        self.rates[name] = (1 - self.smoothing) * self.rates[name] + self.smoothing * (
+            1.0 if improved else 0.0
+        )
+
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        probabilities = self.selection_probabilities()
+        return {
+            name: {
+                "attempts": self.attempts[name],
+                "successes": self.successes[name],
+                "rate": round(self.rates[name], 4),
+                "probability": round(probabilities[name], 4),
+            }
+            for name, _ in self.operators
+        }
+
+
+def apply_mutation(
+    genome: PipelineGenome,
+    rng: np.random.RandomState,
+    priors: PriorBook,
+    pool: OperatorPool,
+) -> Tuple[Optional[PipelineGenome], Optional[str]]:
+    """Draw operators from the pool until one applies (bounded retries)."""
+    for _ in range(4):
+        name, operator = pool.select(rng)
+        offspring = operator(genome, rng, priors)
+        if offspring is not None:
+            return offspring, name
+    return None, None

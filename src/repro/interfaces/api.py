@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.automation.cleaning import CleaningRecommender
 from repro.automation.transformation import TransformationRecommendation, TransformationRecommender
-from repro.automl.kgpip import EstimatorRecommendation, KGpipAutoML
+from repro.automl.kgpip import AutoMLResult, EstimatorRecommendation, KGpipAutoML
 from repro.kg.governor import KGGovernor
 from repro.kg.ontology import DATASET_GRAPH, LiDSOntology, library_uri, table_uri
 from repro.kg.service import GovernorService
@@ -49,7 +49,7 @@ class KGLiDS:
         self.transformation_recommender = TransformationRecommender(
             profiler=governor.profiler, colr_models=governor.colr_models
         )
-        self.automl = KGpipAutoML(
+        self.kgpip = KGpipAutoML(
             storage=self.storage,
             profiler=governor.profiler,
             colr_models=governor.colr_models,
@@ -398,7 +398,7 @@ class KGLiDS:
         self, table: Table, task: str = "classification", k: int = 5
     ) -> Table:
         """Classifiers used on the most similar dataset, ranked by votes."""
-        recommendations = self.automl.recommend_ml_models(table, task=task, k=k)
+        recommendations = self.kgpip.recommend_ml_models(table, task=task, k=k)
         rows = [
             {
                 "estimator": recommendation.estimator_name,
@@ -414,7 +414,28 @@ class KGLiDS:
 
     def recommend_hyperparameters(self, estimator_name: str) -> Dict[str, Any]:
         """Most common hyperparameter values recorded for the estimator."""
-        return self.automl.recommend_hyperparameters(estimator_name)
+        return self.kgpip.recommend_hyperparameters(estimator_name)
+
+    def automl(
+        self,
+        table: Table,
+        target: str,
+        strategy: str = "evolution",
+        **search_kwargs: Any,
+    ) -> AutoMLResult:
+        """Budgeted AutoML search for ``table``/``target`` over this graph.
+
+        The default strategy is the evolutionary pipeline-graph optimizer
+        seeded by KG priors (:mod:`repro.automl.evolution`); pass
+        ``strategy="random"`` for the deduped budgeted random baseline.
+        Keyword arguments (``max_evaluations``, ``time_budget_seconds``,
+        ``cv``, ``population_size``, ``generations``, ``cache``) forward to
+        :meth:`~repro.automl.kgpip.KGpipAutoML.search`.  Works over every
+        serving surface — live service, plain governor, or a saved
+        directory opened read-only — because the search only *reads* the
+        graph.
+        """
+        return self.kgpip.search(table, target, strategy=strategy, **search_kwargs)
 
     # ------------------------------------------------------------- statistics
     def statistics(self) -> Dict[str, int]:

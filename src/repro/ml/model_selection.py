@@ -2,12 +2,23 @@
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.ml.base import BaseEstimator, clone
 from repro.ml.metrics import accuracy_score, f1_score
+
+
+class DegenerateFoldWarning(UserWarning):
+    """A cross-validation fold was empty or single-class and scored 0.0.
+
+    Emitted instead of raising so a budgeted AutoML search survives the
+    pathological splits that small or heavily imbalanced synthetic datasets
+    produce mid-run; callers that care (tests, benchmarks) can assert on or
+    silence it with the standard ``warnings`` machinery.
+    """
 
 
 def train_test_split(
@@ -99,7 +110,19 @@ def cross_val_score(
     n_splits = min(cv, max(2, len(y) // 2))
     splitter = KFold(n_splits=n_splits, shuffle=True, random_state=random_state)
     scores = []
-    for train_idx, test_idx in splitter.split(X, y):
+    for fold, (train_idx, test_idx) in enumerate(splitter.split(X, y)):
+        if (
+            len(train_idx) == 0
+            or len(test_idx) == 0
+            or len(np.unique(y[train_idx])) < 2
+        ):
+            warnings.warn(
+                f"fold {fold} is degenerate (empty or single-class); scoring 0.0",
+                DegenerateFoldWarning,
+                stacklevel=2,
+            )
+            scores.append(0.0)
+            continue
         model = clone(estimator)
         try:
             model.fit(X[train_idx], y[train_idx])

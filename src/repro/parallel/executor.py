@@ -82,16 +82,20 @@ class JobExecutor:
         jobs: Iterable[JobInput],
         initializer: Optional[Callable[..., None]] = None,
         initargs: Tuple = (),
+        chunksize: Optional[int] = None,
     ) -> List[JobOutput]:
         """Apply ``worker`` to every job and return results in job order.
 
         ``initializer``/``initargs`` set up per-worker state before any job
         runs.  On the serial and thread backends (which share the parent's
-        memory) the initializer runs once in-process.
+        memory) the initializer runs once in-process.  ``chunksize``
+        overrides the ``processes`` backend's internally computed chunk size
+        — callers with few, expensive, unevenly-costed jobs (e.g. fitness
+        evaluation) pass 1 so no worker is handed two stragglers at once.
         """
         jobs = list(jobs)
         if self.backend == "processes" and len(jobs) > 1:
-            result = self._map_processes(worker, jobs, initializer, initargs)
+            result = self._map_processes(worker, jobs, initializer, initargs, chunksize)
             if result is not None:
                 return result
             # fall through to serial with last_fallback_reason recorded
@@ -110,15 +114,17 @@ class JobExecutor:
         jobs: List[JobInput],
         initializer: Optional[Callable[..., None]],
         initargs: Tuple,
+        chunksize: Optional[int] = None,
     ) -> Optional[List[JobOutput]]:
         """Chunked process-pool map; ``None`` means "fall back to serial"."""
         with self._processes_lock:
             self.last_fallback_reason = None
             workers = self.max_workers or default_worker_count()
             workers = max(1, min(workers, len(jobs)))
-            # Contiguous chunks amortize per-task pickling: aim for a few
-            # chunks per worker so stragglers still balance.
-            chunksize = max(1, (len(jobs) + workers * 4 - 1) // (workers * 4))
+            if chunksize is None:
+                # Contiguous chunks amortize per-task pickling: aim for a few
+                # chunks per worker so stragglers still balance.
+                chunksize = max(1, (len(jobs) + workers * 4 - 1) // (workers * 4))
             try:
                 with ProcessPoolExecutor(
                     max_workers=workers, initializer=initializer, initargs=initargs

@@ -56,7 +56,7 @@ class TestSearchSpace:
 class TestKGpipAutoML:
     def test_recommendations_from_kg(self, bootstrapped_platform, tiny_benchmark):
         table = tiny_benchmark.lake.tables()[0]
-        automl = bootstrapped_platform.automl
+        automl = bootstrapped_platform.kgpip
         match = automl.most_similar_table(table)
         assert match is not None and match[1] > 0.5
         recommendations = automl.recommend_ml_models(table)
@@ -80,8 +80,9 @@ class TestKGpipAutoML:
 
     def test_search_returns_best_result(self, bootstrapped_platform):
         table, target = generate_classification_dataset("automl_t", n_rows=80, n_features=4, seed=3)
-        result = bootstrapped_platform.automl.search(
-            table, target, time_budget_seconds=10.0, max_evaluations=3, cv=2
+        result = bootstrapped_platform.kgpip.search(
+            table, target, time_budget_seconds=10.0, max_evaluations=3, cv=2,
+            strategy="random",
         )
         assert result.evaluations >= 1
         assert 0.0 <= result.best_score <= 1.0
@@ -104,8 +105,12 @@ class TestKGpipAutoML:
             use_lids_priors=False,
             random_state=1,
         )
-        informed_result = informed.search(table, target, time_budget_seconds=10.0, max_evaluations=2, cv=2)
-        uninformed_result = uninformed.search(table, target, time_budget_seconds=10.0, max_evaluations=2, cv=2)
+        informed_result = informed.search(
+            table, target, time_budget_seconds=10.0, max_evaluations=2, cv=2, strategy="random"
+        )
+        uninformed_result = uninformed.search(
+            table, target, time_budget_seconds=10.0, max_evaluations=2, cv=2, strategy="random"
+        )
         assert informed_result.evaluations == uninformed_result.evaluations
         assert 0.0 <= informed_result.best_score <= 1.0
         assert 0.0 <= uninformed_result.best_score <= 1.0

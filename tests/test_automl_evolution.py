@@ -1,0 +1,410 @@
+"""Tests for the evolutionary pipeline-graph optimizer (repro.automl.evolution)."""
+
+import numpy as np
+import pytest
+
+from repro.automl.evolution import (
+    FULL,
+    SCREEN,
+    EvolutionConfig,
+    EvolutionarySearch,
+    FitnessCache,
+    FitnessEvaluator,
+    GenomeValidityError,
+    OperatorPool,
+    PipelineGenome,
+    PriorBook,
+    apply_mutation,
+    crossover_stage_splice,
+    mutate_add_node,
+    mutate_perturb_param,
+)
+from repro.automl.evolution.genome import MAX_NODES, STAGE_CAPACITY
+from repro.automl.kgpip import KGpipAutoML
+from repro.datagen import generate_classification_dataset
+from repro.parallel import JobExecutor
+
+
+def _chain_genome() -> PipelineGenome:
+    genome = PipelineGenome()
+    scaler = genome.add_node("sklearn.preprocessing.StandardScaler")
+    genome.add_node(
+        "sklearn.tree.DecisionTreeClassifier",
+        params={"max_depth": 4},
+        parents=[scaler],
+    )
+    return genome
+
+
+def _small_xy(seed=5, n_rows=90):
+    table, target = generate_classification_dataset(
+        "evo_fit", n_rows=n_rows, n_features=4, seed=seed
+    )
+    X, _ = table.to_feature_matrix(target=target)
+    y = table.target_vector(target)
+    return X, y
+
+
+class TestGenome:
+    def test_canonical_hash_ignores_insertion_order(self):
+        first = PipelineGenome()
+        scaler = first.add_node("sklearn.preprocessing.StandardScaler")
+        feature = first.add_node("numpy.log1p", parents=[scaler])
+        first.add_node("sklearn.naive_bayes.GaussianNB", parents=[feature])
+
+        # Same structure, nodes created in a different order / with other ids.
+        second = PipelineGenome()
+        second.add_node("sklearn.impute.SimpleImputer")  # decoy, removed below
+        second.remove_node("n0")
+        scaler2 = second.add_node("sklearn.preprocessing.StandardScaler")
+        feature2 = second.add_node("numpy.log1p", parents=[scaler2])
+        second.add_node("sklearn.naive_bayes.GaussianNB", parents=[feature2])
+
+        assert first.descriptive_id == second.descriptive_id
+        assert first.genome_hash == second.genome_hash
+
+    def test_hash_distinguishes_params_and_structure(self):
+        base = _chain_genome()
+        other = _chain_genome()
+        assert base.genome_hash == other.genome_hash
+        estimator = other.estimator_node
+        other.set_param(estimator.node_id, "max_depth", 8)
+        assert base.genome_hash != other.genome_hash
+
+    def test_mutations_reset_cached_descriptive_id(self):
+        genome = _chain_genome()
+        before = genome.descriptive_id
+        assert genome._descriptive_id is not None  # cached
+        genome.add_node("sklearn.impute.SimpleImputer")
+        assert genome._descriptive_id is None  # invalidated
+        genome.remove_node(genome.nodes_of_stage("imputation")[0].node_id)
+        assert genome.descriptive_id == before
+
+    def test_validity_rules(self):
+        empty = PipelineGenome()
+        assert "expected exactly one estimator" in empty.validity_errors()[0]
+
+        two_estimators = _chain_genome()
+        two_estimators.add_node("sklearn.naive_bayes.GaussianNB")
+        assert not two_estimators.is_valid()
+
+        backwards = _chain_genome()
+        estimator_id = backwards.estimator_node.node_id
+        feature = backwards.add_node("numpy.sqrt", parents=[estimator_id])
+        backwards.connect(feature, estimator_id)
+        errors = "; ".join(backwards.validity_errors())
+        assert "cycle" in errors or "backwards" in errors
+
+    def test_capacity_and_node_caps(self):
+        genome = _chain_genome()
+        genome.add_node("sklearn.preprocessing.MinMaxScaler")
+        genome.add_node("sklearn.preprocessing.RobustScaler")
+        assert any("stage preprocessing" in e for e in genome.validity_errors())
+        assert STAGE_CAPACITY["estimator"] == 1
+        assert MAX_NODES == 6
+
+    def test_plan_round_trip(self):
+        genome = _chain_genome()
+        plan = genome.to_plan()
+        rebuilt = PipelineGenome.from_plan(plan)
+        assert rebuilt.genome_hash == genome.genome_hash
+        assert rebuilt.to_plan()["order"] == plan["order"]
+
+    def test_single_estimator_matches_evolved_bare_genome(self):
+        configuration = {"max_depth": 4}
+        sampled = PipelineGenome.single_estimator(
+            "sklearn.tree.DecisionTreeClassifier", configuration
+        )
+        evolved = PipelineGenome()
+        evolved.add_node("sklearn.tree.DecisionTreeClassifier", params=configuration)
+        assert sampled.genome_hash == evolved.genome_hash
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(GenomeValidityError):
+            PipelineGenome().add_node("sklearn.magic.Estimator")
+
+
+class TestOperators:
+    def test_mutations_always_produce_valid_genomes(self):
+        rng = np.random.RandomState(0)
+        book = PriorBook.uniform()
+        pool = OperatorPool()
+        genome = book.sample_genome(rng)
+        for _ in range(60):
+            child, name = apply_mutation(genome, rng, book, pool)
+            if child is None:
+                continue
+            assert name in dict(pool.operators) or name is None
+            assert child.is_valid()
+            assert genome.is_valid()  # parent untouched
+            genome = child
+
+    def test_add_node_respects_caps(self):
+        rng = np.random.RandomState(1)
+        book = PriorBook.uniform()
+        genome = _chain_genome()
+        for _ in range(20):
+            child = mutate_add_node(genome, rng, book)
+            if child is None:
+                break
+            assert len(child.nodes) <= MAX_NODES
+            genome = child
+        assert len(genome.nodes) <= MAX_NODES
+
+    def test_perturb_steps_to_neighbouring_candidate(self):
+        rng = np.random.RandomState(2)
+        book = PriorBook.uniform()
+        genome = PipelineGenome.single_estimator(
+            "sklearn.neighbors.KNeighborsClassifier", {"n_neighbors": 5}
+        )
+        child = mutate_perturb_param(genome, rng, book)
+        assert child is not None
+        value = child.estimator_node.params["n_neighbors"]
+        assert value in (3, 7)  # one ordered step away from 5
+
+    def test_crossover_valid_by_construction(self):
+        rng = np.random.RandomState(3)
+        book = PriorBook.uniform()
+        for _ in range(25):
+            first, second = book.sample_genome(rng), book.sample_genome(rng)
+            child = crossover_stage_splice(first, second, rng)
+            assert child is not None and child.is_valid()
+
+    def test_pool_adapts_selection_probabilities(self):
+        pool = OperatorPool()
+        before = pool.selection_probabilities()
+        assert abs(sum(before.values()) - 1.0) < 1e-9
+        for _ in range(10):
+            pool.reward("perturb_param", True)
+            pool.reward("remove_node", False)
+        after = pool.selection_probabilities()
+        assert after["perturb_param"] > before["perturb_param"]
+        assert after["remove_node"] < before["remove_node"]
+        stats = pool.stats()
+        assert stats["perturb_param"]["successes"] == 10
+        assert stats["remove_node"]["attempts"] == 10
+
+
+class TestPriors:
+    def test_uniform_book_covers_every_stage(self):
+        book = PriorBook.uniform()
+        assert not book.informed
+        for stage in ("imputation", "preprocessing", "feature", "estimator"):
+            assert book.operation_weights[stage]
+
+    def test_harvested_from_bootstrapped_graph(self, bootstrapped_platform):
+        book = PriorBook.from_client(bootstrapped_platform.storage)
+        assert book.informed
+        # The synthetic corpus always trains estimators, so estimator weights
+        # must be non-uniform and the ranking non-empty.
+        weights = book.operation_weights["estimator"]
+        assert max(weights.values()) > min(weights.values())
+        assert book.estimator_ranking()
+
+    def test_harvest_falls_back_to_uniform_on_empty_surface(self):
+        class Broken:
+            def query(self, _):
+                raise RuntimeError("no graph here")
+
+        book = PriorBook.from_client(Broken())
+        assert not book.informed
+
+    def test_prior_biases_operation_choice(self):
+        book = PriorBook.uniform()
+        book.operation_weights["estimator"]["sklearn.naive_bayes.GaussianNB"] = 500.0
+        book.prior_probability = 1.0
+        rng = np.random.RandomState(4)
+        draws = [book.choose_operation(rng, "estimator") for _ in range(60)]
+        assert draws.count("sklearn.naive_bayes.GaussianNB") > 45
+
+    def test_recorded_values_snap_into_space(self):
+        book = PriorBook.uniform()
+        # 6 is not a KNN candidate; it must snap to a neighbouring one.
+        book.value_weights[("sklearn.neighbors.KNeighborsClassifier", "n_neighbors")] = {6: 10.0}
+        book.prior_probability = 1.0
+        rng = np.random.RandomState(5)
+        values = {
+            book.choose_param_value(
+                rng, "sklearn.neighbors.KNeighborsClassifier", "n_neighbors"
+            )
+            for _ in range(20)
+        }
+        assert 6 not in values
+
+    def test_population_seeded_with_prior_top_estimators(self):
+        book = PriorBook.uniform()
+        book.operation_weights["estimator"]["sklearn.naive_bayes.GaussianNB"] = 99.0
+        rng = np.random.RandomState(6)
+        population = book.sample_population(rng, 9)
+        assert len(population) == 9
+        first = population[0]
+        assert len(first.nodes) == 1  # bare estimator seed
+        assert first.estimator_node.operation == "sklearn.naive_bayes.GaussianNB"
+        assert all(genome.is_valid() for genome in population)
+
+
+class TestFitness:
+    def test_cache_hits_and_dedup(self):
+        X, y = _small_xy()
+        evaluator = FitnessEvaluator(X, y, cv=2)
+        genome = _chain_genome()
+        first = evaluator.evaluate_full(genome)
+        second = evaluator.evaluate_full(genome.copy())
+        assert first == second
+        assert evaluator.cache.hits == 1
+        assert evaluator.stats.full_evaluations == 1
+        assert evaluator.spent == 1.0
+
+    def test_screen_cheaper_than_full_and_promotions_counted(self):
+        X, y = _small_xy(n_rows=120)
+        evaluator = FitnessEvaluator(X, y, cv=2, promote_top_k=2)
+        assert 0.0 < evaluator.screen_cost < 1.0
+        book = PriorBook.uniform()
+        rng = np.random.RandomState(7)
+        population = book.sample_population(rng, 5)
+        fitness = evaluator.evaluate_population(population)
+        assert len(fitness) >= 1
+        assert evaluator.stats.promotions == 2
+        assert evaluator.stats.full_evaluations == 2
+        assert evaluator.stats.screen_evaluations == len(
+            {g.genome_hash for g in population}
+        )
+
+    def test_max_spend_truncates_fanout(self):
+        X, y = _small_xy()
+        evaluator = FitnessEvaluator(X, y, cv=2, max_spend=2.0)
+        book = PriorBook.uniform()
+        rng = np.random.RandomState(8)
+        population = book.sample_population(rng, 12)
+        evaluator.evaluate_population(population)
+        assert evaluator.spent <= 2.0 + 1e-9
+
+    def test_degenerate_plan_scores_zero(self):
+        X, y = _small_xy()
+        evaluator = FitnessEvaluator(X[:4], y[:4], cv=2)
+        genome = PipelineGenome.single_estimator(
+            "sklearn.neighbors.KNeighborsClassifier", {"n_neighbors": 50}
+        )
+        assert evaluator.evaluate_full(genome) == 0.0
+
+
+class TestEvolutionDeterminism:
+    """Satellite: same seed => byte-identical outcome, any executor backend."""
+
+    def _run(self, executor=None, seed=13):
+        X, y = _small_xy(seed=9, n_rows=100)
+        evaluator = FitnessEvaluator(
+            X, y, cv=2, random_state=seed, executor=executor, cache=FitnessCache()
+        )
+        config = EvolutionConfig(
+            population_size=5, generations=3, max_evaluations=6.0, seed=seed
+        )
+        search = EvolutionarySearch(evaluator, PriorBook.uniform(), config)
+        return search.run()
+
+    def test_identical_across_runs(self):
+        first, second = self._run(), self._run()
+        assert first.best_hash == second.best_hash
+        assert first.best_score == second.best_score
+        assert first.best_genome.descriptive_id == second.best_genome.descriptive_id
+        assert first.history == second.history
+
+    def test_identical_across_executor_backends(self):
+        reference = self._run(JobExecutor(backend="serial"))
+        for backend in ("threads", "processes"):
+            result = self._run(JobExecutor(backend=backend, max_workers=4))
+            assert result.best_hash == reference.best_hash
+            assert result.best_score == reference.best_score
+
+    def test_different_seeds_explore_differently(self):
+        first = self._run(seed=13)
+        second = self._run(seed=14)
+        assert first.history != second.history
+
+
+class TestEvolutionLoop:
+    def test_budget_never_overdrawn_and_leftover_spent(self):
+        X, y = _small_xy(seed=10, n_rows=110)
+        evaluator = FitnessEvaluator(X, y, cv=2, random_state=3)
+        config = EvolutionConfig(
+            population_size=6, generations=5, max_evaluations=7.0, seed=3
+        )
+        outcome = EvolutionarySearch(evaluator, PriorBook.uniform(), config).run()
+        assert outcome.evaluations_spent <= 7.0 + 1e-9
+        # The mop-up leaves less than one full evaluation on the table.
+        assert 7.0 - outcome.evaluations_spent < 1.0
+        assert outcome.best_genome is not None
+        assert outcome.best_score > 0.0
+        assert outcome.fidelity_stats["promotions"] >= 1
+        assert "crossover" in outcome.operator_stats
+
+    def test_early_stopping(self):
+        X, y = _small_xy(seed=11, n_rows=80)
+        evaluator = FitnessEvaluator(X, y, cv=2, random_state=1)
+        config = EvolutionConfig(
+            population_size=4, generations=30, early_stopping_rounds=1, seed=1
+        )
+        outcome = EvolutionarySearch(evaluator, PriorBook.uniform(), config).run()
+        assert outcome.stopped_because in ("early stopping", "generations")
+        assert outcome.generations_run < 30
+
+
+class TestKGpipIntegration:
+    def test_random_search_dedups_through_shared_cache(self, bootstrapped_platform):
+        table, target = generate_classification_dataset(
+            "evo_dedup", n_rows=70, n_features=3, seed=12
+        )
+        searcher = KGpipAutoML(
+            storage=bootstrapped_platform.storage,
+            profiler=bootstrapped_platform.governor.profiler,
+            colr_models=bootstrapped_platform.governor.colr_models,
+            random_state=2,
+        )
+        result = searcher.search(
+            table, target, time_budget_seconds=None, max_evaluations=20, cv=2,
+            strategy="random",
+        )
+        # A 20-evaluation budget over the small recommended space must hit
+        # duplicate configurations; they are skipped without spending budget.
+        assert result.duplicate_samples > 0
+        assert result.evaluations_spent <= 20.0
+        assert result.cache_stats["entries"] == result.evaluations
+
+    def test_evolution_strategy_via_client(self, bootstrapped_platform):
+        table, target = generate_classification_dataset(
+            "evo_client", n_rows=90, n_features=4, seed=13
+        )
+        result = bootstrapped_platform.automl(
+            table, target, max_evaluations=5, cv=2, time_budget_seconds=None
+        )
+        assert result.strategy == "evolution"
+        assert result.best_genome
+        assert result.evaluations_spent <= 5.0 + 1e-9
+        assert result.fidelity_stats["screen_evaluations"] > 0
+
+    def test_automl_over_saved_directory(self, bootstrapped_platform, tmp_path):
+        from repro.interfaces import LiDSClient
+
+        directory = bootstrapped_platform.governor.save(tmp_path / "saved_lake")
+        client = LiDSClient.open(directory)
+        try:
+            # Priors harvest by SPARQL through the read-only surface too.
+            book = client.kgpip.prior_book()
+            assert book.informed
+            table, target = generate_classification_dataset(
+                "evo_saved", n_rows=80, n_features=3, seed=15
+            )
+            result = client.automl(
+                table, target, max_evaluations=4, cv=2, time_budget_seconds=None
+            )
+            assert result.strategy == "evolution"
+            assert result.best_estimator_name
+        finally:
+            client.close()
+
+    def test_unknown_strategy_rejected(self, bootstrapped_platform):
+        table, target = generate_classification_dataset(
+            "evo_bad", n_rows=50, n_features=3, seed=14
+        )
+        with pytest.raises(ValueError):
+            bootstrapped_platform.automl(table, target, strategy="annealing")

@@ -88,11 +88,13 @@ class TestEndToEndScenario:
         table, target = generate_classification_dataset(
             "e2e_automl", n_rows=120, n_features=5, seed=23
         )
-        result = bootstrapped_platform.automl.search(
+        result = bootstrapped_platform.automl(
             table, target, time_budget_seconds=20.0, max_evaluations=4, cv=2
         )
+        assert result.strategy == "evolution"
         assert result.best_score > 0.4
         assert result.best_estimator_name
+        assert result.best_genome
 
     def test_statistics_are_consistent(self, bootstrapped_platform, tiny_benchmark):
         stats = bootstrapped_platform.statistics()

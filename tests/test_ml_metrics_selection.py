@@ -119,3 +119,26 @@ class TestKFoldAndCV:
         y = rng.randint(0, 2, 40)
         score = cross_val_accuracy(GaussianNB(), X, y, cv=4)
         assert 0.0 <= score <= 1.0
+
+
+class TestDegenerateFolds:
+    def test_single_class_fold_scores_zero_with_warning(self):
+        from repro.ml.model_selection import DegenerateFoldWarning
+
+        # Sorted labels + unshuffled-looking tiny data make it likely a fold
+        # sees one class; force it outright with an all-but-one-class vector.
+        X = np.arange(20, dtype=float).reshape(10, 2)
+        y = np.array([0] * 9 + [1])
+        with pytest.warns(DegenerateFoldWarning):
+            scores = cross_val_score(GaussianNB(), X, y, cv=5)
+        assert np.all((scores >= 0.0) & (scores <= 1.0))
+        assert np.any(scores == 0.0)
+
+    def test_all_one_class_never_raises(self):
+        from repro.ml.model_selection import DegenerateFoldWarning
+
+        X = np.random.RandomState(0).normal(size=(12, 2))
+        y = np.zeros(12, dtype=int)
+        with pytest.warns(DegenerateFoldWarning):
+            score = cross_val_f1(GaussianNB(), X, y, cv=3)
+        assert score == 0.0
